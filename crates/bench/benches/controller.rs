@@ -1,0 +1,87 @@
+//! Criterion benches of the ALERT controller's per-input cost — the
+//! quantity behind the paper's §4 overhead claim (0.6–1.7% of an input's
+//! inference time).
+
+use alert_core::alert::{AlertParams, Observation};
+use alert_core::{AlertController, Goal};
+use alert_models::ModelFamily;
+use alert_platform::Platform;
+use alert_sched::alert::build_table;
+use alert_stats::units::Watts;
+use alert_workload::constraints::deadline_unit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn controller_for(family: &ModelFamily, platform: &Platform) -> (AlertController, Goal) {
+    let (table, _) = build_table(family, platform);
+    let unit = deadline_unit(family, platform);
+    let goal = Goal::minimize_error(unit, Watts(35.0) * unit);
+    (AlertController::new(table, AlertParams::default()), goal)
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alert_decide");
+    for (label, family, platform) in [
+        (
+            "image_cpu1",
+            ModelFamily::image_classification(),
+            Platform::cpu1(),
+        ),
+        (
+            "image_gpu",
+            ModelFamily::image_classification(),
+            Platform::gpu(),
+        ),
+        (
+            "sentence_cpu2",
+            ModelFamily::sentence_prediction(),
+            Platform::cpu2(),
+        ),
+    ] {
+        let (mut ctl, goal) = controller_for(&family, &platform);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(ctl.decide(black_box(&goal))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let family = ModelFamily::image_classification();
+    let platform = Platform::cpu1();
+    let (mut ctl, goal) = controller_for(&family, &platform);
+    let sel = ctl.decide(&goal);
+    let t_prof = ctl.table().t_prof_stage(sel.candidate);
+    let obs = Observation {
+        latency: t_prof * 1.1,
+        profile_equivalent: t_prof,
+        idle_power: Some(Watts(6.0)),
+        idle_cap: Watts(45.0),
+    };
+    c.bench_function("alert_observe", |b| {
+        b.iter(|| ctl.observe(black_box(&obs)))
+    });
+}
+
+fn bench_full_cycle(c: &mut Criterion) {
+    // One complete decide → observe cycle: what ALERT charges per input.
+    let family = ModelFamily::image_classification();
+    let platform = Platform::cpu1();
+    let (mut ctl, goal) = controller_for(&family, &platform);
+    c.bench_function("alert_decide_observe_cycle", |b| {
+        b.iter(|| {
+            let sel = ctl.decide(black_box(&goal));
+            let t_prof = ctl.table().t_prof_stage(sel.candidate);
+            ctl.observe(&Observation {
+                latency: t_prof * 1.05,
+                profile_equivalent: t_prof,
+                idle_power: Some(Watts(6.0)),
+                idle_cap: ctl.table().cap(sel.candidate.power),
+            });
+            black_box(sel)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decide, bench_observe, bench_full_cycle);
+criterion_main!(benches);

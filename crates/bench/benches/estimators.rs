@@ -1,0 +1,112 @@
+//! Criterion benches of the estimator kernels on the controller's hot
+//! path: Kalman updates, normal CDF / inverse CDF, expected quality, and
+//! the full candidate-set selection scan.
+
+use alert_core::alert::ProbabilityMode;
+use alert_core::config::{CandidateModel, StagePoint};
+use alert_core::{select, Goal};
+use alert_models::ModelFamily;
+use alert_platform::Platform;
+use alert_sched::alert::build_table;
+use alert_stats::kalman::{AdaptiveKalman, IdlePowerFilter};
+use alert_stats::normal::{inv_phi, phi, Normal};
+use alert_stats::units::Seconds;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("adaptive_kalman_update", |b| {
+        let mut f = AdaptiveKalman::with_defaults();
+        let mut x = 1.0;
+        b.iter(|| {
+            x = if x > 1.2 { 1.0 } else { x + 0.01 };
+            black_box(f.update(black_box(x)))
+        })
+    });
+    c.bench_function("idle_filter_update", |b| {
+        let mut f = IdlePowerFilter::new(0.3);
+        b.iter(|| black_box(f.update(black_box(0.25))))
+    });
+}
+
+fn bench_normal(c: &mut Criterion) {
+    c.bench_function("normal_cdf", |b| {
+        let mut x = -4.0;
+        b.iter(|| {
+            x = if x > 4.0 { -4.0 } else { x + 0.001 };
+            black_box(phi(black_box(x)))
+        })
+    });
+    c.bench_function("normal_inv_cdf", |b| {
+        let mut p = 0.01;
+        b.iter(|| {
+            p = if p > 0.99 { 0.01 } else { p + 0.0001 };
+            black_box(inv_phi(black_box(p)))
+        })
+    });
+}
+
+fn bench_expected_quality(c: &mut Criterion) {
+    let model = CandidateModel::anytime(
+        "any",
+        vec![
+            StagePoint { frac: 0.18, quality: 0.858 },
+            StagePoint { frac: 0.35, quality: 0.904 },
+            StagePoint { frac: 0.62, quality: 0.932 },
+            StagePoint { frac: 1.00, quality: 0.948 },
+        ],
+        0.005,
+    );
+    let xi = Normal::new(1.2, 0.12);
+    c.bench_function("expected_quality_anytime4", |b| {
+        b.iter(|| {
+            black_box(alert_core::quality::expected_quality(
+                black_box(&xi),
+                black_box(&model),
+                Seconds(0.35),
+                3,
+                Seconds(0.4),
+            ))
+        })
+    });
+}
+
+fn bench_selection_scan(c: &mut Criterion) {
+    let family = ModelFamily::image_classification();
+    let platform = Platform::cpu1();
+    let (table, _) = build_table(&family, &platform);
+    let xi = Normal::new(1.1, 0.08);
+    let goal = Goal::minimize_energy(Seconds(0.3), 0.92);
+    c.bench_function("select_full_table_135", |b| {
+        b.iter(|| {
+            black_box(select::select(
+                black_box(&table),
+                black_box(&xi),
+                0.25,
+                black_box(&goal),
+                ProbabilityMode::Full,
+            ))
+        })
+    });
+    let goal_pr = goal.with_prob_threshold(0.95);
+    c.bench_function("select_full_table_135_prth", |b| {
+        b.iter(|| {
+            black_box(select::select(
+                black_box(&table),
+                black_box(&xi),
+                0.25,
+                black_box(&goal_pr),
+                ProbabilityMode::Full,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kalman,
+    bench_normal,
+    bench_expected_quality,
+    bench_selection_scan
+);
+criterion_main!(benches);

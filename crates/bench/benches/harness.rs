@@ -1,0 +1,50 @@
+//! Criterion benches of the episode harness: end-to-end episodes for the
+//! main schemes (simulator throughput, oracle enumeration cost).
+
+use alert_platform::Platform;
+use alert_sched::{run_setting, ExperimentConfig, FamilyKind, SchemeKind};
+use alert_workload::{constraint_grid, InputStream, Objective, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_episodes(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        n_inputs: 100,
+        seed: 5,
+        threads: 1,
+    };
+    let platform = Platform::cpu1();
+    let family = FamilyKind::Image.family();
+    let stream = InputStream::generate(FamilyKind::Image.task(), config.n_inputs, config.seed);
+    let goal = constraint_grid(Objective::MinimizeEnergy, &family, &platform)[17];
+    let scenario = Scenario::memory_env(config.seed);
+
+    let mut group = c.benchmark_group("episode_100_inputs");
+    group.sample_size(20);
+    for kind in [
+        SchemeKind::Alert,
+        SchemeKind::Oracle,
+        SchemeKind::OracleStatic,
+        SchemeKind::SysOnly,
+        SchemeKind::AppOnly,
+        SchemeKind::NoCoord,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                black_box(run_setting(
+                    kind,
+                    black_box(&family),
+                    &platform,
+                    &scenario,
+                    goal,
+                    &stream,
+                    config.seed,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_episodes);
+criterion_main!(benches);

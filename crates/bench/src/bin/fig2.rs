@@ -1,0 +1,94 @@
+//! Figure 2: latency/error/energy trade-offs of the 42 ImageNet DNNs on
+//! CPU2, with the lower convex hull of optimal trade-offs.
+//!
+//! Paper claims to reproduce (shape, not absolute numbers):
+//! * the fastest model is ~18× faster than the slowest,
+//! * the most accurate has ~7.8× lower top-5 error than the least,
+//! * energy spans >20×,
+//! * no model is best on both axes; VGG sits far above the hull.
+
+use alert_bench::{banner, csv_header, csv_row, f};
+use alert_models::inference;
+use alert_models::zoo::imagenet42;
+use alert_platform::Platform;
+use alert_stats::hull::{lower_convex_hull, Point2};
+use alert_stats::rng::stream_rng;
+use alert_workload::TaskId;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "Tradeoffs for 42 ImageNet DNNs (CPU2, default power)",
+    );
+    let platform = Platform::cpu2();
+    let cap = platform.default_cap();
+    let zoo = imagenet42();
+    let mut rng = stream_rng(2020, "fig2-inputs");
+
+    // Average measured latency over a stream of inputs (like the paper's
+    // 50 000-image pass, scaled down).
+    let n_inputs = 2000;
+    let mut rows = Vec::new();
+    for m in &zoo {
+        let mut sum_t = 0.0;
+        let mut sum_e = 0.0;
+        for _ in 0..n_inputs {
+            let scale = TaskId::Img2.sample_scale(&mut rng);
+            let noise = platform.noise().sample(&mut rng);
+            let t = inference::profile_latency(m, &platform, cap)
+                .expect("feasible")
+                .get()
+                * scale
+                * noise;
+            let p = inference::run_power(m, &platform, cap).get();
+            sum_t += t;
+            sum_e += p * t;
+        }
+        let avg_t = sum_t / n_inputs as f64;
+        let avg_e = sum_e / n_inputs as f64;
+        let err5 = (1.0 - m.quality) * 100.0;
+        rows.push((m.name.clone(), avg_t, err5, avg_e));
+    }
+
+    csv_header(&["model", "latency_s", "top5_err_pct", "energy_j"]);
+    for (name, t, err, e) in &rows {
+        csv_row(&[name.clone(), f(*t, 4), f(*err, 1), f(*e, 2)]);
+    }
+
+    let points: Vec<Point2> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (_, t, err, _))| Point2::new(*t, *err, i))
+        .collect();
+    let hull = lower_convex_hull(&points);
+    println!("\nlower convex hull (optimal latency/error tradeoffs):");
+    for p in &hull {
+        println!(
+            "  {:<24} {:>7} s  {:>5} %",
+            rows[p.idx].0,
+            f(p.x, 4),
+            f(p.y, 1)
+        );
+    }
+
+    let t_min = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let t_max = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let e_min = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+    let e_max = rows.iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
+    let j_min = rows.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    let j_max = rows.iter().map(|r| r.3).fold(f64::NEG_INFINITY, f64::max);
+    println!("\nspans (paper: ~18x latency, ~7.8x error, >20x energy):");
+    println!("  latency span: {}x", f(t_max / t_min, 1));
+    println!("  error   span: {}x", f(e_max / e_min, 1));
+    println!("  energy  span: {}x", f(j_max / j_min, 1));
+    println!(
+        "  models on hull: {} of {} (all others are dominated tradeoffs)",
+        hull.len(),
+        rows.len()
+    );
+    let vgg = rows.iter().find(|r| r.0 == "vgg_16").expect("vgg in zoo");
+    let dominated = rows
+        .iter()
+        .any(|r| r.1 < vgg.1 && r.2 < vgg.2);
+    println!("  vgg_16 dominated (paper: yes): {dominated}");
+}

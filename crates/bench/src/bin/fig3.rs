@@ -1,0 +1,62 @@
+//! Figure 3: ResNet50 on CPU2 under 31 power settings (40–100 W, 2 W
+//! steps): per-period energy vs latency for a periodic input stream whose
+//! period equals the latency at the 40 W cap.
+//!
+//! Paper claims to reproduce:
+//! * the fastest setting is >2× faster than the slowest,
+//! * the 40 W setting consumes the least energy,
+//! * the most energy-hungry setting sits mid-range at ≈1.3× the minimum,
+//! * the curve is non-monotone — no greedy heuristic can navigate it.
+
+use alert_bench::{banner, csv_header, csv_row, f};
+use alert_models::inference;
+use alert_models::zoo::resnet50;
+use alert_platform::energy::PeriodEnergy;
+use alert_platform::Platform;
+use alert_stats::units::{Seconds, Watts};
+
+fn main() {
+    banner(
+        "Figure 3",
+        "ResNet50 @ 31 power settings 40-100W (CPU2), period = latency@40W",
+    );
+    let platform = Platform::cpu2();
+    let model = resnet50();
+    let caps: Vec<Watts> = platform
+        .cap_range()
+        .settings_with_step(Watts(2.0));
+    assert_eq!(caps.len(), 31, "paper uses 31 settings");
+
+    let latency_at = |cap: Watts| -> Seconds {
+        inference::profile_latency(&model, &platform, cap).expect("feasible")
+    };
+    let period = latency_at(Watts(40.0));
+
+    csv_header(&["cap_w", "latency_s", "period_energy_j"]);
+    let mut rows = Vec::new();
+    for &cap in &caps {
+        let t = latency_at(cap);
+        let run_p = inference::run_power(&model, &platform, cap);
+        let idle_p = platform.idle_draw(cap, None);
+        let e = PeriodEnergy::from_draws(run_p, t, idle_p, period).total();
+        csv_row(&[f(cap.get(), 0), f(t.get(), 4), f(e.get(), 2)]);
+        rows.push((cap, t, e));
+    }
+
+    let (min_cap, _, e_min) = rows
+        .iter()
+        .min_by(|a, b| a.2.get().partial_cmp(&b.2.get()).unwrap())
+        .unwrap();
+    let (max_cap, _, e_max) = rows
+        .iter()
+        .max_by(|a, b| a.2.get().partial_cmp(&b.2.get()).unwrap())
+        .unwrap();
+    let span = rows[0].1.get() / rows.last().unwrap().1.get();
+    println!("\nshape checks (paper: >2x latency span, min@40W, max mid-range ~1.3x):");
+    println!("  latency span 40W/100W : {}x", f(span, 2));
+    println!("  least energy at       : {} ({} J)", min_cap, f(e_min.get(), 2));
+    println!("  most  energy at       : {} ({} J)", max_cap, f(e_max.get(), 2));
+    println!("  max/min energy ratio  : {}x", f(e_max.get() / e_min.get(), 2));
+    let interior = max_cap.get() > 45.0 && max_cap.get() < 95.0;
+    println!("  energy max is interior (non-monotone curve): {interior}");
+}

@@ -1,0 +1,84 @@
+//! Figure 4: per-input latency variance of the four tasks across
+//! platforms, without co-located jobs (boxplots: 25–75% box, 10/90%
+//! whiskers).
+//!
+//! Paper observations to reproduce:
+//! * no single task meets all deadlines on all hardware,
+//! * input variance is small except NLP1 (driven by input lengths),
+//! * the Embedded board only fits NLP1 (everything else OOMs).
+
+use alert_bench::{banner, csv_header, csv_row, f};
+use alert_models::inference;
+use alert_platform::Platform;
+use alert_stats::rng::stream_rng;
+use alert_stats::summary::five_number;
+use alert_workload::TaskId;
+
+/// Collects per-input latencies of `task` on `platform` at default power,
+/// no contention. Returns `None` when the model does not fit.
+pub fn latencies(task: TaskId, platform: &Platform, n: usize, seed: u64) -> Option<Vec<f64>> {
+    let model = task.reference_model();
+    if !platform.supports_footprint(model.footprint_gb) {
+        return None;
+    }
+    let cap = platform.default_cap();
+    let base = inference::profile_latency(&model, platform, cap)
+        .expect("feasible")
+        .get();
+    let mut rng = stream_rng(seed, &format!("fig4-{task}-{}", platform.id()));
+    Some(
+        (0..n)
+            .map(|_| base * task.sample_scale(&mut rng) * platform.noise().sample(&mut rng))
+            .collect(),
+    )
+}
+
+fn main() {
+    banner(
+        "Figure 4",
+        "Latency variance across inputs, per task and platform (no co-located jobs)",
+    );
+    csv_header(&[
+        "task", "platform", "p10_s", "p25_s", "median_s", "p75_s", "p90_s",
+    ]);
+    for task in TaskId::ALL {
+        for platform in Platform::all() {
+            match latencies(task, &platform, 3000, 2020) {
+                None => println!("{task} on {}: out of memory (skipped)", platform.id()),
+                Some(xs) => {
+                    let s = five_number(&xs).expect("non-empty");
+                    csv_row(&[
+                        task.to_string(),
+                        platform.id().to_string(),
+                        f(s.p10, 4),
+                        f(s.p25, 4),
+                        f(s.p50, 4),
+                        f(s.p75, 4),
+                        f(s.p90, 4),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("\nobservations (paper §2.2):");
+    let cpu1 = Platform::cpu1();
+    let img = latencies(TaskId::Img2, &cpu1, 3000, 2020).unwrap();
+    let nlp = latencies(TaskId::Nlp1, &cpu1, 3000, 2020).unwrap();
+    let cv = |xs: &[f64]| {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        v.sqrt() / m
+    };
+    println!("  IMG2 cv on CPU1: {} (small)", f(cv(&img), 3));
+    println!("  NLP1 cv on CPU1: {} (large, input-length driven)", f(cv(&nlp), 3));
+    let emb = Platform::embedded();
+    println!(
+        "  Embedded runs NLP1 only: {}",
+        TaskId::ALL
+            .iter()
+            .filter(|t| latencies(**t, &emb, 10, 1).is_some())
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 5: per-input latency variance *with co-located jobs*
+//! (memory-intensive STREAM analogue on CPUs, Backprop analogue on GPU).
+//!
+//! Paper observation to reproduce: the co-runner raises the median, the
+//! tail, *and* the spread between them, on every task and platform.
+
+use alert_bench::{banner, csv_header, csv_row, f};
+use alert_models::inference;
+use alert_platform::contention::ContentionKind;
+use alert_platform::Platform;
+use alert_stats::rng::stream_rng;
+use alert_stats::summary::five_number;
+use alert_workload::TaskId;
+
+fn contended_latencies(
+    task: TaskId,
+    platform: &Platform,
+    n: usize,
+    seed: u64,
+) -> Option<Vec<f64>> {
+    let model = task.reference_model();
+    if !platform.supports_footprint(model.footprint_gb) {
+        return None;
+    }
+    let cap = platform.default_cap();
+    let base = inference::profile_latency(&model, platform, cap)
+        .expect("feasible")
+        .get();
+    let kind = ContentionKind::Memory;
+    let cmodel = platform.contention_model(kind);
+    let sens = model.mem_intensity;
+    let mut rng = stream_rng(seed, &format!("fig5-{task}-{}", platform.id()));
+    Some(
+        (0..n)
+            .map(|_| {
+                base * task.sample_scale(&mut rng)
+                    * platform.noise().sample(&mut rng)
+                    * cmodel.sample_factor(&mut rng, sens)
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "Latency variance with co-located jobs (STREAM on CPUs / Backprop on GPU)",
+    );
+    csv_header(&[
+        "task", "platform", "p10_s", "p25_s", "median_s", "p75_s", "p90_s",
+    ]);
+    for task in TaskId::ALL {
+        for platform in Platform::all() {
+            if let Some(xs) = contended_latencies(task, &platform, 3000, 2020) {
+                let s = five_number(&xs).expect("non-empty");
+                csv_row(&[
+                    task.to_string(),
+                    platform.id().to_string(),
+                    f(s.p10, 4),
+                    f(s.p25, 4),
+                    f(s.p50, 4),
+                    f(s.p75, 4),
+                    f(s.p90, 4),
+                ]);
+            }
+        }
+    }
+
+    println!("\ncontended vs quiet medians and tails (IMG2 @ CPU1):");
+    let platform = Platform::cpu1();
+    let model = TaskId::Img2.reference_model();
+    let cap = platform.default_cap();
+    let base = inference::profile_latency(&model, &platform, cap)
+        .unwrap()
+        .get();
+    let mut rng = stream_rng(2020, "fig5-compare");
+    let quiet: Vec<f64> = (0..3000)
+        .map(|_| base * TaskId::Img2.sample_scale(&mut rng) * platform.noise().sample(&mut rng))
+        .collect();
+    let contended = contended_latencies(TaskId::Img2, &platform, 3000, 2020).unwrap();
+    let q = five_number(&quiet).unwrap();
+    let c = five_number(&contended).unwrap();
+    println!("  quiet    : median {} s, p90 {} s", f(q.p50, 4), f(q.p90, 4));
+    println!("  contended: median {} s, p90 {} s", f(c.p50, 4), f(c.p90, 4));
+    println!(
+        "  median grew {}x, tail grew {}x, spread grew {}x (paper: all grow)",
+        f(c.p50 / q.p50, 2),
+        f(c.p90 / q.p90, 2),
+        f((c.p90 - c.p50) / (q.p90 - q.p50).max(1e-12), 2)
+    );
+}

@@ -1,0 +1,85 @@
+//! Figure 8 — ALERT vs Oracle vs OracleStatic on the minimize-energy
+//! task: whole-range whiskers (min / mean / max of average energy across
+//! the 35 constraint settings) for CPU1 and CPU2 × both workloads × all
+//! three environments.
+//!
+//! Paper shape: ALERT's whole range tracks Oracle closely; OracleStatic
+//! has both the worst mean and the worst tail.
+//!
+//! Usage: `fig8 [n_inputs] [seed]` (defaults 250, 2020).
+
+use alert_bench::{banner, csv_header, csv_row, f, write_json};
+use alert_platform::{Platform, PlatformId};
+use alert_sched::{run_cell, ExperimentConfig, FamilyKind, SchemeKind};
+use alert_workload::{Objective, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_inputs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(250);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let config = ExperimentConfig {
+        n_inputs,
+        seed,
+        ..Default::default()
+    };
+    banner(
+        "Figure 8",
+        "ALERT vs Oracle vs OracleStatic on minimize-energy (whisker: range over settings)",
+    );
+    let schemes = [
+        SchemeKind::OracleStatic,
+        SchemeKind::Alert,
+        SchemeKind::Oracle,
+    ];
+    csv_header(&[
+        "platform", "workload", "env", "scheme", "min_j", "mean_j", "max_j",
+    ]);
+    let mut rows = Vec::new();
+    for pid in [PlatformId::Cpu1, PlatformId::Cpu2] {
+        let platform = Platform::by_id(pid);
+        for fam in [FamilyKind::Image, FamilyKind::Sentence] {
+            for scenario in Scenario::table3(seed) {
+                let outcomes = run_cell(
+                    Objective::MinimizeEnergy,
+                    fam,
+                    &platform,
+                    &scenario,
+                    &schemes,
+                    &config,
+                );
+                for kind in schemes {
+                    let name = kind.name();
+                    let energies: Vec<f64> = outcomes
+                        .iter()
+                        .flat_map(|o| o.episodes.iter())
+                        .filter(|e| e.scheme == name && !e.summary.disqualified())
+                        .map(|e| e.summary.avg_energy.get())
+                        .collect();
+                    if energies.is_empty() {
+                        continue;
+                    }
+                    let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let max = energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+                    csv_row(&[
+                        pid.to_string(),
+                        fam.label().to_string(),
+                        scenario.name().to_string(),
+                        name.to_string(),
+                        f(min, 2),
+                        f(mean, 2),
+                        f(max, 2),
+                    ]);
+                    rows.push(serde_json::json!({
+                        "platform": pid.to_string(),
+                        "workload": fam.label(),
+                        "env": scenario.name(),
+                        "scheme": name,
+                        "min": min, "mean": mean, "max": max,
+                    }));
+                }
+            }
+        }
+    }
+    write_json("fig8.json", &rows);
+}

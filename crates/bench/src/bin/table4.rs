@@ -1,0 +1,76 @@
+//! Table 4 — the headline evaluation: average energy (minimize-energy
+//! task) and error (minimize-error task) normalized to OracleStatic, for
+//! every scheme × platform × workload × environment. Superscripts count
+//! constraint settings with >10% violations (excluded from the average).
+//!
+//! Shape checks against the paper:
+//! * ALERT and ALERT-Any land close to the dynamic Oracle (93–99%),
+//! * both beat OracleStatic clearly on both objectives,
+//! * Sys-only piles up accuracy violations, App-only burns energy,
+//!   No-coord combines the worst of both.
+//!
+//! Usage: `table4 [n_inputs] [seed]` (defaults 300, 2020).
+
+use alert_bench::{banner, write_json};
+use alert_sched::{run_table, ExperimentConfig, SchemeKind};
+use alert_workload::Objective;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_inputs: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let config = ExperimentConfig {
+        n_inputs,
+        seed,
+        ..Default::default()
+    };
+
+    banner(
+        "Table 4",
+        "Energy / error normalized to OracleStatic (smaller is better; (n) = violating settings)",
+    );
+    println!(
+        "[{} inputs per episode, seed {seed}, {} threads]\n",
+        config.n_inputs, config.threads
+    );
+
+    println!("--- Minimize Energy task: normalized average energy ---");
+    let energy_table = run_table(Objective::MinimizeEnergy, &SchemeKind::TABLE4, &config);
+    print!("{}", energy_table.render());
+
+    println!("\n--- Minimize Error task: normalized average error ---");
+    let error_table = run_table(Objective::MinimizeError, &SchemeKind::TABLE4, &config);
+    print!("{}", error_table.render());
+
+    write_json(
+        "table4.json",
+        &serde_json::json!({
+            "config": config,
+            "minimize_energy": energy_table,
+            "minimize_error": error_table,
+        }),
+    );
+
+    // Headline shape checks.
+    println!("\nshape checks vs paper:");
+    for (name, table) in [("energy", &energy_table), ("error", &error_table)] {
+        let alert = table.harmonic_mean_for("ALERT");
+        let oracle = table.harmonic_mean_for("Oracle");
+        if let (Some(a), Some(o)) = (alert, oracle) {
+            println!(
+                "  {name}: ALERT hm {:.2}, Oracle hm {:.2} -> ALERT within {:.0}% of Oracle (paper: 93-99%)",
+                a,
+                o,
+                100.0 * o / a
+            );
+        }
+        for scheme in ["ALERT-Any", "Sys-only", "App-only", "No-coord"] {
+            if let Some(h) = table.harmonic_mean_for(scheme) {
+                println!("  {name}: {scheme} harmonic mean {h:.2}");
+            }
+        }
+    }
+}

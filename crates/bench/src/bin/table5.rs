@@ -1,0 +1,51 @@
+//! Table 5 — ALERT candidate-set comparison: ALERT (traditional +
+//! anytime) vs ALERT-Any vs ALERT-Trad, normalized to OracleStatic.
+//!
+//! Shape checks against the paper:
+//! * all three variants work well (close to each other),
+//! * ALERT-Trad accumulates more accuracy violations under contention
+//!   (a traditional DNN loses everything when it misses a deadline),
+//! * full ALERT edges out ALERT-Any thanks to the slightly more accurate
+//!   traditional models in calm phases.
+//!
+//! Usage: `table5 [n_inputs] [seed]` (defaults 300, 2020).
+
+use alert_bench::{banner, write_json};
+use alert_sched::{run_table, ExperimentConfig, SchemeKind};
+use alert_workload::Objective;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_inputs: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let config = ExperimentConfig {
+        n_inputs,
+        seed,
+        ..Default::default()
+    };
+
+    banner(
+        "Table 5",
+        "ALERT vs ALERT-Any vs ALERT-Trad, normalized to OracleStatic",
+    );
+
+    println!("--- Minimize Energy task ---");
+    let energy_table = run_table(Objective::MinimizeEnergy, &SchemeKind::TABLE5, &config);
+    print!("{}", energy_table.render());
+
+    println!("\n--- Minimize Error task ---");
+    let error_table = run_table(Objective::MinimizeError, &SchemeKind::TABLE5, &config);
+    print!("{}", error_table.render());
+
+    write_json(
+        "table5.json",
+        &serde_json::json!({
+            "config": config,
+            "minimize_energy": energy_table,
+            "minimize_error": error_table,
+        }),
+    );
+}

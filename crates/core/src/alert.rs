@@ -1,0 +1,361 @@
+//! The ALERT feedback loop (paper §3.2).
+//!
+//! [`AlertController`] owns the candidate table and the two online
+//! estimators (ξ and φ) and exposes the per-input cycle:
+//!
+//! * [`AlertController::decide`] — steps 2–4: adjust the goal (shared
+//!   deadlines, overhead compensation), estimate every configuration from
+//!   the current belief, pick the best feasible one;
+//! * [`AlertController::observe`] — step 1 for the *next* input: feed the
+//!   measured latency (as a slowdown sample), the idle power, and the
+//!   consumed group budget back into the estimators.
+//!
+//! The controller is deliberately platform- and model-agnostic: it sees
+//! only the profile tables. `alert-sched` wires it to the simulator.
+
+use crate::config::ConfigTable;
+use crate::goal::{Goal, GoalAdjuster};
+use crate::idle::IdleRatioEstimator;
+use crate::select::{select_with_period, Selection};
+use crate::slowdown::SlowdownEstimator;
+use alert_stats::kalman::AdaptiveKalmanParams;
+use alert_stats::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How estimates incorporate uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbabilityMode {
+    /// The paper's design: full expectations over ξ's distribution.
+    Full,
+    /// The ALERT\* ablation (§5.3, Fig. 10): means only.
+    MeanOnly,
+}
+
+/// How the controller reserves time for its own overhead (§3.2 step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OverheadPolicy {
+    /// No compensation.
+    None,
+    /// Reserve a fixed time out of every deadline (deterministic; the
+    /// default for reproducible experiments).
+    Fixed(Seconds),
+    /// Measure the controller's own wall-clock decision time and reserve
+    /// the worst case observed (the paper's behaviour).
+    Measured,
+}
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertParams {
+    /// Kalman constants for the slowdown filter (Eq. 5).
+    pub kalman: AdaptiveKalmanParams,
+    /// Probability handling ([`ProbabilityMode::Full`] = paper design).
+    pub mode: ProbabilityMode,
+    /// Initial idle-power ratio guess for φ (Eq. 8).
+    pub initial_idle_ratio: f64,
+    /// Overhead compensation policy.
+    pub overhead: OverheadPolicy,
+}
+
+impl Default for AlertParams {
+    fn default() -> Self {
+        AlertParams {
+            kalman: AdaptiveKalmanParams::default(),
+            mode: ProbabilityMode::Full,
+            initial_idle_ratio: 0.3,
+            // 0.3 ms — roughly the measured decision cost envelope; keeps
+            // experiments bit-deterministic (see `OverheadPolicy::Measured`
+            // for the paper's adaptive variant).
+            overhead: OverheadPolicy::Fixed(Seconds(0.0003)),
+        }
+    }
+}
+
+impl AlertParams {
+    /// The ALERT\* ablation parameters (mean-only estimates).
+    pub fn mean_only() -> Self {
+        AlertParams {
+            mode: ProbabilityMode::MeanOnly,
+            ..Default::default()
+        }
+    }
+}
+
+/// Feedback from one processed input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Measured execution time of the work that ran.
+    pub latency: Seconds,
+    /// Profiled time of that same work (slowdown denominator).
+    pub profile_equivalent: Seconds,
+    /// Idle power measured while waiting for this input, if any idle
+    /// period existed.
+    pub idle_power: Option<Watts>,
+    /// The cap that was active during the idle measurement.
+    pub idle_cap: Watts,
+}
+
+/// The ALERT runtime controller.
+#[derive(Debug, Clone)]
+pub struct AlertController {
+    table: ConfigTable,
+    params: AlertParams,
+    xi: SlowdownEstimator,
+    idle: IdleRatioEstimator,
+    adjuster: GoalAdjuster,
+    decisions: u64,
+    last_decision_cost: Seconds,
+}
+
+impl AlertController {
+    /// Creates a controller over a candidate table.
+    pub fn new(table: ConfigTable, params: AlertParams) -> Self {
+        let mut adjuster = GoalAdjuster::new();
+        if let OverheadPolicy::Fixed(t) = params.overhead {
+            adjuster.record_overhead(t);
+        }
+        AlertController {
+            table,
+            xi: SlowdownEstimator::with_params(params.kalman),
+            idle: IdleRatioEstimator::new(params.initial_idle_ratio),
+            adjuster,
+            params,
+            decisions: 0,
+            last_decision_cost: Seconds::ZERO,
+        }
+    }
+
+    /// Announces a group (sentence) of `members` inputs sharing
+    /// `deadline` of total budget (paper §3.2 step 2).
+    pub fn begin_group(&mut self, deadline: Seconds, members: usize) {
+        self.adjuster.begin_group(deadline, members);
+    }
+
+    /// Steps 2–4: picks the execution target for the next input, using the
+    /// goal deadline as the idle-accounting period (ungrouped inputs).
+    pub fn decide(&mut self, goal: &Goal) -> Selection {
+        self.decide_with_period(goal, goal.deadline)
+    }
+
+    /// Steps 2–4 with an explicit input `period` — for grouped tasks the
+    /// energy window (word period) differs from the dynamically adjusted
+    /// deadline.
+    pub fn decide_with_period(&mut self, goal: &Goal, period: Seconds) -> Selection {
+        let start = Instant::now();
+        let effective = self.adjuster.next_deadline(goal.deadline);
+        let adjusted = goal.with_deadline(effective);
+        let sel = select_with_period(
+            &self.table,
+            &self.xi.distribution(),
+            self.idle.ratio(),
+            &adjusted,
+            period,
+            self.params.mode,
+        );
+        let cost = Seconds(start.elapsed().as_secs_f64());
+        self.last_decision_cost = cost;
+        if matches!(self.params.overhead, OverheadPolicy::Measured) {
+            self.adjuster.record_overhead(cost);
+        }
+        self.decisions += 1;
+        sel
+    }
+
+    /// Step 1 (for the next input): feeds measurements back.
+    pub fn observe(&mut self, obs: &Observation) {
+        self.xi.observe(obs.latency, obs.profile_equivalent);
+        self.adjuster.consume(obs.latency);
+        if let Some(p) = obs.idle_power {
+            self.idle.observe(p, obs.idle_cap);
+        }
+    }
+
+    /// The candidate table.
+    pub fn table(&self) -> &ConfigTable {
+        &self.table
+    }
+
+    /// The slowdown estimator (diagnostics; Fig. 11 data).
+    pub fn slowdown(&self) -> &SlowdownEstimator {
+        &self.xi
+    }
+
+    /// Current idle-power ratio estimate φ.
+    pub fn idle_ratio(&self) -> f64 {
+        self.idle.ratio()
+    }
+
+    /// Wall-clock cost of the most recent decision.
+    pub fn last_decision_cost(&self) -> Seconds {
+        self.last_decision_cost
+    }
+
+    /// Total decisions made.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &AlertParams {
+        &self.params
+    }
+
+    /// Resets estimators and goal adjustment (new episode).
+    pub fn reset(&mut self) {
+        self.xi.reset();
+        self.idle = IdleRatioEstimator::new(self.params.initial_idle_ratio);
+        self.adjuster = GoalAdjuster::new();
+        if let OverheadPolicy::Fixed(t) = self.params.overhead {
+            self.adjuster.record_overhead(t);
+        }
+        self.decisions = 0;
+        self.last_decision_cost = Seconds::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CandidateModel, StagePoint};
+    use alert_stats::units::Joules;
+
+    fn table() -> ConfigTable {
+        let models = vec![
+            CandidateModel::traditional("small", 0.86, 0.005),
+            CandidateModel::traditional("big", 0.95, 0.005),
+            CandidateModel::anytime(
+                "any",
+                vec![
+                    StagePoint { frac: 0.4, quality: 0.84 },
+                    StagePoint { frac: 1.0, quality: 0.94 },
+                ],
+                0.005,
+            ),
+        ];
+        let powers = vec![Watts(20.0), Watts(45.0)];
+        let t_prof = vec![
+            vec![Seconds(0.040), Seconds(0.020)],
+            vec![Seconds(0.200), Seconds(0.100)],
+            vec![Seconds(0.240), Seconds(0.120)],
+        ];
+        let p_run = vec![
+            vec![Watts(18.0), Watts(40.0)],
+            vec![Watts(19.0), Watts(42.0)],
+            vec![Watts(19.0), Watts(42.0)],
+        ];
+        ConfigTable::new(models, powers, t_prof, p_run)
+    }
+
+    #[test]
+    fn controller_reacts_to_contention_within_few_inputs() {
+        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        // Quiescent phase: the big model fits the 120 ms deadline.
+        let mut sel = ctl.decide(&goal);
+        for _ in 0..30 {
+            let t_prof = ctl.table().t_prof_stage(sel.candidate);
+            ctl.observe(&Observation {
+                latency: t_prof, // environment at profile speed
+                profile_equivalent: t_prof,
+                idle_power: Some(Watts(6.0)),
+                idle_cap: ctl.table().cap(sel.candidate.power),
+            });
+            sel = ctl.decide(&goal);
+        }
+        assert_eq!(ctl.table().models()[sel.candidate.model].name, "big");
+        // Contention: everything suddenly 1.8x slower.
+        for _ in 0..4 {
+            let t_prof = ctl.table().t_prof_stage(sel.candidate);
+            ctl.observe(&Observation {
+                latency: t_prof * 1.8,
+                profile_equivalent: t_prof,
+                idle_power: Some(Watts(12.0)),
+                idle_cap: ctl.table().cap(sel.candidate.power),
+            });
+            sel = ctl.decide(&goal);
+        }
+        // big@45W now means 180 ms >> 120 ms: must have switched away.
+        assert_ne!(
+            ctl.table().models()[sel.candidate.model].name,
+            "big",
+            "controller failed to react to the slowdown"
+        );
+        assert!(ctl.slowdown().mean() > 1.5);
+    }
+
+    #[test]
+    fn fixed_overhead_is_reserved_from_deadlines() {
+        let params = AlertParams {
+            overhead: OverheadPolicy::Fixed(Seconds(0.01)),
+            ..Default::default()
+        };
+        let mut ctl = AlertController::new(table(), params);
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let sel = ctl.decide(&goal);
+        assert!((sel.deadline.get() - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_overhead_grows_reserve() {
+        let params = AlertParams {
+            overhead: OverheadPolicy::Measured,
+            ..Default::default()
+        };
+        let mut ctl = AlertController::new(table(), params);
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let first = ctl.decide(&goal);
+        // First decision sees the full deadline (no overhead yet).
+        assert_eq!(first.deadline, Seconds(0.12));
+        let _second = ctl.decide(&goal);
+        assert!(ctl.last_decision_cost().get() > 0.0);
+    }
+
+    #[test]
+    fn group_budget_tightens_after_slow_member() {
+        let mut ctl = AlertController::new(
+            table(),
+            AlertParams {
+                overhead: OverheadPolicy::None,
+                ..Default::default()
+            },
+        );
+        let goal = Goal::minimize_error(Seconds(9.9), Joules(20.0));
+        ctl.begin_group(Seconds(0.4), 2);
+        let first = ctl.decide(&goal);
+        assert!((first.deadline.get() - 0.2).abs() < 1e-12);
+        // The first member blows most of the budget.
+        ctl.observe(&Observation {
+            latency: Seconds(0.3),
+            profile_equivalent: Seconds(0.3),
+            idle_power: None,
+            idle_cap: Watts(45.0),
+        });
+        let second = ctl.decide(&goal);
+        assert!((second.deadline.get() - 0.1).abs() < 1e-9, "{}", second.deadline);
+    }
+
+    #[test]
+    fn reset_restores_initial_belief() {
+        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let _ = ctl.decide(&goal);
+        ctl.observe(&Observation {
+            latency: Seconds(0.5),
+            profile_equivalent: Seconds(0.1),
+            idle_power: Some(Watts(20.0)),
+            idle_cap: Watts(45.0),
+        });
+        assert!(ctl.slowdown().mean() > 2.0);
+        ctl.reset();
+        assert_eq!(ctl.slowdown().mean(), 1.0);
+        assert_eq!(ctl.decisions(), 0);
+        assert_eq!(ctl.idle_ratio(), 0.3);
+    }
+
+    #[test]
+    fn mean_only_params_select_ablation_mode() {
+        let p = AlertParams::mean_only();
+        assert_eq!(p.mode, ProbabilityMode::MeanOnly);
+    }
+}

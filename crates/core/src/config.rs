@@ -1,0 +1,353 @@
+//! Candidate configuration tables.
+//!
+//! ALERT's inputs are "a set of DNN models D = {dᵢ} and a set of
+//! system-resource settings expressed as different power caps P = {pⱼ}"
+//! (paper §3.1), together with the offline profiles `t^prof_{i,j}` (mean
+//! inference latency of model i under cap j in the nominal environment),
+//! the models' qualities, and the measured run powers `p_{i,j}`.
+//!
+//! The controller is deliberately decoupled from how those tables are
+//! produced: on real hardware they come from a profiling pass; in this
+//! reproduction the simulator's deterministic latency model fills them in
+//! (see `alert-sched`). Anytime DNNs additionally carry their output
+//! staircase; the selection layer treats *each stage* of an anytime model
+//! as a stoppable execution target.
+
+use alert_stats::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One output point of a candidate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePoint {
+    /// Cumulative fraction of the full-network latency, in `(0, 1]`.
+    pub frac: f64,
+    /// Quality score of this output (higher is better).
+    pub quality: f64,
+}
+
+/// A candidate DNN as the controller sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateModel {
+    /// Model name, used for reporting and to map selections back to
+    /// executable models.
+    pub name: String,
+    /// Output staircase: a single `{frac: 1.0, quality}` entry for a
+    /// traditional DNN, several increasing entries for an anytime DNN.
+    pub stages: Vec<StagePoint>,
+    /// Quality delivered when no output is ready by the deadline.
+    pub fail_quality: f64,
+}
+
+impl CandidateModel {
+    /// Builds a traditional (single-output) candidate.
+    pub fn traditional(name: impl Into<String>, quality: f64, fail_quality: f64) -> Self {
+        CandidateModel {
+            name: name.into(),
+            stages: vec![StagePoint { frac: 1.0, quality }],
+            fail_quality,
+        }
+    }
+
+    /// Builds an anytime candidate from its staircase.
+    pub fn anytime(
+        name: impl Into<String>,
+        stages: Vec<StagePoint>,
+        fail_quality: f64,
+    ) -> Self {
+        CandidateModel {
+            name: name.into(),
+            stages,
+            fail_quality,
+        }
+    }
+
+    /// `true` if the model exposes more than one output.
+    pub fn is_anytime(&self) -> bool {
+        self.stages.len() > 1
+    }
+
+    /// Final-output quality.
+    pub fn final_quality(&self) -> f64 {
+        self.stages.last().expect("validated: non-empty").quality
+    }
+
+    /// Validates staircase invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("empty candidate name".into());
+        }
+        if self.stages.is_empty() {
+            return Err(format!("{}: no stages", self.name));
+        }
+        for w in self.stages.windows(2) {
+            if w[1].frac <= w[0].frac || w[1].quality <= w[0].quality {
+                return Err(format!("{}: staircase not increasing", self.name));
+            }
+        }
+        let last = self.stages.last().expect("non-empty");
+        if (last.frac - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: final stage frac must be 1.0", self.name));
+        }
+        if self.stages[0].frac <= 0.0 {
+            return Err(format!("{}: first stage frac must be positive", self.name));
+        }
+        if self.fail_quality >= self.stages[0].quality {
+            return Err(format!("{}: fallback beats first output", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// A selectable execution target: model `i`, stopping after stage `k`,
+/// under power setting `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Model index into [`ConfigTable::models`].
+    pub model: usize,
+    /// Target stage (0-based; `stages.len() - 1` runs the full network).
+    pub stage: usize,
+    /// Power index into [`ConfigTable::powers`].
+    pub power: usize,
+}
+
+/// The full candidate table: models × powers with profiled latency and
+/// measured run power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigTable {
+    models: Vec<CandidateModel>,
+    powers: Vec<Watts>,
+    /// `t_prof[i][j]`: full-network profiled latency of model i at cap j.
+    t_prof: Vec<Vec<Seconds>>,
+    /// `p_run[i][j]`: measured power draw of model i running at cap j.
+    p_run: Vec<Vec<Watts>>,
+}
+
+impl ConfigTable {
+    /// Builds and validates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches, invalid candidates, or non-positive
+    /// profile entries — all construction-time programming errors.
+    pub fn new(
+        models: Vec<CandidateModel>,
+        powers: Vec<Watts>,
+        t_prof: Vec<Vec<Seconds>>,
+        p_run: Vec<Vec<Watts>>,
+    ) -> Self {
+        assert!(!models.is_empty(), "no candidate models");
+        assert!(!powers.is_empty(), "no power settings");
+        for m in &models {
+            if let Err(e) = m.validate() {
+                panic!("invalid candidate: {e}");
+            }
+        }
+        assert_eq!(t_prof.len(), models.len(), "t_prof rows != models");
+        assert_eq!(p_run.len(), models.len(), "p_run rows != models");
+        for (i, row) in t_prof.iter().enumerate() {
+            assert_eq!(row.len(), powers.len(), "t_prof[{i}] cols != powers");
+            for (j, &t) in row.iter().enumerate() {
+                assert!(
+                    t.is_finite() && t.get() > 0.0,
+                    "t_prof[{i}][{j}] must be positive, got {t}"
+                );
+            }
+        }
+        for (i, row) in p_run.iter().enumerate() {
+            assert_eq!(row.len(), powers.len(), "p_run[{i}] cols != powers");
+            for (j, &p) in row.iter().enumerate() {
+                assert!(
+                    p.is_finite() && p.get() > 0.0,
+                    "p_run[{i}][{j}] must be positive, got {p}"
+                );
+            }
+        }
+        ConfigTable {
+            models,
+            powers,
+            t_prof,
+            p_run,
+        }
+    }
+
+    /// The candidate models.
+    pub fn models(&self) -> &[CandidateModel] {
+        &self.models
+    }
+
+    /// The power settings.
+    pub fn powers(&self) -> &[Watts] {
+        &self.powers
+    }
+
+    /// Full-network profiled latency of model `i` at power `j`.
+    pub fn t_prof(&self, i: usize, j: usize) -> Seconds {
+        self.t_prof[i][j]
+    }
+
+    /// Profiled completion time of stage `k` of model `i` at power `j`.
+    pub fn t_prof_stage(&self, c: Candidate) -> Seconds {
+        let frac = self.models[c.model].stages[c.stage].frac;
+        self.t_prof[c.model][c.power] * frac
+    }
+
+    /// Measured run power of model `i` at power `j`.
+    pub fn p_run(&self, i: usize, j: usize) -> Watts {
+        self.p_run[i][j]
+    }
+
+    /// The cap value of power index `j`.
+    pub fn cap(&self, j: usize) -> Watts {
+        self.powers[j]
+    }
+
+    /// Enumerates every `(model, stage, power)` execution target.
+    pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.models.iter().enumerate().flat_map(move |(i, m)| {
+            (0..m.stages.len()).flat_map(move |k| {
+                (0..self.powers.len()).map(move |j| Candidate {
+                    model: i,
+                    stage: k,
+                    power: j,
+                })
+            })
+        })
+    }
+
+    /// Total number of execution targets.
+    pub fn candidate_count(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| m.stages.len() * self.powers.len())
+            .sum()
+    }
+
+    /// Index of the model with the smallest full-network latency at the
+    /// highest cap (the "fastest DNN" the Sys-only baseline pins).
+    pub fn fastest_model(&self) -> usize {
+        let j = self.powers.len() - 1;
+        (0..self.models.len())
+            .min_by(|&a, &b| {
+                self.t_prof[a][j]
+                    .get()
+                    .partial_cmp(&self.t_prof[b][j].get())
+                    .expect("finite")
+            })
+            .expect("non-empty")
+    }
+
+    /// Index of the model with the best final quality.
+    pub fn most_accurate_model(&self) -> usize {
+        (0..self.models.len())
+            .max_by(|&a, &b| {
+                self.models[a]
+                    .final_quality()
+                    .partial_cmp(&self.models[b].final_quality())
+                    .expect("finite")
+            })
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ConfigTable {
+        let models = vec![
+            CandidateModel::traditional("small", 0.85, 0.005),
+            CandidateModel::traditional("big", 0.95, 0.005),
+            CandidateModel::anytime(
+                "any",
+                vec![
+                    StagePoint { frac: 0.4, quality: 0.8 },
+                    StagePoint { frac: 1.0, quality: 0.94 },
+                ],
+                0.005,
+            ),
+        ];
+        let powers = vec![Watts(20.0), Watts(45.0)];
+        let t_prof = vec![
+            vec![Seconds(0.05), Seconds(0.02)],
+            vec![Seconds(0.25), Seconds(0.10)],
+            vec![Seconds(0.30), Seconds(0.12)],
+        ];
+        let p_run = vec![
+            vec![Watts(18.0), Watts(40.0)],
+            vec![Watts(19.0), Watts(42.0)],
+            vec![Watts(19.0), Watts(42.0)],
+        ];
+        ConfigTable::new(models, powers, t_prof, p_run)
+    }
+
+    #[test]
+    fn candidate_enumeration_counts_stages() {
+        let t = table();
+        // 1 + 1 + 2 stages, × 2 powers = 8.
+        assert_eq!(t.candidate_count(), 8);
+        assert_eq!(t.candidates().count(), 8);
+    }
+
+    #[test]
+    fn stage_profile_scales_by_fraction() {
+        let t = table();
+        let c = Candidate { model: 2, stage: 0, power: 1 };
+        assert!((t.t_prof_stage(c).get() - 0.4 * 0.12).abs() < 1e-15);
+        let c_full = Candidate { model: 2, stage: 1, power: 1 };
+        assert!((t.t_prof_stage(c_full).get() - 0.12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fastest_and_most_accurate() {
+        let t = table();
+        assert_eq!(t.fastest_model(), 0);
+        assert_eq!(t.most_accurate_model(), 1);
+    }
+
+    #[test]
+    fn traditional_candidate_shape() {
+        let c = CandidateModel::traditional("m", 0.9, 0.0);
+        assert!(!c.is_anytime());
+        assert_eq!(c.final_quality(), 0.9);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_staircases() {
+        let c = CandidateModel::anytime(
+            "bad",
+            vec![
+                StagePoint { frac: 0.5, quality: 0.9 },
+                StagePoint { frac: 1.0, quality: 0.8 },
+            ],
+            0.0,
+        );
+        assert!(c.validate().is_err());
+        let c = CandidateModel::anytime("bad2", vec![StagePoint { frac: 0.5, quality: 0.9 }], 0.0);
+        assert!(c.validate().is_err());
+        let c = CandidateModel::traditional("bad3", 0.5, 0.9);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "t_prof rows != models")]
+    fn dimension_mismatch_panics() {
+        let _ = ConfigTable::new(
+            vec![CandidateModel::traditional("m", 0.9, 0.0)],
+            vec![Watts(10.0)],
+            vec![],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_latency_panics() {
+        let _ = ConfigTable::new(
+            vec![CandidateModel::traditional("m", 0.9, 0.0)],
+            vec![Watts(10.0)],
+            vec![vec![Seconds(0.0)]],
+            vec![vec![Watts(9.0)]],
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Period energy estimation (paper Idea 3, Eqs. 9 and 12).
+//!
+//! Energy per input period splits into the inference part and the idle
+//! part (waiting for the next input):
+//!
+//! ```text
+//! e = p_run · ξ̄·t^prof  +  φ·p_cap · (T_goal − ξ̄·t^prof)      (Eq. 9)
+//! ```
+//!
+//! The paper notes the mean suffices here because the run power is pinned
+//! by the cap whether or not the deadline is met. Users wanting harder
+//! energy guarantees swap the mean latency for its `Pr_th` percentile
+//! (Eq. 12), which inflates the estimate and makes ALERT reject more
+//! configurations.
+
+use alert_stats::normal::Normal;
+use alert_stats::units::{Joules, Seconds, Watts};
+
+/// Mean-based period energy estimate (Eq. 9).
+///
+/// The idle interval is clamped at zero: an inference that overruns the
+/// period leaves no idle time (the physical meter can never see negative
+/// idle energy).
+pub fn estimate_energy(
+    xi: &Normal,
+    t_prof: Seconds,
+    p_run: Watts,
+    cap: Watts,
+    idle_ratio: f64,
+    period: Seconds,
+) -> Joules {
+    let t_mean = t_prof * xi.mean();
+    energy_with_exec_time(t_mean, p_run, cap, idle_ratio, period)
+}
+
+/// Percentile-based period energy estimate (Eq. 12): uses the `pr`
+/// worst-case latency instead of the mean.
+pub fn estimate_energy_percentile(
+    xi: &Normal,
+    t_prof: Seconds,
+    p_run: Watts,
+    cap: Watts,
+    idle_ratio: f64,
+    period: Seconds,
+    pr: f64,
+) -> Joules {
+    let t_pct = crate::latency::percentile_latency(xi, t_prof, pr);
+    energy_with_exec_time(t_pct, p_run, cap, idle_ratio, period)
+}
+
+/// Shared kernel: run energy plus clamped idle energy.
+fn energy_with_exec_time(
+    t_exec: Seconds,
+    p_run: Watts,
+    cap: Watts,
+    idle_ratio: f64,
+    period: Seconds,
+) -> Joules {
+    debug_assert!((0.0..=1.0).contains(&idle_ratio), "ratio must be in [0,1]");
+    let idle_time = Seconds((period - t_exec).get().max(0.0));
+    p_run * t_exec + (cap * idle_ratio) * idle_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_eq9_by_hand() {
+        // ξ̄ = 1.2, t_prof = 0.05 → exec 0.06 s; run 40 W → 2.4 J.
+        // Idle: φ = 0.25, cap 50 W → 12.5 W over (0.1 − 0.06) = 0.04 s → 0.5 J.
+        let xi = Normal::new(1.2, 0.1);
+        let e = estimate_energy(
+            &xi,
+            Seconds(0.05),
+            Watts(40.0),
+            Watts(50.0),
+            0.25,
+            Seconds(0.1),
+        );
+        assert!((e.get() - 2.9).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn overrun_has_no_idle_term() {
+        let xi = Normal::new(2.0, 0.1);
+        // exec = 0.2 s > period 0.1 s.
+        let e = estimate_energy(
+            &xi,
+            Seconds(0.1),
+            Watts(40.0),
+            Watts(50.0),
+            0.25,
+            Seconds(0.1),
+        );
+        assert!((e.get() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_estimate_is_more_pessimistic() {
+        let xi = Normal::new(1.0, 0.2);
+        let args = (Seconds(0.05), Watts(40.0), Watts(50.0), 0.2, Seconds(0.2));
+        let mean = estimate_energy(&xi, args.0, args.1, args.2, args.3, args.4);
+        let p95 = estimate_energy_percentile(&xi, args.0, args.1, args.2, args.3, args.4, 0.95);
+        // Longer assumed run time at higher power than idle → more energy.
+        assert!(p95 > mean, "p95 {p95} vs mean {mean}");
+        let p99 = estimate_energy_percentile(&xi, args.0, args.1, args.2, args.3, args.4, 0.99);
+        assert!(p99 > p95);
+    }
+
+    #[test]
+    fn mid_cap_can_be_the_most_expensive() {
+        // The Fig. 3 terrain, as the *estimator* sees it: with latencies
+        // shaped like the CPU2 DVFS response, the period energy is
+        // non-monotone in the cap — cheapest at the bottom, most expensive
+        // mid-range, with racing (high cap) beating mid-pacing. No greedy
+        // heuristic over the cap axis can navigate this (paper §2.1).
+        let xi = Normal::new(1.0, 0.01);
+        let period = Seconds(0.3);
+        let phi = 0.2;
+        let e40 = estimate_energy(&xi, Seconds(0.28), Watts(40.0), Watts(40.0), phi, period);
+        let e64 = estimate_energy(&xi, Seconds(0.22), Watts(64.0), Watts(64.0), phi, period);
+        let e95 = estimate_energy(&xi, Seconds(0.10), Watts(95.0), Watts(95.0), phi, period);
+        assert!(e40 < e95, "bottom cap must be cheapest: {e40} vs {e95}");
+        assert!(e95 < e64, "racing must beat mid-pacing: {e95} vs {e64}");
+    }
+
+    #[test]
+    fn zero_variance_percentile_equals_mean() {
+        let xi = Normal::new(1.5, 0.0);
+        let args = (Seconds(0.05), Watts(40.0), Watts(50.0), 0.2, Seconds(0.2));
+        let mean = estimate_energy(&xi, args.0, args.1, args.2, args.3, args.4);
+        let pct = estimate_energy_percentile(&xi, args.0, args.1, args.2, args.3, args.4, 0.9);
+        assert!((mean.get() - pct.get()).abs() < 1e-12);
+    }
+}

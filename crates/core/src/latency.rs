@@ -1,0 +1,121 @@
+//! Latency prediction and deadline probability (paper Eq. 6).
+//!
+//! Given ξ ~ N(μ, σ²) and a profiled latency `t^prof`, the predicted
+//! latency is the scaled random variable ξ·t^prof, and the probability of
+//! meeting a deadline is its CDF at the deadline:
+//!
+//! ```text
+//! Pr_{i,j} = Pr[ξ·t^prof_{i,j} ≤ T_goal] = CDF(μ·t^prof, σ·t^prof, T_goal)
+//! ```
+
+use alert_stats::normal::Normal;
+use alert_stats::units::Seconds;
+
+/// Mean predicted latency `μ · t^prof`.
+pub fn predict_mean(xi: &Normal, t_prof: Seconds) -> Seconds {
+    t_prof * xi.mean()
+}
+
+/// The latency distribution ξ·t^prof as a [`Normal`].
+///
+/// # Panics
+///
+/// Panics if `t_prof` is not positive.
+pub fn latency_distribution(xi: &Normal, t_prof: Seconds) -> Normal {
+    assert!(
+        t_prof.is_finite() && t_prof.get() > 0.0,
+        "t_prof must be positive, got {t_prof}"
+    );
+    xi.scaled(t_prof.get())
+}
+
+/// Probability that an execution with profile `t_prof` finishes by
+/// `deadline` (paper Eq. 6).
+pub fn deadline_probability(xi: &Normal, t_prof: Seconds, deadline: Seconds) -> f64 {
+    latency_distribution(xi, t_prof).cdf(deadline.get())
+}
+
+/// The `Pr_th`-percentile latency `CDF⁻¹(ξ·t^prof, Pr_th)` used by the
+/// pessimistic energy bound (paper Eq. 12).
+///
+/// # Panics
+///
+/// Panics if `pr` is outside `(0, 1)` for a non-degenerate distribution.
+pub fn percentile_latency(xi: &Normal, t_prof: Seconds, pr: f64) -> Seconds {
+    Seconds(latency_distribution(xi, t_prof).quantile(pr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_scales_profile() {
+        let xi = Normal::new(1.4, 0.1);
+        assert!((predict_mean(&xi, Seconds(0.05)).get() - 0.07).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_is_half_at_mean() {
+        let xi = Normal::new(1.2, 0.2);
+        let t = Seconds(0.1);
+        let pr = deadline_probability(&xi, t, Seconds(0.12));
+        assert!((pr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_monotone_in_deadline() {
+        let xi = Normal::new(1.0, 0.15);
+        let t = Seconds(0.1);
+        let mut prev = 0.0;
+        for d in [0.05, 0.08, 0.1, 0.12, 0.2] {
+            let pr = deadline_probability(&xi, t, Seconds(d));
+            assert!(pr >= prev);
+            prev = pr;
+        }
+    }
+
+    #[test]
+    fn shorter_profiles_more_likely_to_meet() {
+        // The §3.4 conservatism example: under high variance the slower
+        // configuration loses more completion probability.
+        let calm = Normal::new(1.0, 0.02);
+        let wild = Normal::new(1.0, 0.25);
+        let deadline = Seconds(0.115);
+        let small = Seconds(0.08);
+        let large = Seconds(0.11);
+        let drop_small =
+            deadline_probability(&calm, small, deadline) - deadline_probability(&wild, small, deadline);
+        let drop_large =
+            deadline_probability(&calm, large, deadline) - deadline_probability(&wild, large, deadline);
+        assert!(
+            drop_large > drop_small,
+            "large model must lose more: {drop_large} vs {drop_small}"
+        );
+    }
+
+    #[test]
+    fn percentile_latency_inverts_probability() {
+        let xi = Normal::new(1.3, 0.1);
+        let t = Seconds(0.2);
+        let p95 = percentile_latency(&xi, t, 0.95);
+        let pr = deadline_probability(&xi, t, p95);
+        assert!((pr - 0.95).abs() < 1e-9);
+        // Higher thresholds give more pessimistic (larger) latencies.
+        assert!(percentile_latency(&xi, t, 0.99) > p95);
+    }
+
+    #[test]
+    fn degenerate_variance_gives_step_probability() {
+        let xi = Normal::new(1.0, 0.0);
+        let t = Seconds(0.1);
+        assert_eq!(deadline_probability(&xi, t, Seconds(0.09)), 0.0);
+        assert_eq!(deadline_probability(&xi, t, Seconds(0.11)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_prof must be positive")]
+    fn rejects_bad_profile() {
+        let _ = latency_distribution(&Normal::new(1.0, 0.1), Seconds(0.0));
+    }
+}

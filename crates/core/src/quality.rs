@@ -1,0 +1,212 @@
+//! Expected inference quality under a deadline (paper Eqs. 3, 7, 13).
+//!
+//! For a traditional DNN, quality is a step function of latency: the
+//! model's quality if it finishes by the deadline, the fallback otherwise
+//! (Eq. 3). ALERT's estimate takes the expectation over the latency
+//! distribution (Eq. 7):
+//!
+//! ```text
+//! q̂ = Pr[t ≤ T]·q + (1 − Pr[t ≤ T])·q_fail
+//! ```
+//!
+//! For an anytime DNN the staircase of outputs generalizes this (Eq. 13):
+//! the delivered output is the last stage completed by the deadline. All
+//! stage completion times share the same ξ, so the event "stage k is the
+//! best completed" has probability `Pr_k − Pr_{k+1}` with
+//! `Pr_k = Pr[ξ·t^prof·frac_k ≤ T]` — a telescoping sum.
+//!
+//! The mean-only ablation (ALERT\* in paper §5.3, Fig. 10) replaces the
+//! expectation with the staircase evaluated at the mean latency; its
+//! failure to price tail risk is exactly what Fig. 10 measures.
+
+use crate::config::CandidateModel;
+use alert_stats::normal::Normal;
+use alert_stats::units::Seconds;
+
+/// Expected quality of running `model` up to stage `target_stage`
+/// (inclusive) with full-network profile `t_prof_full`, judged at
+/// `deadline` (Eqs. 7/13).
+///
+/// # Panics
+///
+/// Panics if `target_stage` is out of range.
+pub fn expected_quality(
+    xi: &Normal,
+    model: &CandidateModel,
+    t_prof_full: Seconds,
+    target_stage: usize,
+    deadline: Seconds,
+) -> f64 {
+    let stages = &model.stages;
+    assert!(target_stage < stages.len(), "stage out of range");
+    // Pr_k for k = 0..=target.
+    let mut probs = Vec::with_capacity(target_stage + 1);
+    for s in &stages[..=target_stage] {
+        let t_stage = t_prof_full * s.frac;
+        let pr = crate::latency::deadline_probability(xi, t_stage, deadline);
+        probs.push(pr);
+    }
+    // Completion probabilities are non-increasing across stages (same ξ);
+    // enforce against floating noise.
+    for k in 1..probs.len() {
+        if probs[k] > probs[k - 1] {
+            probs[k] = probs[k - 1];
+        }
+    }
+    let mut expected = 0.0;
+    for k in 0..=target_stage {
+        let pr_next = if k + 1 <= target_stage { probs[k + 1] } else { 0.0 };
+        expected += stages[k].quality * (probs[k] - pr_next);
+    }
+    expected += model.fail_quality * (1.0 - probs[0]);
+    expected
+}
+
+/// The ALERT\* (mean-only) quality estimate: the staircase evaluated at
+/// the mean latency, with no probabilistic mixing.
+pub fn mean_only_quality(
+    xi: &Normal,
+    model: &CandidateModel,
+    t_prof_full: Seconds,
+    target_stage: usize,
+    deadline: Seconds,
+) -> f64 {
+    let stages = &model.stages;
+    assert!(target_stage < stages.len(), "stage out of range");
+    let mut q = model.fail_quality;
+    for s in &stages[..=target_stage] {
+        let mean_t = t_prof_full.get() * s.frac * xi.mean();
+        if mean_t <= deadline.get() {
+            q = s.quality;
+        } else {
+            break;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StagePoint;
+
+    fn trad() -> CandidateModel {
+        CandidateModel::traditional("t", 0.95, 0.005)
+    }
+
+    fn anytime() -> CandidateModel {
+        CandidateModel::anytime(
+            "a",
+            vec![
+                StagePoint { frac: 0.3, quality: 0.85 },
+                StagePoint { frac: 0.6, quality: 0.91 },
+                StagePoint { frac: 1.0, quality: 0.94 },
+            ],
+            0.005,
+        )
+    }
+
+    #[test]
+    fn traditional_matches_eq7() {
+        let xi = Normal::new(1.0, 0.1);
+        let t = Seconds(0.1);
+        let deadline = Seconds(0.105);
+        let pr = crate::latency::deadline_probability(&xi, t, deadline);
+        let want = pr * 0.95 + (1.0 - pr) * 0.005;
+        let got = expected_quality(&xi, &trad(), t, 0, deadline);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_completion_gives_full_quality() {
+        let xi = Normal::new(1.0, 0.01);
+        let got = expected_quality(&xi, &trad(), Seconds(0.1), 0, Seconds(1.0));
+        assert!((got - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_miss_gives_fallback() {
+        let xi = Normal::new(1.0, 0.01);
+        let got = expected_quality(&xi, &trad(), Seconds(0.5), 0, Seconds(0.1));
+        assert!((got - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anytime_telescoping_sums_to_valid_mixture() {
+        let xi = Normal::new(1.0, 0.2);
+        let m = anytime();
+        let t = Seconds(0.1);
+        // Deadline such that stage 2 is uncertain, stages 0–1 nearly sure.
+        let q = expected_quality(&xi, &m, t, 2, Seconds(0.09));
+        assert!(q > 0.85 && q < 0.94, "q = {q}");
+        // Expectation is bounded by the extreme stage qualities.
+        assert!(q >= m.fail_quality && q <= 0.94);
+    }
+
+    #[test]
+    fn anytime_beats_traditional_under_high_variance() {
+        // The §3.4/§3.5 argument: with a volatile environment, the anytime
+        // network's early outputs floor the expectation, while a similar-
+        // latency traditional DNN risks total failure.
+        let t = Seconds(0.1);
+        // Deadline with a little slack over the full latency: a calm
+        // environment completes almost surely, a wild one does not.
+        let deadline = Seconds(0.11);
+        let trad_big = CandidateModel::traditional("big", 0.95, 0.005);
+        let calm = Normal::new(1.0, 0.02);
+        let wild = Normal::new(1.0, 0.35);
+        let q_trad_calm = expected_quality(&calm, &trad_big, t, 0, deadline);
+        let q_any_calm = expected_quality(&calm, &anytime(), t, 2, deadline);
+        let q_trad_wild = expected_quality(&wild, &trad_big, t, 0, deadline);
+        let q_any_wild = expected_quality(&wild, &anytime(), t, 2, deadline);
+        // Calm: traditional's higher final quality wins or ties.
+        assert!(q_trad_calm > q_any_calm - 0.01);
+        // Wild: anytime wins clearly.
+        assert!(
+            q_any_wild > q_trad_wild + 0.05,
+            "anytime {q_any_wild} vs trad {q_trad_wild}"
+        );
+    }
+
+    #[test]
+    fn target_stage_caps_the_staircase() {
+        let xi = Normal::new(1.0, 0.01);
+        let m = anytime();
+        // Plenty of time, but we stop at stage 0: expected quality ≈ 0.85.
+        let q = expected_quality(&xi, &m, Seconds(0.1), 0, Seconds(10.0));
+        assert!((q - 0.85).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_only_ignores_variance() {
+        let m = trad();
+        let t = Seconds(0.1);
+        let deadline = Seconds(0.105);
+        // Mean latency meets the deadline → full quality, no matter σ.
+        for sigma in [0.01, 0.5] {
+            let xi = Normal::new(1.0, sigma);
+            let q = mean_only_quality(&xi, &m, t, 0, deadline);
+            assert_eq!(q, 0.95);
+        }
+        // Full estimator prices the risk: far below 0.95 at σ = 0.5.
+        let wild = Normal::new(1.0, 0.5);
+        assert!(expected_quality(&wild, &m, t, 0, deadline) < 0.6);
+    }
+
+    #[test]
+    fn mean_only_staircase() {
+        let m = anytime();
+        let xi = Normal::new(1.0, 0.0);
+        let t = Seconds(0.1);
+        assert_eq!(mean_only_quality(&xi, &m, t, 2, Seconds(0.07)), 0.91);
+        assert_eq!(mean_only_quality(&xi, &m, t, 2, Seconds(0.02)), 0.005);
+        assert_eq!(mean_only_quality(&xi, &m, t, 2, Seconds(0.2)), 0.94);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage out of range")]
+    fn rejects_bad_stage() {
+        let xi = Normal::new(1.0, 0.1);
+        let _ = expected_quality(&xi, &trad(), Seconds(0.1), 3, Seconds(0.1));
+    }
+}

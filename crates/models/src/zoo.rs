@@ -1,0 +1,243 @@
+//! The model zoo.
+//!
+//! Paper Fig. 2 profiles "all 42 image classification models provided by
+//! the TensorFlow website" on ImageNet. We reproduce that population with
+//! the TF-slim model names and latency/error/footprint figures shaped to
+//! the paper's reported spans: the fastest model is ~18× faster than the
+//! slowest, the most accurate has ~7.8× lower top-5 error than the least,
+//! and per-inference energy spans >20× (§2.1). The hull structure — VGG
+//! far off the optimal frontier, NASNet/PNASNet anchoring the accurate
+//! end, MobileNets the fast end — follows the real measurements.
+//!
+//! Reference latencies are at the profiling condition: CPU2 (Xeon) at the
+//! maximum power cap. Quality scores are top-5 *accuracy* in [0, 1].
+
+use crate::profile::{ModelProfile, QualityMetric};
+use alert_platform::platform::WorkloadClass;
+
+/// Top-5 quality of a random guess over the 1000 ImageNet classes.
+pub const IMAGENET_RANDOM_GUESS: f64 = 0.005;
+
+/// Perplexity assigned to a missed-deadline prediction on PTB (no output:
+/// effectively a uniform guess over a 10k vocabulary, truncated for
+/// reporting sanity).
+pub const PTB_FAIL_PERPLEXITY: f64 = 1000.0;
+
+/// Builds one CNN profile (helper for the zoo table).
+fn cnn(name: &str, lat_ms: f64, err5_pct: f64, rho: f64, mem: f64, gb: f64) -> ModelProfile {
+    ModelProfile {
+        name: name.to_string(),
+        class: WorkloadClass::Cnn,
+        metric: QualityMetric::Top5Accuracy,
+        ref_latency_s: lat_ms / 1e3,
+        quality: 1.0 - err5_pct / 100.0,
+        fail_quality: IMAGENET_RANDOM_GUESS,
+        rho,
+        mem_intensity: mem,
+        footprint_gb: gb,
+        anytime: None,
+    }
+}
+
+/// The 42 ImageNet classification networks (Fig. 2 population).
+///
+/// # Examples
+///
+/// ```
+/// let zoo = alert_models::zoo::imagenet42();
+/// assert_eq!(zoo.len(), 42);
+/// for m in &zoo {
+///     assert!(m.validate().is_ok(), "{} invalid", m.name);
+/// }
+/// ```
+pub fn imagenet42() -> Vec<ModelProfile> {
+    vec![
+        // MobileNet v1 grid: depth multiplier × input resolution.
+        cnn("mobilenet_v1_025_128", 15.0, 27.4, 0.70, 0.75, 0.06),
+        cnn("mobilenet_v1_025_160", 17.0, 25.9, 0.70, 0.75, 0.07),
+        cnn("mobilenet_v1_025_192", 19.0, 24.6, 0.70, 0.74, 0.07),
+        cnn("mobilenet_v1_025_224", 22.0, 23.0, 0.70, 0.74, 0.08),
+        cnn("mobilenet_v1_050_128", 18.0, 20.9, 0.71, 0.72, 0.09),
+        cnn("mobilenet_v1_050_160", 21.0, 18.9, 0.71, 0.72, 0.10),
+        cnn("mobilenet_v1_050_192", 24.0, 17.4, 0.71, 0.71, 0.10),
+        cnn("mobilenet_v1_050_224", 28.0, 16.2, 0.71, 0.71, 0.11),
+        cnn("mobilenet_v1_075_128", 22.0, 17.8, 0.72, 0.70, 0.12),
+        cnn("mobilenet_v1_075_160", 26.0, 16.0, 0.72, 0.70, 0.13),
+        cnn("mobilenet_v1_075_192", 30.0, 14.8, 0.72, 0.69, 0.13),
+        cnn("mobilenet_v1_075_224", 35.0, 13.7, 0.72, 0.69, 0.14),
+        cnn("mobilenet_v1_100_128", 26.0, 15.5, 0.73, 0.68, 0.16),
+        cnn("mobilenet_v1_100_160", 31.0, 13.8, 0.73, 0.68, 0.17),
+        cnn("mobilenet_v1_100_192", 37.0, 12.5, 0.73, 0.67, 0.17),
+        cnn("mobilenet_v1_100_224", 43.0, 11.5, 0.73, 0.67, 0.18),
+        cnn("mobilenet_v2_100_224", 46.0, 10.1, 0.72, 0.68, 0.16),
+        cnn("mobilenet_v2_140_224", 58.0, 9.0, 0.73, 0.67, 0.24),
+        // Small classics.
+        cnn("squeezenet_v11", 24.0, 19.7, 0.75, 0.62, 0.05),
+        cnn("alexnet_v2", 33.0, 18.3, 0.80, 0.55, 0.25),
+        // Inception line.
+        cnn("inception_v1", 50.0, 10.9, 0.82, 0.52, 0.28),
+        cnn("inception_v2", 62.0, 9.4, 0.82, 0.52, 0.35),
+        cnn("inception_v3", 105.0, 6.3, 0.83, 0.50, 0.45),
+        cnn("inception_v4", 165.0, 5.0, 0.84, 0.49, 0.60),
+        cnn("inception_resnet_v2", 180.0, 4.9, 0.84, 0.50, 0.65),
+        // ResNets.
+        cnn("resnet_v1_50", 92.0, 7.4, 0.85, 0.48, 0.80),
+        cnn("resnet_v1_101", 150.0, 6.2, 0.85, 0.47, 1.10),
+        cnn("resnet_v1_152", 205.0, 5.8, 0.85, 0.47, 1.35),
+        cnn("resnet_v2_50", 96.0, 7.0, 0.85, 0.48, 0.80),
+        cnn("resnet_v2_101", 158.0, 5.9, 0.85, 0.47, 1.10),
+        cnn("resnet_v2_152", 215.0, 5.5, 0.85, 0.47, 1.35),
+        cnn("resnet_v2_200", 255.0, 5.2, 0.85, 0.46, 1.60),
+        // DenseNets.
+        cnn("densenet_121", 98.0, 7.7, 0.78, 0.58, 0.55),
+        cnn("densenet_169", 125.0, 7.0, 0.78, 0.58, 0.70),
+        cnn("densenet_201", 152.0, 6.4, 0.78, 0.57, 0.85),
+        // VGG: famously far above the optimal frontier.
+        cnn("vgg_16", 240.0, 9.9, 0.92, 0.40, 1.60),
+        cnn("vgg_19", 270.0, 9.5, 0.92, 0.40, 1.70),
+        // Architecture-search models anchor the accurate end.
+        cnn("nasnet_mobile", 65.0, 8.1, 0.79, 0.56, 0.30),
+        cnn("nasnet_large", 250.0, 3.9, 0.82, 0.52, 1.80),
+        cnn("pnasnet_mobile", 60.0, 7.9, 0.79, 0.56, 0.30),
+        cnn("pnasnet_large", 245.0, 3.5, 0.82, 0.52, 1.75),
+        cnn("xception_65", 130.0, 5.6, 0.83, 0.50, 0.50),
+    ]
+}
+
+/// VGG16 — the paper's IMG1 reference model.
+pub fn vgg16() -> ModelProfile {
+    imagenet42()
+        .into_iter()
+        .find(|m| m.name == "vgg_16")
+        .expect("vgg_16 in zoo")
+}
+
+/// ResNet50 — the paper's IMG2 reference model (and the Fig. 3 subject).
+pub fn resnet50() -> ModelProfile {
+    imagenet42()
+        .into_iter()
+        .find(|m| m.name == "resnet_v1_50")
+        .expect("resnet_v1_50 in zoo")
+}
+
+/// The PTB word-level RNN — the paper's NLP1 reference model.
+///
+/// Latency is per word; sentence-level deadlines are shared across the
+/// words of a sentence (paper §3.2 step 2).
+pub fn rnn_ptb() -> ModelProfile {
+    ModelProfile {
+        name: "rnn_ptb_w1024".to_string(),
+        class: WorkloadClass::Rnn,
+        metric: QualityMetric::Perplexity,
+        ref_latency_s: 0.040,
+        quality: -115.0,
+        fail_quality: -PTB_FAIL_PERPLEXITY,
+        rho: 0.55,
+        mem_intensity: 0.70,
+        footprint_gb: 0.35,
+        anytime: None,
+    }
+}
+
+/// BERT-base on SQuAD — the paper's NLP2 reference model.
+pub fn bert_base() -> ModelProfile {
+    ModelProfile {
+        name: "bert_base_squad".to_string(),
+        class: WorkloadClass::Transformer,
+        metric: QualityMetric::F1,
+        ref_latency_s: 0.320,
+        quality: 0.884,
+        fail_quality: 0.0,
+        rho: 0.88,
+        mem_intensity: 0.55,
+        footprint_gb: 1.30,
+        anytime: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_42_valid_models() {
+        let zoo = imagenet42();
+        assert_eq!(zoo.len(), 42);
+        for m in &zoo {
+            assert!(m.validate().is_ok(), "{}: {:?}", m.name, m.validate());
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = zoo.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 42);
+    }
+
+    #[test]
+    fn paper_spans_hold() {
+        let zoo = imagenet42();
+        let lat_min = zoo.iter().map(|m| m.ref_latency_s).fold(f64::INFINITY, f64::min);
+        let lat_max = zoo
+            .iter()
+            .map(|m| m.ref_latency_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // "the fastest model runs almost 18x faster than the slowest one".
+        let span = lat_max / lat_min;
+        assert!(span > 16.0 && span < 20.0, "latency span = {span}");
+
+        let err_min = zoo
+            .iter()
+            .map(|m| (1.0 - m.quality) * 100.0)
+            .fold(f64::INFINITY, f64::min);
+        let err_max = zoo
+            .iter()
+            .map(|m| (1.0 - m.quality) * 100.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // "about 7.8x lower error rate".
+        let espan = err_max / err_min;
+        assert!(espan > 7.0 && espan < 8.5, "error span = {espan}");
+    }
+
+    #[test]
+    fn no_single_best_model() {
+        // Paper §2.1: "there is no magic DNN that offers both the best
+        // accuracy and the lowest latency."
+        let zoo = imagenet42();
+        let fastest = zoo
+            .iter()
+            .min_by(|a, b| a.ref_latency_s.partial_cmp(&b.ref_latency_s).unwrap())
+            .unwrap();
+        let best = zoo
+            .iter()
+            .max_by(|a, b| a.quality.partial_cmp(&b.quality).unwrap())
+            .unwrap();
+        assert_ne!(fastest.name, best.name);
+        assert!(best.ref_latency_s > fastest.ref_latency_s * 10.0);
+    }
+
+    #[test]
+    fn vgg_is_dominated() {
+        // VGG16 must sit above the hull: some model is both faster and
+        // more accurate.
+        let zoo = imagenet42();
+        let vgg = vgg16();
+        assert!(zoo
+            .iter()
+            .any(|m| m.ref_latency_s < vgg.ref_latency_s && m.quality > vgg.quality));
+    }
+
+    #[test]
+    fn reference_models_resolve() {
+        assert_eq!(vgg16().name, "vgg_16");
+        assert_eq!(resnet50().name, "resnet_v1_50");
+        assert!(rnn_ptb().validate().is_ok());
+        assert!(bert_base().validate().is_ok());
+    }
+
+    #[test]
+    fn rnn_is_memory_bound() {
+        let r = rnn_ptb();
+        assert!(r.mem_intensity > 0.6);
+        assert!(r.rho < 0.6);
+    }
+}

@@ -1,0 +1,371 @@
+//! Co-located job (contention) processes.
+//!
+//! The paper's dynamic environments co-locate the inference task with a
+//! memory-intensive job (STREAM on CPUs, Rodinia Backprop on the GPU) or a
+//! compute-intensive job (PARSEC Bodytrack on CPUs, Backprop's forward pass
+//! on the GPU) "that repeatedly gets stopped and then started" (§5.1).
+//!
+//! Two orthogonal pieces model this:
+//!
+//! * [`PhaseSchedule`] / [`ContentionProcess`] — *when* the co-runner is
+//!   active: never, always, scripted windows (paper Fig. 9 uses a window
+//!   over inputs ~46–119), or random on/off phases.
+//! * [`ContentionModel`] — *what it does when active*: a multiplicative
+//!   latency factor with a per-workload sensitivity, lognormal jitter and a
+//!   fat tail (paper Fig. 5 shows both the median and the tail rising), and
+//!   extra idle power draw (the co-runner keeps consuming while the DNN
+//!   pipeline idles — the reason ALERT must track the idle-power ratio φ
+//!   online, Eq. 8).
+
+use alert_stats::rng::stream_rng;
+use alert_stats::units::{Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of co-located job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentionKind {
+    /// Memory-bandwidth-intensive co-runner (STREAM / Backprop).
+    Memory,
+    /// Compute-intensive co-runner (Bodytrack / Backprop forward pass).
+    Compute,
+}
+
+impl ContentionKind {
+    /// All kinds, for sweep drivers.
+    pub const ALL: [ContentionKind; 2] = [ContentionKind::Memory, ContentionKind::Compute];
+}
+
+impl std::fmt::Display for ContentionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContentionKind::Memory => write!(f, "Memory"),
+            ContentionKind::Compute => write!(f, "Compute"),
+        }
+    }
+}
+
+/// When the co-runner is active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseSchedule {
+    /// No co-runner at all (the paper's "Default" environment).
+    Never,
+    /// Co-runner active for the whole episode.
+    Always,
+    /// Active inside the listed `[start, end)` windows (seconds).
+    Windows(Vec<(Seconds, Seconds)>),
+    /// Random alternation: on-durations uniform in `on`, off-durations
+    /// uniform in `off`, starting inactive.
+    Random {
+        /// Uniform range of on-phase durations.
+        on: (Seconds, Seconds),
+        /// Uniform range of off-phase durations.
+        off: (Seconds, Seconds),
+        /// Seed for the phase stream (independent of everything else).
+        seed: u64,
+    },
+}
+
+/// A stateful process answering "is the co-runner active at time t?".
+///
+/// Queries must be monotonically non-decreasing in `t` (simulation time
+/// only moves forward); this is asserted in debug builds.
+#[derive(Debug, Clone)]
+pub struct ContentionProcess {
+    schedule: PhaseSchedule,
+    /// RNG for `Random` schedules.
+    rng: Option<StdRng>,
+    /// Current phase for `Random`: (active?, phase end time).
+    phase: (bool, Seconds),
+    last_query: Seconds,
+}
+
+impl ContentionProcess {
+    /// Creates a process from a schedule.
+    pub fn new(schedule: PhaseSchedule) -> Self {
+        let rng = match &schedule {
+            PhaseSchedule::Random { seed, .. } => Some(stream_rng(*seed, "contention-phase")),
+            _ => None,
+        };
+        ContentionProcess {
+            schedule,
+            rng,
+            // Seed the alternation as "active phase just ended at t=0" so
+            // the first drawn phase is an *off* phase (episodes start calm).
+            phase: (true, Seconds::ZERO),
+            last_query: Seconds(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Returns whether the co-runner is active at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `t` moves backwards.
+    pub fn active_at(&mut self, t: Seconds) -> bool {
+        debug_assert!(
+            t >= self.last_query,
+            "contention queries must be monotone: {t} after {}",
+            self.last_query
+        );
+        self.last_query = t;
+        match &self.schedule {
+            PhaseSchedule::Never => false,
+            PhaseSchedule::Always => true,
+            PhaseSchedule::Windows(ws) => ws.iter().any(|&(s, e)| t >= s && t < e),
+            PhaseSchedule::Random { on, off, .. } => {
+                let (on, off) = (*on, *off);
+                let rng = self.rng.as_mut().expect("random schedule has rng");
+                while t >= self.phase.1 {
+                    let (was_active, end) = self.phase;
+                    let now_active = !was_active;
+                    let (lo, hi) = if now_active { on } else { off };
+                    let dur = rng.gen_range(lo.get()..=hi.get());
+                    self.phase = (now_active, end + Seconds(dur));
+                }
+                self.phase.0
+            }
+        }
+    }
+
+    /// The schedule this process follows.
+    pub fn schedule(&self) -> &PhaseSchedule {
+        &self.schedule
+    }
+}
+
+/// What an active co-runner does to the inference workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Mean latency inflation at sensitivity 1: factor = 1 + boost·sens.
+    pub boost: f64,
+    /// Lognormal jitter scale (σ of the underlying normal) at sensitivity 1.
+    pub sigma: f64,
+    /// Probability of a tail event per inference.
+    pub tail_prob: f64,
+    /// Tail multiplier range (uniform).
+    pub tail_range: (f64, f64),
+    /// Extra power the co-runner draws while the inference pipeline idles.
+    pub idle_draw_extra: Watts,
+}
+
+/// The pre-drawn random primitives of one inference's contention effect.
+///
+/// Splitting the draw from the model-dependent mapping lets oracle
+/// schedulers evaluate *counterfactual* models against the identical
+/// randomness the real execution will see.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionDraws {
+    /// Standard normal draw for the lognormal jitter.
+    pub z: f64,
+    /// Uniform draw in `[0, 1)` deciding whether a tail event occurs.
+    pub tail_u: f64,
+    /// Uniform draw in `[0, 1)` positioning the tail multiplier.
+    pub tail_v: f64,
+}
+
+impl ContentionDraws {
+    /// Draws the primitives from an RNG.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        ContentionDraws {
+            z,
+            tail_u: rng.gen_range(0.0..1.0),
+            tail_v: rng.gen_range(0.0..1.0),
+        }
+    }
+}
+
+impl ContentionModel {
+    /// Samples the latency inflation factor for one inference.
+    ///
+    /// `sensitivity` ∈ [0, 1] is how exposed the workload is to this kind
+    /// of contention (memory intensity for [`ContentionKind::Memory`],
+    /// compute-bound fraction for [`ContentionKind::Compute`]).
+    ///
+    /// The returned factor is always ≥ 1: a co-runner never speeds the
+    /// inference up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity` is outside `[0, 1]`.
+    pub fn sample_factor<R: Rng>(&self, rng: &mut R, sensitivity: f64) -> f64 {
+        self.factor_from_draws(&ContentionDraws::sample(rng), sensitivity)
+    }
+
+    /// Maps pre-drawn primitives to the inflation factor (deterministic;
+    /// see [`ContentionDraws`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity` is outside `[0, 1]`.
+    pub fn factor_from_draws(&self, draws: &ContentionDraws, sensitivity: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&sensitivity),
+            "sensitivity must be in [0,1], got {sensitivity}"
+        );
+        let mean = 1.0 + self.boost * sensitivity;
+        let sigma = self.sigma * (0.4 + 0.6 * sensitivity);
+        let jitter = (draws.z * sigma).exp();
+        let mut factor = mean * jitter;
+        if draws.tail_u < self.tail_prob {
+            factor *= self.tail_range.0 + draws.tail_v * (self.tail_range.1 - self.tail_range.0);
+        }
+        factor.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_and_always() {
+        let mut never = ContentionProcess::new(PhaseSchedule::Never);
+        let mut always = ContentionProcess::new(PhaseSchedule::Always);
+        for i in 0..10 {
+            let t = Seconds(i as f64);
+            assert!(!never.active_at(t));
+            assert!(always.active_at(t));
+        }
+    }
+
+    #[test]
+    fn windows_schedule() {
+        let mut p = ContentionProcess::new(PhaseSchedule::Windows(vec![
+            (Seconds(1.0), Seconds(2.0)),
+            (Seconds(5.0), Seconds(6.0)),
+        ]));
+        assert!(!p.active_at(Seconds(0.5)));
+        assert!(p.active_at(Seconds(1.0)));
+        assert!(p.active_at(Seconds(1.99)));
+        assert!(!p.active_at(Seconds(2.0)));
+        assert!(p.active_at(Seconds(5.5)));
+        assert!(!p.active_at(Seconds(7.0)));
+    }
+
+    #[test]
+    fn random_schedule_alternates() {
+        let mut p = ContentionProcess::new(PhaseSchedule::Random {
+            on: (Seconds(2.0), Seconds(4.0)),
+            off: (Seconds(1.0), Seconds(3.0)),
+            seed: 42,
+        });
+        // Starts inactive.
+        assert!(!p.active_at(Seconds(0.0)));
+        let mut transitions = 0;
+        let mut prev = false;
+        let mut active_time = 0u32;
+        for i in 0..4000 {
+            let t = Seconds(i as f64 * 0.05);
+            let a = p.active_at(t);
+            if a != prev {
+                transitions += 1;
+                prev = a;
+            }
+            if a {
+                active_time += 1;
+            }
+        }
+        // 200 s of sim: expect dozens of phase flips, and both states seen.
+        assert!(transitions > 10, "transitions = {transitions}");
+        let frac = f64::from(active_time) / 4000.0;
+        assert!(frac > 0.3 && frac < 0.9, "active fraction = {frac}");
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic() {
+        let sample = |seed| {
+            let mut p = ContentionProcess::new(PhaseSchedule::Random {
+                on: (Seconds(1.0), Seconds(2.0)),
+                off: (Seconds(1.0), Seconds(2.0)),
+                seed,
+            });
+            (0..100)
+                .map(|i| p.active_at(Seconds(i as f64 * 0.1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8));
+    }
+
+    #[test]
+    fn factor_at_least_one() {
+        let m = ContentionModel {
+            boost: 0.8,
+            sigma: 0.15,
+            tail_prob: 0.05,
+            tail_range: (1.5, 3.0),
+            idle_draw_extra: Watts(5.0),
+        };
+        let mut rng = alert_stats::rng::stream_rng(1, "t");
+        for _ in 0..2000 {
+            let f = m.sample_factor(&mut rng, 0.7);
+            assert!(f >= 1.0);
+            assert!(f < 20.0);
+        }
+    }
+
+    #[test]
+    fn factor_scales_with_sensitivity() {
+        let m = ContentionModel {
+            boost: 0.8,
+            sigma: 0.1,
+            tail_prob: 0.0,
+            tail_range: (1.0, 1.0),
+            idle_draw_extra: Watts(0.0),
+        };
+        let mean_at = |s: f64| {
+            let mut rng = alert_stats::rng::stream_rng(2, "s");
+            (0..5000)
+                .map(|_| m.sample_factor(&mut rng, s))
+                .sum::<f64>()
+                / 5000.0
+        };
+        let low = mean_at(0.2);
+        let high = mean_at(0.9);
+        assert!(
+            high > low + 0.3,
+            "high-sensitivity mean {high} should exceed low {low}"
+        );
+    }
+
+    #[test]
+    fn tail_events_fatten_distribution() {
+        let base = ContentionModel {
+            boost: 0.5,
+            sigma: 0.05,
+            tail_prob: 0.0,
+            tail_range: (2.0, 3.0),
+            idle_draw_extra: Watts(0.0),
+        };
+        let tailed = ContentionModel {
+            tail_prob: 0.10,
+            ..base
+        };
+        let p99 = |m: &ContentionModel| {
+            let mut rng = alert_stats::rng::stream_rng(3, "tail");
+            let mut xs: Vec<f64> = (0..4000).map(|_| m.sample_factor(&mut rng, 0.8)).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[(0.99 * 4000.0) as usize]
+        };
+        assert!(p99(&tailed) > p99(&base) * 1.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity must be in [0,1]")]
+    fn rejects_bad_sensitivity() {
+        let m = ContentionModel {
+            boost: 0.5,
+            sigma: 0.05,
+            tail_prob: 0.0,
+            tail_range: (1.0, 1.0),
+            idle_draw_extra: Watts(0.0),
+        };
+        let mut rng = alert_stats::rng::stream_rng(4, "x");
+        let _ = m.sample_factor(&mut rng, 1.5);
+    }
+}

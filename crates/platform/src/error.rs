@@ -1,0 +1,56 @@
+//! Error types for the platform substrate.
+
+use alert_stats::units::Watts;
+use std::fmt;
+
+/// Errors raised by power-management operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// The requested cap lies outside the platform's feasible range.
+    CapOutOfRange {
+        /// The cap that was requested.
+        requested: Watts,
+        /// Lowest supported cap.
+        min: Watts,
+        /// Highest supported cap.
+        max: Watts,
+    },
+    /// The requested cap is not finite.
+    InvalidCap(f64),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::CapOutOfRange { requested, min, max } => write!(
+                f,
+                "power cap {:.1} W outside feasible range [{:.1}, {:.1}] W",
+                requested.get(),
+                min.get(),
+                max.get()
+            ),
+            PowerError::InvalidCap(v) => write!(f, "power cap {v} is not a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PowerError::CapOutOfRange {
+            requested: Watts(150.0),
+            min: Watts(40.0),
+            max: Watts(100.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("150.0"));
+        assert!(s.contains("[40.0, 100.0]"));
+        let e = PowerError::InvalidCap(f64::NAN);
+        assert!(e.to_string().contains("not a finite"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The power-cap → throughput response curve.
+//!
+//! Real DVFS hardware shows three regimes as the RAPL cap rises:
+//!
+//! 1. a *floor* at low caps, where the chip runs at its minimum frequency
+//!    and memory stalls dominate anyway,
+//! 2. a *ramp* in the middle, where every extra watt buys frequency,
+//! 3. *saturation* at high caps, where the workload cannot draw the budget
+//!    and extra cap headroom changes nothing.
+//!
+//! We model the normalized core throughput σ(cap) ∈ (0, 1] as a floored
+//! logistic, normalized to 1 at the maximum cap. A workload with
+//! compute-bound fraction ρ then slows down by `ρ/σ + (1−ρ)` (Amdahl over
+//! the frequency-sensitive fraction).
+//!
+//! This shape is what makes the paper's Fig. 3 terrain emerge: with a fixed
+//! input period, period energy `cap·t(cap) + p_idle·(T − t(cap))` is
+//! *non-monotone* in the cap — lowest at the minimum cap, peaking mid-range
+//! — so no greedy heuristic can pick the best cap, which is exactly the
+//! paper's argument for model-based selection (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A floored-logistic throughput curve, normalized to 1.0 at `p_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputCurve {
+    /// Fraction of peak throughput still available at very low caps
+    /// (minimum frequency floor), before normalization.
+    pub floor: f64,
+    /// Cap (watts, raw f64) at the logistic midpoint.
+    pub p_mid: f64,
+    /// Logistic width in watts: smaller = steeper ramp.
+    pub width: f64,
+    /// The maximum cap the curve is normalized against.
+    pub p_max: f64,
+}
+
+impl ThroughputCurve {
+    /// Creates a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is outside `(0, 1]`, `width` is not positive, or
+    /// `p_max` is not positive.
+    pub fn new(floor: f64, p_mid: f64, width: f64, p_max: f64) -> Self {
+        assert!(
+            floor > 0.0 && floor <= 1.0,
+            "floor must be in (0,1], got {floor}"
+        );
+        assert!(width > 0.0, "width must be positive");
+        assert!(p_max > 0.0, "p_max must be positive");
+        ThroughputCurve {
+            floor,
+            p_mid,
+            width,
+            p_max,
+        }
+    }
+
+    /// Raw (un-normalized) floored logistic.
+    fn raw(&self, cap_w: f64) -> f64 {
+        let l = 1.0 / (1.0 + (-(cap_w - self.p_mid) / self.width).exp());
+        self.floor + (1.0 - self.floor) * l
+    }
+
+    /// Normalized throughput σ(cap) ∈ (0, 1]; σ(p_max) = 1.
+    ///
+    /// Caps above `p_max` saturate at 1 (the workload cannot use more).
+    pub fn throughput(&self, cap_w: f64) -> f64 {
+        if cap_w >= self.p_max {
+            return 1.0;
+        }
+        (self.raw(cap_w) / self.raw(self.p_max)).min(1.0)
+    }
+
+    /// Latency slowdown multiplier for a workload whose frequency-sensitive
+    /// fraction is `rho` ∈ [0, 1]: `ρ/σ(cap) + (1 − ρ)`.
+    ///
+    /// At `cap == p_max` this is exactly 1 (the profiling condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alert_platform::freq::ThroughputCurve;
+    ///
+    /// // The CPU2 preset shape: >2x slowdown at 40 W vs 100 W.
+    /// let c = ThroughputCurve::new(0.3, 78.0, 8.0, 100.0);
+    /// let slow = c.slowdown(40.0, 0.85);
+    /// assert!(slow > 2.0 && slow < 4.0, "slowdown = {slow}");
+    /// assert!((c.slowdown(100.0, 0.85) - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn slowdown(&self, cap_w: f64, rho: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "rho must be in [0,1], got {rho}"
+        );
+        rho / self.throughput(cap_w) + (1.0 - rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu2_curve() -> ThroughputCurve {
+        ThroughputCurve::new(0.3, 78.0, 8.0, 100.0)
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_cap() {
+        let c = cpu2_curve();
+        let mut prev = 0.0;
+        for i in 0..=60 {
+            let cap = 40.0 + i as f64;
+            let t = c.throughput(cap);
+            assert!(t >= prev, "throughput must not decrease");
+            assert!(t > 0.0 && t <= 1.0);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_at_pmax() {
+        let c = cpu2_curve();
+        assert_eq!(c.throughput(100.0), 1.0);
+        assert_eq!(c.throughput(150.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_is_one_at_pmax() {
+        let c = cpu2_curve();
+        for &rho in &[0.0, 0.3, 0.85, 1.0] {
+            assert!((c.slowdown(100.0, rho) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_bound_workloads_are_less_sensitive() {
+        let c = cpu2_curve();
+        // At 40 W, a compute-bound kernel slows far more than a memory-bound one.
+        let compute = c.slowdown(40.0, 0.95);
+        let memory = c.slowdown(40.0, 0.5);
+        assert!(compute > memory * 1.3, "compute={compute} memory={memory}");
+    }
+
+    #[test]
+    fn fig3_shape_emerges() {
+        // Reproduce the Fig. 3 sanity conditions with the CPU2 parameters:
+        // period energy E(p) = run_draw*t(p) + idle*(T - t(p)), T = t(40).
+        let c = cpu2_curve();
+        let rho = 0.85;
+        let idle = 18.0;
+        let max_draw = 95.0;
+        let t = |p: f64| c.slowdown(p, rho);
+        let period = t(40.0);
+        let energy = |p: f64| {
+            let tp = t(p);
+            let run = p.min(max_draw);
+            run * tp + idle * (period - tp).max(0.0)
+        };
+        // (1) >2x latency span.
+        assert!(t(40.0) / t(100.0) > 2.0, "span = {}", t(40.0) / t(100.0));
+        // (2) energy minimum at the lowest cap.
+        let caps: Vec<f64> = (0..=30).map(|i| 40.0 + 2.0 * i as f64).collect();
+        let e_min = caps.iter().cloned().fold(f64::INFINITY, |m, p| m.min(energy(p)));
+        assert!((energy(40.0) - e_min).abs() < 1e-9, "40W should be cheapest");
+        // (3) the energy maximum sits strictly inside the range (non-monotone).
+        let (mut argmax, mut emax) = (40.0, f64::NEG_INFINITY);
+        for &p in &caps {
+            if energy(p) > emax {
+                emax = energy(p);
+                argmax = p;
+            }
+        }
+        assert!(
+            argmax > 45.0 && argmax < 95.0,
+            "energy max at {argmax}, should be mid-range"
+        );
+        // (4) the max-to-min energy ratio is in the paper's ballpark (~1.3).
+        let ratio = emax / energy(40.0);
+        assert!(ratio > 1.15 && ratio < 1.6, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0,1]")]
+    fn slowdown_rejects_bad_rho() {
+        let _ = cpu2_curve().slowdown(50.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be in (0,1]")]
+    fn rejects_bad_floor() {
+        let _ = ThroughputCurve::new(0.0, 50.0, 5.0, 100.0);
+    }
+}

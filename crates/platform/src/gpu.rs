@@ -1,0 +1,207 @@
+//! The GPU frequency/power lookup table (PyNVML analogue).
+//!
+//! On the GPU the paper "uses PyNVML to control frequency and builds a
+//! power-frequency lookup table" (§4): GPUs expose discrete SM clock
+//! levels, each with a characteristic board power, and a power budget is
+//! realized by picking the fastest level that fits. [`GpuFreqTable`] is
+//! that table; the [`Platform`](crate::platform::Platform) preset for the
+//! GPU derives both its candidate power settings and its throughput
+//! response from it.
+
+use crate::error::PowerError;
+use alert_stats::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// One clock level of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuLevel {
+    /// SM clock in MHz.
+    pub freq_mhz: f64,
+    /// Board power draw at this level under a saturating DNN workload.
+    pub power: Watts,
+}
+
+/// A monotone frequency→power table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuFreqTable {
+    levels: Vec<GpuLevel>,
+}
+
+impl GpuFreqTable {
+    /// Builds a table from levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are given or if the levels are not
+    /// strictly increasing in both frequency and power.
+    pub fn new(levels: Vec<GpuLevel>) -> Self {
+        assert!(levels.len() >= 2, "a lookup table needs at least 2 levels");
+        for w in levels.windows(2) {
+            assert!(
+                w[1].freq_mhz > w[0].freq_mhz && w[1].power > w[0].power,
+                "levels must be strictly increasing in frequency and power"
+            );
+        }
+        GpuFreqTable { levels }
+    }
+
+    /// A table shaped like an RTX 2080: SM clocks 300–1900 MHz, board power
+    /// 100–215 W, with the sub-linear frequency-per-watt curve of real
+    /// boards (power grows faster than frequency near the top).
+    pub fn rtx2080() -> Self {
+        // 26 levels: freq from 300 to 1900 MHz; power grows superlinearly.
+        let n = 26;
+        let mut levels = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / (n - 1) as f64;
+            let freq = 300.0 + (1900.0 - 300.0) * t;
+            // Power ≈ static + k·f^2.2 normalized into [100, 215].
+            let dyn_frac = t.powf(2.2);
+            let power = 100.0 + (215.0 - 100.0) * (0.15 * t + 0.85 * dyn_frac);
+            levels.push(GpuLevel {
+                freq_mhz: freq,
+                power: Watts(power),
+            });
+        }
+        GpuFreqTable::new(levels)
+    }
+
+    /// All levels, slowest first.
+    pub fn levels(&self) -> &[GpuLevel] {
+        &self.levels
+    }
+
+    /// The candidate power settings this table induces (one per level).
+    pub fn power_settings(&self) -> Vec<Watts> {
+        self.levels.iter().map(|l| l.power).collect()
+    }
+
+    /// The fastest level whose power fits within `budget`.
+    ///
+    /// Returns an error if even the slowest level exceeds the budget.
+    pub fn level_for_budget(&self, budget: Watts) -> Result<GpuLevel, PowerError> {
+        if !budget.is_finite() {
+            return Err(PowerError::InvalidCap(budget.get()));
+        }
+        let mut chosen = None;
+        for l in &self.levels {
+            if l.power <= budget {
+                chosen = Some(*l);
+            } else {
+                break;
+            }
+        }
+        chosen.ok_or(PowerError::CapOutOfRange {
+            requested: budget,
+            min: self.levels[0].power,
+            max: self.levels[self.levels.len() - 1].power,
+        })
+    }
+
+    /// Normalized throughput at a power budget: the chosen level's
+    /// frequency relative to the top level, floored by `mem_floor` (GPU
+    /// kernels retain memory-bound throughput even at low clocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_floor` is outside `(0, 1]`.
+    pub fn throughput(&self, budget: Watts, mem_floor: f64) -> Result<f64, PowerError> {
+        assert!(
+            mem_floor > 0.0 && mem_floor <= 1.0,
+            "mem_floor must be in (0,1]"
+        );
+        let level = self.level_for_budget(budget)?;
+        let f_max = self.levels[self.levels.len() - 1].freq_mhz;
+        let rel = level.freq_mhz / f_max;
+        Ok(mem_floor + (1.0 - mem_floor) * rel)
+    }
+
+    /// The slowest level's power (minimum feasible budget).
+    pub fn min_power(&self) -> Watts {
+        self.levels[0].power
+    }
+
+    /// The fastest level's power (maximum useful budget).
+    pub fn max_power(&self) -> Watts {
+        self.levels[self.levels.len() - 1].power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx2080_table_shape() {
+        let t = GpuFreqTable::rtx2080();
+        assert_eq!(t.levels().len(), 26);
+        assert!((t.min_power().get() - 100.0).abs() < 1.0);
+        assert!((t.max_power().get() - 215.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn budget_selects_fastest_fitting_level() {
+        let t = GpuFreqTable::rtx2080();
+        let full = t.level_for_budget(Watts(215.0)).unwrap();
+        assert!((full.freq_mhz - 1900.0).abs() < 1e-9);
+        let mid = t.level_for_budget(Watts(150.0)).unwrap();
+        assert!(mid.freq_mhz < 1900.0 && mid.freq_mhz > 300.0);
+        assert!(mid.power <= Watts(150.0));
+        // Budget below the slowest level is infeasible.
+        assert!(t.level_for_budget(Watts(50.0)).is_err());
+    }
+
+    #[test]
+    fn budget_monotone_in_frequency() {
+        let t = GpuFreqTable::rtx2080();
+        let mut prev = 0.0;
+        for b in [100.0, 120.0, 140.0, 160.0, 180.0, 200.0, 215.0] {
+            let l = t.level_for_budget(Watts(b)).unwrap();
+            assert!(l.freq_mhz >= prev);
+            prev = l.freq_mhz;
+        }
+    }
+
+    #[test]
+    fn throughput_bounded_and_monotone() {
+        let t = GpuFreqTable::rtx2080();
+        let mut prev = 0.0;
+        for b in [100.0, 130.0, 160.0, 190.0, 215.0] {
+            let s = t.throughput(Watts(b), 0.45).unwrap();
+            assert!(s > 0.0 && s <= 1.0);
+            assert!(s >= prev);
+            prev = s;
+        }
+        assert!((t.throughput(Watts(215.0), 0.45).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_settings_match_levels() {
+        let t = GpuFreqTable::rtx2080();
+        assert_eq!(t.power_settings().len(), t.levels().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 levels")]
+    fn rejects_tiny_table() {
+        let _ = GpuFreqTable::new(vec![GpuLevel {
+            freq_mhz: 300.0,
+            power: Watts(100.0),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone_table() {
+        let _ = GpuFreqTable::new(vec![
+            GpuLevel {
+                freq_mhz: 300.0,
+                power: Watts(100.0),
+            },
+            GpuLevel {
+                freq_mhz: 200.0,
+                power: Watts(150.0),
+            },
+        ]);
+    }
+}

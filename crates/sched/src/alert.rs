@@ -1,0 +1,320 @@
+//! ALERT wired to the simulator: table construction and the
+//! [`Scheduler`] adapter, including the paper's variants.
+//!
+//! * **ALERT** — the standard candidate set (traditional + anytime).
+//! * **ALERT-Any** — anytime network only (the fair-comparison variant
+//!   against App-only/Sys-only/No-coord, which share that candidate set).
+//! * **ALERT-Trad** — traditional models only.
+//! * **ALERT\*** — the mean-only ablation of §5.3 (Fig. 10).
+
+use crate::scheduler::{Decision, Feedback, InputContext, Scheduler};
+use alert_core::alert::{AlertController, AlertParams, Observation};
+use alert_core::config::{CandidateModel, ConfigTable, StagePoint};
+use alert_models::inference::{self, StopPolicy};
+use alert_models::family::CandidateSet;
+use alert_models::ModelFamily;
+use alert_platform::Platform;
+use alert_stats::units::Seconds;
+
+/// Builds the controller's candidate table from a family on a platform.
+///
+/// Models that do not fit the platform's memory are excluded (the
+/// embedded board cannot host the big CNNs — paper Fig. 4 footnote).
+///
+/// # Panics
+///
+/// Panics if no model fits the platform.
+pub fn build_table(family: &ModelFamily, platform: &Platform) -> (ConfigTable, Vec<usize>) {
+    let powers = platform.power_settings();
+    let mut models = Vec::new();
+    let mut index_map = Vec::new();
+    let mut t_prof = Vec::new();
+    let mut p_run = Vec::new();
+    for (i, m) in family.models().iter().enumerate() {
+        if !platform.supports_footprint(m.footprint_gb) {
+            continue;
+        }
+        let candidate = match &m.anytime {
+            None => CandidateModel::traditional(m.name.clone(), m.quality, m.fail_quality),
+            Some(spec) => CandidateModel::anytime(
+                m.name.clone(),
+                spec.stages()
+                    .iter()
+                    .map(|s| StagePoint {
+                        frac: s.frac,
+                        quality: s.quality,
+                    })
+                    .collect(),
+                m.fail_quality,
+            ),
+        };
+        models.push(candidate);
+        index_map.push(i);
+        t_prof.push(
+            powers
+                .iter()
+                .map(|&p| inference::profile_latency(m, platform, p).expect("feasible cap"))
+                .collect(),
+        );
+        p_run.push(
+            powers
+                .iter()
+                .map(|&p| inference::run_power(m, platform, p))
+                .collect(),
+        );
+    }
+    assert!(
+        !models.is_empty(),
+        "no model of family {} fits platform {}",
+        family.name(),
+        platform.id()
+    );
+    (
+        ConfigTable::new(models, powers, t_prof, p_run),
+        index_map,
+    )
+}
+
+/// ALERT as a [`Scheduler`].
+pub struct AlertScheduler {
+    name: String,
+    controller: AlertController,
+    /// Maps table model indices back to family indices.
+    index_map: Vec<usize>,
+    /// Whether each table model is anytime (cached).
+    is_anytime: Vec<bool>,
+    base_goal: alert_core::Goal,
+}
+
+impl AlertScheduler {
+    /// Creates an ALERT scheduler over a candidate subset.
+    pub fn new(
+        name: impl Into<String>,
+        family: &ModelFamily,
+        set: CandidateSet,
+        platform: &Platform,
+        goal: alert_core::Goal,
+        params: AlertParams,
+    ) -> Self {
+        let restricted = family.restrict(set);
+        let (table, index_map) = build_table(&restricted, platform);
+        let is_anytime = table.models().iter().map(|m| m.is_anytime()).collect();
+        // Map restricted indices back to the *original* family indices.
+        let family_map: Vec<usize> = index_map
+            .iter()
+            .map(|&ri| {
+                let name = &restricted.models()[ri].name;
+                family
+                    .models()
+                    .iter()
+                    .position(|m| &m.name == name)
+                    .expect("restricted model exists in family")
+            })
+            .collect();
+        AlertScheduler {
+            name: name.into(),
+            controller: AlertController::new(table, params),
+            index_map: family_map,
+            is_anytime,
+            base_goal: goal,
+        }
+    }
+
+    /// The standard ALERT configuration (traditional + anytime).
+    pub fn standard(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Self {
+        Self::new(
+            "ALERT",
+            family,
+            CandidateSet::Standard,
+            platform,
+            goal,
+            AlertParams::default(),
+        )
+    }
+
+    /// ALERT-Any: anytime candidates only.
+    pub fn anytime_only(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Self {
+        Self::new(
+            "ALERT-Any",
+            family,
+            CandidateSet::AnytimeOnly,
+            platform,
+            goal,
+            AlertParams::default(),
+        )
+    }
+
+    /// ALERT-Trad: traditional candidates only.
+    pub fn traditional_only(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Self {
+        Self::new(
+            "ALERT-Trad",
+            family,
+            CandidateSet::TraditionalOnly,
+            platform,
+            goal,
+            AlertParams::default(),
+        )
+    }
+
+    /// ALERT\*: the mean-only ablation (§5.3).
+    pub fn mean_only(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Self {
+        Self::new(
+            "ALERT*",
+            family,
+            CandidateSet::Standard,
+            platform,
+            goal,
+            AlertParams::mean_only(),
+        )
+    }
+
+    /// Read access to the controller (diagnostics: ξ, φ, overhead).
+    pub fn controller(&self) -> &AlertController {
+        &self.controller
+    }
+}
+
+impl Scheduler for AlertScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, ctx: &InputContext) -> Decision {
+        let goal = self.base_goal.with_deadline(ctx.deadline);
+        let sel = self.controller.decide_with_period(&goal, ctx.period);
+        let c = sel.candidate;
+        let cap = self.controller.table().cap(c.power);
+        let stop = if self.is_anytime[c.model] {
+            // Run toward the chosen stage but never past the (overhead-
+            // compensated) deadline — the §3.5 execution mode.
+            StopPolicy::AtTimeOrStage(sel.deadline, c.stage)
+        } else {
+            StopPolicy::RunToCompletion
+        };
+        Decision {
+            model: self.index_map[c.model],
+            cap,
+            stop,
+        }
+    }
+
+    fn observe(&mut self, fb: &Feedback) {
+        self.controller.observe(&Observation {
+            latency: fb.result.latency,
+            profile_equivalent: fb.result.profile_equivalent,
+            idle_power: fb.idle_power,
+            idle_cap: fb.decision.cap,
+        });
+    }
+
+    fn last_decision_cost(&self) -> Seconds {
+        self.controller.last_decision_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_stats::units::{Joules, Watts};
+
+    #[test]
+    fn table_covers_family_times_powers() {
+        let family = ModelFamily::image_classification();
+        let platform = Platform::cpu1();
+        let (table, map) = build_table(&family, &platform);
+        assert_eq!(table.models().len(), 6);
+        assert_eq!(map.len(), 6);
+        assert_eq!(table.powers().len(), 15);
+        // Anytime model contributes 4 stages: 5×1 + 4 = 9 stage rows.
+        assert_eq!(table.candidate_count(), 9 * 15);
+    }
+
+    #[test]
+    fn embedded_filters_oversized_models() {
+        let family = ModelFamily::sentence_prediction();
+        let platform = Platform::embedded();
+        let (table, _) = build_table(&family, &platform);
+        // Only models ≤ 0.4 GB fit: rnn_w128..w1024 (0.35) and the
+        // width-nest (0.38): all six fit.
+        assert_eq!(table.models().len(), 6);
+        let family = ModelFamily::image_classification();
+        // No image model fits 0.4 GB except sparse_resnet_8 (0.15),
+        // sparse_resnet_14 (0.22) and sparse_resnet_26 (0.34).
+        let (table, _) = build_table(&family, &platform);
+        assert_eq!(table.models().len(), 3);
+    }
+
+    #[test]
+    fn alert_scheduler_runs_and_learns() {
+        let family = ModelFamily::image_classification();
+        let platform = Platform::cpu1();
+        let goal = alert_core::Goal::minimize_error(Seconds(0.5), Joules(25.0));
+        let mut s = AlertScheduler::standard(&family, &platform, goal);
+        let ctx = InputContext {
+            index: 0,
+            deadline: Seconds(0.5),
+            period: Seconds(0.5),
+            group: None,
+        };
+        let d = s.decide(&ctx);
+        assert!(d.model < family.len());
+        assert!(platform.power_settings().contains(&d.cap));
+        // Feed a slow observation; the slowdown estimate must move.
+        let m = &family.models()[d.model];
+        let result = alert_models::inference::execute(
+            m,
+            &platform,
+            d.cap,
+            1.7,
+            StopPolicy::RunToCompletion,
+        )
+        .unwrap();
+        let quality = result.quality_by(ctx.deadline, m.fail_quality);
+        s.observe(&Feedback {
+            index: 0,
+            decision: d,
+            result,
+            quality,
+            energy: Joules(1.0),
+            idle_power: Some(Watts(5.0)),
+            deadline: ctx.deadline,
+        });
+        assert!(s.controller().slowdown().mean() > 1.3);
+    }
+
+    #[test]
+    fn variant_names() {
+        let family = ModelFamily::image_classification();
+        let platform = Platform::cpu1();
+        let goal = alert_core::Goal::minimize_energy(Seconds(0.5), 0.9);
+        assert_eq!(AlertScheduler::standard(&family, &platform, goal).name(), "ALERT");
+        assert_eq!(
+            AlertScheduler::anytime_only(&family, &platform, goal).name(),
+            "ALERT-Any"
+        );
+        assert_eq!(
+            AlertScheduler::traditional_only(&family, &platform, goal).name(),
+            "ALERT-Trad"
+        );
+        assert_eq!(
+            AlertScheduler::mean_only(&family, &platform, goal).name(),
+            "ALERT*"
+        );
+    }
+}

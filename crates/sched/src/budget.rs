@@ -1,0 +1,137 @@
+//! Shared-deadline budget tracking (harness-side goal adjustment).
+//!
+//! For grouped tasks (NLP1: the words of a sentence share one sentence
+//! deadline, paper §3.2 step 2) every scheme — not just ALERT — must know
+//! the effective per-input deadline: the remaining group budget divided by
+//! the remaining members. The harness owns this computation so all schemes
+//! are treated identically; ALERT additionally reserves its own overhead
+//! internally.
+
+use alert_stats::units::Seconds;
+use alert_workload::GroupPos;
+
+/// Tracks the remaining budget of the current group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetTracker {
+    remaining: Seconds,
+    members_left: usize,
+    in_group: bool,
+}
+
+impl BudgetTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        BudgetTracker {
+            remaining: Seconds::ZERO,
+            members_left: 0,
+            in_group: false,
+        }
+    }
+
+    /// Computes the effective deadline of the next input and claims its
+    /// slot. `per_input_deadline` is the goal's deadline (per input); a
+    /// group's total budget is `per_input_deadline × group_len`, granted
+    /// when its first member arrives.
+    pub fn next_deadline(&mut self, per_input_deadline: Seconds, group: Option<GroupPos>) -> Seconds {
+        match group {
+            None => per_input_deadline,
+            Some(g) => {
+                if g.member_idx == 0 {
+                    self.remaining = per_input_deadline * g.group_len as f64;
+                    self.members_left = g.group_len;
+                    self.in_group = true;
+                }
+                let left = self.members_left.max(1);
+                let d = self.remaining / left as f64;
+                self.members_left = self.members_left.saturating_sub(1);
+                Seconds(d.get().max(1e-6))
+            }
+        }
+    }
+
+    /// Records the latency the dispatched input actually consumed.
+    pub fn consume(&mut self, latency: Seconds) {
+        if self.in_group {
+            self.remaining = Seconds((self.remaining - latency).get().max(0.0));
+            if self.members_left == 0 {
+                self.in_group = false;
+            }
+        }
+    }
+
+    /// Remaining budget of the active group (zero outside groups).
+    pub fn remaining(&self) -> Seconds {
+        self.remaining
+    }
+}
+
+impl Default for BudgetTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(member: usize, len: usize) -> Option<GroupPos> {
+        Some(GroupPos {
+            group_idx: 0,
+            member_idx: member,
+            group_len: len,
+        })
+    }
+
+    #[test]
+    fn ungrouped_passthrough() {
+        let mut b = BudgetTracker::new();
+        assert_eq!(b.next_deadline(Seconds(0.1), None), Seconds(0.1));
+        b.consume(Seconds(5.0));
+        assert_eq!(b.next_deadline(Seconds(0.1), None), Seconds(0.1));
+    }
+
+    #[test]
+    fn group_budget_shrinks_with_slow_members() {
+        let mut b = BudgetTracker::new();
+        // 4 members × 0.1 s = 0.4 s of budget.
+        let d0 = b.next_deadline(Seconds(0.1), pos(0, 4));
+        assert!((d0.get() - 0.1).abs() < 1e-12);
+        b.consume(Seconds(0.25)); // overrun
+        let d1 = b.next_deadline(Seconds(0.1), pos(1, 4));
+        assert!((d1.get() - 0.05).abs() < 1e-12, "d1 = {d1}");
+        b.consume(Seconds(0.05));
+        let d2 = b.next_deadline(Seconds(0.1), pos(2, 4));
+        assert!((d2.get() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_members_grow_budget() {
+        let mut b = BudgetTracker::new();
+        let _ = b.next_deadline(Seconds(0.1), pos(0, 2));
+        b.consume(Seconds(0.02));
+        let d1 = b.next_deadline(Seconds(0.1), pos(1, 2));
+        assert!((d1.get() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_group_resets_budget() {
+        let mut b = BudgetTracker::new();
+        let _ = b.next_deadline(Seconds(0.1), pos(0, 2));
+        b.consume(Seconds(1.0)); // blow everything
+        let _ = b.next_deadline(Seconds(0.1), pos(1, 2));
+        b.consume(Seconds(1.0));
+        // Next sentence starts fresh.
+        let d = b.next_deadline(Seconds(0.1), pos(0, 3));
+        assert!((d.get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blown_budget_floors_at_epsilon() {
+        let mut b = BudgetTracker::new();
+        let _ = b.next_deadline(Seconds(0.1), pos(0, 3));
+        b.consume(Seconds(10.0));
+        let d = b.next_deadline(Seconds(0.1), pos(1, 3));
+        assert!(d.get() > 0.0 && d.get() <= 1e-6);
+    }
+}

@@ -1,0 +1,299 @@
+//! Episode environment realization.
+//!
+//! Before an episode runs, every random quantity is drawn once and frozen:
+//! per-input latency scale (from the task's input stream), baseline noise
+//! primitives, contention primitives, and the co-runner's on/off activity
+//! at each dispatch time. Freezing the randomness buys two things the
+//! paper's methodology needs:
+//!
+//! * every scheme in a comparison faces *bit-identical* conditions, and
+//! * the Oracle schemes can evaluate **counterfactual** configurations
+//!   exactly — "perfect predictions for every input under every DNN/power
+//!   setting" (§5.1) — because the environment's effect on any (model,
+//!   cap) pair is a deterministic function of the frozen draws.
+//!
+//! Inputs dispatch on a fixed arrival grid (sensor-style periodic inputs,
+//! §2.1), so the co-runner's activity pattern is identical across schemes
+//! regardless of their processing latencies.
+
+use alert_models::inference::{self, InferenceResult, StopPolicy};
+use alert_models::ModelProfile;
+use alert_platform::contention::{ContentionDraws, ContentionKind};
+use alert_platform::platform::NoiseDraws;
+use alert_platform::Platform;
+use alert_stats::rng::stream_rng;
+use alert_stats::units::{Joules, Seconds, Watts};
+use alert_workload::{Goal, InputStream, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// The frozen random state of one input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvRealization {
+    /// When this input arrives (fixed grid).
+    pub dispatch_time: Seconds,
+    /// Period until the next input (idle-energy accounting window).
+    pub period: Seconds,
+    /// Task-dependent per-input latency scale.
+    pub scale: f64,
+    /// Whether the co-runner is active at dispatch.
+    pub contention_active: bool,
+    /// Contention randomness primitives.
+    pub contention: ContentionDraws,
+    /// Baseline-noise randomness primitives.
+    pub noise: NoiseDraws,
+}
+
+/// A fully realized episode environment.
+#[derive(Debug, Clone)]
+pub struct EpisodeEnv {
+    platform: Platform,
+    kind: Option<ContentionKind>,
+    realizations: Vec<EnvRealization>,
+}
+
+impl EpisodeEnv {
+    /// Builds the environment for `stream` under `scenario` on `platform`.
+    ///
+    /// The arrival grid uses the goal deadline as the period (periodic
+    /// sensor input; for grouped tasks the per-word period equals the
+    /// per-word share of the sentence budget).
+    pub fn build(
+        platform: &Platform,
+        scenario: &Scenario,
+        stream: &InputStream,
+        goal: &Goal,
+        seed: u64,
+    ) -> Self {
+        let mut noise_rng = stream_rng(seed, "episode-noise");
+        let mut cont_rng = stream_rng(seed, "episode-contention");
+        let mut process = scenario.process();
+        let kind = scenario.kind();
+
+        let mut realizations = Vec::with_capacity(stream.len());
+        let mut now = Seconds::ZERO;
+        for input in stream.inputs() {
+            let period = goal.deadline;
+            let active = match process.as_mut() {
+                None => false,
+                Some((_, p)) => p.active_at(now),
+            };
+            realizations.push(EnvRealization {
+                dispatch_time: now,
+                period,
+                scale: input.scale,
+                contention_active: active,
+                contention: ContentionDraws::sample(&mut cont_rng),
+                noise: NoiseDraws::sample(&mut noise_rng),
+            });
+            now += period;
+        }
+        EpisodeEnv {
+            platform: platform.clone(),
+            kind,
+            realizations,
+        }
+    }
+
+    /// The platform this episode runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The contention kind of the scenario, if any.
+    pub fn kind(&self) -> Option<ContentionKind> {
+        self.kind
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.realizations.len()
+    }
+
+    /// `true` if the episode has no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.realizations.is_empty()
+    }
+
+    /// The frozen state of input `i`.
+    pub fn realization(&self, i: usize) -> &EnvRealization {
+        &self.realizations[i]
+    }
+
+    /// Whether the co-runner is active at input `i`'s dispatch.
+    pub fn active(&self, i: usize) -> bool {
+        self.realizations[i].contention_active
+    }
+
+    /// The idle-accounting period of input `i`.
+    pub fn period(&self, i: usize) -> Seconds {
+        self.realizations[i].period
+    }
+
+    /// The deterministic environment factor input `i` applies to `profile`
+    /// (scale × baseline noise × contention inflation).
+    pub fn env_factor(&self, i: usize, profile: &ModelProfile) -> f64 {
+        let r = &self.realizations[i];
+        let mut f = r.scale * self.platform.noise().factor_from_draws(&r.noise);
+        if r.contention_active {
+            if let Some(kind) = self.kind {
+                let sens = match kind {
+                    ContentionKind::Memory => profile.mem_intensity,
+                    ContentionKind::Compute => profile.rho,
+                };
+                f *= self
+                    .platform
+                    .contention_model(kind)
+                    .factor_from_draws(&r.contention, sens);
+            }
+        }
+        f
+    }
+
+    /// Executes input `i` with `profile` at `cap` under `stop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is infeasible for the platform (callers pick caps
+    /// from [`Platform::power_settings`]).
+    pub fn realize(
+        &self,
+        i: usize,
+        profile: &ModelProfile,
+        cap: Watts,
+        stop: StopPolicy,
+    ) -> InferenceResult {
+        let f = self.env_factor(i, profile);
+        inference::execute(profile, &self.platform, cap, f, stop)
+            .expect("cap from the platform's own settings")
+    }
+
+    /// Power drawn while input `i`'s pipeline idles at `cap`.
+    pub fn idle_draw(&self, i: usize, cap: Watts) -> Watts {
+        let kind = if self.realizations[i].contention_active {
+            self.kind
+        } else {
+            None
+        };
+        self.platform.idle_draw(cap, kind)
+    }
+
+    /// Period energy of input `i` given the chosen profile/cap and the
+    /// realized execution.
+    pub fn period_energy(
+        &self,
+        i: usize,
+        profile: &ModelProfile,
+        cap: Watts,
+        result: &InferenceResult,
+    ) -> Joules {
+        let run_p = inference::run_power(profile, &self.platform, cap);
+        let idle_p = self.idle_draw(i, cap);
+        let idle_time = Seconds((self.period(i) - result.latency).get().max(0.0));
+        run_p * result.latency + idle_p * idle_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_models::zoo::resnet50;
+    use alert_workload::TaskId;
+
+    fn setup(scenario: Scenario) -> (EpisodeEnv, InputStream) {
+        let platform = Platform::cpu2();
+        let stream = InputStream::generate(TaskId::Img2, 200, 7);
+        let goal = Goal::minimize_energy(Seconds(0.2), 0.9);
+        let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 99);
+        (env, stream)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (a, _) = setup(Scenario::memory_env(3));
+        let (b, _) = setup(Scenario::memory_env(3));
+        assert_eq!(a.realizations, b.realizations);
+    }
+
+    #[test]
+    fn default_scenario_never_active() {
+        let (env, _) = setup(Scenario::default_env());
+        for i in 0..env.len() {
+            assert!(!env.active(i));
+        }
+    }
+
+    #[test]
+    fn contention_scenario_has_phases() {
+        let (env, _) = setup(Scenario::memory_env(3));
+        let active = (0..env.len()).filter(|&i| env.active(i)).count();
+        assert!(active > 20, "active inputs: {active}");
+        assert!(active < env.len() - 20, "never-off contention");
+    }
+
+    #[test]
+    fn env_factor_reflects_contention_and_model_sensitivity() {
+        let (env, _) = setup(Scenario::memory_env(3));
+        let model = resnet50();
+        let mut mem_sensitive = model.clone();
+        mem_sensitive.mem_intensity = 0.9;
+        let mut mem_insensitive = model.clone();
+        mem_insensitive.mem_intensity = 0.1;
+        let mut sens_sum = 0.0;
+        let mut insens_sum = 0.0;
+        let mut n = 0;
+        for i in 0..env.len() {
+            if env.active(i) {
+                sens_sum += env.env_factor(i, &mem_sensitive);
+                insens_sum += env.env_factor(i, &mem_insensitive);
+                n += 1;
+            }
+        }
+        assert!(n > 0);
+        assert!(
+            sens_sum / n as f64 > insens_sum / n as f64 + 0.3,
+            "memory-bound model must suffer more"
+        );
+    }
+
+    #[test]
+    fn realize_matches_env_factor() {
+        let (env, _) = setup(Scenario::compute_env(5));
+        let m = resnet50();
+        let cap = Watts(100.0);
+        for i in [0, 50, 150] {
+            let r = env.realize(i, &m, cap, StopPolicy::RunToCompletion);
+            let expected = inference::profile_latency(&m, env.platform(), cap)
+                .unwrap()
+                .get()
+                * env.env_factor(i, &m);
+            assert!((r.latency.get() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn period_energy_includes_idle() {
+        let (env, _) = setup(Scenario::default_env());
+        let m = resnet50();
+        let cap = Watts(100.0);
+        let r = env.realize(0, &m, cap, StopPolicy::RunToCompletion);
+        let e = env.period_energy(0, &m, cap, &r);
+        let run_only = inference::run_power(&m, env.platform(), cap) * r.latency;
+        assert!(e > run_only, "idle energy must be accounted");
+    }
+
+    #[test]
+    fn counterfactuals_share_randomness() {
+        // The same input applies *correlated* conditions to two different
+        // models: the oracle property.
+        let (env, _) = setup(Scenario::memory_env(3));
+        let m1 = resnet50();
+        let mut m2 = resnet50();
+        m2.ref_latency_s *= 0.5;
+        for i in 0..20 {
+            let f1 = env.env_factor(i, &m1);
+            let f2 = env.env_factor(i, &m2);
+            // Same sensitivity → identical factor (scale & draws shared).
+            assert!((f1 - f2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The episode harness: runs one scheduler over one input stream.
+//!
+//! The harness plays the role of the paper's runtime shell around the
+//! scheduler: it computes effective deadlines (shared sentence budgets),
+//! dispatches inputs, executes the chosen configuration on the simulated
+//! platform, meters energy, measures idle power, and emits the per-input
+//! records that the Table 4 accounting consumes.
+
+use crate::budget::BudgetTracker;
+use crate::env::EpisodeEnv;
+use crate::scheduler::{Feedback, InputContext, Scheduler};
+use alert_models::ModelFamily;
+use alert_stats::units::Seconds;
+use alert_workload::{EpisodeSummary, Goal, InputRecord, InputStream};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one (scheduler, episode) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-input records, in order.
+    pub records: Vec<InputRecord>,
+    /// Aggregated summary (post-warm-up).
+    pub summary: EpisodeSummary,
+}
+
+/// Runs `scheduler` over the episode.
+///
+/// # Panics
+///
+/// Panics if the scheduler picks a model that does not fit the platform
+/// (a scheduler bug, not a runtime condition).
+pub fn run_episode(
+    scheduler: &mut dyn Scheduler,
+    env: &EpisodeEnv,
+    family: &ModelFamily,
+    stream: &InputStream,
+    goal: &Goal,
+) -> Episode {
+    let warmup = stream.warmup_len();
+    let mut budget = BudgetTracker::new();
+    let mut records = Vec::with_capacity(stream.len());
+    let mut overhead = Seconds::ZERO;
+
+    for (i, input) in stream.inputs().iter().enumerate() {
+        let deadline = budget.next_deadline(goal.deadline, input.group);
+        let ctx = InputContext {
+            index: i,
+            deadline,
+            period: env.period(i),
+            group: input.group,
+        };
+        let decision = scheduler.decide(&ctx);
+        overhead += scheduler.last_decision_cost();
+
+        let profile = &family.models()[decision.model];
+        assert!(
+            env.platform().supports_footprint(profile.footprint_gb),
+            "{}: model {} does not fit {}",
+            scheduler.name(),
+            profile.name,
+            env.platform().id()
+        );
+        let result = env.realize(i, profile, decision.cap, decision.stop);
+        let quality = result.quality_by(deadline, profile.fail_quality);
+        let energy = env.period_energy(i, profile, decision.cap, &result);
+        let idle_power = if result.latency < env.period(i) {
+            Some(env.idle_draw(i, decision.cap))
+        } else {
+            None
+        };
+
+        records.push(InputRecord {
+            index: i,
+            model: profile.name.clone(),
+            cap: decision.cap,
+            latency: result.latency,
+            deadline,
+            quality,
+            energy,
+            slowdown: result.observed_slowdown(),
+            contention_active: env.active(i),
+            warmup: i < warmup,
+        });
+
+        scheduler.observe(&Feedback {
+            index: i,
+            decision,
+            quality,
+            energy,
+            idle_power,
+            deadline,
+            result: result.clone(),
+        });
+        budget.consume(result.latency);
+    }
+
+    let mut summary = EpisodeSummary::from_records(&records, goal);
+    summary.overhead = overhead;
+    Episode {
+        scheme: scheduler.name().to_string(),
+        records,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertScheduler;
+    use crate::app_only::AppOnly;
+    use crate::oracle::{Oracle, OracleStatic};
+    use crate::sys_only::SysOnly;
+    use alert_platform::Platform;
+    use alert_stats::units::Joules;
+    use alert_workload::{Scenario, TaskId};
+    use std::sync::Arc;
+
+    struct Fixture {
+        env: Arc<EpisodeEnv>,
+        family: ModelFamily,
+        platform: Platform,
+        stream: InputStream,
+        goal: Goal,
+    }
+
+    fn fixture(goal: Goal, scenario: Scenario, n: usize) -> Fixture {
+        let platform = Platform::cpu1();
+        let family = ModelFamily::image_classification();
+        let stream = InputStream::generate(TaskId::Img2, n, 5);
+        let env = Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, &goal, 31));
+        Fixture {
+            env,
+            family,
+            platform,
+            stream,
+            goal,
+        }
+    }
+
+    #[test]
+    fn alert_runs_clean_episode_default_env() {
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.90),
+            Scenario::default_env(),
+            200,
+        );
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
+        assert_eq!(ep.records.len(), 200);
+        assert_eq!(ep.summary.measured, 180);
+        assert!(
+            ep.summary.violation_rate() < 0.05,
+            "violations: {}",
+            ep.summary.violation_rate()
+        );
+        assert!(ep.summary.avg_quality >= 0.90 - 0.01);
+    }
+
+    #[test]
+    fn alert_energy_between_oracle_and_app_only() {
+        // The headline ordering of Fig. 7 on a single setting:
+        // Oracle ≤ ALERT < App-only on energy.
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.4), 0.90),
+            Scenario::default_env(),
+            250,
+        );
+        let run = |s: &mut dyn Scheduler| {
+            run_episode(s, &f.env, &f.family, &f.stream, &f.goal)
+                .summary
+                .avg_energy
+                .get()
+        };
+        let mut alert = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut oracle = Oracle::new(f.env.clone(), f.family.clone(), f.goal);
+        let mut app = AppOnly::new(&f.family, &f.platform);
+        let e_alert = run(&mut alert);
+        let e_oracle = run(&mut oracle);
+        let e_app = run(&mut app);
+        assert!(
+            e_oracle <= e_alert * 1.02,
+            "oracle {e_oracle} vs alert {e_alert}"
+        );
+        assert!(
+            e_app > e_alert * 1.2,
+            "app-only {e_app} should waste energy vs alert {e_alert}"
+        );
+    }
+
+    #[test]
+    fn sys_only_violates_accuracy_floor() {
+        // Accuracy floor above the fastest model's quality: Sys-only is
+        // structurally unable to meet it.
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.93),
+            Scenario::default_env(),
+            150,
+        );
+        let mut sys = SysOnly::new(&f.family, &f.platform, f.goal);
+        let ep = run_episode(&mut sys, &f.env, &f.family, &f.stream, &f.goal);
+        assert!(
+            ep.summary.disqualified(),
+            "sys-only should violate the 0.93 floor with a 0.855 model"
+        );
+    }
+
+    #[test]
+    fn alert_tracks_contention_with_bounded_violations() {
+        let f = fixture(
+            Goal::minimize_error(Seconds(0.4), Joules(18.0)),
+            Scenario::memory_env(9),
+            300,
+        );
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
+        assert!(
+            ep.summary.violation_rate() <= 0.10,
+            "violation rate {} too high under contention",
+            ep.summary.violation_rate()
+        );
+    }
+
+    #[test]
+    fn oracle_static_is_a_valid_baseline() {
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.90),
+            Scenario::default_env(),
+            150,
+        );
+        let mut st = OracleStatic::new(f.env.clone(), f.family.clone(), &f.stream, f.goal);
+        let ep = run_episode(&mut st, &f.env, &f.family, &f.stream, &f.goal);
+        assert!(!ep.summary.disqualified());
+        // Static never changes its configuration.
+        let first = (&ep.records[0].model, ep.records[0].cap);
+        for r in &ep.records {
+            assert_eq!((&r.model, r.cap), first);
+        }
+    }
+
+    #[test]
+    fn grouped_episode_respects_sentence_budgets() {
+        let platform = Platform::cpu1();
+        let family = ModelFamily::sentence_prediction();
+        let stream = InputStream::generate(TaskId::Nlp1, 400, 5);
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(6.0));
+        let env = Arc::new(EpisodeEnv::build(
+            &platform,
+            &Scenario::default_env(),
+            &stream,
+            &goal,
+            31,
+        ));
+        let mut s = AlertScheduler::standard(&family, &platform, goal);
+        let ep = run_episode(&mut s, &env, &family, &stream, &goal);
+        assert_eq!(ep.records.len(), 400);
+        // Deadlines inside a sentence vary with consumption but stay
+        // positive and bounded by a generous multiple of the base.
+        for r in &ep.records {
+            assert!(r.deadline.get() > 0.0);
+            assert!(r.deadline.get() < 0.12 * 60.0);
+        }
+        assert!(
+            ep.summary.violation_rate() < 0.10,
+            "nlp violations: {}",
+            ep.summary.violation_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.90),
+            Scenario::compute_env(17),
+            120,
+        );
+        let run = || {
+            let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+            run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.cap, y.cap);
+            assert!((x.latency.get() - y.latency.get()).abs() < 1e-15);
+            assert!((x.energy.get() - y.energy.get()).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Scheduler harness for the ALERT reproduction: the ALERT adapter, every
+//! baseline scheme of paper Table 3, the episode harness, and the Table 4
+//! experiment driver.
+//!
+//! * [`scheduler`] — the per-input [`Scheduler`](scheduler::Scheduler)
+//!   interface (decide → execute → observe).
+//! * [`env`] — frozen episode environments: identical conditions for every
+//!   scheme, exact counterfactuals for the oracles.
+//! * [`budget`] — shared (sentence) deadline budgets, applied uniformly to
+//!   all schemes by the harness.
+//! * [`alert`] — ALERT wired to the simulator (+ Any/Trad/\* variants).
+//! * [`oracle`] — the per-input Oracle and the OracleStatic baseline.
+//! * [`app_only`], [`sys_only`], [`no_coord`] — the state-of-the-art
+//!   comparison points of §5.2.
+//! * [`harness`] — one (scheduler, episode) run → records + summary.
+//! * [`metrics`] — Table 4 normalization, violation superscripts,
+//!   harmonic means.
+//! * [`experiment`] — the full sweep driver with parallel settings.
+
+pub mod alert;
+pub mod app_only;
+pub mod budget;
+pub mod env;
+pub mod experiment;
+pub mod harness;
+pub mod metrics;
+pub mod no_coord;
+pub mod oracle;
+pub mod scheduler;
+pub mod sys_only;
+
+pub use alert::AlertScheduler;
+pub use app_only::AppOnly;
+pub use budget::BudgetTracker;
+pub use env::{EnvRealization, EpisodeEnv};
+pub use experiment::{
+    run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind,
+};
+pub use harness::{run_episode, Episode};
+pub use metrics::{objective_report, CellStat, ResultTable};
+pub use no_coord::NoCoord;
+pub use oracle::{Oracle, OracleStatic};
+pub use scheduler::{Decision, Feedback, InputContext, Scheduler};
+pub use sys_only::SysOnly;

@@ -1,0 +1,122 @@
+//! The scheduler interface every scheme implements.
+//!
+//! A scheduler sees exactly what a real runtime would see: the effective
+//! deadline of the next input (after shared-budget adjustment) and, after
+//! execution, the measured latency, delivered quality, idle power and
+//! energy. Everything else — the environment, the other schemes, the
+//! future — is hidden. The Oracle schemes are the deliberate exception:
+//! they are constructed *with* the frozen environment (paper §5.1 calls
+//! them impractical for exactly this reason).
+
+use alert_models::inference::{InferenceResult, StopPolicy};
+use alert_stats::units::{Joules, Seconds, Watts};
+use alert_workload::GroupPos;
+
+/// What the scheduler knows before dispatching one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputContext {
+    /// Input index within the episode.
+    pub index: usize,
+    /// Effective deadline for this input (shared-budget adjusted).
+    pub deadline: Seconds,
+    /// The idle-accounting period (equals the goal deadline).
+    pub period: Seconds,
+    /// Group (sentence) position, if the task is grouped.
+    pub group: Option<GroupPos>,
+}
+
+/// What the scheduler decided for one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Index of the model in the episode's family.
+    pub model: usize,
+    /// Power cap to program.
+    pub cap: Watts,
+    /// Execution stop policy.
+    pub stop: StopPolicy,
+}
+
+/// What the scheduler learns after one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feedback {
+    /// Input index.
+    pub index: usize,
+    /// The decision that was executed.
+    pub decision: Decision,
+    /// The execution outcome (latency, stages, slowdown denominator).
+    pub result: InferenceResult,
+    /// Quality score of the delivered answer.
+    pub quality: f64,
+    /// Measured period energy.
+    pub energy: Joules,
+    /// Idle power measured while waiting, if an idle interval existed.
+    pub idle_power: Option<Watts>,
+    /// The deadline that was in force.
+    pub deadline: Seconds,
+}
+
+/// A per-input scheduling policy.
+pub trait Scheduler {
+    /// Scheme name for reporting (Table 3/4 row labels).
+    fn name(&self) -> &str;
+
+    /// Picks the configuration for the next input.
+    fn decide(&mut self, ctx: &InputContext) -> Decision;
+
+    /// Consumes the measurements of the input just processed.
+    fn observe(&mut self, feedback: &Feedback);
+
+    /// Wall-clock cost of the most recent decision, when the scheme
+    /// tracks it (ALERT does, §4).
+    fn last_decision_cost(&self) -> Seconds {
+        Seconds::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial scheduler used by harness tests: fixed model and cap.
+    pub struct FixedScheduler {
+        pub model: usize,
+        pub cap: Watts,
+        pub observed: usize,
+    }
+
+    impl Scheduler for FixedScheduler {
+        fn name(&self) -> &str {
+            "Fixed"
+        }
+
+        fn decide(&mut self, _ctx: &InputContext) -> Decision {
+            Decision {
+                model: self.model,
+                cap: self.cap,
+                stop: StopPolicy::RunToCompletion,
+            }
+        }
+
+        fn observe(&mut self, _feedback: &Feedback) {
+            self.observed += 1;
+        }
+    }
+
+    #[test]
+    fn trait_object_works() {
+        let mut s: Box<dyn Scheduler> = Box::new(FixedScheduler {
+            model: 0,
+            cap: Watts(50.0),
+            observed: 0,
+        });
+        let d = s.decide(&InputContext {
+            index: 0,
+            deadline: Seconds(0.1),
+            period: Seconds(0.1),
+            group: None,
+        });
+        assert_eq!(d.model, 0);
+        assert_eq!(s.name(), "Fixed");
+        assert_eq!(s.last_decision_cost(), Seconds::ZERO);
+    }
+}

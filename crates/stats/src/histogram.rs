@@ -1,0 +1,234 @@
+//! Fixed-bin histograms with density normalization.
+//!
+//! Used to regenerate paper Fig. 11: the empirical distribution of the
+//! observed global slowdown factor ξ, overlaid with the Gaussian the Kalman
+//! filter assumes.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equally sized bins.
+///
+/// Values below `lo` or at/above `hi` are counted in underflow/overflow
+/// buckets so that no observation is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use alert_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 4.0, 9.9, -3.0, 11.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts(), &[2, 0, 1, 0, 1]);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal bins over `[lo, hi)`.
+    ///
+    /// Returns `None` if the range is empty/invalid or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi || bins == 0 {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Creates a histogram sized to cover `xs` with `bins` bins, with a
+    /// small margin so the max lands inside the last bin.
+    ///
+    /// Returns `None` when `xs` has no finite values or `bins == 0`.
+    pub fn covering(xs: &[f64], bins: usize) -> Option<Self> {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        let span = (hi - lo).max(1e-12);
+        let mut h = Histogram::new(lo, hi + span * 1e-9, bins)?;
+        for &x in &finite {
+            h.add(x);
+        }
+        Some(h)
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Guard against floating-point edge landing one past the end.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Per-bin relative frequency (fraction of in-range observations), the
+    /// y-axis used by paper Fig. 11.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
+    }
+
+    /// Per-bin probability density (frequency divided by bin width), so the
+    /// histogram integrates to one and can be overlaid on a PDF.
+    pub fn densities(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        self.frequencies().iter().map(|f| f / w).collect()
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(0.0);
+        h.add(0.24);
+        h.add(0.25);
+        h.add(0.5);
+        h.add(0.99);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+        for i in 0..100 {
+            h.add((i as f64 * 0.097) % 10.0);
+        }
+        let s: f64 = h.frequencies().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let mut h = Histogram::new(-2.0, 2.0, 16).unwrap();
+        for i in 0..1000 {
+            h.add(-2.0 + 4.0 * (i as f64 / 1000.0));
+        }
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covering_includes_extremes() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        let h = Histogram::covering(&xs, 5).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn covering_rejects_empty() {
+        assert!(Histogram::covering(&[], 5).is_none());
+        assert!(Histogram::covering(&[f64::NAN], 5).is_none());
+    }
+
+    #[test]
+    fn bin_centers_are_monotone() {
+        let h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for i in 1..10 {
+            assert!(h.bin_center(i) > h.bin_center(i - 1));
+        }
+        assert!((h.bin_center(0) - 0.05).abs() < 1e-12);
+    }
+}

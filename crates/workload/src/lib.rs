@@ -1,0 +1,29 @@
+//! Workload substrate for the ALERT reproduction: tasks, input streams,
+//! constraint grids, environment scenarios, and per-input records.
+//!
+//! * [`task`] — the paper's four tasks (IMG1/IMG2/NLP1/NLP2, Table 2) and
+//!   their per-input variability: images vary little, sentence prediction
+//!   varies a lot with sentence length (paper Fig. 4).
+//! * [`stream`] — input streams: periodic image feeds and word streams
+//!   grouped into sentences that *share* a deadline (paper §3.2 step 2).
+//! * [`constraints`] — goals (minimize energy / minimize error with the
+//!   complementary constraints) and the 35-setting constraint grids used
+//!   for every Table 4 cell (Table 3 ranges).
+//! * [`scenario`] — the three run-time environments: Default, Memory
+//!   (STREAM-like co-runner), Compute (Bodytrack-like co-runner), plus the
+//!   scripted contention window of Fig. 9.
+//! * [`record`] — per-input records and episode summaries with the
+//!   paper's violation accounting (>10% of inputs in violation disqualifies
+//!   a setting).
+
+pub mod constraints;
+pub mod record;
+pub mod scenario;
+pub mod stream;
+pub mod task;
+
+pub use constraints::{constraint_grid, Goal, Objective};
+pub use record::{EpisodeSummary, InputRecord};
+pub use scenario::Scenario;
+pub use stream::{GroupPos, InputSpec, InputStream};
+pub use task::TaskId;

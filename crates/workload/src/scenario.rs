@@ -1,0 +1,140 @@
+//! Run-time environment scenarios.
+//!
+//! Paper Table 3 evaluates each scheme in three environments: "Default"
+//! (no co-runner), "Memory" (a memory-hungry co-runner that repeatedly
+//! stops and starts), and "Compute" (likewise, compute-hungry). Fig. 9
+//! additionally uses a single scripted contention window so the reaction
+//! of the controller can be inspected input by input.
+
+use alert_platform::contention::{ContentionKind, ContentionProcess, PhaseSchedule};
+use alert_stats::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A named environment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    name: String,
+    contention: Option<(ContentionKind, PhaseSchedule)>,
+}
+
+impl Scenario {
+    /// The "Default" environment: the inference task runs alone.
+    pub fn default_env() -> Self {
+        Scenario {
+            name: "Default".to_string(),
+            contention: None,
+        }
+    }
+
+    /// The "Memory" environment: a STREAM-like co-runner with random
+    /// on/off phases (paper Table 3; phase lengths match the Fig. 9
+    /// scale of tens of inputs per phase).
+    pub fn memory_env(seed: u64) -> Self {
+        Scenario {
+            name: "Memory".to_string(),
+            contention: Some((
+                ContentionKind::Memory,
+                PhaseSchedule::Random {
+                    on: (Seconds(8.0), Seconds(20.0)),
+                    off: (Seconds(6.0), Seconds(16.0)),
+                    seed,
+                },
+            )),
+        }
+    }
+
+    /// The "Compute" environment: a Bodytrack-like co-runner with random
+    /// on/off phases.
+    pub fn compute_env(seed: u64) -> Self {
+        Scenario {
+            name: "Compute".to_string(),
+            contention: Some((
+                ContentionKind::Compute,
+                PhaseSchedule::Random {
+                    on: (Seconds(8.0), Seconds(20.0)),
+                    off: (Seconds(6.0), Seconds(16.0)),
+                    seed,
+                },
+            )),
+        }
+    }
+
+    /// The Fig. 9 scenario: one scripted memory-contention window
+    /// (`[start, end)` in seconds of episode time).
+    pub fn scripted_memory_window(start: Seconds, end: Seconds) -> Self {
+        Scenario {
+            name: "ScriptedMemory".to_string(),
+            contention: Some((
+                ContentionKind::Memory,
+                PhaseSchedule::Windows(vec![(start, end)]),
+            )),
+        }
+    }
+
+    /// All three Table 3 environments, seeded.
+    pub fn table3(seed: u64) -> Vec<Scenario> {
+        vec![
+            Scenario::default_env(),
+            Scenario::compute_env(seed),
+            Scenario::memory_env(seed.wrapping_add(1)),
+        ]
+    }
+
+    /// Scenario name ("Default" / "Compute" / "Memory" / …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The contention kind, if any.
+    pub fn kind(&self) -> Option<ContentionKind> {
+        self.contention.as_ref().map(|(k, _)| *k)
+    }
+
+    /// Instantiates the phase process for one episode run.
+    pub fn process(&self) -> Option<(ContentionKind, ContentionProcess)> {
+        self.contention
+            .as_ref()
+            .map(|(k, s)| (*k, ContentionProcess::new(s.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_no_contention() {
+        let s = Scenario::default_env();
+        assert!(s.kind().is_none());
+        assert!(s.process().is_none());
+        assert_eq!(s.name(), "Default");
+    }
+
+    #[test]
+    fn table3_composition() {
+        let envs = Scenario::table3(1);
+        assert_eq!(envs.len(), 3);
+        assert_eq!(envs[0].name(), "Default");
+        assert_eq!(envs[1].name(), "Compute");
+        assert_eq!(envs[2].name(), "Memory");
+        assert_eq!(envs[1].kind(), Some(ContentionKind::Compute));
+        assert_eq!(envs[2].kind(), Some(ContentionKind::Memory));
+    }
+
+    #[test]
+    fn scripted_window_activates_exactly_there() {
+        let s = Scenario::scripted_memory_window(Seconds(2.0), Seconds(5.0));
+        let (_, mut p) = s.process().unwrap();
+        assert!(!p.active_at(Seconds(1.0)));
+        assert!(p.active_at(Seconds(2.0)));
+        assert!(p.active_at(Seconds(4.9)));
+        assert!(!p.active_at(Seconds(5.0)));
+    }
+
+    #[test]
+    fn random_envs_differ_by_seed() {
+        let a = Scenario::memory_env(1);
+        let b = Scenario::memory_env(2);
+        assert_ne!(a, b);
+    }
+}

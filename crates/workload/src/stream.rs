@@ -1,0 +1,184 @@
+//! Input streams.
+//!
+//! An [`InputStream`] is a pre-sampled sequence of [`InputSpec`]s — the
+//! per-input latency scale factors and (for NLP1) the word→sentence
+//! grouping. Streams are fully materialized up front from a seed, so
+//! every scheme in a comparison processes *bit-identical* inputs, and the
+//! oracle can look ahead.
+//!
+//! Following the paper's methodology (§2.2), the first tenth of every
+//! stream is warm-up and excluded from metrics.
+
+use crate::task::{task_rng, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Position of an input inside its group (sentence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupPos {
+    /// Index of the group (sentence) in the stream.
+    pub group_idx: usize,
+    /// Index of this input within the group.
+    pub member_idx: usize,
+    /// Total members in the group.
+    pub group_len: usize,
+}
+
+impl GroupPos {
+    /// `true` for the final member of the group.
+    pub fn is_last(&self) -> bool {
+        self.member_idx + 1 == self.group_len
+    }
+}
+
+/// One input: its latency scale factor and optional grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Multiplies the model's profiled latency for this input.
+    pub scale: f64,
+    /// Sentence grouping (NLP1), or `None` for independent inputs.
+    pub group: Option<GroupPos>,
+}
+
+/// A pre-sampled input stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputStream {
+    task: TaskId,
+    seed: u64,
+    inputs: Vec<InputSpec>,
+}
+
+impl InputStream {
+    /// Generates a stream of `n` inputs for `task` from `seed`.
+    ///
+    /// For grouped tasks (NLP1), `n` counts *words*; the final sentence is
+    /// truncated to fit and its `group_len` reflects the truncation, so
+    /// invariants hold at the stream tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(task: TaskId, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "empty stream");
+        let mut rng = task_rng(task, seed);
+        let mut inputs = Vec::with_capacity(n);
+        if task.grouped() {
+            let mut group_idx = 0;
+            while inputs.len() < n {
+                let want = task.sample_group_len(&mut rng);
+                let len = want.min(n - inputs.len());
+                for member_idx in 0..len {
+                    inputs.push(InputSpec {
+                        scale: task.sample_scale(&mut rng),
+                        group: Some(GroupPos {
+                            group_idx,
+                            member_idx,
+                            group_len: len,
+                        }),
+                    });
+                }
+                group_idx += 1;
+            }
+        } else {
+            for _ in 0..n {
+                inputs.push(InputSpec {
+                    scale: task.sample_scale(&mut rng),
+                    group: None,
+                });
+            }
+        }
+        InputStream { task, seed, inputs }
+    }
+
+    /// The task this stream belongs to.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The generating seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The inputs in order.
+    pub fn inputs(&self) -> &[InputSpec] {
+        &self.inputs
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` when empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Index of the first measured (non-warm-up) input: 1/10 of the stream
+    /// is warm-up, per paper §2.2.
+    pub fn warmup_len(&self) -> usize {
+        self.inputs.len() / 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungrouped_stream_basics() {
+        let s = InputStream::generate(TaskId::Img2, 500, 42);
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.warmup_len(), 50);
+        assert!(s.inputs().iter().all(|i| i.group.is_none()));
+        assert!(s.inputs().iter().all(|i| i.scale > 0.0));
+    }
+
+    #[test]
+    fn grouped_stream_has_consistent_groups() {
+        let s = InputStream::generate(TaskId::Nlp1, 1000, 42);
+        assert_eq!(s.len(), 1000);
+        let mut expected_group = 0;
+        let mut expected_member = 0;
+        for i in s.inputs() {
+            let g = i.group.expect("nlp1 inputs are grouped");
+            assert_eq!(g.group_idx, expected_group);
+            assert_eq!(g.member_idx, expected_member);
+            assert!(g.member_idx < g.group_len);
+            if g.is_last() {
+                expected_group += 1;
+                expected_member = 0;
+            } else {
+                expected_member += 1;
+            }
+        }
+        // Stream ends exactly at a group boundary (truncated final group).
+        let last = s.inputs().last().unwrap().group.unwrap();
+        assert!(last.is_last());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = InputStream::generate(TaskId::Nlp1, 300, 9);
+        let b = InputStream::generate(TaskId::Nlp1, 300, 9);
+        assert_eq!(a, b);
+        let c = InputStream::generate(TaskId::Nlp1, 300, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn rejects_empty() {
+        let _ = InputStream::generate(TaskId::Img1, 0, 1);
+    }
+
+    #[test]
+    fn truncated_final_group_len_is_reachable() {
+        // Tiny stream: one sentence truncated to 5 words.
+        let s = InputStream::generate(TaskId::Nlp1, 5, 3);
+        for i in s.inputs() {
+            let g = i.group.unwrap();
+            assert!(g.group_len <= 5);
+        }
+    }
+}

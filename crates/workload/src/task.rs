@@ -1,0 +1,173 @@
+//! The paper's inference tasks and their input variability.
+//!
+//! Paper Table 2: IMG1 (VGG16), IMG2 (ResNet50) on ImageNet; NLP1
+//! (RNN sentence prediction on Penn Treebank); NLP2 (BERT question
+//! answering on SQuAD). The controller never sees inputs — only their
+//! effect on latency — so a task here is a *distribution of per-input
+//! latency scale factors* plus, for NLP1, the grouping of words into
+//! sentences.
+//!
+//! The variance structure follows paper Fig. 4: image classification and
+//! BERT vary mildly across inputs; NLP1's large variance "is mainly caused
+//! by different input lengths" (word latency varies with context length).
+
+use alert_models::zoo;
+use alert_models::ModelProfile;
+use alert_stats::rng::{sample_lognormal, sample_truncated_normal, stream_rng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an evaluation task (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskId {
+    /// Image classification with VGG16.
+    Img1,
+    /// Image classification with ResNet50.
+    Img2,
+    /// Sentence prediction with a word-level RNN (Penn Treebank).
+    Nlp1,
+    /// Question answering with BERT (SQuAD).
+    Nlp2,
+}
+
+impl TaskId {
+    /// All tasks in Table 2 order.
+    pub const ALL: [TaskId; 4] = [TaskId::Img1, TaskId::Img2, TaskId::Nlp1, TaskId::Nlp2];
+
+    /// The task's reference model.
+    pub fn reference_model(&self) -> ModelProfile {
+        match self {
+            TaskId::Img1 => zoo::vgg16(),
+            TaskId::Img2 => zoo::resnet50(),
+            TaskId::Nlp1 => zoo::rnn_ptb(),
+            TaskId::Nlp2 => zoo::bert_base(),
+        }
+    }
+
+    /// Whether inputs arrive grouped (words into sentences) and share a
+    /// deadline.
+    pub fn grouped(&self) -> bool {
+        matches!(self, TaskId::Nlp1)
+    }
+
+    /// Samples one per-input latency scale factor.
+    pub fn sample_scale<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            // Images: tight truncated normal — inference cost is nearly
+            // input-independent.
+            TaskId::Img1 | TaskId::Img2 => {
+                sample_truncated_normal(rng, 1.0, 0.04, 0.85, 1.5)
+            }
+            // Word-level RNN: moderate per-word spread (context length).
+            TaskId::Nlp1 => sample_lognormal(rng, 0.0, 0.18).clamp(0.5, 3.5),
+            // BERT: passage length varies; wider than images, narrower
+            // than NLP1 word streams aggregated at sentence level.
+            TaskId::Nlp2 => sample_lognormal(rng, 0.0, 0.25).clamp(0.4, 4.0),
+        }
+    }
+
+    /// Samples a sentence length in words (NLP1 only; others return 1).
+    pub fn sample_group_len<R: Rng>(&self, rng: &mut R) -> usize {
+        if !self.grouped() {
+            return 1;
+        }
+        // Penn Treebank sentences: mean ≈ 21 words, long tail, clamped.
+        let len = sample_lognormal(rng, 2.95, 0.45);
+        (len.round() as usize).clamp(3, 60)
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskId::Img1 => write!(f, "IMG1"),
+            TaskId::Img2 => write!(f, "IMG2"),
+            TaskId::Nlp1 => write!(f, "NLP1"),
+            TaskId::Nlp2 => write!(f, "NLP2"),
+        }
+    }
+}
+
+/// Convenience: a seeded RNG for a task's input stream.
+pub fn task_rng(task: TaskId, seed: u64) -> rand::rngs::StdRng {
+    stream_rng(seed, &format!("task-{task}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_stats::summary::Welford;
+
+    #[test]
+    fn reference_models_match_table2() {
+        assert_eq!(TaskId::Img1.reference_model().name, "vgg_16");
+        assert_eq!(TaskId::Img2.reference_model().name, "resnet_v1_50");
+        assert_eq!(TaskId::Nlp1.reference_model().name, "rnn_ptb_w1024");
+        assert_eq!(TaskId::Nlp2.reference_model().name, "bert_base_squad");
+    }
+
+    #[test]
+    fn only_nlp1_is_grouped() {
+        assert!(TaskId::Nlp1.grouped());
+        for t in [TaskId::Img1, TaskId::Img2, TaskId::Nlp2] {
+            assert!(!t.grouped());
+            let mut rng = task_rng(t, 1);
+            assert_eq!(t.sample_group_len(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn image_variance_is_small_nlp_large() {
+        // Paper Fig. 4: "the inference variation among inputs is
+        // relatively small ... except for NLP1".
+        let cv = |t: TaskId| {
+            let mut rng = task_rng(t, 7);
+            let mut w = Welford::new();
+            for _ in 0..20_000 {
+                w.push(t.sample_scale(&mut rng));
+            }
+            w.std_dev() / w.mean()
+        };
+        let img = cv(TaskId::Img2);
+        let nlp = cv(TaskId::Nlp1);
+        let qa = cv(TaskId::Nlp2);
+        assert!(img < 0.06, "image cv = {img}");
+        assert!(nlp > 0.12, "nlp cv = {nlp}");
+        assert!(qa > img && qa < 0.35, "qa cv = {qa}");
+    }
+
+    #[test]
+    fn scales_are_bounded_and_positive() {
+        for t in TaskId::ALL {
+            let mut rng = task_rng(t, 3);
+            for _ in 0..5000 {
+                let s = t.sample_scale(&mut rng);
+                assert!(s > 0.0 && s < 5.0, "{t}: scale {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_lengths_plausible() {
+        let mut rng = task_rng(TaskId::Nlp1, 11);
+        let mut w = Welford::new();
+        for _ in 0..5000 {
+            let l = TaskId::Nlp1.sample_group_len(&mut rng);
+            assert!((3..=60).contains(&l));
+            w.push(l as f64);
+        }
+        assert!(w.mean() > 12.0 && w.mean() < 30.0, "mean len = {}", w.mean());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = task_rng(TaskId::Img1, seed);
+            (0..16)
+                .map(|_| TaskId::Img1.sample_scale(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -1,0 +1,142 @@
+//! A motion-tracking camera pipeline (the paper's §1 motivating example).
+//!
+//! Frames arrive at a fixed rate; each must be classified before the next
+//! one lands (deadline = camera period). The pipeline's accuracy
+//! requirement changes at runtime — when the scene is flagged "critical"
+//! the accuracy floor rises from 88% to 94% and the energy objective takes
+//! the back seat (paper §1: "the power budget and the accuracy requirement
+//! ... may switch among different settings depending on what type of
+//! events are currently sensed").
+//!
+//! This example shows dynamic *goal* changes on top of environment
+//! changes: a compute-hungry co-runner occupies the middle third of the
+//! episode.
+//!
+//! Run with: `cargo run --release --example camera_pipeline`
+
+use alert::models::ModelFamily;
+use alert::platform::Platform;
+use alert::sched::{AlertScheduler, EpisodeEnv, Feedback, InputContext, Scheduler};
+use alert::stats::units::Seconds;
+use alert::workload::{Goal, InputStream, Scenario, TaskId};
+
+fn main() {
+    let platform = Platform::cpu2();
+    let family = ModelFamily::image_classification();
+    let n = 600;
+    let fps_period = Seconds(0.250);
+
+    let relaxed = Goal::minimize_energy(fps_period, 0.88);
+    let critical = Goal::minimize_energy(fps_period, 0.94);
+
+    let stream = InputStream::generate(TaskId::Img2, n, 1234);
+    let scenario = Scenario::scripted_memory_window(fps_period * 200.0, fps_period * 400.0);
+    let env = EpisodeEnv::build(&platform, &scenario, &stream, &relaxed, 1234);
+
+    // Drive the scheduler manually so the goal can flip mid-stream:
+    // "critical" phase covers inputs 300..450 (overlapping the
+    // contention window 200..400 — the hardest combination).
+    let mut alert = AlertScheduler::standard(&family, &platform, relaxed);
+    let mut switches = 0usize;
+    let mut last_model = String::new();
+    let mut phase_stats: Vec<(String, f64, f64, usize)> = Vec::new();
+    let mut acc_sum = 0.0;
+    let mut energy_sum = 0.0;
+    let mut count = 0usize;
+    let mut violations = 0usize;
+
+    let phase_of = |i: usize| -> (&'static str, Goal) {
+        if (300..450).contains(&i) {
+            ("critical", critical)
+        } else {
+            ("relaxed", relaxed)
+        }
+    };
+
+    let mut current_phase = "relaxed";
+    for i in 0..n {
+        let (phase, goal) = phase_of(i);
+        if phase != current_phase {
+            phase_stats.push((
+                current_phase.to_string(),
+                acc_sum / count.max(1) as f64,
+                energy_sum / count.max(1) as f64,
+                violations,
+            ));
+            acc_sum = 0.0;
+            energy_sum = 0.0;
+            count = 0;
+            violations = 0;
+            current_phase = phase;
+        }
+        // NOTE: a production wrapper would rebuild goals rarely; ALERT
+        // itself accepts a fresh goal every input (paper §3.1: "the
+        // required constraints" may change dynamically).
+        let ctx = InputContext {
+            index: i,
+            deadline: goal.deadline,
+            period: env.period(i),
+            group: None,
+        };
+        // Rebuild the scheduler's goal by re-wrapping: AlertScheduler is
+        // constructed per goal; for dynamic goals we pass the deadline via
+        // ctx and emulate the floor switch by selecting between two
+        // schedulers sharing one belief. Simpler here: rebuild when the
+        // phase flips (cheap: the table is reused internally).
+        if count == 0 {
+            let mut fresh = AlertScheduler::standard(&family, &platform, goal);
+            std::mem::swap(&mut alert, &mut fresh);
+            // Carry the learned slowdown belief across the swap by
+            // replaying a few observations would be ideal; the controller
+            // re-learns within ~3 inputs (paper Fig. 9), which is visible
+            // in the per-phase violation counts below.
+        }
+
+        let d = alert.decide(&ctx);
+        let profile = &family.models()[d.model];
+        let result = env.realize(i, profile, d.cap, d.stop);
+        let quality = result.quality_by(ctx.deadline, profile.fail_quality);
+        let energy = env.period_energy(i, profile, d.cap, &result);
+        if profile.name != last_model {
+            switches += 1;
+            last_model = profile.name.clone();
+        }
+        let idle_power = (result.latency < env.period(i)).then(|| env.idle_draw(i, d.cap));
+        alert.observe(&Feedback {
+            index: i,
+            decision: d,
+            result: result.clone(),
+            quality,
+            energy,
+            idle_power,
+            deadline: ctx.deadline,
+        });
+        acc_sum += quality;
+        energy_sum += energy.get();
+        count += 1;
+        if result.latency > ctx.deadline || quality < goal.min_quality.unwrap() {
+            violations += 1;
+        }
+    }
+    phase_stats.push((
+        current_phase.to_string(),
+        acc_sum / count.max(1) as f64,
+        energy_sum / count.max(1) as f64,
+        violations,
+    ));
+
+    println!("camera pipeline: {n} frames @ {fps_period} period, contention frames 200-400,");
+    println!("accuracy floor 88% -> 94% (frames 300-450) -> 88%\n");
+    println!("{:<10} {:>12} {:>12} {:>11}", "phase", "avg acc %", "avg J/frame", "violations");
+    for (phase, acc, e, v) in &phase_stats {
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>11}",
+            phase,
+            acc * 100.0,
+            e,
+            v
+        );
+    }
+    println!("\nmodel switches across the episode: {switches}");
+    println!("(ALERT raises model size / power for the critical phase, then relaxes.)");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run ALERT end to end in ~40 lines.
+//!
+//! Builds the paper's image-classification candidate family (Sparse
+//! ResNets + a Depth-Nest anytime network) on the simulated laptop
+//! platform, asks ALERT to minimize energy under a latency deadline and an
+//! accuracy floor, and prints what it achieved against the App-only
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use alert::models::ModelFamily;
+use alert::platform::Platform;
+use alert::sched::{run_episode, AlertScheduler, AppOnly, EpisodeEnv};
+use alert::stats::units::Seconds;
+use alert::workload::{Goal, InputStream, Scenario, TaskId};
+
+fn main() {
+    // 1. Pick a platform and a DNN candidate family.
+    let platform = Platform::cpu1();
+    let family = ModelFamily::image_classification();
+
+    // 2. State the goal: minimize energy, hold 90% top-5 accuracy, meet a
+    //    300 ms deadline per frame.
+    let goal = Goal::minimize_energy(Seconds(0.300), 0.90);
+
+    // 3. A stream of 500 camera frames, with a memory-hungry co-runner
+    //    that starts and stops (the paper's "Memory" environment).
+    let stream = InputStream::generate(TaskId::Img2, 500, 42);
+    let scenario = Scenario::memory_env(7);
+    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 42);
+
+    // 4. Run ALERT and the App-only baseline on identical conditions.
+    let mut alert = AlertScheduler::standard(&family, &platform, goal);
+    let ep = run_episode(&mut alert, &env, &family, &stream, &goal);
+    let mut app_only = AppOnly::new(&family, &platform);
+    let ep_app = run_episode(&mut app_only, &env, &family, &stream, &goal);
+
+    // 5. Compare.
+    for e in [&ep, &ep_app] {
+        println!(
+            "{:<10} avg energy {:>6.2} J | avg top-5 acc {:>5.2}% | deadline misses {:>4.1}% | violations {:>4.1}%",
+            e.scheme,
+            e.summary.avg_energy.get(),
+            e.summary.avg_quality * 100.0,
+            e.summary.deadline_miss_rate * 100.0,
+            e.summary.violation_rate() * 100.0,
+        );
+    }
+    let saved = 100.0 * (1.0 - ep.summary.avg_energy / ep_app.summary.avg_energy);
+    println!("\nALERT saved {saved:.0}% energy at the same accuracy floor.");
+    println!(
+        "Final slowdown belief: ξ = {:.3} (σ = {:.3}) after {} inputs.",
+        alert.controller().slowdown().mean(),
+        alert.controller().slowdown().std_dev(),
+        alert.controller().decisions(),
+    );
+}

@@ -1,0 +1,31 @@
+//! # ALERT — Accurate Learning for Energy and Timeliness
+//!
+//! A full Rust reproduction of *ALERT: Accurate Learning for Energy and
+//! Timeliness* (Wan et al., USENIX ATC 2020): a runtime scheduler that
+//! jointly selects a DNN model and a system power setting for every
+//! inference input, meeting two of {latency, accuracy, energy} as
+//! constraints while optimizing the third.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`stats`] — normal distribution, Kalman filters, summaries.
+//! * [`platform`] — simulated hardware: power capping, DVFS, contention.
+//! * [`models`] — the DNN model zoo and inference simulator.
+//! * [`workload`] — tasks, input streams, constraint grids, scenarios.
+//! * [`core`] — the ALERT controller itself (paper Eqs. 1–13).
+//! * [`sched`] — baselines, oracles, the experiment harness.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use alert_core as core;
+pub use alert_models as models;
+pub use alert_platform as platform;
+pub use alert_sched as sched;
+pub use alert_stats as stats;
+pub use alert_workload as workload;
+
+/// A convenience prelude importing the most common types.
+pub mod prelude {
+    pub use alert_stats::units::{Joules, Seconds, Watts};
+}
