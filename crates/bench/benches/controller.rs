@@ -58,9 +58,7 @@ fn bench_observe(c: &mut Criterion) {
         idle_power: Some(Watts(6.0)),
         idle_cap: Watts(45.0),
     };
-    c.bench_function("alert_observe", |b| {
-        b.iter(|| ctl.observe(black_box(&obs)))
-    });
+    c.bench_function("alert_observe", |b| b.iter(|| ctl.observe(black_box(&obs))));
 }
 
 fn bench_full_cycle(c: &mut Criterion) {

@@ -50,10 +50,22 @@ fn bench_expected_quality(c: &mut Criterion) {
     let model = CandidateModel::anytime(
         "any",
         vec![
-            StagePoint { frac: 0.18, quality: 0.858 },
-            StagePoint { frac: 0.35, quality: 0.904 },
-            StagePoint { frac: 0.62, quality: 0.932 },
-            StagePoint { frac: 1.00, quality: 0.948 },
+            StagePoint {
+                frac: 0.18,
+                quality: 0.858,
+            },
+            StagePoint {
+                frac: 0.35,
+                quality: 0.904,
+            },
+            StagePoint {
+                frac: 0.62,
+                quality: 0.932,
+            },
+            StagePoint {
+                frac: 1.00,
+                quality: 0.948,
+            },
         ],
         0.005,
     );

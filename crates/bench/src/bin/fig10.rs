@@ -62,14 +62,8 @@ fn main() {
                     } else {
                         AlertParams::default()
                     };
-                    let mut s = AlertScheduler::new(
-                        scheme_label,
-                        &family,
-                        set,
-                        &platform,
-                        *goal,
-                        params,
-                    );
+                    let mut s =
+                        AlertScheduler::new(scheme_label, &family, set, &platform, *goal, params);
                     let ep = run_episode(&mut s, &env, &family, &stream, goal);
                     // Perplexity = -quality score.
                     ppls.push(-ep.summary.avg_quality);

@@ -42,9 +42,7 @@ fn main() {
         let xs: Vec<f64> = ep
             .records
             .iter()
-            .filter(|r| {
-                scenario.name() == "Default" || r.contention_active
-            })
+            .filter(|r| scenario.name() == "Default" || r.contention_active)
             .filter_map(|r| r.slowdown)
             .collect();
 

@@ -87,8 +87,6 @@ fn main() {
         rows.len()
     );
     let vgg = rows.iter().find(|r| r.0 == "vgg_16").expect("vgg in zoo");
-    let dominated = rows
-        .iter()
-        .any(|r| r.1 < vgg.1 && r.2 < vgg.2);
+    let dominated = rows.iter().any(|r| r.1 < vgg.1 && r.2 < vgg.2);
     println!("  vgg_16 dominated (paper: yes): {dominated}");
 }

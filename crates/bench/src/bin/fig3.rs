@@ -22,9 +22,7 @@ fn main() {
     );
     let platform = Platform::cpu2();
     let model = resnet50();
-    let caps: Vec<Watts> = platform
-        .cap_range()
-        .settings_with_step(Watts(2.0));
+    let caps: Vec<Watts> = platform.cap_range().settings_with_step(Watts(2.0));
     assert_eq!(caps.len(), 31, "paper uses 31 settings");
 
     let latency_at = |cap: Watts| -> Seconds {
@@ -54,9 +52,20 @@ fn main() {
     let span = rows[0].1.get() / rows.last().unwrap().1.get();
     println!("\nshape checks (paper: >2x latency span, min@40W, max mid-range ~1.3x):");
     println!("  latency span 40W/100W : {}x", f(span, 2));
-    println!("  least energy at       : {} ({} J)", min_cap, f(e_min.get(), 2));
-    println!("  most  energy at       : {} ({} J)", max_cap, f(e_max.get(), 2));
-    println!("  max/min energy ratio  : {}x", f(e_max.get() / e_min.get(), 2));
+    println!(
+        "  least energy at       : {} ({} J)",
+        min_cap,
+        f(e_min.get(), 2)
+    );
+    println!(
+        "  most  energy at       : {} ({} J)",
+        max_cap,
+        f(e_max.get(), 2)
+    );
+    println!(
+        "  max/min energy ratio  : {}x",
+        f(e_max.get() / e_min.get(), 2)
+    );
     let interior = max_cap.get() > 45.0 && max_cap.get() < 95.0;
     println!("  energy max is interior (non-monotone curve): {interior}");
 }

@@ -70,7 +70,10 @@ fn main() {
         v.sqrt() / m
     };
     println!("  IMG2 cv on CPU1: {} (small)", f(cv(&img), 3));
-    println!("  NLP1 cv on CPU1: {} (large, input-length driven)", f(cv(&nlp), 3));
+    println!(
+        "  NLP1 cv on CPU1: {} (large, input-length driven)",
+        f(cv(&nlp), 3)
+    );
     let emb = Platform::embedded();
     println!(
         "  Embedded runs NLP1 only: {}",

@@ -12,12 +12,7 @@ use alert_stats::rng::stream_rng;
 use alert_stats::summary::five_number;
 use alert_workload::TaskId;
 
-fn contended_latencies(
-    task: TaskId,
-    platform: &Platform,
-    n: usize,
-    seed: u64,
-) -> Option<Vec<f64>> {
+fn contended_latencies(task: TaskId, platform: &Platform, n: usize, seed: u64) -> Option<Vec<f64>> {
     let model = task.reference_model();
     if !platform.supports_footprint(model.footprint_gb) {
         return None;
@@ -80,8 +75,16 @@ fn main() {
     let contended = contended_latencies(TaskId::Img2, &platform, 3000, 2020).unwrap();
     let q = five_number(&quiet).unwrap();
     let c = five_number(&contended).unwrap();
-    println!("  quiet    : median {} s, p90 {} s", f(q.p50, 4), f(q.p90, 4));
-    println!("  contended: median {} s, p90 {} s", f(c.p50, 4), f(c.p90, 4));
+    println!(
+        "  quiet    : median {} s, p90 {} s",
+        f(q.p50, 4),
+        f(q.p90, 4)
+    );
+    println!(
+        "  contended: median {} s, p90 {} s",
+        f(c.p50, 4),
+        f(c.p90, 4)
+    );
     println!(
         "  median grew {}x, tail grew {}x, spread grew {}x (paper: all grow)",
         f(c.p50 / q.p50, 2),

@@ -52,7 +52,7 @@ fn best_config(
         let e = PeriodEnergy::from_draws(run_p, Seconds(t), idle_p, deadline)
             .total()
             .get();
-        if best.map_or(true, |(_, cur)| e < cur) {
+        if best.is_none_or(|(_, cur)| e < cur) {
             best = Some((ci, e));
         }
     }
@@ -80,11 +80,17 @@ fn main() {
 
     // The three adaptation spaces.
     let app_only: Vec<Config> = (0..zoo.len())
-        .map(|m| Config { model: m, cap: default_cap })
+        .map(|m| Config {
+            model: m,
+            cap: default_cap,
+        })
         .collect();
     let sys_only: Vec<Config> = caps
         .iter()
-        .map(|&cap| Config { model: most_accurate, cap })
+        .map(|&cap| Config {
+            model: most_accurate,
+            cap,
+        })
         .collect();
     let combined: Vec<Config> = (0..zoo.len())
         .flat_map(|m| caps.iter().map(move |&cap| Config { model: m, cap }))
@@ -121,8 +127,7 @@ fn main() {
                 let mut total = 0.0;
                 let mut feasible = 0usize;
                 for &x in &inputs {
-                    if let Some((_, e)) = best_config(&zoo, &platform, space, x, Seconds(d), a)
-                    {
+                    if let Some((_, e)) = best_config(&zoo, &platform, space, x, Seconds(d), a) {
                         total += e;
                         feasible += 1;
                     }

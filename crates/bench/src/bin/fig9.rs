@@ -78,8 +78,7 @@ fn main() {
     let phase = |records: &[alert_workload::InputRecord], from: usize, to: usize| {
         let slice = &records[from..to];
         let anytime = slice.iter().filter(|r| r.model.contains("anytime")).count();
-        let acc =
-            slice.iter().map(|r| r.quality).sum::<f64>() / slice.len() as f64 * 100.0;
+        let acc = slice.iter().map(|r| r.quality).sum::<f64>() / slice.len() as f64 * 100.0;
         let cap = slice.iter().map(|r| r.cap.get()).sum::<f64>() / slice.len() as f64;
         (anytime as f64 / slice.len() as f64, acc, cap)
     };

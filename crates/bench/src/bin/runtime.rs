@@ -1,0 +1,120 @@
+//! Session-runtime throughput baseline: inputs/sec and per-decision
+//! scheduler overhead at 1, 8 and 64 concurrent sessions, written to
+//! `BENCH_runtime.json` at the workspace root so later scaling PRs have
+//! a machine-readable perf baseline to compare against.
+//!
+//! Usage: `runtime [n_inputs_per_session] [seed]` (defaults 300, 2020).
+
+use alert_bench::{banner, csv_header, csv_row, f};
+use alert_sched::runtime::{Runtime, SessionSpec};
+use alert_sched::FamilyKind;
+use alert_stats::units::Seconds;
+use alert_workload::{Goal, Scenario};
+use std::time::Instant;
+
+fn scenario_for(i: u64) -> Scenario {
+    match i % 3 {
+        0 => Scenario::default_env(),
+        1 => Scenario::memory_env(300 + i),
+        _ => Scenario::compute_env(600 + i),
+    }
+}
+
+struct Measurement {
+    sessions: usize,
+    inputs_total: usize,
+    elapsed_s: f64,
+    inputs_per_sec: f64,
+    decision_overhead_us_mean: f64,
+}
+
+fn measure(sessions: usize, n_inputs: usize, seed: u64) -> Measurement {
+    let mut rt = Runtime::builder()
+        .platform(alert_platform::PlatformId::Cpu1)
+        .family(FamilyKind::Image)
+        .policy("ALERT")
+        .seed(seed)
+        .build()
+        .expect("builtin policy");
+    for i in 0..sessions as u64 {
+        rt.open_session(SessionSpec {
+            goal: Goal::minimize_energy(Seconds(0.35 + 0.01 * (i % 6) as f64), 0.9),
+            scenario: scenario_for(i),
+            n_inputs,
+            seed: Some(seed ^ (i.wrapping_mul(0x9e37_79b9))),
+            policy: None,
+        })
+        .expect("open session");
+    }
+    let start = Instant::now();
+    let episodes = rt.drain_round_robin().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let inputs_total: usize = episodes.iter().map(|(_, e)| e.records.len()).sum();
+    let overhead_total: f64 = episodes.iter().map(|(_, e)| e.summary.overhead.get()).sum();
+    Measurement {
+        sessions,
+        inputs_total,
+        elapsed_s: elapsed,
+        inputs_per_sec: inputs_total as f64 / elapsed,
+        decision_overhead_us_mean: overhead_total / inputs_total as f64 * 1e6,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_inputs: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(300);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+
+    banner(
+        "Runtime throughput",
+        "Concurrent-session serving rate (simulated execution, real scheduling cost)",
+    );
+    println!("[{n_inputs} inputs per session, seed {seed}]\n");
+    csv_header(&[
+        "sessions",
+        "inputs_total",
+        "elapsed_s",
+        "inputs_per_sec",
+        "decision_overhead_us_mean",
+    ]);
+
+    let mut results = Vec::new();
+    for sessions in [1usize, 8, 64] {
+        let m = measure(sessions, n_inputs, seed);
+        csv_row(&[
+            m.sessions.to_string(),
+            m.inputs_total.to_string(),
+            f(m.elapsed_s, 3),
+            f(m.inputs_per_sec, 0),
+            f(m.decision_overhead_us_mean, 2),
+        ]);
+        results.push(serde_json::json!({
+            "sessions": m.sessions,
+            "inputs_total": m.inputs_total,
+            "elapsed_s": m.elapsed_s,
+            "inputs_per_sec": m.inputs_per_sec,
+            "decision_overhead_us_mean": m.decision_overhead_us_mean,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "bench": "runtime_sessions",
+        "n_inputs_per_session": n_inputs,
+        "seed": seed,
+        "results": results,
+    });
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_runtime.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write BENCH_runtime.json");
+    println!("\n[baseline written to {}]", path.display());
+}

@@ -16,10 +16,7 @@ use alert_workload::Objective;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_inputs: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let n_inputs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
     let config = ExperimentConfig {
         n_inputs,

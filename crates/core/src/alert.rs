@@ -96,6 +96,30 @@ pub struct Observation {
     pub idle_cap: Watts,
 }
 
+/// A serializable checkpoint of an [`AlertController`]'s learned state:
+/// the ξ slowdown belief (Kalman filter + innovation tracker), the φ
+/// idle-power ratio, the goal adjuster (overhead reserve and group
+/// budget), and the decision counters.
+///
+/// Snapshots exist so long-lived *sessions* can be checkpointed and
+/// migrated between runtimes: a controller restored from a snapshot
+/// continues the episode exactly where the original left off (the
+/// candidate table and parameters are rebuilt from the policy, not
+/// stored — they are configuration, not learned state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// The ξ estimator state (Eq. 5 filter + innovation dispersion).
+    pub xi: SlowdownEstimator,
+    /// The φ idle-power ratio estimator state (Eq. 8 filter).
+    pub idle: IdleRatioEstimator,
+    /// Goal adjustment state: overhead reserve, group budget.
+    pub adjuster: GoalAdjuster,
+    /// Decisions made so far.
+    pub decisions: u64,
+    /// Wall-clock cost of the most recent decision.
+    pub last_decision_cost: Seconds,
+}
+
 /// The ALERT runtime controller.
 #[derive(Debug, Clone)]
 pub struct AlertController {
@@ -201,6 +225,29 @@ impl AlertController {
         &self.params
     }
 
+    /// Captures the full estimator state for checkpoint/migration.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            xi: self.xi.clone(),
+            idle: self.idle.clone(),
+            adjuster: self.adjuster.clone(),
+            decisions: self.decisions,
+            last_decision_cost: self.last_decision_cost,
+        }
+    }
+
+    /// Restores estimator state from a snapshot. The candidate table and
+    /// parameters are untouched: a snapshot only carries *learned* state,
+    /// so it can be applied to a freshly built controller of the same
+    /// policy (the migration path).
+    pub fn restore(&mut self, snapshot: &ControllerSnapshot) {
+        self.xi = snapshot.xi.clone();
+        self.idle = snapshot.idle.clone();
+        self.adjuster = snapshot.adjuster.clone();
+        self.decisions = snapshot.decisions;
+        self.last_decision_cost = snapshot.last_decision_cost;
+    }
+
     /// Resets estimators and goal adjustment (new episode).
     pub fn reset(&mut self) {
         self.xi.reset();
@@ -227,8 +274,14 @@ mod tests {
             CandidateModel::anytime(
                 "any",
                 vec![
-                    StagePoint { frac: 0.4, quality: 0.84 },
-                    StagePoint { frac: 1.0, quality: 0.94 },
+                    StagePoint {
+                        frac: 0.4,
+                        quality: 0.84,
+                    },
+                    StagePoint {
+                        frac: 1.0,
+                        quality: 0.94,
+                    },
                 ],
                 0.005,
             ),
@@ -332,7 +385,11 @@ mod tests {
             idle_cap: Watts(45.0),
         });
         let second = ctl.decide(&goal);
-        assert!((second.deadline.get() - 0.1).abs() < 1e-9, "{}", second.deadline);
+        assert!(
+            (second.deadline.get() - 0.1).abs() < 1e-9,
+            "{}",
+            second.deadline
+        );
     }
 
     #[test]
@@ -357,5 +414,90 @@ mod tests {
     fn mean_only_params_select_ablation_mode() {
         let p = AlertParams::mean_only();
         assert_eq!(p.mode, ProbabilityMode::MeanOnly);
+    }
+
+    #[test]
+    fn fixed_overhead_exceeding_deadline_never_goes_negative() {
+        let params = AlertParams {
+            overhead: OverheadPolicy::Fixed(Seconds(0.5)),
+            ..Default::default()
+        };
+        let mut ctl = AlertController::new(table(), params);
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        for _ in 0..3 {
+            let sel = ctl.decide(&goal);
+            assert!(sel.deadline.get() > 0.0, "deadline {}", sel.deadline);
+        }
+    }
+
+    #[test]
+    fn measured_overhead_never_yields_negative_deadline() {
+        // Even with an absurdly tight goal, the measured-overhead reserve
+        // must clamp at the epsilon floor, not push deadlines negative.
+        let params = AlertParams {
+            overhead: OverheadPolicy::Measured,
+            ..Default::default()
+        };
+        let mut ctl = AlertController::new(table(), params);
+        let goal = Goal::minimize_error(Seconds(1e-7), Joules(20.0));
+        for _ in 0..20 {
+            let sel = ctl.decide(&goal);
+            assert!(sel.deadline.get() > 0.0, "deadline {}", sel.deadline);
+            let t_prof = ctl.table().t_prof_stage(sel.candidate);
+            ctl.observe(&Observation {
+                latency: t_prof,
+                profile_equivalent: t_prof,
+                idle_power: None,
+                idle_cap: ctl.table().cap(sel.candidate.power),
+            });
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_learned_state() {
+        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let mut sel = ctl.decide(&goal);
+        for _ in 0..25 {
+            let t_prof = ctl.table().t_prof_stage(sel.candidate);
+            ctl.observe(&Observation {
+                latency: t_prof * 1.4,
+                profile_equivalent: t_prof,
+                idle_power: Some(Watts(9.0)),
+                idle_cap: ctl.table().cap(sel.candidate.power),
+            });
+            sel = ctl.decide(&goal);
+        }
+        let snap = ctl.snapshot();
+
+        // A fresh controller restored from the snapshot behaves
+        // identically from here on.
+        let mut restored = AlertController::new(table(), AlertParams::default());
+        restored.restore(&snap);
+        assert_eq!(restored.slowdown().mean(), ctl.slowdown().mean());
+        assert_eq!(restored.idle_ratio(), ctl.idle_ratio());
+        assert_eq!(restored.decisions(), ctl.decisions());
+        let a = ctl.decide(&goal);
+        let b = restored.decide(&goal);
+        assert_eq!(a.candidate, b.candidate);
+        assert_eq!(a.deadline, b.deadline);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let _ = ctl.decide(&goal);
+        ctl.observe(&Observation {
+            latency: Seconds(0.15),
+            profile_equivalent: Seconds(0.1),
+            idle_power: Some(Watts(7.0)),
+            idle_cap: Watts(45.0),
+        });
+        ctl.begin_group(Seconds(0.4), 3);
+        let snap = ctl.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ControllerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
     }
 }

@@ -49,11 +49,7 @@ impl CandidateModel {
     }
 
     /// Builds an anytime candidate from its staircase.
-    pub fn anytime(
-        name: impl Into<String>,
-        stages: Vec<StagePoint>,
-        fail_quality: f64,
-    ) -> Self {
+    pub fn anytime(name: impl Into<String>, stages: Vec<StagePoint>, fail_quality: f64) -> Self {
         CandidateModel {
             name: name.into(),
             stages,
@@ -260,8 +256,14 @@ mod tests {
             CandidateModel::anytime(
                 "any",
                 vec![
-                    StagePoint { frac: 0.4, quality: 0.8 },
-                    StagePoint { frac: 1.0, quality: 0.94 },
+                    StagePoint {
+                        frac: 0.4,
+                        quality: 0.8,
+                    },
+                    StagePoint {
+                        frac: 1.0,
+                        quality: 0.94,
+                    },
                 ],
                 0.005,
             ),
@@ -291,9 +293,17 @@ mod tests {
     #[test]
     fn stage_profile_scales_by_fraction() {
         let t = table();
-        let c = Candidate { model: 2, stage: 0, power: 1 };
+        let c = Candidate {
+            model: 2,
+            stage: 0,
+            power: 1,
+        };
         assert!((t.t_prof_stage(c).get() - 0.4 * 0.12).abs() < 1e-15);
-        let c_full = Candidate { model: 2, stage: 1, power: 1 };
+        let c_full = Candidate {
+            model: 2,
+            stage: 1,
+            power: 1,
+        };
         assert!((t.t_prof_stage(c_full).get() - 0.12).abs() < 1e-15);
     }
 
@@ -317,13 +327,26 @@ mod tests {
         let c = CandidateModel::anytime(
             "bad",
             vec![
-                StagePoint { frac: 0.5, quality: 0.9 },
-                StagePoint { frac: 1.0, quality: 0.8 },
+                StagePoint {
+                    frac: 0.5,
+                    quality: 0.9,
+                },
+                StagePoint {
+                    frac: 1.0,
+                    quality: 0.8,
+                },
             ],
             0.0,
         );
         assert!(c.validate().is_err());
-        let c = CandidateModel::anytime("bad2", vec![StagePoint { frac: 0.5, quality: 0.9 }], 0.0);
+        let c = CandidateModel::anytime(
+            "bad2",
+            vec![StagePoint {
+                frac: 0.5,
+                quality: 0.9,
+            }],
+            0.0,
+        );
         assert!(c.validate().is_err());
         let c = CandidateModel::traditional("bad3", 0.5, 0.9);
         assert!(c.validate().is_err());

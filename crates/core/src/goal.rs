@@ -276,4 +276,40 @@ mod tests {
     fn empty_group_rejected() {
         GoalAdjuster::new().begin_group(Seconds(1.0), 0);
     }
+
+    #[test]
+    fn deadline_fully_consumed_by_earlier_members_floors_all_later_ones() {
+        let mut a = GoalAdjuster::new();
+        a.begin_group(Seconds(0.3), 3);
+        let _ = a.next_deadline(Seconds(9.9));
+        a.consume(Seconds(0.3)); // exactly the whole budget
+        for _ in 0..2 {
+            let d = a.next_deadline(Seconds(9.9));
+            assert!(d.get() > 0.0 && d.get() <= 1e-6, "d = {d}");
+            a.consume(Seconds(0.0));
+        }
+    }
+
+    #[test]
+    fn overhead_reserve_never_yields_negative_deadline() {
+        // Reserve larger than the goal deadline: the effective deadline
+        // clamps to the epsilon floor instead of going non-positive.
+        let mut a = GoalAdjuster::new();
+        a.record_overhead(Seconds(0.5));
+        let d = a.next_deadline(Seconds(0.1));
+        assert!(d.get() > 0.0 && d.get() <= 1e-6, "d = {d}");
+        // Same inside a group whose fair share is below the reserve.
+        a.begin_group(Seconds(0.4), 4);
+        let d = a.next_deadline(Seconds(9.9));
+        assert!(d.get() > 0.0 && d.get() <= 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn non_finite_overhead_is_ignored() {
+        let mut a = GoalAdjuster::new();
+        a.record_overhead(Seconds(f64::NAN));
+        a.record_overhead(Seconds(f64::INFINITY));
+        assert_eq!(a.overhead_reserve(), Seconds::ZERO);
+        assert_eq!(a.next_deadline(Seconds(0.1)), Seconds(0.1));
+    }
 }

@@ -84,10 +84,10 @@ mod tests {
         let deadline = Seconds(0.115);
         let small = Seconds(0.08);
         let large = Seconds(0.11);
-        let drop_small =
-            deadline_probability(&calm, small, deadline) - deadline_probability(&wild, small, deadline);
-        let drop_large =
-            deadline_probability(&calm, large, deadline) - deadline_probability(&wild, large, deadline);
+        let drop_small = deadline_probability(&calm, small, deadline)
+            - deadline_probability(&wild, small, deadline);
+        let drop_large = deadline_probability(&calm, large, deadline)
+            - deadline_probability(&wild, large, deadline);
         assert!(
             drop_large > drop_small,
             "large model must lose more: {drop_large} vs {drop_small}"

@@ -36,7 +36,7 @@ pub mod quality;
 pub mod select;
 pub mod slowdown;
 
-pub use alert::{AlertController, AlertParams, Observation, ProbabilityMode};
+pub use alert::{AlertController, AlertParams, ControllerSnapshot, Observation, ProbabilityMode};
 pub use config::{Candidate, CandidateModel, ConfigTable, StagePoint};
 pub use goal::{Goal, GoalAdjuster, Objective};
 pub use select::{Estimates, Selection};

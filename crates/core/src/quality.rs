@@ -55,7 +55,7 @@ pub fn expected_quality(
     }
     let mut expected = 0.0;
     for k in 0..=target_stage {
-        let pr_next = if k + 1 <= target_stage { probs[k + 1] } else { 0.0 };
+        let pr_next = if k < target_stage { probs[k + 1] } else { 0.0 };
         expected += stages[k].quality * (probs[k] - pr_next);
     }
     expected += model.fail_quality * (1.0 - probs[0]);
@@ -98,9 +98,18 @@ mod tests {
         CandidateModel::anytime(
             "a",
             vec![
-                StagePoint { frac: 0.3, quality: 0.85 },
-                StagePoint { frac: 0.6, quality: 0.91 },
-                StagePoint { frac: 1.0, quality: 0.94 },
+                StagePoint {
+                    frac: 0.3,
+                    quality: 0.85,
+                },
+                StagePoint {
+                    frac: 0.6,
+                    quality: 0.91,
+                },
+                StagePoint {
+                    frac: 1.0,
+                    quality: 0.94,
+                },
             ],
             0.005,
         )

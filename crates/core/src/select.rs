@@ -294,8 +294,14 @@ mod tests {
             CandidateModel::anytime(
                 "any",
                 vec![
-                    StagePoint { frac: 0.4, quality: 0.84 },
-                    StagePoint { frac: 1.0, quality: 0.94 },
+                    StagePoint {
+                        frac: 0.4,
+                        quality: 0.84,
+                    },
+                    StagePoint {
+                        frac: 1.0,
+                        quality: 0.94,
+                    },
                 ],
                 0.005,
             ),
@@ -381,8 +387,20 @@ mod tests {
         // quality of long-latency targets more than short ones.
         let t = table();
         let goal = Goal::minimize_error(Seconds(0.11), Joules(20.0));
-        let calm_sel = select(&t, &Normal::new(1.0, 0.01), 0.2, &goal, ProbabilityMode::Full);
-        let wild_sel = select(&t, &Normal::new(1.0, 0.30), 0.2, &goal, ProbabilityMode::Full);
+        let calm_sel = select(
+            &t,
+            &Normal::new(1.0, 0.01),
+            0.2,
+            &goal,
+            ProbabilityMode::Full,
+        );
+        let wild_sel = select(
+            &t,
+            &Normal::new(1.0, 0.30),
+            0.2,
+            &goal,
+            ProbabilityMode::Full,
+        );
         // Calm: big (100 ms \@45 W) just fits and wins on quality.
         assert_eq!(t.models()[calm_sel.candidate.model].name, "big");
         // Wild: the anytime network (graceful staircase) takes over.
@@ -442,11 +460,27 @@ mod tests {
         let t = table();
         let xi = Normal::new(1.0, 0.30);
         let goal = Goal::minimize_error(Seconds(0.105), Joules(20.0));
-        let c = Candidate { model: 1, stage: 0, power: 1 }; // big@45W, mean 100 ms
+        let c = Candidate {
+            model: 1,
+            stage: 0,
+            power: 1,
+        }; // big@45W, mean 100 ms
         let full = evaluate(&t, c, &xi, 0.2, &goal, goal.deadline, ProbabilityMode::Full);
-        let naive = evaluate(&t, c, &xi, 0.2, &goal, goal.deadline, ProbabilityMode::MeanOnly);
+        let naive = evaluate(
+            &t,
+            c,
+            &xi,
+            0.2,
+            &goal,
+            goal.deadline,
+            ProbabilityMode::MeanOnly,
+        );
         assert_eq!(naive.expected_quality, 0.95);
-        assert!(full.expected_quality < 0.65, "full = {}", full.expected_quality);
+        assert!(
+            full.expected_quality < 0.65,
+            "full = {}",
+            full.expected_quality
+        );
         assert_eq!(naive.pr_deadline, 1.0);
     }
 

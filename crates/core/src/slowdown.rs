@@ -73,8 +73,8 @@ impl SlowdownEstimator {
         // widens each step — so reaction stays within a few inputs.
         let sigma_now = self.std_dev().max(1e-3);
         let w = innovation.clamp(-3.0 * sigma_now, 3.0 * sigma_now);
-        self.innovation_var = INNOVATION_EWMA_BETA * self.innovation_var
-            + (1.0 - INNOVATION_EWMA_BETA) * w * w;
+        self.innovation_var =
+            INNOVATION_EWMA_BETA * self.innovation_var + (1.0 - INNOVATION_EWMA_BETA) * w * w;
         // Feed the realized dispersion back as the measurement noise: in
         // quiet phases this equals the paper's R; in noisy phases it
         // keeps the gain from chasing per-input jitter while the Q

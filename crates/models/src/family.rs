@@ -79,7 +79,11 @@ impl ModelFamily {
     pub fn fastest(&self) -> &ModelProfile {
         self.models
             .iter()
-            .min_by(|a, b| a.ref_latency_s.partial_cmp(&b.ref_latency_s).expect("finite"))
+            .min_by(|a, b| {
+                a.ref_latency_s
+                    .partial_cmp(&b.ref_latency_s)
+                    .expect("finite")
+            })
             .expect("non-empty family")
     }
 
@@ -166,10 +170,22 @@ pub fn depth_nest() -> ModelProfile {
         mem_intensity: 0.52,
         footprint_gb: 0.95,
         anytime: Some(AnytimeSpec::new(vec![
-            AnytimeStage { frac: 0.18, quality: 0.858 },
-            AnytimeStage { frac: 0.35, quality: 0.904 },
-            AnytimeStage { frac: 0.62, quality: 0.932 },
-            AnytimeStage { frac: 1.00, quality: 0.948 },
+            AnytimeStage {
+                frac: 0.18,
+                quality: 0.858,
+            },
+            AnytimeStage {
+                frac: 0.35,
+                quality: 0.904,
+            },
+            AnytimeStage {
+                frac: 0.62,
+                quality: 0.932,
+            },
+            AnytimeStage {
+                frac: 1.00,
+                quality: 0.948,
+            },
         ])),
     }
 }
@@ -216,11 +232,26 @@ pub fn width_nest() -> ModelProfile {
         mem_intensity: 0.72,
         footprint_gb: 0.38,
         anytime: Some(AnytimeSpec::new(vec![
-            AnytimeStage { frac: 0.15, quality: -163.0 },
-            AnytimeStage { frac: 0.25, quality: -146.0 },
-            AnytimeStage { frac: 0.45, quality: -131.0 },
-            AnytimeStage { frac: 0.67, quality: -124.0 },
-            AnytimeStage { frac: 1.00, quality: -117.0 },
+            AnytimeStage {
+                frac: 0.15,
+                quality: -163.0,
+            },
+            AnytimeStage {
+                frac: 0.25,
+                quality: -146.0,
+            },
+            AnytimeStage {
+                frac: 0.45,
+                quality: -131.0,
+            },
+            AnytimeStage {
+                frac: 0.67,
+                quality: -124.0,
+            },
+            AnytimeStage {
+                frac: 1.00,
+                quality: -117.0,
+            },
         ])),
     }
 }

@@ -197,7 +197,11 @@ pub fn execute(
     // Profile-equivalent time of the executed fraction: timing the work we
     // actually did against its profiled cost, which is how a real harness
     // forms the slowdown sample even for early-stopped inferences.
-    let executed_fraction = if full.get() > 0.0 { stop_at / full } else { 0.0 };
+    let executed_fraction = if full.get() > 0.0 {
+        stop_at / full
+    } else {
+        0.0
+    };
     let profile_equivalent = t_prof_full * executed_fraction;
 
     Ok(InferenceResult {

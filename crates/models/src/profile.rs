@@ -88,7 +88,10 @@ impl AnytimeSpec {
             (last.frac - 1.0).abs() < 1e-9,
             "final stage must complete the network (frac = 1.0)"
         );
-        assert!(stages[0].frac > 0.0, "first stage fraction must be positive");
+        assert!(
+            stages[0].frac > 0.0,
+            "first stage fraction must be positive"
+        );
         AnytimeSpec { stages }
     }
 
@@ -181,7 +184,10 @@ impl ModelProfile {
             return Err(format!("rho out of range: {}", self.rho));
         }
         if !(0.0..=1.0).contains(&self.mem_intensity) {
-            return Err(format!("mem_intensity out of range: {}", self.mem_intensity));
+            return Err(format!(
+                "mem_intensity out of range: {}",
+                self.mem_intensity
+            ));
         }
         if self.fail_quality >= self.quality {
             return Err("fail_quality must be below final quality".into());
@@ -225,9 +231,18 @@ mod tests {
         ModelProfile {
             name: "toy_any".into(),
             anytime: Some(AnytimeSpec::new(vec![
-                AnytimeStage { frac: 0.3, quality: 0.85 },
-                AnytimeStage { frac: 0.6, quality: 0.91 },
-                AnytimeStage { frac: 1.0, quality: 0.94 },
+                AnytimeStage {
+                    frac: 0.3,
+                    quality: 0.85,
+                },
+                AnytimeStage {
+                    frac: 0.6,
+                    quality: 0.91,
+                },
+                AnytimeStage {
+                    frac: 1.0,
+                    quality: 0.94,
+                },
             ])),
             quality: 0.94,
             ..trad()
@@ -284,14 +299,23 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn anytime_spec_rejects_non_monotone_fracs() {
         let _ = AnytimeSpec::new(vec![
-            AnytimeStage { frac: 0.5, quality: 0.8 },
-            AnytimeStage { frac: 0.4, quality: 0.9 },
+            AnytimeStage {
+                frac: 0.5,
+                quality: 0.8,
+            },
+            AnytimeStage {
+                frac: 0.4,
+                quality: 0.9,
+            },
         ]);
     }
 
     #[test]
     #[should_panic(expected = "final stage must complete")]
     fn anytime_spec_requires_full_final_stage() {
-        let _ = AnytimeSpec::new(vec![AnytimeStage { frac: 0.5, quality: 0.8 }]);
+        let _ = AnytimeSpec::new(vec![AnytimeStage {
+            frac: 0.5,
+            quality: 0.8,
+        }]);
     }
 }

@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn paper_spans_hold() {
         let zoo = imagenet42();
-        let lat_min = zoo.iter().map(|m| m.ref_latency_s).fold(f64::INFINITY, f64::min);
+        let lat_min = zoo
+            .iter()
+            .map(|m| m.ref_latency_s)
+            .fold(f64::INFINITY, f64::min);
         let lat_max = zoo
             .iter()
             .map(|m| m.ref_latency_s)

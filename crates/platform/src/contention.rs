@@ -320,10 +320,7 @@ mod tests {
         };
         let mean_at = |s: f64| {
             let mut rng = alert_stats::rng::stream_rng(2, "s");
-            (0..5000)
-                .map(|_| m.sample_factor(&mut rng, s))
-                .sum::<f64>()
-                / 5000.0
+            (0..5000).map(|_| m.sample_factor(&mut rng, s)).sum::<f64>() / 5000.0
         };
         let low = mean_at(0.2);
         let high = mean_at(0.9);

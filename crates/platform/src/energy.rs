@@ -22,12 +22,7 @@ impl PeriodEnergy {
     ///
     /// If the inference overruns the period (`t_run >= period`), the idle
     /// component is zero.
-    pub fn from_draws(
-        run_draw: Watts,
-        t_run: Seconds,
-        idle_draw: Watts,
-        period: Seconds,
-    ) -> Self {
+    pub fn from_draws(run_draw: Watts, t_run: Seconds, idle_draw: Watts, period: Seconds) -> Self {
         let idle_time = Seconds((period - t_run).get().max(0.0));
         PeriodEnergy {
             run: run_draw * t_run,

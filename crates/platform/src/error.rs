@@ -22,7 +22,11 @@ pub enum PowerError {
 impl fmt::Display for PowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PowerError::CapOutOfRange { requested, min, max } => write!(
+            PowerError::CapOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "power cap {:.1} W outside feasible range [{:.1}, {:.1}] W",
                 requested.get(),

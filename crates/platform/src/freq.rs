@@ -166,8 +166,14 @@ mod tests {
         assert!(t(40.0) / t(100.0) > 2.0, "span = {}", t(40.0) / t(100.0));
         // (2) energy minimum at the lowest cap.
         let caps: Vec<f64> = (0..=30).map(|i| 40.0 + 2.0 * i as f64).collect();
-        let e_min = caps.iter().cloned().fold(f64::INFINITY, |m, p| m.min(energy(p)));
-        assert!((energy(40.0) - e_min).abs() < 1e-9, "40W should be cheapest");
+        let e_min = caps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, |m, p| m.min(energy(p)));
+        assert!(
+            (energy(40.0) - e_min).abs() < 1e-9,
+            "40W should be cheapest"
+        );
         // (3) the energy maximum sits strictly inside the range (non-monotone).
         let (mut argmax, mut emax) = (40.0, f64::NEG_INFINITY);
         for &p in &caps {

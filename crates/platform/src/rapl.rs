@@ -201,6 +201,9 @@ mod tests {
             d.deposit(Joules(e));
         }
         let got = r.poll(&d).get();
-        assert!((got - truth).abs() < ENERGY_UNIT_J, "got {got} want {truth}");
+        assert!(
+            (got - truth).abs() < ENERGY_UNIT_J,
+            "got {got} want {truth}"
+        );
     }
 }

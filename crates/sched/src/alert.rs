@@ -10,8 +10,8 @@
 use crate::scheduler::{Decision, Feedback, InputContext, Scheduler};
 use alert_core::alert::{AlertController, AlertParams, Observation};
 use alert_core::config::{CandidateModel, ConfigTable, StagePoint};
-use alert_models::inference::{self, StopPolicy};
 use alert_models::family::CandidateSet;
+use alert_models::inference::{self, StopPolicy};
 use alert_models::ModelFamily;
 use alert_platform::Platform;
 use alert_stats::units::Seconds;
@@ -69,10 +69,7 @@ pub fn build_table(family: &ModelFamily, platform: &Platform) -> (ConfigTable, V
         family.name(),
         platform.id()
     );
-    (
-        ConfigTable::new(models, powers, t_prof, p_run),
-        index_map,
-    )
+    (ConfigTable::new(models, powers, t_prof, p_run), index_map)
 }
 
 /// ALERT as a [`Scheduler`].
@@ -121,11 +118,7 @@ impl AlertScheduler {
     }
 
     /// The standard ALERT configuration (traditional + anytime).
-    pub fn standard(
-        family: &ModelFamily,
-        platform: &Platform,
-        goal: alert_core::Goal,
-    ) -> Self {
+    pub fn standard(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
         Self::new(
             "ALERT",
             family,
@@ -137,11 +130,7 @@ impl AlertScheduler {
     }
 
     /// ALERT-Any: anytime candidates only.
-    pub fn anytime_only(
-        family: &ModelFamily,
-        platform: &Platform,
-        goal: alert_core::Goal,
-    ) -> Self {
+    pub fn anytime_only(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
         Self::new(
             "ALERT-Any",
             family,
@@ -169,11 +158,7 @@ impl AlertScheduler {
     }
 
     /// ALERT\*: the mean-only ablation (§5.3).
-    pub fn mean_only(
-        family: &ModelFamily,
-        platform: &Platform,
-        goal: alert_core::Goal,
-    ) -> Self {
+    pub fn mean_only(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
         Self::new(
             "ALERT*",
             family,
@@ -226,6 +211,14 @@ impl Scheduler for AlertScheduler {
     fn last_decision_cost(&self) -> Seconds {
         self.controller.last_decision_cost()
     }
+
+    fn controller_snapshot(&self) -> Option<alert_core::ControllerSnapshot> {
+        Some(self.controller.snapshot())
+    }
+
+    fn restore_controller(&mut self, snapshot: &alert_core::ControllerSnapshot) {
+        self.controller.restore(snapshot);
+    }
 }
 
 #[cfg(test)]
@@ -277,14 +270,9 @@ mod tests {
         assert!(platform.power_settings().contains(&d.cap));
         // Feed a slow observation; the slowdown estimate must move.
         let m = &family.models()[d.model];
-        let result = alert_models::inference::execute(
-            m,
-            &platform,
-            d.cap,
-            1.7,
-            StopPolicy::RunToCompletion,
-        )
-        .unwrap();
+        let result =
+            alert_models::inference::execute(m, &platform, d.cap, 1.7, StopPolicy::RunToCompletion)
+                .unwrap();
         let quality = result.quality_by(ctx.deadline, m.fail_quality);
         s.observe(&Feedback {
             index: 0,
@@ -303,7 +291,10 @@ mod tests {
         let family = ModelFamily::image_classification();
         let platform = Platform::cpu1();
         let goal = alert_core::Goal::minimize_energy(Seconds(0.5), 0.9);
-        assert_eq!(AlertScheduler::standard(&family, &platform, goal).name(), "ALERT");
+        assert_eq!(
+            AlertScheduler::standard(&family, &platform, goal).name(),
+            "ALERT"
+        );
         assert_eq!(
             AlertScheduler::anytime_only(&family, &platform, goal).name(),
             "ALERT-Any"

@@ -9,9 +9,10 @@
 
 use alert_stats::units::Seconds;
 use alert_workload::GroupPos;
+use serde::{Deserialize, Serialize};
 
 /// Tracks the remaining budget of the current group.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BudgetTracker {
     remaining: Seconds,
     members_left: usize,
@@ -32,7 +33,11 @@ impl BudgetTracker {
     /// slot. `per_input_deadline` is the goal's deadline (per input); a
     /// group's total budget is `per_input_deadline × group_len`, granted
     /// when its first member arrives.
-    pub fn next_deadline(&mut self, per_input_deadline: Seconds, group: Option<GroupPos>) -> Seconds {
+    pub fn next_deadline(
+        &mut self,
+        per_input_deadline: Seconds,
+        group: Option<GroupPos>,
+    ) -> Seconds {
         match group {
             None => per_input_deadline,
             Some(g) => {
@@ -133,5 +138,60 @@ mod tests {
         b.consume(Seconds(10.0));
         let d = b.next_deadline(Seconds(0.1), pos(1, 3));
         assert!(d.get() > 0.0 && d.get() <= 1e-6);
+    }
+
+    #[test]
+    fn zero_length_group_degrades_to_floor() {
+        // A malformed stream could announce a zero-member group; the
+        // tracker must stay positive and leave no sticky group state.
+        let mut b = BudgetTracker::new();
+        let d = b.next_deadline(Seconds(0.1), pos(0, 0));
+        assert!(d.get() > 0.0 && d.get() <= 1e-6, "d = {d}");
+        b.consume(Seconds(0.05));
+        // Next, a normal ungrouped input is unaffected.
+        assert_eq!(b.next_deadline(Seconds(0.1), None), Seconds(0.1));
+        // And a fresh, well-formed group starts with its full budget.
+        let d = b.next_deadline(Seconds(0.1), pos(0, 2));
+        assert!((d.get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_fully_consumed_by_earlier_members() {
+        // Earlier members consume *exactly* the whole group budget: later
+        // members get the epsilon floor, never zero or negative.
+        let mut b = BudgetTracker::new();
+        let _ = b.next_deadline(Seconds(0.1), pos(0, 4)); // budget 0.4
+        b.consume(Seconds(0.4));
+        for member in 1..4 {
+            let d = b.next_deadline(Seconds(0.1), pos(member, 4));
+            assert!(d.get() > 0.0, "member {member} got non-positive {d}");
+            assert!(d.get() <= 1e-6, "member {member} got slack {d}");
+            b.consume(Seconds(0.0));
+        }
+    }
+
+    #[test]
+    fn remaining_is_zero_outside_groups() {
+        let mut b = BudgetTracker::new();
+        assert_eq!(b.remaining(), Seconds::ZERO);
+        let _ = b.next_deadline(Seconds(0.1), None);
+        b.consume(Seconds(0.5));
+        assert_eq!(b.remaining(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_mid_group_state() {
+        let mut b = BudgetTracker::new();
+        let _ = b.next_deadline(Seconds(0.1), pos(0, 3));
+        b.consume(Seconds(0.05));
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BudgetTracker = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+        // The restored tracker continues the group identically.
+        let mut b2 = back;
+        assert_eq!(
+            b.next_deadline(Seconds(0.1), pos(1, 3)),
+            b2.next_deadline(Seconds(0.1), pos(1, 3))
+        );
     }
 }

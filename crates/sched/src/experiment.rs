@@ -1,20 +1,25 @@
-//! The full experiment driver: scheme factory, per-setting episodes,
-//! Table 4 / Table 5 sweeps with parallel execution.
+//! The full experiment driver: per-setting episodes and the Table 4 /
+//! Table 5 sweeps, as thin adapters over the session runtime.
 //!
 //! One *cell* of Table 4 is (platform × family × scenario × objective):
 //! 35 constraint settings, each run under every scheme and normalized to
 //! OracleStatic. Settings are embarrassingly parallel; the driver fans
-//! them out over scoped threads.
+//! them out over scoped threads, one [`Runtime`] per worker, every
+//! scheme of a setting running as a session on the *shared* frozen
+//! environment (bit-identical conditions, paper §5.1).
+//!
+//! Scheme dispatch goes through [`crate::registry::PolicyRegistry`];
+//! [`SchemeKind`] remains as the typed enumeration of the paper's nine
+//! schemes (its `name()` values are the registry keys).
 
-use crate::alert::AlertScheduler;
-use crate::app_only::AppOnly;
 use crate::env::EpisodeEnv;
-use crate::harness::{run_episode, Episode};
+use crate::harness::Episode;
 use crate::metrics::{objective_report, ResultTable};
-use crate::no_coord::NoCoord;
-use crate::oracle::{Oracle, OracleStatic};
+use crate::oracle::OracleStatic;
+use crate::registry::{PolicyContext, PolicyRegistry};
+use crate::runtime::Runtime;
 use crate::scheduler::Scheduler;
-use crate::sys_only::SysOnly;
+use alert_core::alert::AlertParams;
 use alert_models::{ModelFamily, QualityMetric};
 use alert_platform::{Platform, PlatformId};
 use alert_workload::{constraint_grid, Goal, InputStream, Objective, Scenario, TaskId};
@@ -82,6 +87,11 @@ impl SchemeKind {
 }
 
 /// Builds a scheduler instance for one episode.
+///
+/// Compatibility shim over the open registry: resolves
+/// [`SchemeKind::name`] through [`PolicyRegistry::builtin`]. New code
+/// should hold a registry (possibly with custom policies) and build
+/// through it, or address schemes by name via the runtime.
 pub fn build_scheduler(
     kind: SchemeKind,
     family: &ModelFamily,
@@ -90,24 +100,17 @@ pub fn build_scheduler(
     env: &Arc<EpisodeEnv>,
     stream: &InputStream,
 ) -> Box<dyn Scheduler> {
-    match kind {
-        SchemeKind::Alert => Box::new(AlertScheduler::standard(family, platform, goal)),
-        SchemeKind::AlertAny => Box::new(AlertScheduler::anytime_only(family, platform, goal)),
-        SchemeKind::AlertTrad => {
-            Box::new(AlertScheduler::traditional_only(family, platform, goal))
-        }
-        SchemeKind::AlertStar => Box::new(AlertScheduler::mean_only(family, platform, goal)),
-        SchemeKind::Oracle => Box::new(Oracle::new(env.clone(), family.clone(), goal)),
-        SchemeKind::OracleStatic => Box::new(OracleStatic::new(
-            env.clone(),
-            family.clone(),
-            stream,
-            goal,
-        )),
-        SchemeKind::AppOnly => Box::new(AppOnly::new(family, platform)),
-        SchemeKind::SysOnly => Box::new(SysOnly::new(family, platform, goal)),
-        SchemeKind::NoCoord => Box::new(NoCoord::new(family, platform, goal)),
-    }
+    let ctx = PolicyContext {
+        family,
+        platform,
+        goal,
+        params: AlertParams::default(),
+        env,
+        stream,
+    };
+    PolicyRegistry::builtin()
+        .build(kind.name(), &ctx)
+        .expect("every SchemeKind is pre-registered")
 }
 
 /// The two workloads of Table 4.
@@ -176,7 +179,20 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// A single-worker [`Runtime`] over an explicit family/platform pair,
+/// as the sweeps need it (the sweep owns streams and environments; the
+/// runtime owns sessions).
+fn sweep_runtime(family: &ModelFamily, platform: &Platform, task: TaskId) -> Runtime {
+    Runtime::builder()
+        .platform(platform.id())
+        .family_custom(family.clone(), task)
+        .build()
+        .expect("builtin policy resolves")
+}
+
 /// Runs one scheme on one constraint setting; returns the episode.
+/// Thin adapter: one runtime, one session on a freshly frozen
+/// environment.
 pub fn run_setting(
     kind: SchemeKind,
     family: &ModelFamily,
@@ -187,8 +203,12 @@ pub fn run_setting(
     seed: u64,
 ) -> Episode {
     let env = Arc::new(EpisodeEnv::build(platform, scenario, stream, &goal, seed));
-    let mut scheduler = build_scheduler(kind, family, platform, goal, &env, stream);
-    run_episode(scheduler.as_mut(), &env, family, stream, &goal)
+    let mut rt = sweep_runtime(family, platform, stream.task());
+    let id = rt
+        .open_session_on(kind.name(), goal, stream.clone(), env)
+        .expect("builtin policy resolves");
+    rt.run_to_completion(id).expect("session is open");
+    rt.close(id).expect("session is open")
 }
 
 /// All per-scheme episodes of one constraint setting, plus the cell-level
@@ -230,7 +250,13 @@ pub fn run_cell(
         .iter()
         .map(|&goal| {
             (
-                Arc::new(EpisodeEnv::build(platform, scenario, &stream, &goal, config.seed)),
+                Arc::new(EpisodeEnv::build(
+                    platform,
+                    scenario,
+                    &stream,
+                    &goal,
+                    config.seed,
+                )),
                 goal,
             )
         })
@@ -239,45 +265,62 @@ pub fn run_cell(
 
     let results: Mutex<Vec<(usize, SettingOutcome)>> = Mutex::new(Vec::new());
     let next: Mutex<usize> = Mutex::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..config.threads.max(1) {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut n = next.lock();
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                if idx >= cell.len() {
-                    break;
+            scope.spawn(|| {
+                // One runtime per worker; each setting's schemes run as
+                // sessions on the setting's shared frozen environment.
+                let mut rt = sweep_runtime(&family, platform, stream.task());
+                loop {
+                    let idx = {
+                        let mut n = next.lock();
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if idx >= cell.len() {
+                        break;
+                    }
+                    let (env, goal) = &cell[idx];
+                    let run = |rt: &mut Runtime, id| {
+                        rt.run_to_completion(id).expect("session is open");
+                        rt.close(id).expect("session is open")
+                    };
+                    // The cell-pinned static baseline carries out-of-band
+                    // state (the cell-wide choice), so it enters through
+                    // the pre-built-scheduler door.
+                    let id = rt.open_session_with(
+                        Box::new(OracleStatic::from_choice(static_choice)),
+                        *goal,
+                        stream.clone(),
+                        env.clone(),
+                    );
+                    let baseline = run(&mut rt, id);
+                    let episodes: Vec<Episode> = schemes
+                        .iter()
+                        .map(|&k| {
+                            if k == SchemeKind::OracleStatic {
+                                baseline.clone()
+                            } else {
+                                let id = rt
+                                    .open_session_on(k.name(), *goal, stream.clone(), env.clone())
+                                    .expect("builtin policy resolves");
+                                run(&mut rt, id)
+                            }
+                        })
+                        .collect();
+                    results.lock().push((
+                        idx,
+                        SettingOutcome {
+                            goal: *goal,
+                            episodes,
+                            baseline,
+                        },
+                    ));
                 }
-                let (env, goal) = &cell[idx];
-                let mut static_sched = OracleStatic::from_choice(static_choice);
-                let baseline = run_episode(&mut static_sched, env, &family, &stream, goal);
-                let episodes: Vec<Episode> = schemes
-                    .iter()
-                    .map(|&k| {
-                        if k == SchemeKind::OracleStatic {
-                            baseline.clone()
-                        } else {
-                            let mut s =
-                                build_scheduler(k, &family, platform, *goal, env, &stream);
-                            run_episode(s.as_mut(), env, &family, &stream, goal)
-                        }
-                    })
-                    .collect();
-                results.lock().push((
-                    idx,
-                    SettingOutcome {
-                        goal: *goal,
-                        episodes,
-                        baseline,
-                    },
-                ));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut out = results.into_inner();
     out.sort_by_key(|(i, _)| *i);
@@ -435,7 +478,10 @@ mod tests {
         // ALERT sits between oracle and ~static.
         let alert = row["ALERT"].mean_ratio().unwrap();
         assert!(alert <= 1.1, "alert ratio {alert}");
-        assert!(alert >= oracle - 0.05, "alert ratio {alert} vs oracle {oracle}");
+        assert!(
+            alert >= oracle - 0.05,
+            "alert ratio {alert} vs oracle {oracle}"
+        );
     }
 
     #[test]

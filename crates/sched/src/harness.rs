@@ -1,10 +1,20 @@
-//! The episode harness: runs one scheduler over one input stream.
+//! The episode harness: the per-input stepping engine and the one-shot
+//! episode adapter.
 //!
-//! The harness plays the role of the paper's runtime shell around the
-//! scheduler: it computes effective deadlines (shared sentence budgets),
-//! dispatches inputs, executes the chosen configuration on the simulated
-//! platform, meters energy, measures idle power, and emits the per-input
-//! records that the Table 4 accounting consumes.
+//! [`SessionEngine`] plays the role of the paper's runtime shell around
+//! the scheduler for *one* stream: it computes effective deadlines
+//! (shared sentence budgets), dispatches inputs, executes the chosen
+//! configuration on the simulated platform, meters energy, measures idle
+//! power, and accumulates the per-input records that the Table 4
+//! accounting consumes. The engine is *resumable* — it advances one
+//! input per [`SessionEngine::step`] call — which is what lets the
+//! session runtime ([`crate::runtime`]) multiplex many concurrent
+//! streams and checkpoint them mid-flight.
+//!
+//! [`run_episode`] is the original one-shot API, now a thin adapter:
+//! drive a fresh engine to exhaustion and fold the records into an
+//! [`Episode`]. Interleaved sessions and sequential episodes are
+//! bit-identical by construction because both run exactly this code.
 
 use crate::budget::BudgetTracker;
 use crate::env::EpisodeEnv;
@@ -25,26 +35,73 @@ pub struct Episode {
     pub summary: EpisodeSummary,
 }
 
-/// Runs `scheduler` over the episode.
+/// The resumable per-stream stepping engine: cursor, shared-deadline
+/// budget, accumulated records and scheduler overhead.
 ///
-/// # Panics
-///
-/// Panics if the scheduler picks a model that does not fit the platform
-/// (a scheduler bug, not a runtime condition).
-pub fn run_episode(
-    scheduler: &mut dyn Scheduler,
-    env: &EpisodeEnv,
-    family: &ModelFamily,
-    stream: &InputStream,
-    goal: &Goal,
-) -> Episode {
-    let warmup = stream.warmup_len();
-    let mut budget = BudgetTracker::new();
-    let mut records = Vec::with_capacity(stream.len());
-    let mut overhead = Seconds::ZERO;
+/// All fields are serializable so a session can be checkpointed between
+/// steps and resumed elsewhere (the scheduler's own state travels
+/// separately, via [`Scheduler::controller_snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionEngine {
+    budget: BudgetTracker,
+    records: Vec<InputRecord>,
+    overhead: Seconds,
+    cursor: usize,
+}
 
-    for (i, input) in stream.inputs().iter().enumerate() {
-        let deadline = budget.next_deadline(goal.deadline, input.group);
+impl SessionEngine {
+    /// A fresh engine positioned before the first input.
+    pub fn new() -> Self {
+        SessionEngine {
+            budget: BudgetTracker::new(),
+            records: Vec::new(),
+            overhead: Seconds::ZERO,
+            cursor: 0,
+        }
+    }
+
+    /// Index of the next input to dispatch.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// `true` once every input of `stream` has been processed.
+    pub fn is_finished(&self, stream: &InputStream) -> bool {
+        self.cursor >= stream.len()
+    }
+
+    /// The records accumulated so far.
+    pub fn records(&self) -> &[InputRecord] {
+        &self.records
+    }
+
+    /// Total scheduler overhead accumulated so far.
+    pub fn overhead(&self) -> Seconds {
+        self.overhead
+    }
+
+    /// Processes the next input of `stream` through `scheduler`: decide →
+    /// execute on the frozen environment → meter → observe. Returns a
+    /// reference to the accumulated record (cloning is the caller's
+    /// choice), or `None` when the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler picks a model that does not fit the
+    /// platform (a scheduler bug, not a runtime condition).
+    pub fn step(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        env: &EpisodeEnv,
+        family: &ModelFamily,
+        stream: &InputStream,
+        goal: &Goal,
+    ) -> Option<&InputRecord> {
+        let i = self.cursor;
+        let input = stream.inputs().get(i)?;
+        self.cursor += 1;
+
+        let deadline = self.budget.next_deadline(goal.deadline, input.group);
         let ctx = InputContext {
             index: i,
             deadline,
@@ -52,7 +109,7 @@ pub fn run_episode(
             group: input.group,
         };
         let decision = scheduler.decide(&ctx);
-        overhead += scheduler.last_decision_cost();
+        self.overhead += scheduler.last_decision_cost();
 
         let profile = &family.models()[decision.model];
         assert!(
@@ -71,7 +128,7 @@ pub fn run_episode(
             None
         };
 
-        records.push(InputRecord {
+        self.records.push(InputRecord {
             index: i,
             model: profile.name.clone(),
             cap: decision.cap,
@@ -81,7 +138,7 @@ pub fn run_episode(
             energy,
             slowdown: result.observed_slowdown(),
             contention_active: env.active(i),
-            warmup: i < warmup,
+            warmup: i < stream.warmup_len(),
         });
 
         scheduler.observe(&Feedback {
@@ -93,16 +150,46 @@ pub fn run_episode(
             deadline,
             result: result.clone(),
         });
-        budget.consume(result.latency);
+        self.budget.consume(result.latency);
+        self.records.last()
     }
 
-    let mut summary = EpisodeSummary::from_records(&records, goal);
-    summary.overhead = overhead;
-    Episode {
-        scheme: scheduler.name().to_string(),
-        records,
-        summary,
+    /// Folds the accumulated records into an [`Episode`], consuming the
+    /// engine (the records move, they are not cloned).
+    pub fn finish(self, scheme: &str, goal: &Goal) -> Episode {
+        let mut summary = EpisodeSummary::from_records(&self.records, goal);
+        summary.overhead = self.overhead;
+        Episode {
+            scheme: scheme.to_string(),
+            records: self.records,
+            summary,
+        }
     }
+}
+
+impl Default for SessionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `scheduler` over the whole episode (the one-shot adapter over
+/// [`SessionEngine`]).
+///
+/// # Panics
+///
+/// Panics if the scheduler picks a model that does not fit the platform
+/// (a scheduler bug, not a runtime condition).
+pub fn run_episode(
+    scheduler: &mut dyn Scheduler,
+    env: &EpisodeEnv,
+    family: &ModelFamily,
+    stream: &InputStream,
+    goal: &Goal,
+) -> Episode {
+    let mut engine = SessionEngine::new();
+    while engine.step(scheduler, env, family, stream, goal).is_some() {}
+    engine.finish(scheduler.name(), goal)
 }
 
 #[cfg(test)]
@@ -288,5 +375,57 @@ mod tests {
             assert!((x.latency.get() - y.latency.get()).abs() < 1e-15);
             assert!((x.energy.get() - y.energy.get()).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn stepped_engine_matches_one_shot_run() {
+        // The resumable engine and the one-shot adapter are the same code
+        // path; spot-check the equivalence anyway.
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.90),
+            Scenario::memory_env(4),
+            100,
+        );
+        let mut one = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let ep = run_episode(&mut one, &f.env, &f.family, &f.stream, &f.goal);
+
+        let mut stepped = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut engine = SessionEngine::new();
+        let mut n = 0;
+        while let Some(r) = engine.step(&mut stepped, &f.env, &f.family, &f.stream, &f.goal) {
+            assert_eq!(r.index, n);
+            n += 1;
+        }
+        assert!(engine.is_finished(&f.stream));
+        assert_eq!(n, 100);
+        let ep2 = engine.finish(stepped.name(), &f.goal);
+        assert_eq!(ep.scheme, ep2.scheme);
+        assert_eq!(ep.records, ep2.records);
+        // The summaries agree on everything but the wall-clock scheduler
+        // overhead (which is nondeterministic by nature).
+        assert_eq!(ep.summary.measured, ep2.summary.measured);
+        assert_eq!(ep.summary.violations, ep2.summary.violations);
+        assert_eq!(ep.summary.avg_energy, ep2.summary.avg_energy);
+        assert_eq!(ep.summary.avg_quality, ep2.summary.avg_quality);
+    }
+
+    #[test]
+    fn engine_step_past_end_is_none_and_stable() {
+        let f = fixture(
+            Goal::minimize_energy(Seconds(0.5), 0.90),
+            Scenario::default_env(),
+            10,
+        );
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut engine = SessionEngine::new();
+        while engine
+            .step(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+            .is_some()
+        {}
+        assert!(engine
+            .step(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+            .is_none());
+        assert_eq!(engine.cursor(), 10);
+        assert_eq!(engine.records().len(), 10);
     }
 }

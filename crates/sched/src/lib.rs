@@ -1,9 +1,9 @@
 //! Scheduler harness for the ALERT reproduction: the ALERT adapter, every
-//! baseline scheme of paper Table 3, the episode harness, and the Table 4
+//! baseline scheme of paper Table 3, the session runtime, and the Table 4
 //! experiment driver.
 //!
 //! * [`scheduler`] — the per-input [`Scheduler`](scheduler::Scheduler)
-//!   interface (decide → execute → observe).
+//!   interface (decide → execute → observe) plus snapshot hooks.
 //! * [`env`] — frozen episode environments: identical conditions for every
 //!   scheme, exact counterfactuals for the oracles.
 //! * [`budget`] — shared (sentence) deadline budgets, applied uniformly to
@@ -12,10 +12,19 @@
 //! * [`oracle`] — the per-input Oracle and the OracleStatic baseline.
 //! * [`app_only`], [`sys_only`], [`no_coord`] — the state-of-the-art
 //!   comparison points of §5.2.
-//! * [`harness`] — one (scheduler, episode) run → records + summary.
+//! * [`registry`] — the open [`Policy`](registry::Policy) trait and the
+//!   string-keyed [`PolicyRegistry`](registry::PolicyRegistry) (all nine
+//!   paper schemes pre-registered; external crates add their own).
+//! * [`runtime`] — the session runtime: a [`Runtime`](runtime::Runtime)
+//!   multiplexing long-lived sessions (`open_session` / `submit` /
+//!   `close`), per-input [`EpisodeEvent`](runtime::EpisodeEvent)
+//!   emission, checkpoint/migration, serde [`RunSpec`](runtime::RunSpec).
+//! * [`harness`] — the resumable per-stream
+//!   [`SessionEngine`](harness::SessionEngine) and the one-shot
+//!   [`run_episode`](harness::run_episode) adapter.
 //! * [`metrics`] — Table 4 normalization, violation superscripts,
 //!   harmonic means.
-//! * [`experiment`] — the full sweep driver with parallel settings.
+//! * [`experiment`] — the sweep driver, a thin adapter over the runtime.
 
 pub mod alert;
 pub mod app_only;
@@ -26,6 +35,8 @@ pub mod harness;
 pub mod metrics;
 pub mod no_coord;
 pub mod oracle;
+pub mod registry;
+pub mod runtime;
 pub mod scheduler;
 pub mod sys_only;
 
@@ -33,12 +44,15 @@ pub use alert::AlertScheduler;
 pub use app_only::AppOnly;
 pub use budget::BudgetTracker;
 pub use env::{EnvRealization, EpisodeEnv};
-pub use experiment::{
-    run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind,
-};
-pub use harness::{run_episode, Episode};
+pub use experiment::{run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind};
+pub use harness::{run_episode, Episode, SessionEngine};
 pub use metrics::{objective_report, CellStat, ResultTable};
 pub use no_coord::NoCoord;
 pub use oracle::{Oracle, OracleStatic};
+pub use registry::{FnPolicy, Policy, PolicyContext, PolicyRegistry, UnknownPolicy};
+pub use runtime::{
+    EpisodeEvent, EventSink, FamilySpec, RunSpec, Runtime, RuntimeBuilder, RuntimeError,
+    SessionSnapshot, SessionSpec,
+};
 pub use scheduler::{Decision, Feedback, InputContext, Scheduler};
 pub use sys_only::SysOnly;

@@ -125,7 +125,8 @@ impl Scheduler for NoCoord {
                 continue;
             }
             let idle = (ctx.period.get() - t_hat).max(0.0);
-            let e = self.p_run[j].get() * t_hat + self.idle_est.get().min(self.caps[j].get()) * idle;
+            let e =
+                self.p_run[j].get() * t_hat + self.idle_est.get().min(self.caps[j].get()) * idle;
             if let Objective::MinimizeError = self.goal.objective {
                 if let Some(budget) = self.goal.energy_budget {
                     if e > budget.get() {
@@ -133,7 +134,7 @@ impl Scheduler for NoCoord {
                     }
                 }
             }
-            if best.map_or(true, |(_, cur)| e < cur) {
+            if best.is_none_or(|(_, cur)| e < cur) {
                 best = Some((j, e));
             }
         }
@@ -206,14 +207,8 @@ mod tests {
             let profile = &family.models()[d.model];
             // Environment at profile speed — any slowdown the app sees is
             // purely self-inflicted by the sys level's cap choice.
-            let result = alert_models::inference::execute(
-                profile,
-                &platform,
-                d.cap,
-                1.0,
-                d.stop,
-            )
-            .unwrap();
+            let result =
+                alert_models::inference::execute(profile, &platform, d.cap, 1.0, d.stop).unwrap();
             if let StopPolicy::AtTimeOrStage(_, k) = d.stop {
                 stage_targets.push(k);
             }

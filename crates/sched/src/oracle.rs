@@ -156,21 +156,21 @@ impl Oracle {
             let o = realize_candidate(&self.env, profile, &c, i, deadline);
             if satisfies(&o, &self.goal, deadline) {
                 let key = objective_key(&o, &self.goal);
-                if best_valid.as_ref().map_or(true, |&(_, _, k)| key < k) {
+                if best_valid.as_ref().is_none_or(|&(_, _, k)| key < k) {
                     best_valid = Some((c, o, key));
                 }
             }
             if o.latency.get() <= deadline.get() * (1.0 + 1e-9) {
                 let better = best_deadline_only
                     .as_ref()
-                    .map_or(true, |(_, cur)| o.quality > cur.quality);
+                    .is_none_or(|(_, cur)| o.quality > cur.quality);
                 if better {
                     best_deadline_only = Some((c, o));
                 }
             }
             let better = best_any
                 .as_ref()
-                .map_or(true, |(_, cur)| o.latency < cur.latency);
+                .is_none_or(|(_, cur)| o.latency < cur.latency);
             if better {
                 best_any = Some((c, o));
             }
@@ -512,8 +512,7 @@ mod tests {
         };
         let cell = vec![(mk_env(&loose), loose), (mk_env(&tight), tight)];
         let cell_static = OracleStatic::for_cell(&cell, family.clone(), &stream);
-        let loose_static =
-            OracleStatic::new(mk_env(&loose), family.clone(), &stream, loose);
+        let loose_static = OracleStatic::new(mk_env(&loose), family.clone(), &stream, loose);
         // The per-setting optimum for the loose setting is cheaper than
         // the cell-level compromise evaluated on that same setting.
         let cell_on_loose =

@@ -1,0 +1,374 @@
+//! The open policy registry: string-keyed scheduler constructors.
+//!
+//! Historically the harness dispatched on a closed `SchemeKind` enum, so
+//! adding a scheme meant editing `experiment.rs`. The registry inverts
+//! that: a [`Policy`] is a named constructor that builds a
+//! [`Scheduler`] for one session from a [`PolicyContext`], and a
+//! [`PolicyRegistry`] maps names to policies. External crates (and
+//! `examples/custom_policy.rs`) register their schemes next to the
+//! built-ins and everything downstream — the runtime, the experiment
+//! sweeps, `RunSpec` files — addresses them by name.
+//!
+//! All nine paper schemes are pre-registered by
+//! [`PolicyRegistry::builtin`] under their Table 3/4 column labels
+//! (`"ALERT"`, `"ALERT-Any"`, `"Oracle"`, …).
+
+use crate::alert::AlertScheduler;
+use crate::app_only::AppOnly;
+use crate::env::EpisodeEnv;
+use crate::no_coord::NoCoord;
+use crate::oracle::{Oracle, OracleStatic};
+use crate::scheduler::Scheduler;
+use crate::sys_only::SysOnly;
+use alert_core::alert::AlertParams;
+use alert_models::family::CandidateSet;
+use alert_models::ModelFamily;
+use alert_platform::Platform;
+use alert_workload::{Goal, InputStream};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything a policy may consult when building a scheduler for one
+/// session. The frozen environment and the input stream are included
+/// for the oracle schemes (paper §5.1 calls them impractical for
+/// exactly this reason); honest policies should touch only the family,
+/// platform, goal and params.
+pub struct PolicyContext<'a> {
+    /// The candidate model family of the session.
+    pub family: &'a ModelFamily,
+    /// The platform the session runs on.
+    pub platform: &'a Platform,
+    /// The session's goal.
+    pub goal: Goal,
+    /// Controller parameters from the run specification (ALERT-family
+    /// policies honour these; others may ignore them).
+    pub params: AlertParams,
+    /// The frozen episode environment (oracles only).
+    pub env: &'a Arc<EpisodeEnv>,
+    /// The session's input stream (OracleStatic needs lookahead).
+    pub stream: &'a InputStream,
+}
+
+/// A named scheduler constructor.
+pub trait Policy: Send + Sync {
+    /// The registry key and reporting label.
+    fn name(&self) -> &str;
+
+    /// Builds a fresh scheduler instance for one session.
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn Scheduler>;
+}
+
+/// A boxed scheduler constructor, as stored by [`FnPolicy`].
+pub type BuildFn = Box<dyn Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync>;
+
+/// A [`Policy`] from a name and a closure — the quickest way to register
+/// a custom scheme.
+pub struct FnPolicy {
+    name: String,
+    build: BuildFn,
+}
+
+impl FnPolicy {
+    /// Wraps `build` as a policy named `name`.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Self {
+        FnPolicy {
+            name: name.into(),
+            build: Box::new(build),
+        }
+    }
+}
+
+impl Policy for FnPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn Scheduler> {
+        (self.build)(ctx)
+    }
+}
+
+/// Error resolving a policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The names that were available.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown policy '{}' (registered: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// String-keyed policy table. Cheap to clone (policies are shared).
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    policies: BTreeMap<String, Arc<dyn Policy>>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the nine paper schemes under their
+    /// Table 3/4 labels.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register_fn("ALERT", |ctx| {
+            Box::new(AlertScheduler::new(
+                "ALERT",
+                ctx.family,
+                CandidateSet::Standard,
+                ctx.platform,
+                ctx.goal,
+                ctx.params,
+            ))
+        });
+        r.register_fn("ALERT-Any", |ctx| {
+            Box::new(AlertScheduler::new(
+                "ALERT-Any",
+                ctx.family,
+                CandidateSet::AnytimeOnly,
+                ctx.platform,
+                ctx.goal,
+                ctx.params,
+            ))
+        });
+        r.register_fn("ALERT-Trad", |ctx| {
+            Box::new(AlertScheduler::new(
+                "ALERT-Trad",
+                ctx.family,
+                CandidateSet::TraditionalOnly,
+                ctx.platform,
+                ctx.goal,
+                ctx.params,
+            ))
+        });
+        r.register_fn("ALERT*", |ctx| {
+            let params = AlertParams {
+                mode: alert_core::ProbabilityMode::MeanOnly,
+                ..ctx.params
+            };
+            Box::new(AlertScheduler::new(
+                "ALERT*",
+                ctx.family,
+                CandidateSet::Standard,
+                ctx.platform,
+                ctx.goal,
+                params,
+            ))
+        });
+        r.register_fn("Oracle", |ctx| {
+            Box::new(Oracle::new(ctx.env.clone(), ctx.family.clone(), ctx.goal))
+        });
+        r.register_fn("OracleStatic", |ctx| {
+            Box::new(OracleStatic::new(
+                ctx.env.clone(),
+                ctx.family.clone(),
+                ctx.stream,
+                ctx.goal,
+            ))
+        });
+        r.register_fn("App-only", |ctx| {
+            Box::new(AppOnly::new(ctx.family, ctx.platform))
+        });
+        r.register_fn("Sys-only", |ctx| {
+            Box::new(SysOnly::new(ctx.family, ctx.platform, ctx.goal))
+        });
+        r.register_fn("No-coord", |ctx| {
+            Box::new(NoCoord::new(ctx.family, ctx.platform, ctx.goal))
+        });
+        r
+    }
+
+    /// Registers `policy` under its own name, replacing any previous
+    /// holder of that name (latest registration wins, so callers can
+    /// shadow built-ins).
+    pub fn register(&mut self, policy: Arc<dyn Policy>) {
+        self.policies.insert(policy.name().to_string(), policy);
+    }
+
+    /// Registers a closure-backed policy (see [`FnPolicy`]).
+    pub fn register_fn(
+        &mut self,
+        name: impl Into<String>,
+        build: impl Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) {
+        self.register(Arc::new(FnPolicy::new(name, build)));
+    }
+
+    /// Looks up a policy by name.
+    pub fn resolve(&self, name: &str) -> Option<Arc<dyn Policy>> {
+        self.policies.get(name).cloned()
+    }
+
+    /// `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.policies.contains_key(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.policies.keys().cloned().collect()
+    }
+
+    /// Builds a scheduler by policy name.
+    pub fn build(
+        &self,
+        name: &str,
+        ctx: &PolicyContext<'_>,
+    ) -> Result<Box<dyn Scheduler>, UnknownPolicy> {
+        match self.resolve(name) {
+            Some(p) => Ok(p.build(ctx)),
+            None => Err(UnknownPolicy {
+                name: name.to_string(),
+                known: self.names(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("policies", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_stats::units::Seconds;
+    use alert_workload::{Scenario, TaskId};
+
+    fn ctx_parts() -> (ModelFamily, Platform, Goal, InputStream, Arc<EpisodeEnv>) {
+        let family = ModelFamily::image_classification();
+        let platform = Platform::cpu1();
+        let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+        let stream = InputStream::generate(TaskId::Img2, 40, 3);
+        let env = Arc::new(EpisodeEnv::build(
+            &platform,
+            &Scenario::default_env(),
+            &stream,
+            &goal,
+            3,
+        ));
+        (family, platform, goal, stream, env)
+    }
+
+    #[test]
+    fn builtin_covers_all_scheme_kinds() {
+        use crate::experiment::SchemeKind;
+        let r = PolicyRegistry::builtin();
+        let kinds = [
+            SchemeKind::Alert,
+            SchemeKind::AlertAny,
+            SchemeKind::AlertTrad,
+            SchemeKind::AlertStar,
+            SchemeKind::Oracle,
+            SchemeKind::OracleStatic,
+            SchemeKind::AppOnly,
+            SchemeKind::SysOnly,
+            SchemeKind::NoCoord,
+        ];
+        for kind in kinds {
+            assert!(r.contains(kind.name()), "missing {}", kind.name());
+        }
+        assert_eq!(r.names().len(), kinds.len());
+    }
+
+    #[test]
+    fn builtin_policies_build_correctly_named_schedulers() {
+        let (family, platform, goal, stream, env) = ctx_parts();
+        let ctx = PolicyContext {
+            family: &family,
+            platform: &platform,
+            goal,
+            params: AlertParams::default(),
+            env: &env,
+            stream: &stream,
+        };
+        let r = PolicyRegistry::builtin();
+        for name in r.names() {
+            let s = r.build(&name, &ctx).unwrap();
+            assert_eq!(s.name(), name, "policy name must match scheduler name");
+        }
+    }
+
+    #[test]
+    fn unknown_name_reports_known_set() {
+        let (family, platform, goal, stream, env) = ctx_parts();
+        let ctx = PolicyContext {
+            family: &family,
+            platform: &platform,
+            goal,
+            params: AlertParams::default(),
+            env: &env,
+            stream: &stream,
+        };
+        let err = match PolicyRegistry::builtin().build("NoSuch", &ctx) {
+            Ok(_) => panic!("unknown policy must not resolve"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "NoSuch");
+        assert!(err.known.contains(&"ALERT".to_string()));
+        assert!(err.to_string().contains("unknown policy"));
+    }
+
+    #[test]
+    fn custom_registration_shadows_builtin() {
+        let (family, platform, goal, stream, env) = ctx_parts();
+        let ctx = PolicyContext {
+            family: &family,
+            platform: &platform,
+            goal,
+            params: AlertParams::default(),
+            env: &env,
+            stream: &stream,
+        };
+        let mut r = PolicyRegistry::builtin();
+        r.register_fn("ALERT", |ctx| {
+            Box::new(AppOnly::new(ctx.family, ctx.platform))
+        });
+        let s = r.build("ALERT", &ctx).unwrap();
+        assert_eq!(s.name(), "App-only");
+    }
+
+    #[test]
+    fn params_reach_alert_policies() {
+        let (family, platform, goal, stream, env) = ctx_parts();
+        let params = AlertParams {
+            initial_idle_ratio: 0.55,
+            ..Default::default()
+        };
+        let ctx = PolicyContext {
+            family: &family,
+            platform: &platform,
+            goal,
+            params,
+            env: &env,
+            stream: &stream,
+        };
+        let r = PolicyRegistry::builtin();
+        let s = r.build("ALERT", &ctx).unwrap();
+        assert!(s.controller_snapshot().is_some());
+        let snap = s.controller_snapshot().unwrap();
+        assert_eq!(snap.idle.ratio(), 0.55);
+    }
+}

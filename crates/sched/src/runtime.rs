@@ -1,0 +1,1097 @@
+//! The session runtime: long-lived, concurrent, checkpointable serving.
+//!
+//! The original harness was one-shot: `run_episode` drove exactly one
+//! stream to completion and returned. A [`Runtime`] instead *owns* any
+//! number of independent [`SessionId`]-addressed sessions, each a
+//! long-lived handle over (stream, frozen environment, goal, scheduler):
+//!
+//! * [`Runtime::open_session`] builds a session from a serializable
+//!   [`SessionSpec`] (scenario + seed + goal + optional policy override);
+//! * [`Runtime::submit`] advances one session by exactly one input,
+//!   emitting an [`EpisodeEvent`] to the configured [`EventSink`];
+//! * [`Runtime::close`] folds a session into the classic [`Episode`].
+//!
+//! Sessions are fully independent — each owns its scheduler state and
+//! deadline budget — so any interleaving of `submit` calls across
+//! sessions produces records bit-identical to running each stream
+//! standalone (`tests/runtime_sessions.rs` proves this for 64 sessions).
+//!
+//! Sessions opened from a [`SessionSpec`] can also be *checkpointed*
+//! ([`Runtime::snapshot_session`]) and *restored* — in the same runtime
+//! or a different one (migration): the snapshot carries the engine state
+//! (cursor, budget, records) plus the scheduler's learned state via
+//! [`alert_core::ControllerSnapshot`], and the environment is rebuilt
+//! deterministically from the spec.
+//!
+//! The runtime's own configuration round-trips through [`RunSpec`]
+//! (serde), so a whole run — platform, family, policy, params — can be
+//! stored in a file and rebuilt with [`RuntimeBuilder::from_spec`].
+
+use crate::env::EpisodeEnv;
+use crate::experiment::FamilyKind;
+use crate::harness::{Episode, SessionEngine};
+use crate::registry::{PolicyContext, PolicyRegistry, UnknownPolicy};
+use crate::scheduler::Scheduler;
+use alert_core::alert::AlertParams;
+use alert_core::ControllerSnapshot;
+use alert_models::ModelFamily;
+use alert_platform::{Platform, PlatformId};
+use alert_workload::{
+    EpisodeSummary, Goal, InputRecord, InputStream, Scenario, SessionId, StreamId, TaskId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The candidate family of a run, in serializable form: either one of
+/// the paper's two named families or an explicit custom family with its
+/// driving task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FamilySpec {
+    /// A named paper family (Sparse-ResNet image / RNN sentence).
+    Kind(FamilyKind),
+    /// An explicit candidate family.
+    Custom {
+        /// The candidate models.
+        family: ModelFamily,
+        /// The task whose input statistics drive the streams.
+        task: TaskId,
+    },
+}
+
+impl FamilySpec {
+    /// Materializes the candidate family.
+    pub fn family(&self) -> ModelFamily {
+        match self {
+            FamilySpec::Kind(k) => k.family(),
+            FamilySpec::Custom { family, .. } => family.clone(),
+        }
+    }
+
+    /// The task generating the input streams.
+    pub fn task(&self) -> TaskId {
+        match self {
+            FamilySpec::Kind(k) => k.task(),
+            FamilySpec::Custom { task, .. } => *task,
+        }
+    }
+}
+
+/// The full serializable configuration of a [`Runtime`]. Written to a
+/// file, a `RunSpec` is everything needed to rebuild the same runtime
+/// (modulo custom policies, which must be re-registered by name).
+///
+/// The JSON format is documented in `DESIGN.md` §"RunSpec".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Platform preset.
+    pub platform: PlatformId,
+    /// Candidate family.
+    pub family: FamilySpec,
+    /// Default policy name for new sessions (resolved via the registry).
+    pub policy: String,
+    /// Controller parameters handed to ALERT-family policies.
+    pub params: AlertParams,
+    /// Default seed for sessions that do not carry their own.
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            platform: PlatformId::Cpu1,
+            family: FamilySpec::Kind(FamilyKind::Image),
+            policy: "ALERT".to_string(),
+            params: AlertParams::default(),
+            seed: 2020,
+        }
+    }
+}
+
+/// One session's serializable description: everything needed to rebuild
+/// its stream and frozen environment deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The session's goal (objective + constraints).
+    pub goal: Goal,
+    /// The runtime environment scenario.
+    pub scenario: Scenario,
+    /// Inputs in the stream (words for grouped tasks).
+    pub n_inputs: usize,
+    /// Seed for the stream and environment realization; `None` uses the
+    /// runtime's default seed ([`RunSpec::seed`]).
+    pub seed: Option<u64>,
+    /// Policy override; `None` uses the runtime's default policy.
+    pub policy: Option<String>,
+}
+
+/// A checkpoint of one live session, sufficient to resume it in this or
+/// another [`Runtime`] ([`Runtime::restore_session`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The configuration of the runtime the session was snapshotted
+    /// from. Restore validates the target against it: the platform,
+    /// family and params must match, or the resumed records would
+    /// silently diverge from the first half.
+    pub origin: RunSpec,
+    /// The generating spec (stream + environment rebuild recipe). The
+    /// policy is always resolved (`Some`) in a snapshot, so restoring
+    /// into a runtime with a different default policy is safe.
+    pub spec: SessionSpec,
+    /// Reporting name of the scheme that was driving the session.
+    pub scheme: String,
+    /// Engine state: cursor, shared-deadline budget, records, overhead.
+    pub engine: SessionEngine,
+    /// The scheduler's learned state, when the policy supports export.
+    pub controller: Option<ControllerSnapshot>,
+}
+
+/// Lifecycle events emitted through the runtime's [`EventSink`], one per
+/// session transition or processed input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EpisodeEvent {
+    /// A session was opened.
+    SessionOpened {
+        /// The new session.
+        session: SessionId,
+        /// Content identity of its input stream.
+        stream: StreamId,
+        /// Reporting name of the scheme driving it.
+        scheme: String,
+        /// Total inputs the stream will deliver.
+        inputs: usize,
+    },
+    /// One input was processed.
+    InputProcessed {
+        /// The session that advanced.
+        session: SessionId,
+        /// The per-input record (same schema as `Episode::records`).
+        record: InputRecord,
+    },
+    /// A session was closed.
+    SessionClosed {
+        /// The closed session.
+        session: SessionId,
+        /// Reporting name of the scheme that drove it.
+        scheme: String,
+        /// Aggregated post-warm-up summary.
+        summary: EpisodeSummary,
+    },
+}
+
+/// Receives [`EpisodeEvent`]s as the runtime processes inputs.
+pub trait EventSink: Send {
+    /// Consumes one event.
+    fn emit(&mut self, event: &EpisodeEvent);
+}
+
+impl EventSink for std::sync::mpsc::Sender<EpisodeEvent> {
+    fn emit(&mut self, event: &EpisodeEvent) {
+        // A disconnected receiver is not the runtime's problem.
+        let _ = self.send(event.clone());
+    }
+}
+
+impl<F: FnMut(&EpisodeEvent) + Send> EventSink for F {
+    fn emit(&mut self, event: &EpisodeEvent) {
+        self(event)
+    }
+}
+
+/// Runtime operation errors.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A policy name failed to resolve.
+    Policy(UnknownPolicy),
+    /// No open session has this id.
+    UnknownSession(SessionId),
+    /// The session cannot be checkpointed (see message).
+    NotCheckpointable(SessionId, String),
+    /// A spec failed validation (see message).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Policy(e) => write!(f, "{e}"),
+            RuntimeError::UnknownSession(id) => write!(f, "no open session {id}"),
+            RuntimeError::NotCheckpointable(id, why) => {
+                write!(f, "{id} cannot be checkpointed: {why}")
+            }
+            RuntimeError::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<UnknownPolicy> for RuntimeError {
+    fn from(e: UnknownPolicy) -> Self {
+        RuntimeError::Policy(e)
+    }
+}
+
+/// One live session: scheduler + frozen environment + stepping engine.
+struct Session {
+    /// Rebuild recipe; `None` for sessions opened on externally built
+    /// environments (those cannot be checkpointed).
+    spec: Option<SessionSpec>,
+    scheme: String,
+    scheduler: Box<dyn Scheduler>,
+    env: Arc<EpisodeEnv>,
+    stream: InputStream,
+    goal: Goal,
+    engine: SessionEngine,
+}
+
+/// Builder for [`Runtime`] — see the module docs for the full picture.
+pub struct RuntimeBuilder {
+    spec: RunSpec,
+    registry: Option<PolicyRegistry>,
+    sink: Option<Box<dyn EventSink>>,
+}
+
+impl RuntimeBuilder {
+    /// A builder with the default spec (CPU1, image family, ALERT).
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            spec: RunSpec::default(),
+            registry: None,
+            sink: None,
+        }
+    }
+
+    /// Starts from an existing serialized configuration.
+    pub fn from_spec(spec: RunSpec) -> Self {
+        RuntimeBuilder {
+            spec,
+            registry: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the platform preset.
+    pub fn platform(mut self, platform: PlatformId) -> Self {
+        self.spec.platform = platform;
+        self
+    }
+
+    /// Sets a named paper family.
+    pub fn family(mut self, family: FamilyKind) -> Self {
+        self.spec.family = FamilySpec::Kind(family);
+        self
+    }
+
+    /// Sets an explicit candidate family with its driving task.
+    pub fn family_custom(mut self, family: ModelFamily, task: TaskId) -> Self {
+        self.spec.family = FamilySpec::Custom { family, task };
+        self
+    }
+
+    /// Sets the default policy for new sessions.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.spec.policy = name.into();
+        self
+    }
+
+    /// Sets the controller parameters handed to ALERT-family policies.
+    pub fn params(mut self, params: AlertParams) -> Self {
+        self.spec.params = params;
+        self
+    }
+
+    /// Sets the default session seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Installs a policy registry (defaults to
+    /// [`PolicyRegistry::builtin`]).
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Installs an event sink receiving every [`EpisodeEvent`].
+    pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Builds the runtime, validating that the default policy resolves.
+    pub fn build(self) -> Result<Runtime, RuntimeError> {
+        let registry = self.registry.unwrap_or_else(PolicyRegistry::builtin);
+        if !registry.contains(&self.spec.policy) {
+            return Err(RuntimeError::Policy(UnknownPolicy {
+                name: self.spec.policy.clone(),
+                known: registry.names(),
+            }));
+        }
+        let platform = Platform::by_id(self.spec.platform);
+        let family = self.spec.family.family();
+        Ok(Runtime {
+            platform,
+            family,
+            task: self.spec.family.task(),
+            spec: self.spec,
+            registry: Arc::new(registry),
+            sink: self.sink,
+            sessions: BTreeMap::new(),
+            next_id: 0,
+        })
+    }
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A long-lived multi-session serving runtime. See the module docs.
+pub struct Runtime {
+    platform: Platform,
+    family: ModelFamily,
+    task: TaskId,
+    spec: RunSpec,
+    registry: Arc<PolicyRegistry>,
+    sink: Option<Box<dyn EventSink>>,
+    sessions: BTreeMap<SessionId, Session>,
+    next_id: u64,
+}
+
+impl Runtime {
+    /// Starts a builder.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// The runtime's serializable configuration.
+    pub fn spec(&self) -> &RunSpec {
+        &self.spec
+    }
+
+    /// The platform sessions run on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The candidate family sessions schedule over.
+    pub fn family(&self) -> &ModelFamily {
+        &self.family
+    }
+
+    /// The policy registry in force.
+    pub fn registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// Ids of all open sessions, ascending.
+    pub fn open_sessions(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn insert_session(&mut self, session: Session) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&EpisodeEvent::SessionOpened {
+                session: id,
+                stream: session.stream.stream_id(),
+                scheme: session.scheme.clone(),
+                inputs: session.stream.len(),
+            });
+        }
+        self.sessions.insert(id, session);
+        id
+    }
+
+    fn build_scheduler(
+        &self,
+        policy: &str,
+        goal: Goal,
+        env: &Arc<EpisodeEnv>,
+        stream: &InputStream,
+    ) -> Result<Box<dyn Scheduler>, RuntimeError> {
+        let ctx = PolicyContext {
+            family: &self.family,
+            platform: &self.platform,
+            goal,
+            params: self.spec.params,
+            env,
+            stream,
+        };
+        Ok(self.registry.build(policy, &ctx)?)
+    }
+
+    /// Validates a spec and materializes its session ingredients — the
+    /// single code path behind both [`Runtime::open_session`] and
+    /// [`Runtime::restore_session`] (the bit-identical-resume guarantee
+    /// depends on these never diverging). The returned spec has its
+    /// seed and policy resolved against the runtime defaults, so it is
+    /// self-contained for later checkpoints.
+    #[allow(clippy::type_complexity)]
+    fn materialize(
+        &self,
+        mut spec: SessionSpec,
+    ) -> Result<
+        (
+            SessionSpec,
+            InputStream,
+            Arc<EpisodeEnv>,
+            Box<dyn Scheduler>,
+        ),
+        RuntimeError,
+    > {
+        if spec.n_inputs == 0 {
+            return Err(RuntimeError::InvalidSpec("n_inputs must be > 0".into()));
+        }
+        spec.goal.validate().map_err(RuntimeError::InvalidSpec)?;
+        let seed = spec.seed.unwrap_or(self.spec.seed);
+        spec.seed = Some(seed);
+        let policy = spec.policy.unwrap_or_else(|| self.spec.policy.clone());
+        spec.policy = Some(policy);
+        let stream = InputStream::generate(self.task, spec.n_inputs, seed);
+        let env = Arc::new(EpisodeEnv::build(
+            &self.platform,
+            &spec.scenario,
+            &stream,
+            &spec.goal,
+            seed,
+        ));
+        let scheduler = self.build_scheduler(
+            spec.policy.as_deref().expect("resolved above"),
+            spec.goal,
+            &env,
+            &stream,
+        )?;
+        Ok((spec, stream, env, scheduler))
+    }
+
+    /// Opens a session from a serializable spec: generates the stream,
+    /// freezes the environment, and builds the policy's scheduler.
+    pub fn open_session(&mut self, spec: SessionSpec) -> Result<SessionId, RuntimeError> {
+        let (spec, stream, env, scheduler) = self.materialize(spec)?;
+        let scheme = scheduler.name().to_string();
+        Ok(self.insert_session(Session {
+            goal: spec.goal,
+            spec: Some(spec),
+            scheme,
+            scheduler,
+            env,
+            stream,
+            engine: SessionEngine::new(),
+        }))
+    }
+
+    /// Opens a session on an externally built (possibly shared) frozen
+    /// environment — the experiment-sweep path, where every scheme must
+    /// face bit-identical conditions. Such sessions cannot be
+    /// checkpointed (the runtime cannot rebuild their environment).
+    pub fn open_session_on(
+        &mut self,
+        policy: &str,
+        goal: Goal,
+        stream: InputStream,
+        env: Arc<EpisodeEnv>,
+    ) -> Result<SessionId, RuntimeError> {
+        let scheduler = self.build_scheduler(policy, goal, &env, &stream)?;
+        let scheme = scheduler.name().to_string();
+        Ok(self.insert_session(Session {
+            spec: None,
+            scheme,
+            scheduler,
+            env,
+            stream,
+            goal,
+            engine: SessionEngine::new(),
+        }))
+    }
+
+    /// Opens a session with a pre-built scheduler (escape hatch for
+    /// schedulers carrying out-of-band state, e.g. a cell-pinned static
+    /// oracle). Such sessions cannot be checkpointed.
+    pub fn open_session_with(
+        &mut self,
+        scheduler: Box<dyn Scheduler>,
+        goal: Goal,
+        stream: InputStream,
+        env: Arc<EpisodeEnv>,
+    ) -> SessionId {
+        let scheme = scheduler.name().to_string();
+        self.insert_session(Session {
+            spec: None,
+            scheme,
+            scheduler,
+            env,
+            stream,
+            goal,
+            engine: SessionEngine::new(),
+        })
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Session, RuntimeError> {
+        self.sessions
+            .get(&id)
+            .ok_or(RuntimeError::UnknownSession(id))
+    }
+
+    /// `true` once the session has processed its whole stream.
+    pub fn is_finished(&self, id: SessionId) -> Result<bool, RuntimeError> {
+        let s = self.session(id)?;
+        Ok(s.engine.is_finished(&s.stream))
+    }
+
+    /// Inputs processed so far.
+    pub fn progress(&self, id: SessionId) -> Result<usize, RuntimeError> {
+        Ok(self.session(id)?.engine.cursor())
+    }
+
+    /// The scheme name driving a session.
+    pub fn scheme(&self, id: SessionId) -> Result<&str, RuntimeError> {
+        Ok(&self.session(id)?.scheme)
+    }
+
+    /// Advances `id` by one input without materializing an owned record
+    /// — the hot path under [`Runtime::run_to_completion`] and
+    /// [`Runtime::drain_round_robin`] (a clone happens only for the
+    /// event sink, if one is installed). Returns whether an input was
+    /// processed.
+    fn step_session(&mut self, id: SessionId) -> Result<bool, RuntimeError> {
+        let s = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        let record = s.engine.step(
+            s.scheduler.as_mut(),
+            &s.env,
+            &self.family,
+            &s.stream,
+            &s.goal,
+        );
+        match (record, self.sink.as_mut()) {
+            (Some(r), Some(sink)) => {
+                sink.emit(&EpisodeEvent::InputProcessed {
+                    session: id,
+                    record: r.clone(),
+                });
+                Ok(true)
+            }
+            (Some(_), None) => Ok(true),
+            (None, _) => Ok(false),
+        }
+    }
+
+    /// Advances `id` by exactly one input. Returns the record, or
+    /// `Ok(None)` when the stream is exhausted.
+    pub fn submit(&mut self, id: SessionId) -> Result<Option<InputRecord>, RuntimeError> {
+        if self.step_session(id)? {
+            Ok(self.session(id)?.engine.records().last().cloned())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Drives `id` to the end of its stream; returns the number of
+    /// inputs processed by this call.
+    pub fn run_to_completion(&mut self, id: SessionId) -> Result<usize, RuntimeError> {
+        let mut n = 0;
+        while self.step_session(id)? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Closes a session, returning its [`Episode`]. The session need not
+    /// be finished; the episode covers the inputs processed so far.
+    pub fn close(&mut self, id: SessionId) -> Result<Episode, RuntimeError> {
+        let s = self
+            .sessions
+            .remove(&id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        let episode = s.engine.finish(&s.scheme, &s.goal);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&EpisodeEvent::SessionClosed {
+                session: id,
+                scheme: s.scheme,
+                summary: episode.summary.clone(),
+            });
+        }
+        Ok(episode)
+    }
+
+    /// Steps every open session one input at a time, round-robin in id
+    /// order, until all are finished; closes them and returns the
+    /// episodes ascending by id. The workhorse of the concurrency tests
+    /// and the runtime benchmark.
+    pub fn drain_round_robin(&mut self) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
+        let ids = self.open_sessions();
+        let mut live: Vec<SessionId> = ids.clone();
+        while !live.is_empty() {
+            let mut still = Vec::with_capacity(live.len());
+            for id in live {
+                if self.step_session(id)? {
+                    still.push(id);
+                }
+            }
+            live = still;
+        }
+        ids.into_iter()
+            .map(|id| Ok((id, self.close(id)?)))
+            .collect()
+    }
+
+    /// Checkpoints a session opened from a [`SessionSpec`].
+    ///
+    /// Fails for sessions opened on external environments (no rebuild
+    /// recipe) and for policies that cannot export their state once the
+    /// session has started (nothing to carry the learned state over).
+    pub fn snapshot_session(&self, id: SessionId) -> Result<SessionSnapshot, RuntimeError> {
+        let s = self.session(id)?;
+        // Session specs are stored fully resolved (seed + policy), so
+        // the snapshot is self-contained.
+        let spec = s.spec.clone().ok_or_else(|| {
+            RuntimeError::NotCheckpointable(
+                id,
+                "opened on an external environment (no rebuild recipe)".into(),
+            )
+        })?;
+        let controller = s.scheduler.controller_snapshot();
+        if controller.is_none() && s.engine.cursor() > 0 {
+            return Err(RuntimeError::NotCheckpointable(
+                id,
+                format!("policy '{}' does not export controller state", s.scheme),
+            ));
+        }
+        Ok(SessionSnapshot {
+            origin: self.spec.clone(),
+            spec,
+            scheme: s.scheme.clone(),
+            engine: s.engine.clone(),
+            controller,
+        })
+    }
+
+    /// Restores a checkpointed session into this runtime (the migration
+    /// path): rebuilds the stream and environment from the snapshot's
+    /// spec, builds a fresh scheduler, restores its learned state, and
+    /// resumes from the recorded cursor. Returns the new session id.
+    pub fn restore_session(&mut self, snap: &SessionSnapshot) -> Result<SessionId, RuntimeError> {
+        // The target runtime must match the snapshot's origin on
+        // everything that shaped the already-recorded half of the
+        // episode; otherwise the resumed records would silently diverge.
+        if self.spec.platform != snap.origin.platform {
+            return Err(RuntimeError::InvalidSpec(format!(
+                "snapshot was taken on platform {:?}, this runtime is {:?}",
+                snap.origin.platform, self.spec.platform
+            )));
+        }
+        if self.spec.family != snap.origin.family {
+            return Err(RuntimeError::InvalidSpec(
+                "snapshot was taken over a different candidate family".into(),
+            ));
+        }
+        if self.spec.params != snap.origin.params {
+            return Err(RuntimeError::InvalidSpec(
+                "snapshot was taken under different controller params".into(),
+            ));
+        }
+        if snap.engine.cursor() > snap.spec.n_inputs
+            || snap.engine.records().len() != snap.engine.cursor()
+        {
+            return Err(RuntimeError::InvalidSpec(format!(
+                "engine state inconsistent: cursor {} / {} records over a {}-input stream",
+                snap.engine.cursor(),
+                snap.engine.records().len(),
+                snap.spec.n_inputs
+            )));
+        }
+        let (spec, stream, env, mut scheduler) = self.materialize(snap.spec.clone())?;
+        if let Some(ctl) = &snap.controller {
+            scheduler.restore_controller(ctl);
+        }
+        Ok(self.insert_session(Session {
+            goal: spec.goal,
+            spec: Some(spec),
+            scheme: snap.scheme.clone(),
+            scheduler,
+            env,
+            stream,
+            engine: snap.engine.clone(),
+        }))
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("spec", &self.spec)
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_stats::units::Seconds;
+    use std::sync::mpsc;
+
+    fn spec(seed: u64) -> SessionSpec {
+        SessionSpec {
+            goal: Goal::minimize_energy(Seconds(0.4), 0.9),
+            scenario: Scenario::memory_env(seed),
+            n_inputs: 60,
+            seed: Some(seed),
+            policy: None,
+        }
+    }
+
+    fn runtime() -> Runtime {
+        Runtime::builder().build().expect("default builds")
+    }
+
+    #[test]
+    fn builder_rejects_unknown_default_policy() {
+        let err = Runtime::builder().policy("NoSuch").build().unwrap_err();
+        assert!(matches!(err, RuntimeError::Policy(_)), "{err}");
+    }
+
+    #[test]
+    fn open_submit_close_lifecycle() {
+        let mut rt = runtime();
+        let id = rt.open_session(spec(7)).unwrap();
+        assert_eq!(rt.session_count(), 1);
+        assert!(!rt.is_finished(id).unwrap());
+        let first = rt.submit(id).unwrap().expect("one record");
+        assert_eq!(first.index, 0);
+        assert_eq!(rt.progress(id).unwrap(), 1);
+        let n = rt.run_to_completion(id).unwrap();
+        assert_eq!(n, 59);
+        assert!(rt.is_finished(id).unwrap());
+        assert!(rt.submit(id).unwrap().is_none());
+        let ep = rt.close(id).unwrap();
+        assert_eq!(ep.records.len(), 60);
+        assert_eq!(ep.scheme, "ALERT");
+        assert_eq!(rt.session_count(), 0);
+        assert!(matches!(
+            rt.submit(id),
+            Err(RuntimeError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut rt = runtime();
+        let mut s = spec(1);
+        s.n_inputs = 0;
+        assert!(matches!(
+            rt.open_session(s),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+        let mut s = spec(1);
+        s.goal.min_quality = None;
+        assert!(matches!(
+            rt.open_session(s),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+        let mut s = spec(1);
+        s.policy = Some("NoSuch".into());
+        assert!(matches!(rt.open_session(s), Err(RuntimeError::Policy(_))));
+    }
+
+    #[test]
+    fn sessions_inherit_runtime_default_seed() {
+        // `seed: None` resolves to the RunSpec seed: two runtimes with
+        // the same default seed agree, a third with a different default
+        // diverges.
+        let run_with_default = |rt_seed: u64| {
+            let mut rt = Runtime::builder().seed(rt_seed).build().unwrap();
+            let id = rt
+                .open_session(SessionSpec {
+                    seed: None,
+                    ..spec(1)
+                })
+                .unwrap();
+            rt.run_to_completion(id).unwrap();
+            rt.close(id).unwrap()
+        };
+        let a = run_with_default(500);
+        let b = run_with_default(500);
+        let c = run_with_default(501);
+        assert_eq!(a.records, b.records);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn per_session_policy_override() {
+        let mut rt = runtime();
+        let a = rt
+            .open_session(SessionSpec {
+                policy: Some("App-only".into()),
+                ..spec(3)
+            })
+            .unwrap();
+        let b = rt.open_session(spec(3)).unwrap();
+        assert_eq!(rt.scheme(a).unwrap(), "App-only");
+        assert_eq!(rt.scheme(b).unwrap(), "ALERT");
+    }
+
+    #[test]
+    fn interleaved_sessions_match_isolated_sessions() {
+        // Three sessions multiplexed through one runtime, stepped in a
+        // deliberately unfair interleaving, produce records identical to
+        // three separately drained runtimes.
+        let seeds = [11u64, 12, 13];
+        let isolated: Vec<Episode> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rt = runtime();
+                let id = rt.open_session(spec(s)).unwrap();
+                rt.run_to_completion(id).unwrap();
+                rt.close(id).unwrap()
+            })
+            .collect();
+
+        let mut rt = runtime();
+        let ids: Vec<SessionId> = seeds
+            .iter()
+            .map(|&s| rt.open_session(spec(s)).unwrap())
+            .collect();
+        // Unfair schedule: two steps of session 0, one of 1, three of 2...
+        let pattern = [0usize, 0, 1, 2, 2, 2];
+        let mut done = 0;
+        while done < ids.len() {
+            done = 0;
+            for &k in &pattern {
+                let _ = rt.submit(ids[k]).unwrap();
+            }
+            for &id in &ids {
+                if rt.is_finished(id).unwrap() {
+                    done += 1;
+                }
+            }
+        }
+        for (&id, isolated_ep) in ids.iter().zip(&isolated) {
+            let ep = rt.close(id).unwrap();
+            assert_eq!(ep.records, isolated_ep.records);
+        }
+    }
+
+    #[test]
+    fn events_flow_through_mpsc_sink() {
+        let (tx, rx) = mpsc::channel();
+        let mut rt = Runtime::builder().sink(tx).build().unwrap();
+        let id = rt.open_session(spec(5)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        let _ = rt.close(id).unwrap();
+        drop(rt); // drop the sender inside the runtime
+        let events: Vec<EpisodeEvent> = rx.iter().collect();
+        assert_eq!(events.len(), 1 + 60 + 1);
+        assert!(matches!(
+            &events[0],
+            EpisodeEvent::SessionOpened { session, inputs: 60, .. } if *session == id
+        ));
+        for (i, e) in events[1..=60].iter().enumerate() {
+            match e {
+                EpisodeEvent::InputProcessed { session, record } => {
+                    assert_eq!(*session, id);
+                    assert_eq!(record.index, i);
+                }
+                other => panic!("expected InputProcessed, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            &events[61],
+            EpisodeEvent::SessionClosed { session, .. } if *session == id
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Run uninterrupted for the reference...
+        let mut rt = runtime();
+        let id = rt.open_session(spec(21)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        let reference = rt.close(id).unwrap();
+
+        // ...then run half, checkpoint, migrate to a NEW runtime, finish.
+        let mut rt1 = runtime();
+        let id1 = rt1.open_session(spec(21)).unwrap();
+        for _ in 0..30 {
+            rt1.submit(id1).unwrap();
+        }
+        let snap = rt1.snapshot_session(id1).unwrap();
+        drop(rt1);
+
+        let mut rt2 = runtime();
+        let id2 = rt2.restore_session(&snap).unwrap();
+        assert_eq!(rt2.progress(id2).unwrap(), 30);
+        rt2.run_to_completion(id2).unwrap();
+        let resumed = rt2.close(id2).unwrap();
+        assert_eq!(reference.records, resumed.records);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_runtime_config() {
+        let mut rt = runtime();
+        let id = rt.open_session(spec(6)).unwrap();
+        for _ in 0..5 {
+            rt.submit(id).unwrap();
+        }
+        let snap = rt.snapshot_session(id).unwrap();
+
+        // Different platform.
+        let mut gpu = Runtime::builder()
+            .platform(PlatformId::Gpu)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            gpu.restore_session(&snap),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+
+        // Different controller params.
+        let mut other = Runtime::builder()
+            .params(AlertParams {
+                initial_idle_ratio: 0.7,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        assert!(matches!(
+            other.restore_session(&snap),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+
+        // A different *default policy* is fine: the snapshot carries the
+        // resolved policy name.
+        let mut app = Runtime::builder().policy("App-only").build().unwrap();
+        let restored = app.restore_session(&snap).unwrap();
+        assert_eq!(app.scheme(restored).unwrap(), "ALERT");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut rt = runtime();
+        let id = rt.open_session(spec(6)).unwrap();
+        for _ in 0..5 {
+            rt.submit(id).unwrap();
+        }
+        let good = rt.snapshot_session(id).unwrap();
+
+        let mut zero = good.clone();
+        zero.spec.n_inputs = 0;
+        assert!(matches!(
+            rt.restore_session(&zero),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+
+        let mut bad_goal = good.clone();
+        bad_goal.spec.goal.min_quality = None;
+        assert!(matches!(
+            rt.restore_session(&bad_goal),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+
+        let mut short = good.clone();
+        short.spec.n_inputs = 3; // cursor 5 > stream of 3
+        assert!(matches!(
+            rt.restore_session(&short),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut rt = runtime();
+        let id = rt.open_session(spec(2)).unwrap();
+        for _ in 0..10 {
+            rt.submit(id).unwrap();
+        }
+        let snap = rt.snapshot_session(id).unwrap();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn stateless_policies_cannot_checkpoint_mid_stream() {
+        let mut rt = runtime();
+        let id = rt
+            .open_session(SessionSpec {
+                policy: Some("App-only".into()),
+                ..spec(4)
+            })
+            .unwrap();
+        // Fresh sessions can snapshot (nothing learned yet)...
+        assert!(rt.snapshot_session(id).is_ok());
+        rt.submit(id).unwrap();
+        // ...started ones cannot: App-only exports no controller state.
+        assert!(matches!(
+            rt.snapshot_session(id),
+            Err(RuntimeError::NotCheckpointable(_, _))
+        ));
+    }
+
+    #[test]
+    fn external_env_sessions_cannot_checkpoint() {
+        let mut rt = runtime();
+        let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+        let stream = InputStream::generate(TaskId::Img2, 30, 9);
+        let env = Arc::new(EpisodeEnv::build(
+            rt.platform(),
+            &Scenario::default_env(),
+            &stream,
+            &goal,
+            9,
+        ));
+        let id = rt.open_session_on("ALERT", goal, stream, env).unwrap();
+        assert!(matches!(
+            rt.snapshot_session(id),
+            Err(RuntimeError::NotCheckpointable(_, _))
+        ));
+    }
+
+    #[test]
+    fn run_spec_roundtrips_through_json() {
+        let spec = RunSpec {
+            platform: PlatformId::Gpu,
+            family: FamilySpec::Kind(FamilyKind::Image),
+            policy: "ALERT-Any".to_string(),
+            params: AlertParams::default(),
+            seed: 99,
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let rt = RuntimeBuilder::from_spec(back).build().unwrap();
+        assert_eq!(rt.spec().policy, "ALERT-Any");
+        assert_eq!(rt.spec().platform, PlatformId::Gpu);
+    }
+
+    #[test]
+    fn drain_round_robin_closes_everything() {
+        let mut rt = runtime();
+        let mut specs = Vec::new();
+        for s in 0..5u64 {
+            let mut sp = spec(40 + s);
+            sp.n_inputs = 20 + s as usize * 7; // uneven lengths
+            specs.push(sp.clone());
+            rt.open_session(sp).unwrap();
+        }
+        let episodes = rt.drain_round_robin().unwrap();
+        assert_eq!(episodes.len(), 5);
+        assert_eq!(rt.session_count(), 0);
+        for ((_, ep), sp) in episodes.iter().zip(&specs) {
+            assert_eq!(ep.records.len(), sp.n_inputs);
+        }
+    }
+}

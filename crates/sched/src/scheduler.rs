@@ -8,6 +8,7 @@
 //! they are constructed *with* the frozen environment (paper §5.1 calls
 //! them impractical for exactly this reason).
 
+use alert_core::ControllerSnapshot;
 use alert_models::inference::{InferenceResult, StopPolicy};
 use alert_stats::units::{Joules, Seconds, Watts};
 use alert_workload::GroupPos;
@@ -71,6 +72,19 @@ pub trait Scheduler {
     fn last_decision_cost(&self) -> Seconds {
         Seconds::ZERO
     }
+
+    /// Exports the scheme's learned state for session checkpointing, if
+    /// the scheme supports it (the ALERT family does; stateless and
+    /// oracle schemes return `None` and sessions running them cannot be
+    /// migrated mid-stream).
+    fn controller_snapshot(&self) -> Option<ControllerSnapshot> {
+        None
+    }
+
+    /// Restores previously exported state into a freshly built scheme
+    /// instance (the migration path). Schemes that do not support
+    /// snapshots ignore the call.
+    fn restore_controller(&mut self, _snapshot: &ControllerSnapshot) {}
 }
 
 #[cfg(test)]

@@ -103,7 +103,8 @@ impl Scheduler for SysOnly {
                 continue;
             }
             let idle = (ctx.period.get() - t_hat).max(0.0);
-            let e = self.p_run[j].get() * t_hat + self.idle_est.get().min(self.caps[j].get()) * idle;
+            let e =
+                self.p_run[j].get() * t_hat + self.idle_est.get().min(self.caps[j].get()) * idle;
             if let Objective::MinimizeError = self.goal.objective {
                 if let Some(budget) = self.goal.energy_budget {
                     if e > budget.get() {
@@ -111,7 +112,7 @@ impl Scheduler for SysOnly {
                     }
                 }
             }
-            if best.map_or(true, |(_, cur)| e < cur) {
+            if best.is_none_or(|(_, cur)| e < cur) {
                 best = Some((j, e));
             }
         }

@@ -136,7 +136,11 @@ pub fn above_hull(hull: &[Point2], p: Point2, eps: f64) -> bool {
     for w in hull.windows(2) {
         let (a, b) = (w[0], w[1]);
         if p.x >= a.x && p.x <= b.x {
-            let t = if b.x > a.x { (p.x - a.x) / (b.x - a.x) } else { 0.0 };
+            let t = if b.x > a.x {
+                (p.x - a.x) / (b.x - a.x)
+            } else {
+                0.0
+            };
             let y_line = a.y + t * (b.y - a.y);
             return p.y >= y_line - eps;
         }
@@ -238,9 +242,15 @@ mod tests {
         let hull = lower_convex_hull(&p);
         let h_ids: Vec<usize> = hull.iter().map(|q| q.idx).collect();
         for id in &h_ids {
-            assert!(f_ids.contains(id) || *id == 4, "hull member {id} not on frontier");
+            assert!(
+                f_ids.contains(id) || *id == 4,
+                "hull member {id} not on frontier"
+            );
         }
-        assert!(!h_ids.contains(&2), "non-convex point should be off the hull");
+        assert!(
+            !h_ids.contains(&2),
+            "non-convex point should be off the hull"
+        );
     }
 
     #[test]

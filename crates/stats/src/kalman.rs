@@ -207,9 +207,8 @@ impl AdaptiveKalman {
         }
         let p = &self.params;
         let y = observation - self.mu;
-        let q = (p.alpha * self.q
-            + (1.0 - p.alpha) * (self.gain * self.prev_innovation).powi(2))
-        .clamp(p.q_min, p.q0);
+        let q = (p.alpha * self.q + (1.0 - p.alpha) * (self.gain * self.prev_innovation).powi(2))
+            .clamp(p.q_min, p.q0);
         let prior_var = (1.0 - self.gain) * self.var + q;
         let gain = prior_var / (prior_var + r);
         self.mu += gain * y;
@@ -477,7 +476,11 @@ mod tests {
         let y2 = 1.3 - mu1;
         let mu2 = mu1 + k2 * y2;
         f.update(1.3);
-        assert!((f.mean() - mu2).abs() < 1e-15, "mean {} want {mu2}", f.mean());
+        assert!(
+            (f.mean() - mu2).abs() < 1e-15,
+            "mean {} want {mu2}",
+            f.mean()
+        );
         assert!((f.variance() - prior2).abs() < 1e-15);
         assert!((f.process_noise() - q2).abs() < 1e-15);
     }

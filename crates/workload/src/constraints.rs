@@ -167,7 +167,10 @@ mod tests {
         let platform = Platform::cpu1();
         let unit = deadline_unit(&family, &platform);
         let grid = constraint_grid(Objective::MinimizeEnergy, &family, &platform);
-        let lo = grid.iter().map(|g| g.deadline.get()).fold(f64::INFINITY, f64::min);
+        let lo = grid
+            .iter()
+            .map(|g| g.deadline.get())
+            .fold(f64::INFINITY, f64::min);
         let hi = grid
             .iter()
             .map(|g| g.deadline.get())

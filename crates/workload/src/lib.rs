@@ -19,11 +19,13 @@
 pub mod constraints;
 pub mod record;
 pub mod scenario;
+pub mod session;
 pub mod stream;
 pub mod task;
 
 pub use constraints::{constraint_grid, Goal, Objective};
 pub use record::{EpisodeSummary, InputRecord};
 pub use scenario::Scenario;
+pub use session::{SessionId, StreamId};
 pub use stream::{GroupPos, InputSpec, InputStream};
 pub use task::TaskId;

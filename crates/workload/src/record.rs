@@ -131,7 +131,11 @@ impl EpisodeSummary {
             avg_energy: Joules(avg(&|r| r.energy.get())),
             avg_quality,
             avg_latency: Seconds(avg(&|r| r.latency.get())),
-            deadline_miss_rate: if n == 0 { 0.0 } else { misses as f64 / n as f64 },
+            deadline_miss_rate: if n == 0 {
+                0.0
+            } else {
+                misses as f64 / n as f64
+            },
             quality_floor_met,
             overhead: Seconds::ZERO,
         }
@@ -231,7 +235,8 @@ mod tests {
     #[test]
     fn disqualification_threshold() {
         let goal = Goal::minimize_energy(Seconds(0.1), 0.9);
-        let mut records: Vec<InputRecord> = (0..100).map(|_| record(0.05, 0.1, 0.95, 1.0)).collect();
+        let mut records: Vec<InputRecord> =
+            (0..100).map(|_| record(0.05, 0.1, 0.95, 1.0)).collect();
         for r in records.iter_mut().take(10) {
             r.latency = Seconds(0.2); // 10% violations: not disqualified
         }

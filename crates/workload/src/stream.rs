@@ -99,6 +99,12 @@ impl InputStream {
         self.seed
     }
 
+    /// The stream's content-derived identity (stable across processes:
+    /// same task, seed and length → same id).
+    pub fn stream_id(&self) -> crate::session::StreamId {
+        crate::session::StreamId::derive(self.task as u8, self.seed, self.inputs.len())
+    }
+
     /// The inputs in order.
     pub fn inputs(&self) -> &[InputSpec] {
         &self.inputs

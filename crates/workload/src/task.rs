@@ -55,9 +55,7 @@ impl TaskId {
         match self {
             // Images: tight truncated normal — inference cost is nearly
             // input-independent.
-            TaskId::Img1 | TaskId::Img2 => {
-                sample_truncated_normal(rng, 1.0, 0.04, 0.85, 1.5)
-            }
+            TaskId::Img1 | TaskId::Img2 => sample_truncated_normal(rng, 1.0, 0.04, 0.85, 1.5),
             // Word-level RNN: moderate per-word spread (context length).
             TaskId::Nlp1 => sample_lognormal(rng, 0.0, 0.18).clamp(0.5, 3.5),
             // BERT: passage length varies; wider than images, narrower
@@ -156,7 +154,11 @@ mod tests {
             assert!((3..=60).contains(&l));
             w.push(l as f64);
         }
-        assert!(w.mean() > 12.0 && w.mean() < 30.0, "mean len = {}", w.mean());
+        assert!(
+            w.mean() > 12.0 && w.mean() < 30.0,
+            "mean len = {}",
+            w.mean()
+        );
     }
 
     #[test]

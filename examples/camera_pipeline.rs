@@ -10,7 +10,10 @@
 //!
 //! This example shows dynamic *goal* changes on top of environment
 //! changes: a compute-hungry co-runner occupies the middle third of the
-//! episode.
+//! episode. When the goal flips, the scheduler is rebuilt for the new
+//! constraints — and the learned estimator state (ξ slowdown belief, φ
+//! idle ratio) is carried across via the controller snapshot API, so no
+//! re-learning transient is paid at the phase boundary.
 //!
 //! Run with: `cargo run --release --example camera_pipeline`
 
@@ -78,18 +81,17 @@ fn main() {
             period: env.period(i),
             group: None,
         };
-        // Rebuild the scheduler's goal by re-wrapping: AlertScheduler is
-        // constructed per goal; for dynamic goals we pass the deadline via
-        // ctx and emulate the floor switch by selecting between two
-        // schedulers sharing one belief. Simpler here: rebuild when the
-        // phase flips (cheap: the table is reused internally).
+        // AlertScheduler is constructed per goal, so a floor switch means
+        // a rebuild — but the learned state survives: snapshot the
+        // controller's estimators (ξ, φ, overhead reserve) and restore
+        // them into the fresh instance. The phase boundary costs nothing.
         if count == 0 {
+            let snapshot = alert
+                .controller_snapshot()
+                .expect("ALERT exports controller state");
             let mut fresh = AlertScheduler::standard(&family, &platform, goal);
-            std::mem::swap(&mut alert, &mut fresh);
-            // Carry the learned slowdown belief across the swap by
-            // replaying a few observations would be ideal; the controller
-            // re-learns within ~3 inputs (paper Fig. 9), which is visible
-            // in the per-phase violation counts below.
+            fresh.restore_controller(&snapshot);
+            alert = fresh;
         }
 
         let d = alert.decide(&ctx);
@@ -127,15 +129,12 @@ fn main() {
 
     println!("camera pipeline: {n} frames @ {fps_period} period, contention frames 200-400,");
     println!("accuracy floor 88% -> 94% (frames 300-450) -> 88%\n");
-    println!("{:<10} {:>12} {:>12} {:>11}", "phase", "avg acc %", "avg J/frame", "violations");
+    println!(
+        "{:<10} {:>12} {:>12} {:>11}",
+        "phase", "avg acc %", "avg J/frame", "violations"
+    );
     for (phase, acc, e, v) in &phase_stats {
-        println!(
-            "{:<10} {:>12.2} {:>12.2} {:>11}",
-            phase,
-            acc * 100.0,
-            e,
-            v
-        );
+        println!("{:<10} {:>12.2} {:>12.2} {:>11}", phase, acc * 100.0, e, v);
     }
     println!("\nmodel switches across the episode: {switches}");
     println!("(ALERT raises model size / power for the critical phase, then relaxes.)");

@@ -1,28 +1,28 @@
-//! Plugging a custom policy into the harness.
+//! Plugging a custom policy into the runtime — the `PolicyRegistry`
+//! showcase.
 //!
-//! The evaluation harness accepts anything implementing
-//! [`Scheduler`](alert::sched::Scheduler). This example writes a tiny
-//! "greedy race-to-idle" policy — always the most accurate feasible model
-//! at full power — and pits it against ALERT on the paper's minimize-
-//! energy task, on identical frozen conditions.
+//! A policy is a *named constructor*: register it once, and everything
+//! downstream — sessions, experiment sweeps, `RunSpec` files — addresses
+//! it by name, exactly like the nine built-in paper schemes. No harness
+//! code changes.
 //!
-//! The greedy policy looks sensible (it never misses a feasible deadline)
-//! but ignores the idle-energy terrain of Fig. 3, so ALERT beats it on
-//! energy at equal accuracy — a compact demonstration of why the paper's
-//! Eq. 9 models the *whole period*, not just the inference.
+//! The custom scheme here is a tiny "greedy race-to-idle" policy: always
+//! the most accurate feasible model at full power. It looks sensible (it
+//! never misses a feasible deadline) but ignores the idle-energy terrain
+//! of Fig. 3, so ALERT beats it on energy at equal accuracy — a compact
+//! demonstration of why the paper's Eq. 9 models the *whole period*, not
+//! just the inference.
 //!
 //! Run with: `cargo run --release --example custom_policy`
 
 use alert::models::inference;
+use alert::models::inference::StopPolicy;
 use alert::models::ModelFamily;
-use alert::platform::Platform;
-use alert::sched::{
-    run_episode, AlertScheduler, Decision, EpisodeEnv, Feedback, InputContext, Scheduler,
-};
+use alert::sched::runtime::{Runtime, SessionSpec};
+use alert::sched::{Decision, Feedback, InputContext, PolicyRegistry, Scheduler};
 use alert::stats::kalman::ScalarKalman;
 use alert::stats::units::{Seconds, Watts};
-use alert::workload::{Goal, InputStream, Scenario, TaskId};
-use alert_models::inference::StopPolicy;
+use alert::workload::{Goal, Scenario};
 
 /// Most accurate model whose (filtered) latency fits the deadline, always
 /// at the maximum cap.
@@ -37,7 +37,7 @@ struct GreedyRaceToIdle {
 }
 
 impl GreedyRaceToIdle {
-    fn new(family: &ModelFamily, platform: &Platform) -> Self {
+    fn new(family: &ModelFamily, platform: &alert::platform::Platform) -> Self {
         let cap = platform.default_cap();
         let t_prof = family
             .models()
@@ -94,20 +94,49 @@ impl Scheduler for GreedyRaceToIdle {
 }
 
 fn main() {
-    let platform = Platform::cpu1();
-    let family = ModelFamily::image_classification();
-    let goal = Goal::minimize_energy(Seconds(0.35), 0.90);
-    let stream = InputStream::generate(TaskId::Img2, 500, 77);
-    let scenario = Scenario::memory_env(13);
-    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 77);
+    // 1. Register the custom policy next to the nine built-ins. The
+    //    closure receives the session's context (family, platform, goal,
+    //    params, frozen env for oracles) and returns a fresh scheduler.
+    let mut registry = PolicyRegistry::builtin();
+    registry.register_fn("Greedy", |ctx| {
+        Box::new(GreedyRaceToIdle::new(ctx.family, ctx.platform))
+    });
+    println!("registered policies: {}\n", registry.names().join(", "));
 
-    let mut greedy = GreedyRaceToIdle::new(&family, &platform);
-    let ep_greedy = run_episode(&mut greedy, &env, &family, &stream, &goal);
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
-    let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal);
+    // 2. Build a runtime carrying the extended registry.
+    let mut rt = Runtime::builder()
+        .platform(alert::platform::PlatformId::Cpu1)
+        .registry(registry)
+        .build()
+        .expect("policy resolves");
+
+    // 3. Open one session per scheme — same goal, same scenario, same
+    //    seed, so both face bit-identical frozen conditions — addressing
+    //    the custom scheme purely by name.
+    let spec = |policy: &str| SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.35), 0.90),
+        scenario: Scenario::memory_env(13),
+        n_inputs: 500,
+        seed: Some(77),
+        policy: Some(policy.to_string()),
+    };
+    let alert_id = rt.open_session(spec("ALERT")).expect("open ALERT");
+    let greedy_id = rt.open_session(spec("Greedy")).expect("open Greedy");
+
+    // 4. Drain both sessions concurrently (round-robin interleaving).
+    let episodes = rt.drain_round_robin().expect("sessions drain");
+    let by_id = |id| {
+        episodes
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, ep)| ep)
+            .expect("episode present")
+    };
+    let ep_alert = by_id(alert_id);
+    let ep_greedy = by_id(greedy_id);
 
     println!("custom policy vs ALERT, minimize energy (deadline 350 ms, floor 90%):\n");
-    for e in [&ep_alert, &ep_greedy] {
+    for e in [ep_alert, ep_greedy] {
         println!(
             "{:<8} avg energy {:>6.2} J | acc {:>5.2}% | violations {:>4.1}%",
             e.scheme,
@@ -116,7 +145,8 @@ fn main() {
             e.summary.violation_rate() * 100.0,
         );
     }
-    let saving = 100.0 * (1.0 - ep_alert.summary.avg_energy / ep_greedy.summary.avg_energy);
+    let saving =
+        100.0 * (1.0 - ep_alert.summary.avg_energy.get() / ep_greedy.summary.avg_energy.get());
     println!("\nALERT saves {saving:.0}% energy vs the greedy race-to-idle policy");
     println!("because it coordinates model choice *and* power (paper §2.3).");
 }

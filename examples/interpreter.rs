@@ -8,29 +8,47 @@
 //!
 //! Run with: `cargo run --release --example interpreter`
 
-use alert::models::ModelFamily;
 use alert::platform::Platform;
-use alert::sched::{run_episode, AlertScheduler, EpisodeEnv, SysOnly};
+use alert::sched::runtime::Runtime;
+use alert::sched::{EpisodeEnv, FamilyKind};
 use alert::stats::units::{Seconds, Watts};
 use alert::workload::{Goal, InputStream, Scenario, TaskId};
+use std::sync::Arc;
 
 fn main() {
     let platform = Platform::cpu1();
-    let family = ModelFamily::sentence_prediction();
 
     // Per-word budget of 60 ms: a 20-word sentence gets 1.2 s, inside the
     // 2-4 s window simultaneous interpretation tolerates (paper §1).
     let per_word = Seconds(0.060);
     let goal = Goal::minimize_error(per_word, Watts(25.0) * per_word);
 
+    // One frozen environment shared by both schemes: the runtime's
+    // `open_session_on` door exists exactly for such comparisons.
     let stream = InputStream::generate(TaskId::Nlp1, 1500, 99);
     let scenario = Scenario::compute_env(3);
-    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 99);
+    let mut rt = Runtime::builder()
+        .platform(platform.id())
+        .family(FamilyKind::Sentence)
+        .build()
+        .expect("builtin policy");
+    let env = Arc::new(EpisodeEnv::build(
+        rt.platform(),
+        &scenario,
+        &stream,
+        &goal,
+        99,
+    ));
 
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
-    let ep = run_episode(&mut alert, &env, &family, &stream, &goal);
-    let mut sys = SysOnly::new(&family, &platform, goal);
-    let ep_sys = run_episode(&mut sys, &env, &family, &stream, &goal);
+    let alert_id = rt
+        .open_session_on("ALERT", goal, stream.clone(), env.clone())
+        .expect("open ALERT");
+    let sys_id = rt
+        .open_session_on("Sys-only", goal, stream.clone(), env)
+        .expect("open Sys-only");
+    let episodes = rt.drain_round_robin().expect("drain");
+    let ep = &episodes.iter().find(|(id, _)| *id == alert_id).unwrap().1;
+    let ep_sys = &episodes.iter().find(|(id, _)| *id == sys_id).unwrap().1;
 
     // Count sentences and sentence-level deadline performance.
     let sentences = stream
@@ -75,11 +93,7 @@ fn main() {
     println!();
     print!("  models        :");
     for r in &ep.records[start..start + len.min(14)] {
-        let short = r
-            .model
-            .rsplit('_')
-            .next()
-            .unwrap_or(&r.model);
+        let short = r.model.rsplit('_').next().unwrap_or(&r.model);
         print!(" {short:>5}");
     }
     if len > 14 {

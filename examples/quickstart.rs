@@ -1,42 +1,50 @@
 //! Quickstart: run ALERT end to end in ~40 lines.
 //!
-//! Builds the paper's image-classification candidate family (Sparse
-//! ResNets + a Depth-Nest anytime network) on the simulated laptop
-//! platform, asks ALERT to minimize energy under a latency deadline and an
-//! accuracy floor, and prints what it achieved against the App-only
-//! baseline.
+//! Builds a session runtime on the simulated laptop platform with the
+//! paper's image-classification candidate family (Sparse ResNets + a
+//! Depth-Nest anytime network), asks ALERT to minimize energy under a
+//! latency deadline and an accuracy floor, and prints what it achieved
+//! against the App-only baseline — both schemes running as concurrent
+//! sessions over identical frozen conditions.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use alert::models::ModelFamily;
-use alert::platform::Platform;
-use alert::sched::{run_episode, AlertScheduler, AppOnly, EpisodeEnv};
+use alert::sched::runtime::{Runtime, SessionSpec};
+use alert::sched::FamilyKind;
 use alert::stats::units::Seconds;
-use alert::workload::{Goal, InputStream, Scenario, TaskId};
+use alert::workload::{Goal, Scenario};
 
 fn main() {
-    // 1. Pick a platform and a DNN candidate family.
-    let platform = Platform::cpu1();
-    let family = ModelFamily::image_classification();
+    // 1. A runtime: platform + candidate family + default policy.
+    let mut rt = Runtime::builder()
+        .platform(alert::platform::PlatformId::Cpu1)
+        .family(FamilyKind::Image)
+        .policy("ALERT")
+        .build()
+        .expect("builtin policy");
 
     // 2. State the goal: minimize energy, hold 90% top-5 accuracy, meet a
-    //    300 ms deadline per frame.
-    let goal = Goal::minimize_energy(Seconds(0.300), 0.90);
+    //    300 ms deadline per frame; 500 camera frames with a
+    //    memory-hungry co-runner that starts and stops (the paper's
+    //    "Memory" environment).
+    let spec = |policy: Option<&str>| SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.300), 0.90),
+        scenario: Scenario::memory_env(7),
+        n_inputs: 500,
+        seed: Some(42),
+        policy: policy.map(String::from),
+    };
 
-    // 3. A stream of 500 camera frames, with a memory-hungry co-runner
-    //    that starts and stops (the paper's "Memory" environment).
-    let stream = InputStream::generate(TaskId::Img2, 500, 42);
-    let scenario = Scenario::memory_env(7);
-    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 42);
+    // 3. Two concurrent sessions on bit-identical conditions: ALERT (the
+    //    runtime default) and the App-only baseline by name.
+    let alert_id = rt.open_session(spec(None)).expect("open");
+    let app_id = rt.open_session(spec(Some("App-only"))).expect("open");
 
-    // 4. Run ALERT and the App-only baseline on identical conditions.
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
-    let ep = run_episode(&mut alert, &env, &family, &stream, &goal);
-    let mut app_only = AppOnly::new(&family, &platform);
-    let ep_app = run_episode(&mut app_only, &env, &family, &stream, &goal);
-
-    // 5. Compare.
-    for e in [&ep, &ep_app] {
+    // 4. Drain and compare.
+    let episodes = rt.drain_round_robin().expect("drain");
+    let ep = &episodes.iter().find(|(id, _)| *id == alert_id).unwrap().1;
+    let ep_app = &episodes.iter().find(|(id, _)| *id == app_id).unwrap().1;
+    for e in [ep, ep_app] {
         println!(
             "{:<10} avg energy {:>6.2} J | avg top-5 acc {:>5.2}% | deadline misses {:>4.1}% | violations {:>4.1}%",
             e.scheme,
@@ -46,12 +54,7 @@ fn main() {
             e.summary.violation_rate() * 100.0,
         );
     }
-    let saved = 100.0 * (1.0 - ep.summary.avg_energy / ep_app.summary.avg_energy);
+    let saved = 100.0 * (1.0 - ep.summary.avg_energy.get() / ep_app.summary.avg_energy.get());
     println!("\nALERT saved {saved:.0}% energy at the same accuracy floor.");
-    println!(
-        "Final slowdown belief: ξ = {:.3} (σ = {:.3}) after {} inputs.",
-        alert.controller().slowdown().mean(),
-        alert.controller().slowdown().std_dev(),
-        alert.controller().decisions(),
-    );
+    println!("(One-shot episodes are still available via `alert::sched::run_episode`.)");
 }

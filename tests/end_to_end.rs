@@ -23,7 +23,9 @@ fn world(goal: Goal, scenario: Scenario, n: usize, seed: u64) -> World {
     let platform = Platform::cpu1();
     let family = ModelFamily::image_classification();
     let stream = InputStream::generate(TaskId::Img2, n, seed);
-    let env = Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, &goal, seed));
+    let env = Arc::new(EpisodeEnv::build(
+        &platform, &scenario, &stream, &goal, seed,
+    ));
     World {
         platform,
         family,
@@ -55,7 +57,10 @@ fn energy_ordering_holds_under_contention() {
     let ep_oracle = run(&w, &mut oracle);
     let ep_app = run(&w, &mut app);
 
-    assert!(ep_alert.summary.violation_rate() <= 0.10, "ALERT violations");
+    assert!(
+        ep_alert.summary.violation_rate() <= 0.10,
+        "ALERT violations"
+    );
     assert!(
         ep_oracle.summary.avg_energy.get() <= ep_alert.summary.avg_energy.get() * 1.05,
         "oracle {} vs alert {}",
@@ -106,9 +111,7 @@ fn coordination_beats_no_coordination() {
     let ep_nc = run(&w, &mut nc);
     // Table 4 semantics: disqualification first; among qualified episodes,
     // compare the objective (error = 1 − quality here).
-    let score = |e: &alert::sched::Episode| {
-        (e.summary.disqualified(), 1.0 - e.summary.avg_quality)
-    };
+    let score = |e: &alert::sched::Episode| (e.summary.disqualified(), 1.0 - e.summary.avg_quality);
     assert!(
         score(&ep_any) <= score(&ep_nc),
         "ALERT-Any {:?} must beat No-coord {:?}",
@@ -160,9 +163,7 @@ fn static_baseline_pays_for_rigidity() {
     let tight = Goal::minimize_energy(Seconds(0.35), 0.90);
     let loose = Goal::minimize_energy(Seconds(0.70), 0.80);
     let scenario = Scenario::memory_env(33);
-    let mk_env = |g: &Goal| {
-        Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, g, 33))
-    };
+    let mk_env = |g: &Goal| Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, g, 33));
     let cell = vec![(mk_env(&tight), tight), (mk_env(&loose), loose)];
     let choice = OracleStatic::for_cell(&cell, family.clone(), &stream).choice();
 

@@ -1,0 +1,177 @@
+//! Integration tests of the session runtime: the interleaved-vs-
+//! sequential determinism guarantee at scale, cross-runtime migration,
+//! and `RunSpec` round-tripping — the acceptance criteria of the
+//! session-API redesign.
+
+use alert::sched::runtime::{
+    EpisodeEvent, FamilySpec, RunSpec, Runtime, RuntimeBuilder, SessionSpec,
+};
+use alert::sched::{run_episode, AlertScheduler, EpisodeEnv, FamilyKind, PolicyRegistry};
+use alert::stats::units::Seconds;
+use alert::workload::{Goal, InputStream, Scenario, SessionId, TaskId};
+
+fn session_spec(i: u64) -> SessionSpec {
+    // Vary goal tightness, scenario, stream length and seed per session
+    // so the 64 sessions genuinely differ.
+    let deadline = 0.35 + 0.01 * (i % 8) as f64;
+    let scenario = match i % 3 {
+        0 => Scenario::default_env(),
+        1 => Scenario::memory_env(100 + i),
+        _ => Scenario::compute_env(200 + i),
+    };
+    SessionSpec {
+        goal: Goal::minimize_energy(Seconds(deadline), 0.9),
+        scenario,
+        n_inputs: 40 + (i % 5) as usize * 10,
+        seed: Some(1000 + i),
+        policy: None,
+    }
+}
+
+/// The headline guarantee: 64 sessions multiplexed through ONE runtime,
+/// stepped round-robin, produce records bit-identical to 64 standalone
+/// `run_episode` runs of the classic one-shot harness.
+#[test]
+fn sixty_four_interleaved_sessions_match_sequential_episodes() {
+    const N: u64 = 64;
+
+    // Reference: the classic one-shot path, one scheduler per stream.
+    let platform = alert::platform::Platform::cpu1();
+    let family = FamilyKind::Image.family();
+    let reference: Vec<_> = (0..N)
+        .map(|i| {
+            let spec = session_spec(i);
+            let seed = spec.seed.expect("session_spec sets a seed");
+            let stream = InputStream::generate(TaskId::Img2, spec.n_inputs, seed);
+            let env = EpisodeEnv::build(&platform, &spec.scenario, &stream, &spec.goal, seed);
+            let mut s = AlertScheduler::standard(&family, &platform, spec.goal);
+            run_episode(&mut s, &env, &family, &stream, &spec.goal)
+        })
+        .collect();
+
+    // Candidate: all 64 concurrently open in one runtime, drained
+    // round-robin (every session interleaves with every other).
+    let mut rt = Runtime::builder().build().unwrap();
+    let ids: Vec<SessionId> = (0..N)
+        .map(|i| rt.open_session(session_spec(i)).unwrap())
+        .collect();
+    assert_eq!(rt.session_count(), 64);
+    let episodes = rt.drain_round_robin().unwrap();
+
+    assert_eq!(episodes.len(), reference.len());
+    for ((id, ep), reference_ep) in episodes.iter().zip(&reference) {
+        assert!(ids.contains(id));
+        assert_eq!(ep.scheme, reference_ep.scheme);
+        assert_eq!(
+            ep.records, reference_ep.records,
+            "session {id} diverged from its standalone episode"
+        );
+    }
+}
+
+/// Mid-stream checkpoint, migration to a different runtime, and resume:
+/// the migrated session finishes with records identical to an
+/// uninterrupted run.
+#[test]
+fn migration_across_runtimes_preserves_records() {
+    let spec = session_spec(17);
+
+    let mut reference_rt = Runtime::builder().build().unwrap();
+    let rid = reference_rt.open_session(spec.clone()).unwrap();
+    reference_rt.run_to_completion(rid).unwrap();
+    let reference = reference_rt.close(rid).unwrap();
+
+    let mut origin = Runtime::builder().build().unwrap();
+    let id = origin.open_session(spec).unwrap();
+    for _ in 0..25 {
+        origin.submit(id).unwrap();
+    }
+    let snapshot = origin.snapshot_session(id).unwrap();
+    drop(origin);
+
+    let mut destination = Runtime::builder().build().unwrap();
+    let id2 = destination.restore_session(&snapshot).unwrap();
+    destination.run_to_completion(id2).unwrap();
+    let resumed = destination.close(id2).unwrap();
+    assert_eq!(reference.records, resumed.records);
+}
+
+/// A RunSpec serialized to JSON rebuilds an equivalent runtime, and the
+/// rebuilt runtime reproduces the original's records.
+#[test]
+fn run_spec_file_rebuilds_equivalent_runtime() {
+    let spec = RunSpec {
+        platform: alert::platform::PlatformId::Cpu1,
+        family: FamilySpec::Kind(FamilyKind::Image),
+        policy: "ALERT-Any".to_string(),
+        params: Default::default(),
+        seed: 5,
+    };
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+
+    let run = |spec: RunSpec| {
+        let mut rt = RuntimeBuilder::from_spec(spec).build().unwrap();
+        let id = rt.open_session(session_spec(3)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        rt.close(id).unwrap()
+    };
+    let a = run(spec);
+    let b = run(serde_json::from_str(&json).unwrap());
+    assert_eq!(a.scheme, "ALERT-Any");
+    assert_eq!(a.records, b.records);
+}
+
+/// Event totals across many concurrent sessions: one Opened and one
+/// Closed per session, one InputProcessed per input, interleaved or not.
+#[test]
+fn event_stream_accounts_for_every_input() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut rt = Runtime::builder().sink(tx).build().unwrap();
+    let mut expected_inputs = 0;
+    for i in 0..8 {
+        let spec = session_spec(i);
+        expected_inputs += spec.n_inputs;
+        rt.open_session(spec).unwrap();
+    }
+    rt.drain_round_robin().unwrap();
+    drop(rt);
+    let mut opened = 0;
+    let mut processed = 0;
+    let mut closed = 0;
+    for e in rx.iter() {
+        match e {
+            EpisodeEvent::SessionOpened { .. } => opened += 1,
+            EpisodeEvent::InputProcessed { .. } => processed += 1,
+            EpisodeEvent::SessionClosed { .. } => closed += 1,
+        }
+    }
+    assert_eq!(opened, 8);
+    assert_eq!(closed, 8);
+    assert_eq!(processed, expected_inputs);
+}
+
+/// A custom policy registered by name runs through the full session
+/// lifecycle next to the built-ins.
+#[test]
+fn custom_policy_runs_as_session() {
+    let mut registry = PolicyRegistry::builtin();
+    registry.register_fn("MaxQuality", |ctx| {
+        // The registry showcase policy: delegate to the ALERT-Trad
+        // constructor but under a custom registry name.
+        Box::new(AlertScheduler::traditional_only(
+            ctx.family,
+            ctx.platform,
+            ctx.goal,
+        ))
+    });
+    let mut rt = Runtime::builder()
+        .registry(registry)
+        .policy("MaxQuality")
+        .build()
+        .unwrap();
+    let id = rt.open_session(session_spec(9)).unwrap();
+    rt.run_to_completion(id).unwrap();
+    let ep = rt.close(id).unwrap();
+    assert_eq!(ep.scheme, "ALERT-Trad");
+    assert!(!ep.records.is_empty());
+}

@@ -1,0 +1,189 @@
+//! Offline shim of `criterion`: wall-clock micro-benchmarks without the
+//! statistical machinery (see `vendor/README.md`).
+//!
+//! Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a fixed measurement window; mean ns/iter is
+//! printed in a criterion-like format. Good enough to compare orders of
+//! magnitude and track regressions by eye; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is equivalent).
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Requested sample count (accepted for API compatibility; the shim
+    /// times a window rather than counting samples).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.0);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested sample count (accepted, unused by the shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Default)]
+pub struct Bencher {
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`: brief warm-up, then as many iterations as fit the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + WARMUP;
+        let mut iters: u64 = 0;
+        while Instant::now() < warm_until {
+            black_box(f());
+            iters += 1;
+        }
+        // Estimate batch size so each batch is ~1/20 of the window.
+        let batch = (iters / 3).max(1);
+        let mut total_ns: f64 = 0.0;
+        let mut total_iters: u64 = 0;
+        let measure_until = Instant::now() + MEASURE;
+        while Instant::now() < measure_until {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.result = Some((total_ns, total_iters));
+    }
+
+    fn report(&self, id: &str) {
+        match self.result {
+            Some((ns, iters)) if iters > 0 => {
+                let per = ns / iters as f64;
+                println!("{id:<50} {:>12.1} ns/iter  ({iters} iters)", per);
+            }
+            _ => println!("{id:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Collects benchmark functions into a runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,385 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! against the value-tree data model of the sibling `serde` shim (see
+//! `vendor/README.md` for why these exist).
+//!
+//! Supported item shapes — exactly what this workspace uses:
+//!
+//! * named-field structs,
+//! * tuple structs (single-field ones serialize transparently, like real
+//!   serde newtype structs; `#[serde(transparent)]` is accepted and
+//!   redundant),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   serde default: `"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Generic items and non-`transparent` `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-serialized.
+//! The macro is written against `proc_macro` alone (no syn/quote): it
+//! walks the token stream, extracts the item skeleton, and emits the
+//! impl as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of a derive input item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading attributes (`#[...]`) and a visibility marker
+/// (`pub`, `pub(...)`) from `toks[*i]`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if let Some(TokenTree::Group(_)) = toks.get(*i) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim: expected item name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported (derive on `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Item::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            t => panic!("serde shim: unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Item::Enum { name, variants }
+            }
+            t => panic!("serde shim: expected enum body for `{name}`, found {t:?}"),
+        },
+        k => panic!("serde shim: cannot derive for `{k}`"),
+    }
+}
+
+/// Splits a token stream on top-level commas. Commas inside `<...>` do
+/// not split (parens/brackets/braces arrive as single `Group` trees and
+/// need no tracking). Returns the non-empty chunks.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from the body of a named-field struct (or struct
+/// variant): for each top-level-comma chunk, the identifier before `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("serde shim: expected field name, found {t}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("serde shim: expected variant name, found {t}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                Some(t) => panic!("serde shim: unsupported variant body: {t}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            (name, b)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let parts: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(vec![{}])", parts.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|j| format!("__f{j}")).collect();
+                        let inner = if *k == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let parts: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", parts.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{vn}\".to_string(), {inner}); \
+                             ::serde::Value::Object(__m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::from("let mut __i = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__i.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{vn}\".to_string(), ::serde::Value::Object(__i)); \
+                             ::serde::Value::Object(__m) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     __m.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Object(__m) => Ok({name} {{\n{inits}}}),\n\
+                     _ => Err(::serde::Error::new(\"expected object for {name}\")),\n}}"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let parts: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Array(__a) if __a.len() == {arity} => \
+                     Ok({name}({})),\n\
+                     _ => Err(::serde::Error::new(\"expected {arity}-array for {name}\")),\n}}",
+                    parts.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let parts: Vec<String> = (0..*k)
+                            .map(|j| format!("::serde::Deserialize::from_value(&__a[{j}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __val {{\n\
+                             ::serde::Value::Array(__a) if __a.len() == {k} => \
+                             Ok({name}::{vn}({})),\n\
+                             _ => Err(::serde::Error::new(\"expected {k}-array for {name}::{vn}\")),\n}},\n",
+                            parts.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __m2.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| e.context(\"{name}::{vn}.{f}\"))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __val {{\n\
+                             ::serde::Value::Object(__m2) => Ok({name}::{vn} {{\n{inits}}}),\n\
+                             _ => Err(::serde::Error::new(\"expected object for {name}::{vn}\")),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     _ => Err(::serde::Error::new(\"unknown variant of {name}\")),\n}},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __val) = __m.iter().next().expect(\"len checked\");\n\
+                     match __k.as_str() {{\n{data_arms}\
+                     _ => Err(::serde::Error::new(\"unknown variant of {name}\")),\n}}\n}},\n\
+                     _ => Err(::serde::Error::new(\"expected variant encoding for {name}\")),\n}}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
