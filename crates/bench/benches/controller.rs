@@ -13,10 +13,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn controller_for(family: &ModelFamily, platform: &Platform) -> (AlertController, Goal) {
-    let (table, _) = build_table(family, platform);
+    let (table, _) = build_table(family, platform).expect("paper family fits");
     let unit = deadline_unit(family, platform);
     let goal = Goal::minimize_error(unit, Watts(35.0) * unit);
-    (AlertController::new(table, AlertParams::default()), goal)
+    (
+        AlertController::new(table, AlertParams::default()).expect("valid params"),
+        goal,
+    )
 }
 
 fn bench_decide(c: &mut Criterion) {
@@ -50,7 +53,7 @@ fn bench_observe(c: &mut Criterion) {
     let family = ModelFamily::image_classification();
     let platform = Platform::cpu1();
     let (mut ctl, goal) = controller_for(&family, &platform);
-    let sel = ctl.decide(&goal);
+    let sel = ctl.decide(&goal).expect("valid goal");
     let t_prof = ctl.table().t_prof_stage(sel.candidate);
     let obs = Observation {
         latency: t_prof * 1.1,
@@ -68,7 +71,7 @@ fn bench_full_cycle(c: &mut Criterion) {
     let (mut ctl, goal) = controller_for(&family, &platform);
     c.bench_function("alert_decide_observe_cycle", |b| {
         b.iter(|| {
-            let sel = ctl.decide(black_box(&goal));
+            let sel = ctl.decide(black_box(&goal)).expect("valid goal");
             let t_prof = ctl.table().t_prof_stage(sel.candidate);
             ctl.observe(&Observation {
                 latency: t_prof * 1.05,

@@ -86,7 +86,7 @@ fn bench_expected_quality(c: &mut Criterion) {
 fn bench_selection_scan(c: &mut Criterion) {
     let family = ModelFamily::image_classification();
     let platform = Platform::cpu1();
-    let (table, _) = build_table(&family, &platform);
+    let (table, _) = build_table(&family, &platform).expect("paper family fits");
     let xi = Normal::new(1.1, 0.08);
     let goal = Goal::minimize_energy(Seconds(0.3), 0.92);
     c.bench_function("select_full_table_135", |b| {

@@ -63,7 +63,8 @@ fn main() {
                         AlertParams::default()
                     };
                     let mut s =
-                        AlertScheduler::new(scheme_label, &family, set, &platform, *goal, params);
+                        AlertScheduler::new(scheme_label, &family, set, &platform, *goal, params)
+                            .expect("paper family fits");
                     let ep = run_episode(&mut s, &env, &family, &stream, goal);
                     // Perplexity = -quality score.
                     ppls.push(-ep.summary.avg_quality);

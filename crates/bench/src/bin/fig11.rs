@@ -35,7 +35,7 @@ fn main() {
         Scenario::memory_env(12),
     ] {
         let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 77);
-        let mut s = AlertScheduler::standard(&family, &platform, goal);
+        let mut s = AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
         let ep = run_episode(&mut s, &env, &family, &stream, &goal);
         // Contended scenarios: keep only the samples observed while the
         // co-runner was active (the paper plots the contended regime).

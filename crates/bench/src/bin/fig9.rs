@@ -40,9 +40,10 @@ fn main() {
     let scenario = Scenario::scripted_memory_window(deadline * 46.0, deadline * 119.0);
     let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 2020);
 
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
+    let mut alert = AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
     let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal);
-    let mut trad = AlertScheduler::traditional_only(&family, &platform, goal);
+    let mut trad =
+        AlertScheduler::traditional_only(&family, &platform, goal).expect("paper family fits");
     let ep_trad = run_episode(&mut trad, &env, &family, &stream, &goal);
 
     csv_header(&[

@@ -42,7 +42,7 @@ fn main() {
             {
                 continue; // RNN inference is CPU-only (§5.1).
             }
-            let (table, _) = build_table(&family, &platform);
+            let (table, _) = build_table(&family, &platform).expect("paper family fits");
             let candidates = table.candidate_count();
             let unit = deadline_unit(&family, &platform);
             let goal = Goal::minimize_error(unit, Watts(35.0) * unit);
@@ -50,13 +50,13 @@ fn main() {
                 overhead: OverheadPolicy::Measured,
                 ..Default::default()
             };
-            let mut ctl = AlertController::new(table, params);
+            let mut ctl = AlertController::new(table, params).expect("valid params");
 
             let iterations = 2000;
             let mut costs = Vec::with_capacity(iterations);
             for i in 0..iterations {
                 let start = Instant::now();
-                let sel = ctl.decide(&goal);
+                let sel = ctl.decide(&goal).expect("valid goal");
                 costs.push(start.elapsed().as_secs_f64());
                 // Feed plausible feedback to keep the estimators moving.
                 let t_prof = ctl.table().t_prof_stage(sel.candidate);

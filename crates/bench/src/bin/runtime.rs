@@ -1,15 +1,22 @@
 //! Session-runtime throughput baseline: inputs/sec and per-decision
-//! scheduler overhead at 1, 8 and 64 concurrent sessions, written to
+//! scheduler overhead across a (sessions × workers) grid, written to
 //! `BENCH_runtime.json` at the workspace root so later scaling PRs have
 //! a machine-readable perf baseline to compare against.
+//!
+//! `workers == 1` runs the serial `drain_round_robin` (the historical
+//! baseline); `workers > 1` runs the sharded parallel executor
+//! (`drain_parallel`), whose episodes are bit-identical to the serial
+//! drain — the benchmark asserts that on the smallest grid point. The
+//! speedup scales with physical cores; `available_parallelism` is
+//! recorded in the JSON so single-core CI readings are interpretable.
 //!
 //! Usage: `runtime [n_inputs_per_session] [seed]` (defaults 300, 2020).
 
 use alert_bench::{banner, csv_header, csv_row, f};
 use alert_sched::runtime::{Runtime, SessionSpec};
-use alert_sched::FamilyKind;
+use alert_sched::{Episode, FamilyKind};
 use alert_stats::units::Seconds;
-use alert_workload::{Goal, Scenario};
+use alert_workload::{Goal, Scenario, SessionId};
 use std::time::Instant;
 
 fn scenario_for(i: u64) -> Scenario {
@@ -22,13 +29,14 @@ fn scenario_for(i: u64) -> Scenario {
 
 struct Measurement {
     sessions: usize,
+    workers: usize,
     inputs_total: usize,
     elapsed_s: f64,
     inputs_per_sec: f64,
     decision_overhead_us_mean: f64,
 }
 
-fn measure(sessions: usize, n_inputs: usize, seed: u64) -> Measurement {
+fn build_runtime(sessions: usize, n_inputs: usize, seed: u64) -> Runtime {
     let mut rt = Runtime::builder()
         .platform(alert_platform::PlatformId::Cpu1)
         .family(FamilyKind::Image)
@@ -46,18 +54,44 @@ fn measure(sessions: usize, n_inputs: usize, seed: u64) -> Measurement {
         })
         .expect("open session");
     }
+    rt
+}
+
+fn measure(sessions: usize, workers: usize, n_inputs: usize, seed: u64) -> Measurement {
+    let mut rt = build_runtime(sessions, n_inputs, seed);
     let start = Instant::now();
-    let episodes = rt.drain_round_robin().expect("drain");
+    let episodes = if workers <= 1 {
+        rt.drain_round_robin().expect("drain")
+    } else {
+        rt.drain_parallel(workers).expect("drain")
+    };
     let elapsed = start.elapsed().as_secs_f64();
 
     let inputs_total: usize = episodes.iter().map(|(_, e)| e.records.len()).sum();
     let overhead_total: f64 = episodes.iter().map(|(_, e)| e.summary.overhead.get()).sum();
     Measurement {
         sessions,
+        workers,
         inputs_total,
         elapsed_s: elapsed,
         inputs_per_sec: inputs_total as f64 / elapsed,
         decision_overhead_us_mean: overhead_total / inputs_total as f64 * 1e6,
+    }
+}
+
+/// Sanity check baked into the benchmark: the parallel drain's episodes
+/// are bit-identical to the serial drain's.
+fn assert_parallel_matches_serial(n_inputs: usize, seed: u64) {
+    let reference: Vec<(SessionId, Episode)> = build_runtime(8, n_inputs, seed)
+        .drain_round_robin()
+        .expect("drain");
+    let parallel = build_runtime(8, n_inputs, seed)
+        .drain_parallel(4)
+        .expect("drain");
+    assert_eq!(reference.len(), parallel.len());
+    for ((id, a), (rid, b)) in parallel.iter().zip(&reference) {
+        assert_eq!(id, rid);
+        assert_eq!(a.records, b.records, "parallel drain diverged on {id}");
     }
 }
 
@@ -69,14 +103,20 @@ fn main() {
         .filter(|&n| n > 0)
         .unwrap_or(300);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    assert_parallel_matches_serial(n_inputs.min(60), seed);
 
     banner(
         "Runtime throughput",
         "Concurrent-session serving rate (simulated execution, real scheduling cost)",
     );
-    println!("[{n_inputs} inputs per session, seed {seed}]\n");
+    println!("[{n_inputs} inputs per session, seed {seed}, {cores} cores available]\n");
     csv_header(&[
         "sessions",
+        "workers",
         "inputs_total",
         "elapsed_s",
         "inputs_per_sec",
@@ -85,27 +125,35 @@ fn main() {
 
     let mut results = Vec::new();
     for sessions in [1usize, 8, 64] {
-        let m = measure(sessions, n_inputs, seed);
-        csv_row(&[
-            m.sessions.to_string(),
-            m.inputs_total.to_string(),
-            f(m.elapsed_s, 3),
-            f(m.inputs_per_sec, 0),
-            f(m.decision_overhead_us_mean, 2),
-        ]);
-        results.push(serde_json::json!({
-            "sessions": m.sessions,
-            "inputs_total": m.inputs_total,
-            "elapsed_s": m.elapsed_s,
-            "inputs_per_sec": m.inputs_per_sec,
-            "decision_overhead_us_mean": m.decision_overhead_us_mean,
-        }));
+        for workers in [1usize, 2, 4, 8] {
+            if workers > sessions {
+                continue; // excess workers idle; the grid point is noise
+            }
+            let m = measure(sessions, workers, n_inputs, seed);
+            csv_row(&[
+                m.sessions.to_string(),
+                m.workers.to_string(),
+                m.inputs_total.to_string(),
+                f(m.elapsed_s, 3),
+                f(m.inputs_per_sec, 0),
+                f(m.decision_overhead_us_mean, 2),
+            ]);
+            results.push(serde_json::json!({
+                "sessions": m.sessions,
+                "workers": m.workers,
+                "inputs_total": m.inputs_total,
+                "elapsed_s": m.elapsed_s,
+                "inputs_per_sec": m.inputs_per_sec,
+                "decision_overhead_us_mean": m.decision_overhead_us_mean,
+            }));
+        }
     }
 
     let doc = serde_json::json!({
         "bench": "runtime_sessions",
         "n_inputs_per_session": n_inputs,
         "seed": seed,
+        "available_parallelism": cores,
         "results": results,
     });
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -134,20 +134,40 @@ pub struct AlertController {
 
 impl AlertController {
     /// Creates a controller over a candidate table.
-    pub fn new(table: ConfigTable, params: AlertParams) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter — the Kalman
+    /// constants (paper §3.4) and the initial idle ratio (Eq. 8) arrive
+    /// from user configuration (`RunSpec` files), so bad values must
+    /// surface to the caller instead of aborting the process.
+    pub fn new(table: ConfigTable, params: AlertParams) -> Result<Self, String> {
+        if !(params.initial_idle_ratio.is_finite()
+            && (0.0..=1.0).contains(&params.initial_idle_ratio))
+        {
+            return Err(format!(
+                "initial_idle_ratio must be a ratio in [0,1], got {}",
+                params.initial_idle_ratio
+            ));
+        }
+        if let OverheadPolicy::Fixed(t) = params.overhead {
+            if !(t.is_finite() && t.get() >= 0.0) {
+                return Err(format!("fixed overhead reserve must be >= 0, got {t}"));
+            }
+        }
         let mut adjuster = GoalAdjuster::new();
         if let OverheadPolicy::Fixed(t) = params.overhead {
             adjuster.record_overhead(t);
         }
-        AlertController {
+        Ok(AlertController {
             table,
-            xi: SlowdownEstimator::with_params(params.kalman),
+            xi: SlowdownEstimator::with_params(params.kalman)?,
             idle: IdleRatioEstimator::new(params.initial_idle_ratio),
             adjuster,
             params,
             decisions: 0,
             last_decision_cost: Seconds::ZERO,
-        }
+        })
     }
 
     /// Announces a group (sentence) of `members` inputs sharing
@@ -158,14 +178,26 @@ impl AlertController {
 
     /// Steps 2–4: picks the execution target for the next input, using the
     /// goal deadline as the idle-accounting period (ungrouped inputs).
-    pub fn decide(&mut self, goal: &Goal) -> Selection {
+    ///
+    /// # Errors
+    ///
+    /// Returns the goal-validation failure message if `goal` is malformed.
+    pub fn decide(&mut self, goal: &Goal) -> Result<Selection, String> {
         self.decide_with_period(goal, goal.deadline)
     }
 
     /// Steps 2–4 with an explicit input `period` — for grouped tasks the
     /// energy window (word period) differs from the dynamically adjusted
     /// deadline.
-    pub fn decide_with_period(&mut self, goal: &Goal, period: Seconds) -> Selection {
+    ///
+    /// # Errors
+    ///
+    /// Returns the goal-validation failure message if `goal` is malformed.
+    pub fn decide_with_period(
+        &mut self,
+        goal: &Goal,
+        period: Seconds,
+    ) -> Result<Selection, String> {
         let start = Instant::now();
         let effective = self.adjuster.next_deadline(goal.deadline);
         let adjusted = goal.with_deadline(effective);
@@ -176,14 +208,14 @@ impl AlertController {
             &adjusted,
             period,
             self.params.mode,
-        );
+        )?;
         let cost = Seconds(start.elapsed().as_secs_f64());
         self.last_decision_cost = cost;
         if matches!(self.params.overhead, OverheadPolicy::Measured) {
             self.adjuster.record_overhead(cost);
         }
         self.decisions += 1;
-        sel
+        Ok(sel)
     }
 
     /// Step 1 (for the next input): feeds measurements back.
@@ -297,15 +329,15 @@ mod tests {
             vec![Watts(19.0), Watts(42.0)],
             vec![Watts(19.0), Watts(42.0)],
         ];
-        ConfigTable::new(models, powers, t_prof, p_run)
+        ConfigTable::new(models, powers, t_prof, p_run).expect("valid table")
     }
 
     #[test]
     fn controller_reacts_to_contention_within_few_inputs() {
-        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let mut ctl = AlertController::new(table(), AlertParams::default()).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
         // Quiescent phase: the big model fits the 120 ms deadline.
-        let mut sel = ctl.decide(&goal);
+        let mut sel = ctl.decide(&goal).unwrap();
         for _ in 0..30 {
             let t_prof = ctl.table().t_prof_stage(sel.candidate);
             ctl.observe(&Observation {
@@ -314,7 +346,7 @@ mod tests {
                 idle_power: Some(Watts(6.0)),
                 idle_cap: ctl.table().cap(sel.candidate.power),
             });
-            sel = ctl.decide(&goal);
+            sel = ctl.decide(&goal).unwrap();
         }
         assert_eq!(ctl.table().models()[sel.candidate.model].name, "big");
         // Contention: everything suddenly 1.8x slower.
@@ -326,7 +358,7 @@ mod tests {
                 idle_power: Some(Watts(12.0)),
                 idle_cap: ctl.table().cap(sel.candidate.power),
             });
-            sel = ctl.decide(&goal);
+            sel = ctl.decide(&goal).unwrap();
         }
         // big@45W now means 180 ms >> 120 ms: must have switched away.
         assert_ne!(
@@ -343,9 +375,9 @@ mod tests {
             overhead: OverheadPolicy::Fixed(Seconds(0.01)),
             ..Default::default()
         };
-        let mut ctl = AlertController::new(table(), params);
+        let mut ctl = AlertController::new(table(), params).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
-        let sel = ctl.decide(&goal);
+        let sel = ctl.decide(&goal).unwrap();
         assert!((sel.deadline.get() - 0.11).abs() < 1e-12);
     }
 
@@ -355,12 +387,12 @@ mod tests {
             overhead: OverheadPolicy::Measured,
             ..Default::default()
         };
-        let mut ctl = AlertController::new(table(), params);
+        let mut ctl = AlertController::new(table(), params).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
-        let first = ctl.decide(&goal);
+        let first = ctl.decide(&goal).unwrap();
         // First decision sees the full deadline (no overhead yet).
         assert_eq!(first.deadline, Seconds(0.12));
-        let _second = ctl.decide(&goal);
+        let _second = ctl.decide(&goal).unwrap();
         assert!(ctl.last_decision_cost().get() > 0.0);
     }
 
@@ -372,10 +404,11 @@ mod tests {
                 overhead: OverheadPolicy::None,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let goal = Goal::minimize_error(Seconds(9.9), Joules(20.0));
         ctl.begin_group(Seconds(0.4), 2);
-        let first = ctl.decide(&goal);
+        let first = ctl.decide(&goal).unwrap();
         assert!((first.deadline.get() - 0.2).abs() < 1e-12);
         // The first member blows most of the budget.
         ctl.observe(&Observation {
@@ -384,7 +417,7 @@ mod tests {
             idle_power: None,
             idle_cap: Watts(45.0),
         });
-        let second = ctl.decide(&goal);
+        let second = ctl.decide(&goal).unwrap();
         assert!(
             (second.deadline.get() - 0.1).abs() < 1e-9,
             "{}",
@@ -394,9 +427,9 @@ mod tests {
 
     #[test]
     fn reset_restores_initial_belief() {
-        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let mut ctl = AlertController::new(table(), AlertParams::default()).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
-        let _ = ctl.decide(&goal);
+        let _ = ctl.decide(&goal).unwrap();
         ctl.observe(&Observation {
             latency: Seconds(0.5),
             profile_equivalent: Seconds(0.1),
@@ -422,10 +455,10 @@ mod tests {
             overhead: OverheadPolicy::Fixed(Seconds(0.5)),
             ..Default::default()
         };
-        let mut ctl = AlertController::new(table(), params);
+        let mut ctl = AlertController::new(table(), params).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
         for _ in 0..3 {
-            let sel = ctl.decide(&goal);
+            let sel = ctl.decide(&goal).unwrap();
             assert!(sel.deadline.get() > 0.0, "deadline {}", sel.deadline);
         }
     }
@@ -438,10 +471,10 @@ mod tests {
             overhead: OverheadPolicy::Measured,
             ..Default::default()
         };
-        let mut ctl = AlertController::new(table(), params);
+        let mut ctl = AlertController::new(table(), params).unwrap();
         let goal = Goal::minimize_error(Seconds(1e-7), Joules(20.0));
         for _ in 0..20 {
-            let sel = ctl.decide(&goal);
+            let sel = ctl.decide(&goal).unwrap();
             assert!(sel.deadline.get() > 0.0, "deadline {}", sel.deadline);
             let t_prof = ctl.table().t_prof_stage(sel.candidate);
             ctl.observe(&Observation {
@@ -455,9 +488,9 @@ mod tests {
 
     #[test]
     fn snapshot_restore_roundtrips_learned_state() {
-        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let mut ctl = AlertController::new(table(), AlertParams::default()).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
-        let mut sel = ctl.decide(&goal);
+        let mut sel = ctl.decide(&goal).unwrap();
         for _ in 0..25 {
             let t_prof = ctl.table().t_prof_stage(sel.candidate);
             ctl.observe(&Observation {
@@ -466,28 +499,28 @@ mod tests {
                 idle_power: Some(Watts(9.0)),
                 idle_cap: ctl.table().cap(sel.candidate.power),
             });
-            sel = ctl.decide(&goal);
+            sel = ctl.decide(&goal).unwrap();
         }
         let snap = ctl.snapshot();
 
         // A fresh controller restored from the snapshot behaves
         // identically from here on.
-        let mut restored = AlertController::new(table(), AlertParams::default());
+        let mut restored = AlertController::new(table(), AlertParams::default()).unwrap();
         restored.restore(&snap);
         assert_eq!(restored.slowdown().mean(), ctl.slowdown().mean());
         assert_eq!(restored.idle_ratio(), ctl.idle_ratio());
         assert_eq!(restored.decisions(), ctl.decisions());
-        let a = ctl.decide(&goal);
-        let b = restored.decide(&goal);
+        let a = ctl.decide(&goal).unwrap();
+        let b = restored.decide(&goal).unwrap();
         assert_eq!(a.candidate, b.candidate);
         assert_eq!(a.deadline, b.deadline);
     }
 
     #[test]
     fn snapshot_serde_roundtrip() {
-        let mut ctl = AlertController::new(table(), AlertParams::default());
+        let mut ctl = AlertController::new(table(), AlertParams::default()).unwrap();
         let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
-        let _ = ctl.decide(&goal);
+        let _ = ctl.decide(&goal).unwrap();
         ctl.observe(&Observation {
             latency: Seconds(0.15),
             profile_equivalent: Seconds(0.1),

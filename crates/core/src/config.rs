@@ -121,49 +121,69 @@ pub struct ConfigTable {
 impl ConfigTable {
     /// Builds and validates a table.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on dimension mismatches, invalid candidates, or non-positive
-    /// profile entries — all construction-time programming errors.
+    /// Returns a description of the first problem found — dimension
+    /// mismatches, invalid candidates, or non-positive profile entries.
+    /// Candidate tables are user input (profiling passes, config files),
+    /// so malformed tables are a runtime condition the caller must be
+    /// able to surface, not a panic.
     pub fn new(
         models: Vec<CandidateModel>,
         powers: Vec<Watts>,
         t_prof: Vec<Vec<Seconds>>,
         p_run: Vec<Vec<Watts>>,
-    ) -> Self {
-        assert!(!models.is_empty(), "no candidate models");
-        assert!(!powers.is_empty(), "no power settings");
-        for m in &models {
-            if let Err(e) = m.validate() {
-                panic!("invalid candidate: {e}");
-            }
+    ) -> Result<Self, String> {
+        if models.is_empty() {
+            return Err("no candidate models".into());
         }
-        assert_eq!(t_prof.len(), models.len(), "t_prof rows != models");
-        assert_eq!(p_run.len(), models.len(), "p_run rows != models");
+        if powers.is_empty() {
+            return Err("no power settings".into());
+        }
+        for m in &models {
+            m.validate()
+                .map_err(|e| format!("invalid candidate: {e}"))?;
+        }
+        if t_prof.len() != models.len() {
+            return Err(format!(
+                "t_prof rows != models ({} vs {})",
+                t_prof.len(),
+                models.len()
+            ));
+        }
+        if p_run.len() != models.len() {
+            return Err(format!(
+                "p_run rows != models ({} vs {})",
+                p_run.len(),
+                models.len()
+            ));
+        }
         for (i, row) in t_prof.iter().enumerate() {
-            assert_eq!(row.len(), powers.len(), "t_prof[{i}] cols != powers");
+            if row.len() != powers.len() {
+                return Err(format!("t_prof[{i}] cols != powers"));
+            }
             for (j, &t) in row.iter().enumerate() {
-                assert!(
-                    t.is_finite() && t.get() > 0.0,
-                    "t_prof[{i}][{j}] must be positive, got {t}"
-                );
+                if !(t.is_finite() && t.get() > 0.0) {
+                    return Err(format!("t_prof[{i}][{j}] must be positive, got {t}"));
+                }
             }
         }
         for (i, row) in p_run.iter().enumerate() {
-            assert_eq!(row.len(), powers.len(), "p_run[{i}] cols != powers");
+            if row.len() != powers.len() {
+                return Err(format!("p_run[{i}] cols != powers"));
+            }
             for (j, &p) in row.iter().enumerate() {
-                assert!(
-                    p.is_finite() && p.get() > 0.0,
-                    "p_run[{i}][{j}] must be positive, got {p}"
-                );
+                if !(p.is_finite() && p.get() > 0.0) {
+                    return Err(format!("p_run[{i}][{j}] must be positive, got {p}"));
+                }
             }
         }
-        ConfigTable {
+        Ok(ConfigTable {
             models,
             powers,
             t_prof,
             p_run,
-        }
+        })
     }
 
     /// The candidate models.
@@ -279,7 +299,7 @@ mod tests {
             vec![Watts(19.0), Watts(42.0)],
             vec![Watts(19.0), Watts(42.0)],
         ];
-        ConfigTable::new(models, powers, t_prof, p_run)
+        ConfigTable::new(models, powers, t_prof, p_run).expect("valid table")
     }
 
     #[test]
@@ -353,24 +373,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "t_prof rows != models")]
-    fn dimension_mismatch_panics() {
-        let _ = ConfigTable::new(
+    fn dimension_mismatch_is_rejected() {
+        let err = ConfigTable::new(
             vec![CandidateModel::traditional("m", 0.9, 0.0)],
             vec![Watts(10.0)],
             vec![],
             vec![],
-        );
+        )
+        .unwrap_err();
+        assert!(err.contains("t_prof rows != models"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
-    fn zero_latency_panics() {
-        let _ = ConfigTable::new(
+    fn zero_latency_is_rejected() {
+        let err = ConfigTable::new(
             vec![CandidateModel::traditional("m", 0.9, 0.0)],
             vec![Watts(10.0)],
             vec![vec![Seconds(0.0)]],
             vec![vec![Watts(9.0)]],
-        );
+        )
+        .unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn invalid_candidate_is_rejected() {
+        let err = ConfigTable::new(
+            vec![CandidateModel::traditional("bad", 0.5, 0.9)],
+            vec![Watts(10.0)],
+            vec![vec![Seconds(0.1)]],
+            vec![vec![Watts(9.0)]],
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid candidate"), "{err}");
     }
 }

@@ -187,9 +187,11 @@ fn better(goal: &Goal, a: &Estimates, b: &Estimates) -> bool {
 /// Selects the best execution target for `goal` under the belief (ξ, φ),
 /// with `period` as the idle-accounting window.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the goal fails validation.
+/// Returns the goal-validation failure message if `goal` is malformed
+/// (goals are user input; an invalid one must surface to the caller
+/// rather than abort the process).
 pub fn select_with_period(
     table: &ConfigTable,
     xi: &Normal,
@@ -197,10 +199,8 @@ pub fn select_with_period(
     goal: &Goal,
     period: Seconds,
     mode: ProbabilityMode,
-) -> Selection {
-    if let Err(e) = goal.validate() {
-        panic!("invalid goal: {e}");
-    }
+) -> Result<Selection, String> {
+    goal.validate().map_err(|e| format!("invalid goal: {e}"))?;
 
     let mut best_valid: Option<(Candidate, Estimates)> = None;
     let mut best_latency_only: Option<(Candidate, Estimates)> = None;
@@ -250,33 +250,37 @@ pub fn select_with_period(
     }
 
     if let Some((candidate, estimates)) = best_valid {
-        return Selection {
+        return Ok(Selection {
             candidate,
             estimates,
             deadline: goal.deadline,
             feasible: true,
-        };
+        });
     }
     let (candidate, estimates) = best_latency_only
         .or(best_any)
         .expect("table has at least one candidate");
-    Selection {
+    Ok(Selection {
         candidate,
         estimates,
         deadline: goal.deadline,
         feasible: false,
-    }
+    })
 }
 
 /// [`select_with_period`] with the period defaulting to the goal deadline
 /// (correct for ungrouped periodic inputs).
+///
+/// # Errors
+///
+/// Returns the goal-validation failure message if `goal` is malformed.
 pub fn select(
     table: &ConfigTable,
     xi: &Normal,
     idle_ratio: f64,
     goal: &Goal,
     mode: ProbabilityMode,
-) -> Selection {
+) -> Result<Selection, String> {
     select_with_period(table, xi, idle_ratio, goal, goal.deadline, mode)
 }
 
@@ -318,7 +322,7 @@ mod tests {
             vec![Watts(19.0), Watts(42.0)],
             vec![Watts(19.0), Watts(42.0)],
         ];
-        ConfigTable::new(models, powers, t_prof, p_run)
+        ConfigTable::new(models, powers, t_prof, p_run).expect("valid table")
     }
 
     fn calm() -> Normal {
@@ -330,7 +334,7 @@ mod tests {
         let t = table();
         // Plenty of time and energy: the big traditional model at some cap.
         let goal = Goal::minimize_error(Seconds(0.3), Joules(20.0));
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(s.feasible);
         assert_eq!(t.models()[s.candidate.model].name, "big");
     }
@@ -342,7 +346,7 @@ mod tests {
         // anytime stage-0 (48 ms \@45W) can. Quality: anytime stage0 0.84
         // risky vs small 0.86 sure.
         let goal = Goal::minimize_error(Seconds(0.05), Joules(20.0));
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(s.feasible);
         let name = &t.models()[s.candidate.model].name;
         assert!(name == "small" || name == "any", "picked {name}");
@@ -355,7 +359,7 @@ mod tests {
         // Budget ≈ cap 20 W × deadline: high-cap configs blow it.
         let deadline = Seconds(0.3);
         let goal = Goal::minimize_error(deadline, Watts(20.0) * deadline);
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(s.feasible);
         assert_eq!(s.candidate.power, 0, "must pick the low cap");
     }
@@ -364,7 +368,7 @@ mod tests {
     fn min_energy_meets_quality_floor_cheaply() {
         let t = table();
         let goal = Goal::minimize_energy(Seconds(0.3), 0.90);
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(s.feasible);
         assert!(s.estimates.expected_quality >= 0.90);
         // "small" (0.86) cannot satisfy the floor.
@@ -375,7 +379,7 @@ mod tests {
     fn min_energy_low_floor_picks_cheapest() {
         let t = table();
         let goal = Goal::minimize_energy(Seconds(0.3), 0.5);
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(s.feasible);
         // Small model at some cap: by far the least energy.
         assert_eq!(t.models()[s.candidate.model].name, "small");
@@ -393,14 +397,16 @@ mod tests {
             0.2,
             &goal,
             ProbabilityMode::Full,
-        );
+        )
+        .unwrap();
         let wild_sel = select(
             &t,
             &Normal::new(1.0, 0.30),
             0.2,
             &goal,
             ProbabilityMode::Full,
-        );
+        )
+        .unwrap();
         // Calm: big (100 ms \@45 W) just fits and wins on quality.
         assert_eq!(t.models()[calm_sel.candidate.model].name, "big");
         // Wild: the anytime network (graceful staircase) takes over.
@@ -412,7 +418,7 @@ mod tests {
         let t = table();
         // Impossible energy budget: nothing fits; latency is satisfiable.
         let goal = Goal::minimize_error(Seconds(0.3), Joules(1e-6));
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(!s.feasible);
         // Fallback maximizes quality under the deadline.
         assert_eq!(t.models()[s.candidate.model].name, "big");
@@ -427,9 +433,9 @@ mod tests {
         let powers = vec![Watts(45.0)];
         let t_prof = vec![vec![Seconds(0.5)], vec![Seconds(0.3)]];
         let p_run = vec![vec![Watts(40.0)], vec![Watts(40.0)]];
-        let t = ConfigTable::new(models, powers, t_prof, p_run);
+        let t = ConfigTable::new(models, powers, t_prof, p_run).expect("valid table");
         let goal = Goal::minimize_error(Seconds(0.01), Joules(100.0));
-        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let s = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert!(!s.feasible);
         // The faster of the two hopeless models.
         assert_eq!(t.models()[s.candidate.model].name, "slow_b");
@@ -443,7 +449,7 @@ mod tests {
         // expected quality, but below a 0.99 threshold.
         let xi = Normal::new(1.0, 0.05);
         let goal = Goal::minimize_error(Seconds(0.11), Joules(20.0));
-        let unconstrained = select(&t, &xi, 0.2, &goal, ProbabilityMode::Full);
+        let unconstrained = select(&t, &xi, 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert_eq!(t.models()[unconstrained.candidate.model].name, "big");
         let thresholded = select(
             &t,
@@ -451,7 +457,8 @@ mod tests {
             0.2,
             &goal.with_prob_threshold(0.99),
             ProbabilityMode::Full,
-        );
+        )
+        .unwrap();
         assert_ne!(t.models()[thresholded.candidate.model].name, "big");
     }
 
@@ -488,17 +495,17 @@ mod tests {
     fn selection_is_deterministic() {
         let t = table();
         let goal = Goal::minimize_energy(Seconds(0.2), 0.9);
-        let a = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
-        let b = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let a = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
+        let b = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "invalid goal")]
-    fn invalid_goal_panics() {
+    fn invalid_goal_is_rejected() {
         let t = table();
         let mut goal = Goal::minimize_energy(Seconds(0.2), 0.9);
         goal.min_quality = None;
-        let _ = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full);
+        let err = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap_err();
+        assert!(err.contains("invalid goal"), "{err}");
     }
 }

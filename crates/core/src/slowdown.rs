@@ -40,16 +40,21 @@ pub struct SlowdownEstimator {
 impl SlowdownEstimator {
     /// Creates the estimator with the paper's Kalman constants.
     pub fn new() -> Self {
-        Self::with_params(AdaptiveKalmanParams::default())
+        Self::with_params(AdaptiveKalmanParams::default()).expect("paper defaults are valid")
     }
 
     /// Creates the estimator with explicit filter parameters (paper §3.6
     /// suggests raising `Q⁽⁰⁾` for aberrant latency distributions).
-    pub fn with_params(params: AdaptiveKalmanParams) -> Self {
-        SlowdownEstimator {
-            filter: AdaptiveKalman::new(params),
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter (the
+    /// parameters usually come from user configuration).
+    pub fn with_params(params: AdaptiveKalmanParams) -> Result<Self, String> {
+        Ok(SlowdownEstimator {
+            filter: AdaptiveKalman::new(params)?,
             innovation_var: INNOVATION_VAR0,
-        }
+        })
     }
 
     /// Feeds one observation: the measured execution time of the work that

@@ -21,10 +21,15 @@ use alert_stats::units::Seconds;
 /// Models that do not fit the platform's memory are excluded (the
 /// embedded board cannot host the big CNNs — paper Fig. 4 footnote).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if no model fits the platform.
-pub fn build_table(family: &ModelFamily, platform: &Platform) -> (ConfigTable, Vec<usize>) {
+/// Returns a description of the problem when no model of the family fits
+/// the platform, or when the profiled table fails validation — both are
+/// configuration conditions (family × platform come from user specs).
+pub fn build_table(
+    family: &ModelFamily,
+    platform: &Platform,
+) -> Result<(ConfigTable, Vec<usize>), String> {
     let powers = platform.power_settings();
     let mut models = Vec::new();
     let mut index_map = Vec::new();
@@ -63,13 +68,14 @@ pub fn build_table(family: &ModelFamily, platform: &Platform) -> (ConfigTable, V
                 .collect(),
         );
     }
-    assert!(
-        !models.is_empty(),
-        "no model of family {} fits platform {}",
-        family.name(),
-        platform.id()
-    );
-    (ConfigTable::new(models, powers, t_prof, p_run), index_map)
+    if models.is_empty() {
+        return Err(format!(
+            "no model of family {} fits platform {}",
+            family.name(),
+            platform.id()
+        ));
+    }
+    Ok((ConfigTable::new(models, powers, t_prof, p_run)?, index_map))
 }
 
 /// ALERT as a [`Scheduler`].
@@ -85,6 +91,13 @@ pub struct AlertScheduler {
 
 impl AlertScheduler {
     /// Creates an ALERT scheduler over a candidate subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the goal fails
+    /// validation, no model of the restricted family fits the platform,
+    /// or the controller parameters are invalid — all user-configuration
+    /// conditions.
     pub fn new(
         name: impl Into<String>,
         family: &ModelFamily,
@@ -92,9 +105,10 @@ impl AlertScheduler {
         platform: &Platform,
         goal: alert_core::Goal,
         params: AlertParams,
-    ) -> Self {
+    ) -> Result<Self, String> {
+        goal.validate().map_err(|e| format!("invalid goal: {e}"))?;
         let restricted = family.restrict(set);
-        let (table, index_map) = build_table(&restricted, platform);
+        let (table, index_map) = build_table(&restricted, platform)?;
         let is_anytime = table.models().iter().map(|m| m.is_anytime()).collect();
         // Map restricted indices back to the *original* family indices.
         let family_map: Vec<usize> = index_map
@@ -108,17 +122,25 @@ impl AlertScheduler {
                     .expect("restricted model exists in family")
             })
             .collect();
-        AlertScheduler {
+        Ok(AlertScheduler {
             name: name.into(),
-            controller: AlertController::new(table, params),
+            controller: AlertController::new(table, params)?,
             index_map: family_map,
             is_anytime,
             base_goal: goal,
-        }
+        })
     }
 
     /// The standard ALERT configuration (traditional + anytime).
-    pub fn standard(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new`].
+    pub fn standard(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Result<Self, String> {
         Self::new(
             "ALERT",
             family,
@@ -130,7 +152,15 @@ impl AlertScheduler {
     }
 
     /// ALERT-Any: anytime candidates only.
-    pub fn anytime_only(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new`].
+    pub fn anytime_only(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Result<Self, String> {
         Self::new(
             "ALERT-Any",
             family,
@@ -142,11 +172,15 @@ impl AlertScheduler {
     }
 
     /// ALERT-Trad: traditional candidates only.
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new`].
     pub fn traditional_only(
         family: &ModelFamily,
         platform: &Platform,
         goal: alert_core::Goal,
-    ) -> Self {
+    ) -> Result<Self, String> {
         Self::new(
             "ALERT-Trad",
             family,
@@ -158,7 +192,15 @@ impl AlertScheduler {
     }
 
     /// ALERT\*: the mean-only ablation (§5.3).
-    pub fn mean_only(family: &ModelFamily, platform: &Platform, goal: alert_core::Goal) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new`].
+    pub fn mean_only(
+        family: &ModelFamily,
+        platform: &Platform,
+        goal: alert_core::Goal,
+    ) -> Result<Self, String> {
         Self::new(
             "ALERT*",
             family,
@@ -182,7 +224,13 @@ impl Scheduler for AlertScheduler {
 
     fn decide(&mut self, ctx: &InputContext) -> Decision {
         let goal = self.base_goal.with_deadline(ctx.deadline);
-        let sel = self.controller.decide_with_period(&goal, ctx.period);
+        // `base_goal` was validated in `AlertScheduler::new` and the
+        // harness guarantees positive effective deadlines, so the goal
+        // handed to the controller is valid by construction.
+        let sel = self
+            .controller
+            .decide_with_period(&goal, ctx.period)
+            .expect("goal validated at construction");
         let c = sel.candidate;
         let cap = self.controller.table().cap(c.power);
         let stop = if self.is_anytime[c.model] {
@@ -230,7 +278,7 @@ mod tests {
     fn table_covers_family_times_powers() {
         let family = ModelFamily::image_classification();
         let platform = Platform::cpu1();
-        let (table, map) = build_table(&family, &platform);
+        let (table, map) = build_table(&family, &platform).unwrap();
         assert_eq!(table.models().len(), 6);
         assert_eq!(map.len(), 6);
         assert_eq!(table.powers().len(), 15);
@@ -242,14 +290,14 @@ mod tests {
     fn embedded_filters_oversized_models() {
         let family = ModelFamily::sentence_prediction();
         let platform = Platform::embedded();
-        let (table, _) = build_table(&family, &platform);
+        let (table, _) = build_table(&family, &platform).unwrap();
         // Only models ≤ 0.4 GB fit: rnn_w128..w1024 (0.35) and the
         // width-nest (0.38): all six fit.
         assert_eq!(table.models().len(), 6);
         let family = ModelFamily::image_classification();
         // No image model fits 0.4 GB except sparse_resnet_8 (0.15),
         // sparse_resnet_14 (0.22) and sparse_resnet_26 (0.34).
-        let (table, _) = build_table(&family, &platform);
+        let (table, _) = build_table(&family, &platform).unwrap();
         assert_eq!(table.models().len(), 3);
     }
 
@@ -258,7 +306,7 @@ mod tests {
         let family = ModelFamily::image_classification();
         let platform = Platform::cpu1();
         let goal = alert_core::Goal::minimize_error(Seconds(0.5), Joules(25.0));
-        let mut s = AlertScheduler::standard(&family, &platform, goal);
+        let mut s = AlertScheduler::standard(&family, &platform, goal).unwrap();
         let ctx = InputContext {
             index: 0,
             deadline: Seconds(0.5),
@@ -292,19 +340,27 @@ mod tests {
         let platform = Platform::cpu1();
         let goal = alert_core::Goal::minimize_energy(Seconds(0.5), 0.9);
         assert_eq!(
-            AlertScheduler::standard(&family, &platform, goal).name(),
+            AlertScheduler::standard(&family, &platform, goal)
+                .unwrap()
+                .name(),
             "ALERT"
         );
         assert_eq!(
-            AlertScheduler::anytime_only(&family, &platform, goal).name(),
+            AlertScheduler::anytime_only(&family, &platform, goal)
+                .unwrap()
+                .name(),
             "ALERT-Any"
         );
         assert_eq!(
-            AlertScheduler::traditional_only(&family, &platform, goal).name(),
+            AlertScheduler::traditional_only(&family, &platform, goal)
+                .unwrap()
+                .name(),
             "ALERT-Trad"
         );
         assert_eq!(
-            AlertScheduler::mean_only(&family, &platform, goal).name(),
+            AlertScheduler::mean_only(&family, &platform, goal)
+                .unwrap()
+                .name(),
             "ALERT*"
         );
     }

@@ -68,6 +68,24 @@ impl BudgetTracker {
     pub fn remaining(&self) -> Seconds {
         self.remaining
     }
+
+    /// `true` while a group's budget is being consumed — i.e. at least
+    /// one member's deadline has been claimed and members remain.
+    ///
+    /// Invariant: after claiming member `k` of an `n`-member group, the
+    /// tracker is in-group iff `k < n - 1`. Checkpoint restore relies on
+    /// this to detect snapshots whose tracker state was lost (a reset
+    /// tracker mid-sentence would silently clamp every remaining deadline
+    /// of the group to the 1 µs floor).
+    pub fn in_group(&self) -> bool {
+        self.in_group
+    }
+
+    /// Members of the active group still to be claimed (zero outside
+    /// groups).
+    pub fn members_left(&self) -> usize {
+        self.members_left
+    }
 }
 
 impl Default for BudgetTracker {

@@ -110,7 +110,7 @@ pub fn build_scheduler(
     };
     PolicyRegistry::builtin()
         .build(kind.name(), &ctx)
-        .expect("every SchemeKind is pre-registered")
+        .expect("every SchemeKind is pre-registered and the paper families fit their platforms")
 }
 
 /// The two workloads of Table 4.

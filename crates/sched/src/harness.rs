@@ -80,6 +80,13 @@ impl SessionEngine {
         self.overhead
     }
 
+    /// The shared-deadline budget tracker (checkpoint validation: a
+    /// session resumed mid-sentence must arrive with its group budget
+    /// intact, see `Runtime::restore_session`).
+    pub fn budget(&self) -> &BudgetTracker {
+        &self.budget
+    }
+
     /// Processes the next input of `stream` through `scheduler`: decide →
     /// execute on the frozen environment → meter → observe. Returns a
     /// reference to the accumulated record (cloning is the caller's
@@ -233,7 +240,7 @@ mod tests {
             Scenario::default_env(),
             200,
         );
-        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
         assert_eq!(ep.records.len(), 200);
         assert_eq!(ep.summary.measured, 180);
@@ -260,7 +267,7 @@ mod tests {
                 .avg_energy
                 .get()
         };
-        let mut alert = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut alert = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let mut oracle = Oracle::new(f.env.clone(), f.family.clone(), f.goal);
         let mut app = AppOnly::new(&f.family, &f.platform);
         let e_alert = run(&mut alert);
@@ -300,7 +307,7 @@ mod tests {
             Scenario::memory_env(9),
             300,
         );
-        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
         assert!(
             ep.summary.violation_rate() <= 0.10,
@@ -339,7 +346,7 @@ mod tests {
             &goal,
             31,
         ));
-        let mut s = AlertScheduler::standard(&family, &platform, goal);
+        let mut s = AlertScheduler::standard(&family, &platform, goal).unwrap();
         let ep = run_episode(&mut s, &env, &family, &stream, &goal);
         assert_eq!(ep.records.len(), 400);
         // Deadlines inside a sentence vary with consumption but stay
@@ -363,7 +370,7 @@ mod tests {
             120,
         );
         let run = || {
-            let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+            let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
             run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal)
         };
         let a = run();
@@ -386,10 +393,10 @@ mod tests {
             Scenario::memory_env(4),
             100,
         );
-        let mut one = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut one = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let ep = run_episode(&mut one, &f.env, &f.family, &f.stream, &f.goal);
 
-        let mut stepped = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut stepped = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let mut engine = SessionEngine::new();
         let mut n = 0;
         while let Some(r) = engine.step(&mut stepped, &f.env, &f.family, &f.stream, &f.goal) {
@@ -416,7 +423,7 @@ mod tests {
             Scenario::default_env(),
             10,
         );
-        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal);
+        let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let mut engine = SessionEngine::new();
         while engine
             .step(&mut s, &f.env, &f.family, &f.stream, &f.goal)

@@ -19,6 +19,11 @@
 //!   multiplexing long-lived sessions (`open_session` / `submit` /
 //!   `close`), per-input [`EpisodeEvent`](runtime::EpisodeEvent)
 //!   emission, checkpoint/migration, serde [`RunSpec`](runtime::RunSpec).
+//! * [`executor`] — the parallel sharded executor:
+//!   [`Runtime::drain_parallel`](runtime::Runtime::drain_parallel) and
+//!   the long-lived multi-worker
+//!   [`ShardedRuntime`](executor::ShardedRuntime), bit-identical to the
+//!   serial drain per session.
 //! * [`harness`] — the resumable per-stream
 //!   [`SessionEngine`](harness::SessionEngine) and the one-shot
 //!   [`run_episode`](harness::run_episode) adapter.
@@ -30,6 +35,7 @@ pub mod alert;
 pub mod app_only;
 pub mod budget;
 pub mod env;
+pub mod executor;
 pub mod experiment;
 pub mod harness;
 pub mod metrics;
@@ -44,12 +50,13 @@ pub use alert::AlertScheduler;
 pub use app_only::AppOnly;
 pub use budget::BudgetTracker;
 pub use env::{EnvRealization, EpisodeEnv};
+pub use executor::ShardedRuntime;
 pub use experiment::{run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind};
 pub use harness::{run_episode, Episode, SessionEngine};
 pub use metrics::{objective_report, CellStat, ResultTable};
 pub use no_coord::NoCoord;
 pub use oracle::{Oracle, OracleStatic};
-pub use registry::{FnPolicy, Policy, PolicyContext, PolicyRegistry, UnknownPolicy};
+pub use registry::{FnPolicy, Policy, PolicyContext, PolicyRegistry, RegistryError, UnknownPolicy};
 pub use runtime::{
     EpisodeEvent, EventSink, FamilySpec, RunSpec, Runtime, RuntimeBuilder, RuntimeError,
     SessionSnapshot, SessionSpec,

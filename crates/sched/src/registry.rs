@@ -55,11 +55,19 @@ pub trait Policy: Send + Sync {
     fn name(&self) -> &str;
 
     /// Builds a fresh scheduler instance for one session.
-    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn Scheduler>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the session's context
+    /// cannot support the scheme (invalid goal, no fitting model, bad
+    /// controller parameters) — all user-configuration conditions that
+    /// must surface to the caller rather than abort the process.
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<Box<dyn Scheduler>, String>;
 }
 
 /// A boxed scheduler constructor, as stored by [`FnPolicy`].
-pub type BuildFn = Box<dyn Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync>;
+pub type BuildFn =
+    Box<dyn Fn(&PolicyContext<'_>) -> Result<Box<dyn Scheduler>, String> + Send + Sync>;
 
 /// A [`Policy`] from a name and a closure — the quickest way to register
 /// a custom scheme.
@@ -72,7 +80,7 @@ impl FnPolicy {
     /// Wraps `build` as a policy named `name`.
     pub fn new(
         name: impl Into<String>,
-        build: impl Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+        build: impl Fn(&PolicyContext<'_>) -> Result<Box<dyn Scheduler>, String> + Send + Sync + 'static,
     ) -> Self {
         FnPolicy {
             name: name.into(),
@@ -86,7 +94,7 @@ impl Policy for FnPolicy {
         &self.name
     }
 
-    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn Scheduler> {
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<Box<dyn Scheduler>, String> {
         (self.build)(ctx)
     }
 }
@@ -113,6 +121,41 @@ impl std::fmt::Display for UnknownPolicy {
 
 impl std::error::Error for UnknownPolicy {}
 
+/// Error building a scheduler through the registry: either the name is
+/// not registered, or the policy rejected the session's context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The policy name failed to resolve.
+    Unknown(UnknownPolicy),
+    /// The policy resolved but could not build a scheduler for this
+    /// context (invalid goal, no fitting model, bad parameters).
+    Build {
+        /// The policy that rejected the context.
+        policy: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Unknown(e) => write!(f, "{e}"),
+            RegistryError::Build { policy, reason } => {
+                write!(f, "policy '{policy}' cannot build a scheduler: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<UnknownPolicy> for RegistryError {
+    fn from(e: UnknownPolicy) -> Self {
+        RegistryError::Unknown(e)
+    }
+}
+
 /// String-keyed policy table. Cheap to clone (policies are shared).
 #[derive(Clone, Default)]
 pub struct PolicyRegistry {
@@ -130,68 +173,71 @@ impl PolicyRegistry {
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register_fn("ALERT", |ctx| {
-            Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new(
                 "ALERT",
                 ctx.family,
                 CandidateSet::Standard,
                 ctx.platform,
                 ctx.goal,
                 ctx.params,
-            ))
+            )?) as Box<dyn Scheduler>)
         });
         r.register_fn("ALERT-Any", |ctx| {
-            Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new(
                 "ALERT-Any",
                 ctx.family,
                 CandidateSet::AnytimeOnly,
                 ctx.platform,
                 ctx.goal,
                 ctx.params,
-            ))
+            )?) as Box<dyn Scheduler>)
         });
         r.register_fn("ALERT-Trad", |ctx| {
-            Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new(
                 "ALERT-Trad",
                 ctx.family,
                 CandidateSet::TraditionalOnly,
                 ctx.platform,
                 ctx.goal,
                 ctx.params,
-            ))
+            )?) as Box<dyn Scheduler>)
         });
         r.register_fn("ALERT*", |ctx| {
             let params = AlertParams {
                 mode: alert_core::ProbabilityMode::MeanOnly,
                 ..ctx.params
             };
-            Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new(
                 "ALERT*",
                 ctx.family,
                 CandidateSet::Standard,
                 ctx.platform,
                 ctx.goal,
                 params,
-            ))
+            )?) as Box<dyn Scheduler>)
         });
         r.register_fn("Oracle", |ctx| {
-            Box::new(Oracle::new(ctx.env.clone(), ctx.family.clone(), ctx.goal))
+            Ok(
+                Box::new(Oracle::new(ctx.env.clone(), ctx.family.clone(), ctx.goal))
+                    as Box<dyn Scheduler>,
+            )
         });
         r.register_fn("OracleStatic", |ctx| {
-            Box::new(OracleStatic::new(
+            Ok(Box::new(OracleStatic::new(
                 ctx.env.clone(),
                 ctx.family.clone(),
                 ctx.stream,
                 ctx.goal,
-            ))
+            )) as Box<dyn Scheduler>)
         });
         r.register_fn("App-only", |ctx| {
-            Box::new(AppOnly::new(ctx.family, ctx.platform))
+            Ok(Box::new(AppOnly::new(ctx.family, ctx.platform)) as Box<dyn Scheduler>)
         });
         r.register_fn("Sys-only", |ctx| {
-            Box::new(SysOnly::new(ctx.family, ctx.platform, ctx.goal))
+            Ok(Box::new(SysOnly::new(ctx.family, ctx.platform, ctx.goal)) as Box<dyn Scheduler>)
         });
         r.register_fn("No-coord", |ctx| {
-            Box::new(NoCoord::new(ctx.family, ctx.platform, ctx.goal))
+            Ok(Box::new(NoCoord::new(ctx.family, ctx.platform, ctx.goal)) as Box<dyn Scheduler>)
         });
         r
     }
@@ -207,7 +253,7 @@ impl PolicyRegistry {
     pub fn register_fn(
         &mut self,
         name: impl Into<String>,
-        build: impl Fn(&PolicyContext<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+        build: impl Fn(&PolicyContext<'_>) -> Result<Box<dyn Scheduler>, String> + Send + Sync + 'static,
     ) {
         self.register(Arc::new(FnPolicy::new(name, build)));
     }
@@ -228,17 +274,25 @@ impl PolicyRegistry {
     }
 
     /// Builds a scheduler by policy name.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Unknown`] when the name is not registered;
+    /// [`RegistryError::Build`] when the policy rejects the context.
     pub fn build(
         &self,
         name: &str,
         ctx: &PolicyContext<'_>,
-    ) -> Result<Box<dyn Scheduler>, UnknownPolicy> {
+    ) -> Result<Box<dyn Scheduler>, RegistryError> {
         match self.resolve(name) {
-            Some(p) => Ok(p.build(ctx)),
-            None => Err(UnknownPolicy {
+            Some(p) => p.build(ctx).map_err(|reason| RegistryError::Build {
+                policy: name.to_string(),
+                reason,
+            }),
+            None => Err(RegistryError::Unknown(UnknownPolicy {
                 name: name.to_string(),
                 known: self.names(),
-            }),
+            })),
         }
     }
 }
@@ -324,7 +378,8 @@ mod tests {
         };
         let err = match PolicyRegistry::builtin().build("NoSuch", &ctx) {
             Ok(_) => panic!("unknown policy must not resolve"),
-            Err(e) => e,
+            Err(RegistryError::Unknown(e)) => e,
+            Err(other) => panic!("expected Unknown, got {other}"),
         };
         assert_eq!(err.name, "NoSuch");
         assert!(err.known.contains(&"ALERT".to_string()));
@@ -344,7 +399,7 @@ mod tests {
         };
         let mut r = PolicyRegistry::builtin();
         r.register_fn("ALERT", |ctx| {
-            Box::new(AppOnly::new(ctx.family, ctx.platform))
+            Ok(Box::new(AppOnly::new(ctx.family, ctx.platform)) as Box<dyn Scheduler>)
         });
         let s = r.build("ALERT", &ctx).unwrap();
         assert_eq!(s.name(), "App-only");

@@ -26,11 +26,19 @@
 //! The runtime's own configuration round-trips through [`RunSpec`]
 //! (serde), so a whole run — platform, family, policy, params — can be
 //! stored in a file and rebuilt with [`RuntimeBuilder::from_spec`].
+//!
+//! Draining scales with cores: [`Runtime::drain_parallel`] partitions
+//! the open sessions onto worker shards, and
+//! [`RuntimeBuilder::build_sharded`] builds a long-lived multi-worker
+//! [`ShardedRuntime`](crate::executor::ShardedRuntime) — both
+//! bit-identical per session to the serial drain (see
+//! `DESIGN.md` §"Threading model").
 
 use crate::env::EpisodeEnv;
+use crate::executor;
 use crate::experiment::FamilyKind;
 use crate::harness::{Episode, SessionEngine};
-use crate::registry::{PolicyContext, PolicyRegistry, UnknownPolicy};
+use crate::registry::{PolicyContext, PolicyRegistry, RegistryError, UnknownPolicy};
 use crate::scheduler::Scheduler;
 use alert_core::alert::AlertParams;
 use alert_core::ControllerSnapshot;
@@ -201,8 +209,10 @@ impl<F: FnMut(&EpisodeEvent) + Send> EventSink for F {
 /// Runtime operation errors.
 #[derive(Debug)]
 pub enum RuntimeError {
-    /// A policy name failed to resolve.
-    Policy(UnknownPolicy),
+    /// A policy name failed to resolve, or resolved but rejected the
+    /// session context (invalid goal, no fitting model, bad controller
+    /// parameters) — see [`RegistryError`].
+    Policy(RegistryError),
     /// No open session has this id.
     UnknownSession(SessionId),
     /// The session cannot be checkpointed (see message).
@@ -228,28 +238,61 @@ impl std::error::Error for RuntimeError {}
 
 impl From<UnknownPolicy> for RuntimeError {
     fn from(e: UnknownPolicy) -> Self {
+        RuntimeError::Policy(RegistryError::Unknown(e))
+    }
+}
+
+impl From<RegistryError> for RuntimeError {
+    fn from(e: RegistryError) -> Self {
         RuntimeError::Policy(e)
     }
 }
 
 /// One live session: scheduler + frozen environment + stepping engine.
-struct Session {
+///
+/// A session owns all of its mutable state and shares only `Arc`-held
+/// read-only context, so it is `Send`: the parallel executor
+/// ([`Runtime::drain_parallel`], [`executor::ShardedRuntime`]) moves
+/// whole sessions onto worker shards.
+pub(crate) struct Session {
     /// Rebuild recipe; `None` for sessions opened on externally built
     /// environments (those cannot be checkpointed).
-    spec: Option<SessionSpec>,
-    scheme: String,
-    scheduler: Box<dyn Scheduler>,
-    env: Arc<EpisodeEnv>,
-    stream: InputStream,
-    goal: Goal,
-    engine: SessionEngine,
+    pub(crate) spec: Option<SessionSpec>,
+    pub(crate) scheme: String,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) env: Arc<EpisodeEnv>,
+    pub(crate) stream: InputStream,
+    pub(crate) goal: Goal,
+    pub(crate) engine: SessionEngine,
+}
+
+impl Session {
+    /// Advances this session by one input; returns a reference to the
+    /// freshly accumulated record (cloning is the caller's choice), or
+    /// `None` when the stream is exhausted.
+    pub(crate) fn step(&mut self, family: &ModelFamily) -> Option<&InputRecord> {
+        self.engine.step(
+            self.scheduler.as_mut(),
+            &self.env,
+            family,
+            &self.stream,
+            &self.goal,
+        )
+    }
+
+    /// Folds this session into its episode.
+    pub(crate) fn finish(self) -> Episode {
+        self.engine.finish(&self.scheme, &self.goal)
+    }
 }
 
 /// Builder for [`Runtime`] — see the module docs for the full picture.
 pub struct RuntimeBuilder {
-    spec: RunSpec,
-    registry: Option<PolicyRegistry>,
-    sink: Option<Box<dyn EventSink>>,
+    pub(crate) spec: RunSpec,
+    pub(crate) registry: Option<PolicyRegistry>,
+    pub(crate) sink: Option<Box<dyn EventSink>>,
+    pub(crate) id_start: u64,
+    pub(crate) id_stride: u64,
 }
 
 impl RuntimeBuilder {
@@ -259,6 +302,8 @@ impl RuntimeBuilder {
             spec: RunSpec::default(),
             registry: None,
             sink: None,
+            id_start: 0,
+            id_stride: 1,
         }
     }
 
@@ -266,8 +311,7 @@ impl RuntimeBuilder {
     pub fn from_spec(spec: RunSpec) -> Self {
         RuntimeBuilder {
             spec,
-            registry: None,
-            sink: None,
+            ..Self::new()
         }
     }
 
@@ -320,27 +364,83 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Configures the session-id allocator: the runtime hands out
+    /// `start, start + stride, start + 2·stride, …`.
+    ///
+    /// The default (`0, 1`) allocates densely. A
+    /// [`ShardedRuntime`](crate::executor::ShardedRuntime) gives shard
+    /// `k` of `N` the allocator `(k, N)`, so every session id satisfies
+    /// `id.shard_of(N) == k` and requests route without a lookup table.
+    /// Because [`RuntimeBuilder::build_sharded`] owns the whole id space
+    /// for exactly that reason, combining it with a non-default
+    /// `session_ids` is rejected at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero (the allocator would hand out the same
+    /// id forever — a construction-time programming error).
+    pub fn session_ids(mut self, start: u64, stride: u64) -> Self {
+        assert!(stride > 0, "session-id stride must be positive");
+        self.id_start = start;
+        self.id_stride = stride;
+        self
+    }
+
     /// Builds the runtime, validating that the default policy resolves.
-    pub fn build(self) -> Result<Runtime, RuntimeError> {
-        let registry = self.registry.unwrap_or_else(PolicyRegistry::builtin);
-        if !registry.contains(&self.spec.policy) {
-            return Err(RuntimeError::Policy(UnknownPolicy {
-                name: self.spec.policy.clone(),
+    pub fn build(mut self) -> Result<Runtime, RuntimeError> {
+        let registry = Arc::new(self.registry.take().unwrap_or_else(PolicyRegistry::builtin));
+        let platform = Arc::new(Platform::by_id(self.spec.platform));
+        let family = Arc::new(self.spec.family.family());
+        self.build_shared(registry, platform, family)
+    }
+
+    /// Builds the runtime around already-`Arc`-shared read-only context —
+    /// the [`ShardedRuntime`](crate::executor::ShardedRuntime) path, where
+    /// every shard resolves policies through the *same* registry and
+    /// shares one platform and one candidate family allocation.
+    pub(crate) fn build_shared(
+        self,
+        registry: Arc<PolicyRegistry>,
+        platform: Arc<Platform>,
+        family: Arc<ModelFamily>,
+    ) -> Result<Runtime, RuntimeError> {
+        let RuntimeBuilder {
+            spec,
+            sink,
+            id_start,
+            id_stride,
+            ..
+        } = self;
+        if !registry.contains(&spec.policy) {
+            return Err(UnknownPolicy {
+                name: spec.policy.clone(),
                 known: registry.names(),
-            }));
+            }
+            .into());
         }
-        let platform = Platform::by_id(self.spec.platform);
-        let family = self.spec.family.family();
         Ok(Runtime {
             platform,
             family,
-            task: self.spec.family.task(),
-            spec: self.spec,
-            registry: Arc::new(registry),
-            sink: self.sink,
+            task: spec.family.task(),
+            spec,
+            registry,
+            sink,
             sessions: BTreeMap::new(),
-            next_id: 0,
+            next_id: id_start,
+            id_stride,
         })
+    }
+
+    /// Builds a [`ShardedRuntime`](crate::executor::ShardedRuntime):
+    /// `workers` single-threaded shards sharing this builder's
+    /// configuration and registry, with disjoint session-id spaces.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the default policy does not resolve (same contract as
+    /// [`RuntimeBuilder::build`]).
+    pub fn build_sharded(self, workers: usize) -> Result<executor::ShardedRuntime, RuntimeError> {
+        executor::ShardedRuntime::from_builder(self, workers)
     }
 }
 
@@ -351,15 +451,22 @@ impl Default for RuntimeBuilder {
 }
 
 /// A long-lived multi-session serving runtime. See the module docs.
+///
+/// The read-only context — platform, candidate family, policy registry —
+/// is `Arc`-shared: cloning a runtime's configuration into worker shards
+/// ([`executor::ShardedRuntime`]) costs reference counts, not
+/// allocations, and the parallel executor can hand `&ModelFamily` to
+/// every worker thread simultaneously.
 pub struct Runtime {
-    platform: Platform,
-    family: ModelFamily,
+    pub(crate) platform: Arc<Platform>,
+    pub(crate) family: Arc<ModelFamily>,
     task: TaskId,
     spec: RunSpec,
-    registry: Arc<PolicyRegistry>,
-    sink: Option<Box<dyn EventSink>>,
-    sessions: BTreeMap<SessionId, Session>,
+    pub(crate) registry: Arc<PolicyRegistry>,
+    pub(crate) sink: Option<Box<dyn EventSink>>,
+    pub(crate) sessions: BTreeMap<SessionId, Session>,
     next_id: u64,
+    id_stride: u64,
 }
 
 impl Runtime {
@@ -400,7 +507,7 @@ impl Runtime {
 
     fn insert_session(&mut self, session: Session) -> SessionId {
         let id = SessionId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         if let Some(sink) = self.sink.as_mut() {
             sink.emit(&EpisodeEvent::SessionOpened {
                 session: id,
@@ -569,14 +676,7 @@ impl Runtime {
             .sessions
             .get_mut(&id)
             .ok_or(RuntimeError::UnknownSession(id))?;
-        let record = s.engine.step(
-            s.scheduler.as_mut(),
-            &s.env,
-            &self.family,
-            &s.stream,
-            &s.goal,
-        );
-        match (record, self.sink.as_mut()) {
+        match (s.step(&self.family), self.sink.as_mut()) {
             (Some(r), Some(sink)) => {
                 sink.emit(&EpisodeEvent::InputProcessed {
                     session: id,
@@ -591,11 +691,32 @@ impl Runtime {
 
     /// Advances `id` by exactly one input. Returns the record, or
     /// `Ok(None)` when the stream is exhausted.
+    ///
+    /// The stepped session hands its record straight back: the hot path
+    /// clones it exactly once (when a sink is installed, the clone rides
+    /// through the emitted event and is then moved out — never a second
+    /// clone, never a re-fetch through the session map).
     pub fn submit(&mut self, id: SessionId) -> Result<Option<InputRecord>, RuntimeError> {
-        if self.step_session(id)? {
-            Ok(self.session(id)?.engine.records().last().cloned())
-        } else {
-            Ok(None)
+        let s = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        let Some(record) = s.step(&self.family) else {
+            return Ok(None);
+        };
+        match self.sink.as_mut() {
+            Some(sink) => {
+                let event = EpisodeEvent::InputProcessed {
+                    session: id,
+                    record: record.clone(),
+                };
+                sink.emit(&event);
+                let EpisodeEvent::InputProcessed { record, .. } = event else {
+                    unreachable!("constructed above")
+                };
+                Ok(Some(record))
+            }
+            None => Ok(Some(record.clone())),
         }
     }
 
@@ -646,6 +767,44 @@ impl Runtime {
         ids.into_iter()
             .map(|id| Ok((id, self.close(id)?)))
             .collect()
+    }
+
+    /// Steps every open session to completion on `workers` parallel
+    /// shards and closes them, returning the episodes ascending by id.
+    ///
+    /// Sessions are partitioned by `id.shard_of(workers)`; each shard is
+    /// drained round-robin on its own thread (`std::thread::scope`, no
+    /// extra dependencies). Because sessions share no mutable state —
+    /// the platform, candidate family and registry are `Arc`-shared and
+    /// read-only — every session's records are **bit-identical** to
+    /// [`Runtime::drain_round_robin`]'s, for any worker count
+    /// (`tests/parallel_executor.rs` proves it property-style). The one
+    /// exception is inherent to the scheme, not the executor: sessions
+    /// under `OverheadPolicy::Measured` feed wall-clock decision cost
+    /// back into their deadline reserve, so their records are
+    /// timing-dependent even across two serial runs.
+    ///
+    /// Sink events are fanned through a per-session-ordered channel: each
+    /// session's `InputProcessed` events arrive in index order followed
+    /// by its `SessionClosed`, exactly as under the serial drain.
+    /// *Cross*-session interleaving is scheduling-dependent (it already
+    /// was: the serial drain's interleaving is an artifact of round-robin
+    /// order, which no consumer may rely on).
+    pub fn drain_parallel(
+        &mut self,
+        workers: usize,
+    ) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
+        let workers = workers.max(1);
+        let sessions = std::mem::take(&mut self.sessions);
+        let mut shards: Vec<Vec<(SessionId, Session)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (id, session) in sessions {
+            shards[id.shard_of(workers)].push((id, session));
+        }
+        Ok(executor::drain_shards(
+            shards,
+            &self.family,
+            self.sink.as_mut(),
+        ))
     }
 
     /// Checkpoints a session opened from a [`SessionSpec`].
@@ -714,6 +873,38 @@ impl Runtime {
             )));
         }
         let (spec, stream, env, mut scheduler) = self.materialize(snap.spec.clone())?;
+        // Mid-sentence integrity (NLP1 grouped streams, paper §3.2 step
+        // 2): when the next input is a non-leading group member, the
+        // engine must arrive with its shared-budget tracker still inside
+        // the group. A snapshot whose tracker state was lost (reset)
+        // would not fail here on its own — it would silently hand every
+        // remaining member of the sentence the 1 µs floor deadline, so
+        // the resumed records diverge from an uninterrupted run without
+        // any error. Reject such snapshots loudly instead.
+        if let Some(next) = stream.inputs().get(snap.engine.cursor()) {
+            if let Some(g) = next.group {
+                let budget = snap.engine.budget();
+                let expected_left = g.group_len - g.member_idx;
+                if g.member_idx != 0
+                    && (!budget.in_group() || budget.members_left() != expected_left)
+                {
+                    return Err(RuntimeError::InvalidSpec(format!(
+                        "snapshot cut mid-sentence (next input is member {} of a {}-word \
+                         group, so {} members' budget should remain claimable) but its \
+                         budget tracker carries {} — the tracker was reset or the snapshot \
+                         predates budget carry-over",
+                        g.member_idx,
+                        g.group_len,
+                        expected_left,
+                        if budget.in_group() {
+                            format!("{} members", budget.members_left())
+                        } else {
+                            "no group state".to_string()
+                        }
+                    )));
+                }
+            }
+        }
         if let Some(ctl) = &snap.controller {
             scheduler.restore_controller(ctl);
         }

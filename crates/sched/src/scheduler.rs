@@ -57,7 +57,13 @@ pub struct Feedback {
 }
 
 /// A per-input scheduling policy.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so sessions (which own their scheduler) can be
+/// moved onto worker shards by the parallel executor
+/// (`Runtime::drain_parallel`, `ShardedRuntime`); schedulers hold only
+/// their own learned state plus `Arc`-shared read-only context, so this
+/// costs implementations nothing.
+pub trait Scheduler: Send {
     /// Scheme name for reporting (Table 3/4 row labels).
     fn name(&self) -> &str;
 

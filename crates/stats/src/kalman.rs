@@ -153,14 +153,17 @@ pub struct AdaptiveKalman {
 impl AdaptiveKalman {
     /// Creates a filter from explicit parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the parameters fail [`AdaptiveKalmanParams::validate`].
-    pub fn new(params: AdaptiveKalmanParams) -> Self {
-        if let Err(e) = params.validate() {
-            panic!("invalid AdaptiveKalmanParams: {e}");
-        }
-        AdaptiveKalman {
+    /// Returns the first problem found by
+    /// [`AdaptiveKalmanParams::validate`] — parameters typically arrive
+    /// from user configuration (`RunSpec` files), so invalid values are a
+    /// runtime condition, not a programming error.
+    pub fn new(params: AdaptiveKalmanParams) -> Result<Self, String> {
+        params
+            .validate()
+            .map_err(|e| format!("invalid AdaptiveKalmanParams: {e}"))?;
+        Ok(AdaptiveKalman {
             params,
             mu: params.mu0,
             var: params.var0,
@@ -168,12 +171,12 @@ impl AdaptiveKalman {
             q: params.q0,
             prev_innovation: 0.0,
             steps: 0,
-        }
+        })
     }
 
     /// Creates a filter with the paper's default constants.
     pub fn with_defaults() -> Self {
-        Self::new(AdaptiveKalmanParams::default())
+        Self::new(AdaptiveKalmanParams::default()).expect("paper defaults are valid")
     }
 
     /// Feeds one observation and returns the updated mean.
@@ -271,7 +274,7 @@ impl AdaptiveKalman {
 
     /// Resets the filter to its initial state.
     pub fn reset(&mut self) {
-        *self = AdaptiveKalman::new(self.params);
+        *self = AdaptiveKalman::new(self.params).expect("params were validated at construction");
     }
 }
 
@@ -572,12 +575,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid AdaptiveKalmanParams")]
     fn adaptive_rejects_bad_params() {
-        let _ = AdaptiveKalman::new(AdaptiveKalmanParams {
+        let err = AdaptiveKalman::new(AdaptiveKalmanParams {
             r: -1.0,
             ..Default::default()
-        });
+        })
+        .unwrap_err();
+        assert!(err.contains("invalid AdaptiveKalmanParams"), "{err}");
+        assert!(AdaptiveKalman::new(AdaptiveKalmanParams::default()).is_ok());
     }
 
     #[test]

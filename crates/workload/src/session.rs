@@ -13,6 +13,23 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SessionId(pub u64);
 
+impl SessionId {
+    /// The worker shard owning this session under a `shards`-way
+    /// partition: plain modulo, so a sharded runtime that allocates ids
+    /// with stride `shards` (shard `k` hands out `k, k + shards, …`)
+    /// routes every id back to its owner without a lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero (a partition needs at least one shard
+    /// — a construction-time programming error, not a runtime
+    /// condition).
+    pub fn shard_of(&self, shards: usize) -> usize {
+        assert!(shards > 0, "a partition needs at least one shard");
+        (self.0 % shards as u64) as usize
+    }
+}
+
 impl std::fmt::Display for SessionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "session-{}", self.0)
@@ -59,5 +76,21 @@ mod tests {
     fn display_formats() {
         assert_eq!(SessionId(3).to_string(), "session-3");
         assert!(StreamId::derive(0, 0, 1).to_string().starts_with("stream-"));
+    }
+
+    #[test]
+    fn shard_routing_is_modular() {
+        assert_eq!(SessionId(0).shard_of(4), 0);
+        assert_eq!(SessionId(7).shard_of(4), 3);
+        assert_eq!(SessionId(8).shard_of(4), 0);
+        // Stride-allocated ids route back to their allocating shard.
+        for shard in 0..5u64 {
+            for round in 0..3u64 {
+                let id = SessionId(shard + round * 5);
+                assert_eq!(id.shard_of(5), shard as usize);
+            }
+        }
+        // A single shard owns everything.
+        assert_eq!(SessionId(u64::MAX).shard_of(1), 0);
     }
 }

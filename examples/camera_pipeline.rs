@@ -39,7 +39,8 @@ fn main() {
     // Drive the scheduler manually so the goal can flip mid-stream:
     // "critical" phase covers inputs 300..450 (overlapping the
     // contention window 200..400 — the hardest combination).
-    let mut alert = AlertScheduler::standard(&family, &platform, relaxed);
+    let mut alert =
+        AlertScheduler::standard(&family, &platform, relaxed).expect("paper family fits");
     let mut switches = 0usize;
     let mut last_model = String::new();
     let mut phase_stats: Vec<(String, f64, f64, usize)> = Vec::new();
@@ -89,7 +90,8 @@ fn main() {
             let snapshot = alert
                 .controller_snapshot()
                 .expect("ALERT exports controller state");
-            let mut fresh = AlertScheduler::standard(&family, &platform, goal);
+            let mut fresh =
+                AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
             fresh.restore_controller(&snapshot);
             alert = fresh;
         }

@@ -99,7 +99,7 @@ fn main() {
     //    params, frozen env for oracles) and returns a fresh scheduler.
     let mut registry = PolicyRegistry::builtin();
     registry.register_fn("Greedy", |ctx| {
-        Box::new(GreedyRaceToIdle::new(ctx.family, ctx.platform))
+        Ok(Box::new(GreedyRaceToIdle::new(ctx.family, ctx.platform)) as Box<dyn Scheduler>)
     });
     println!("registered policies: {}\n", registry.names().join(", "));
 

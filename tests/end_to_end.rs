@@ -49,7 +49,7 @@ fn energy_ordering_holds_under_contention() {
         400,
         21,
     );
-    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal);
+    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal).unwrap();
     let mut oracle = Oracle::new(w.env.clone(), w.family.clone(), w.goal);
     let mut app = AppOnly::new(&w.family, &w.platform);
 
@@ -90,7 +90,7 @@ fn sys_only_structurally_violates_high_floors() {
     let ep = run(&w, &mut sys);
     assert!(ep.summary.disqualified());
     // ALERT meets the same floor.
-    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal);
+    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal).unwrap();
     let ep = run(&w, &mut alert);
     assert!(!ep.summary.disqualified());
 }
@@ -105,7 +105,7 @@ fn coordination_beats_no_coordination() {
         400,
         5,
     );
-    let mut alert_any = AlertScheduler::anytime_only(&w.family, &w.platform, w.goal);
+    let mut alert_any = AlertScheduler::anytime_only(&w.family, &w.platform, w.goal).unwrap();
     let mut nc = NoCoord::new(&w.family, &w.platform, w.goal);
     let ep_any = run(&w, &mut alert_any);
     let ep_nc = run(&w, &mut nc);
@@ -130,7 +130,7 @@ fn determinism_and_seed_sensitivity() {
             150,
             seed,
         );
-        let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal);
+        let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal).unwrap();
         run(&w, &mut alert)
     };
     let a = mk(9);
@@ -171,7 +171,7 @@ fn static_baseline_pays_for_rigidity() {
     let mut st = OracleStatic::from_choice(choice);
     let loose_env = mk_env(&loose);
     let ep_static = run_episode(&mut st, &loose_env, &family, &stream, &loose);
-    let mut alert = AlertScheduler::standard(&family, &platform, loose);
+    let mut alert = AlertScheduler::standard(&family, &platform, loose).unwrap();
     let ep_alert = run_episode(&mut alert, &loose_env, &family, &stream, &loose);
     assert!(
         ep_alert.summary.avg_energy.get() < ep_static.summary.avg_energy.get(),
@@ -196,7 +196,7 @@ fn sentence_prediction_end_to_end() {
         &goal,
         8,
     ));
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
+    let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
     let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal);
     let mut sys = SysOnly::new(&family, &platform, goal);
     let ep_sys = run_episode(&mut sys, &env, &family, &stream, &goal);
@@ -226,7 +226,7 @@ fn single_model_family_works() {
         &goal,
         4,
     ));
-    let mut alert = AlertScheduler::standard(&family, &platform, goal);
+    let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
     let ep = run_episode(&mut alert, &env, &family, &stream, &goal);
     assert_eq!(ep.records.len(), 150);
     // All decisions use the single model; caps may vary.
@@ -243,7 +243,7 @@ fn impossible_deadline_degrades_gracefully() {
         80,
         6,
     );
-    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal);
+    let mut alert = AlertScheduler::standard(&w.family, &w.platform, w.goal).unwrap();
     let ep = run(&w, &mut alert);
     assert_eq!(ep.records.len(), 80);
     assert!(ep.summary.disqualified(), "everything misses, by design");

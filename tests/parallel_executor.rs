@@ -1,0 +1,233 @@
+//! Property and integration tests of the parallel sharded executor:
+//! `drain_parallel(w)` and the long-lived `ShardedRuntime` must be
+//! **bit-identical** to the serial `drain_round_robin` for arbitrary
+//! worker counts and session mixes, and sink consumers must see each
+//! session's event stream in exactly the serial order.
+
+use alert::sched::runtime::{EpisodeEvent, Runtime, SessionSpec};
+use alert::sched::{Episode, FamilyKind};
+use alert::stats::units::{Joules, Seconds};
+use alert::workload::{Goal, Scenario, SessionId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// One deterministic session spec from a (scenario-kind, seed) pair.
+fn session_spec(kind: usize, seed: u64) -> SessionSpec {
+    let scenario = match kind % 3 {
+        0 => Scenario::default_env(),
+        1 => Scenario::memory_env(300 + seed),
+        _ => Scenario::compute_env(600 + seed),
+    };
+    SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.35 + 0.01 * (seed % 6) as f64), 0.9),
+        scenario,
+        n_inputs: 8 + (seed % 3) as usize * 4,
+        seed: Some(1000 + seed),
+        // Exercise heterogeneous schemes across shards.
+        policy: if seed.is_multiple_of(4) {
+            Some("App-only".to_string())
+        } else {
+            None
+        },
+    }
+}
+
+/// Everything of a summary that is deterministic (the scheduler overhead
+/// is wall-clock and may differ across runs and threads).
+fn summary_modulo_overhead(ep: &Episode) -> (usize, usize, f64, f64) {
+    (
+        ep.summary.measured,
+        ep.summary.violations,
+        ep.summary.avg_energy.get(),
+        ep.summary.avg_quality,
+    )
+}
+
+fn assert_equivalent(
+    parallel: &[(SessionId, Episode)],
+    serial: &[(SessionId, Episode)],
+    label: &str,
+) {
+    assert_eq!(parallel.len(), serial.len(), "{label}: episode counts");
+    for ((id, ep), (rid, rep)) in parallel.iter().zip(serial) {
+        assert_eq!(id, rid, "{label}: id order");
+        assert_eq!(ep.scheme, rep.scheme, "{label}: {id} scheme");
+        assert_eq!(ep.records, rep.records, "{label}: {id} records diverged");
+        assert_eq!(
+            summary_modulo_overhead(ep),
+            summary_modulo_overhead(rep),
+            "{label}: {id} summary diverged"
+        );
+    }
+}
+
+proptest! {
+    /// The headline invariant: for arbitrary worker counts and session
+    /// mixes, the parallel drain's episodes are bit-identical to the
+    /// serial drain's.
+    #[test]
+    fn drain_parallel_is_bit_identical_to_round_robin(
+        workers in 1usize..9,
+        mix in proptest::collection::vec((0usize..3, 0i64..1000), 1..10),
+    ) {
+        let open_all = |rt: &mut Runtime| -> Vec<SessionId> {
+            mix.iter()
+                .map(|&(kind, seed)| {
+                    rt.open_session(session_spec(kind, seed as u64)).unwrap()
+                })
+                .collect()
+        };
+
+        let mut serial = Runtime::builder().build().unwrap();
+        open_all(&mut serial);
+        let reference = serial.drain_round_robin().unwrap();
+
+        let mut parallel = Runtime::builder().build().unwrap();
+        open_all(&mut parallel);
+        let episodes = parallel.drain_parallel(workers).unwrap();
+        prop_assert_eq!(parallel.session_count(), 0);
+        assert_equivalent(&episodes, &reference, &format!("workers={workers}"));
+    }
+
+    /// Sink consumers see each session's events exactly as under the
+    /// serial drain: `InputProcessed` in index order carrying the very
+    /// records of the episode, then one `SessionClosed`.
+    #[test]
+    fn parallel_sink_preserves_per_session_order(
+        workers in 1usize..9,
+        mix in proptest::collection::vec((0usize..3, 0i64..1000), 1..8),
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let mut rt = Runtime::builder().sink(tx).build().unwrap();
+        let ids: Vec<SessionId> = mix
+            .iter()
+            .map(|&(kind, seed)| rt.open_session(session_spec(kind, seed as u64)).unwrap())
+            .collect();
+        let episodes = rt.drain_parallel(workers).unwrap();
+        drop(rt); // drop the sender inside the runtime
+
+        let mut streams: BTreeMap<SessionId, Vec<EpisodeEvent>> = BTreeMap::new();
+        for event in rx.iter() {
+            let session = match &event {
+                EpisodeEvent::SessionOpened { session, .. }
+                | EpisodeEvent::InputProcessed { session, .. }
+                | EpisodeEvent::SessionClosed { session, .. } => *session,
+            };
+            streams.entry(session).or_default().push(event);
+        }
+        prop_assert_eq!(streams.len(), ids.len());
+        for (id, episode) in &episodes {
+            let stream = &streams[id];
+            prop_assert!(matches!(stream[0], EpisodeEvent::SessionOpened { .. }));
+            prop_assert!(matches!(stream[stream.len() - 1], EpisodeEvent::SessionClosed { .. }));
+            let processed: Vec<_> = stream
+                .iter()
+                .filter_map(|e| match e {
+                    EpisodeEvent::InputProcessed { record, .. } => Some(record.clone()),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(
+                &processed,
+                &episode.records,
+                "sink records of {} must match the episode in order",
+                id
+            );
+        }
+    }
+}
+
+/// Grouped (NLP1) streams carry per-session shared-deadline budgets; the
+/// parallel drain must not perturb them either.
+#[test]
+fn drain_parallel_matches_serial_on_grouped_streams() {
+    let spec = |seed: u64| SessionSpec {
+        goal: Goal::minimize_error(Seconds(0.12), Joules(6.0)),
+        scenario: Scenario::memory_env(seed),
+        n_inputs: 60,
+        seed: Some(seed),
+        policy: None,
+    };
+    let build = || {
+        Runtime::builder()
+            .family(FamilyKind::Sentence)
+            .build()
+            .unwrap()
+    };
+    let mut serial = build();
+    for s in 0..6u64 {
+        serial.open_session(spec(70 + s)).unwrap();
+    }
+    let reference = serial.drain_round_robin().unwrap();
+
+    for workers in [2, 4, 7] {
+        let mut rt = build();
+        for s in 0..6u64 {
+            rt.open_session(spec(70 + s)).unwrap();
+        }
+        let episodes = rt.drain_parallel(workers).unwrap();
+        assert_equivalent(&episodes, &reference, &format!("grouped workers={workers}"));
+    }
+}
+
+/// The long-lived sharded runtime serves the same episodes as one serial
+/// runtime, end to end: open routing, interleaved submits, parallel
+/// drain, and per-session event ordering through its sink.
+#[test]
+fn sharded_runtime_is_bit_identical_to_serial_runtime() {
+    const N: u64 = 10;
+    let mut serial = Runtime::builder().build().unwrap();
+    let serial_ids: Vec<SessionId> = (0..N)
+        .map(|i| serial.open_session(session_spec(i as usize, i)).unwrap())
+        .collect();
+    // Interleave some manual submits before draining the rest.
+    for &id in &serial_ids {
+        serial.submit(id).unwrap();
+    }
+    let reference = serial.drain_round_robin().unwrap();
+
+    let (tx, rx) = mpsc::channel();
+    let mut sharded = Runtime::builder().sink(tx).build_sharded(3).unwrap();
+    let sharded_ids: Vec<SessionId> = (0..N)
+        .map(|i| sharded.open_session(session_spec(i as usize, i)).unwrap())
+        .collect();
+    assert_eq!(serial_ids, sharded_ids, "dense id allocation");
+    for &id in &sharded_ids {
+        sharded.submit(id).unwrap();
+    }
+    let episodes = sharded.drain().unwrap();
+    drop(sharded);
+    assert_equivalent(&episodes, &reference, "sharded vs serial");
+
+    // Per-session event ordering through the sharded sink.
+    let mut per_session: BTreeMap<SessionId, Vec<EpisodeEvent>> = BTreeMap::new();
+    for event in rx.iter() {
+        let session = match &event {
+            EpisodeEvent::SessionOpened { session, .. }
+            | EpisodeEvent::InputProcessed { session, .. }
+            | EpisodeEvent::SessionClosed { session, .. } => *session,
+        };
+        per_session.entry(session).or_default().push(event);
+    }
+    for (id, episode) in &episodes {
+        let stream = &per_session[id];
+        assert!(matches!(stream[0], EpisodeEvent::SessionOpened { .. }));
+        let indices: Vec<usize> = stream
+            .iter()
+            .filter_map(|e| match e {
+                EpisodeEvent::InputProcessed { record, .. } => Some(record.index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            indices,
+            (0..episode.records.len()).collect::<Vec<_>>(),
+            "{id}: InputProcessed must arrive in index order"
+        );
+        assert!(matches!(
+            stream[stream.len() - 1],
+            EpisodeEvent::SessionClosed { .. }
+        ));
+    }
+}

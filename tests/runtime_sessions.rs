@@ -4,10 +4,10 @@
 //! session-API redesign.
 
 use alert::sched::runtime::{
-    EpisodeEvent, FamilySpec, RunSpec, Runtime, RuntimeBuilder, SessionSpec,
+    EpisodeEvent, FamilySpec, RunSpec, Runtime, RuntimeBuilder, RuntimeError, SessionSpec,
 };
 use alert::sched::{run_episode, AlertScheduler, EpisodeEnv, FamilyKind, PolicyRegistry};
-use alert::stats::units::Seconds;
+use alert::stats::units::{Joules, Seconds};
 use alert::workload::{Goal, InputStream, Scenario, SessionId, TaskId};
 
 fn session_spec(i: u64) -> SessionSpec {
@@ -44,7 +44,7 @@ fn sixty_four_interleaved_sessions_match_sequential_episodes() {
             let seed = spec.seed.expect("session_spec sets a seed");
             let stream = InputStream::generate(TaskId::Img2, spec.n_inputs, seed);
             let env = EpisodeEnv::build(&platform, &spec.scenario, &stream, &spec.goal, seed);
-            let mut s = AlertScheduler::standard(&family, &platform, spec.goal);
+            let mut s = AlertScheduler::standard(&family, &platform, spec.goal).unwrap();
             run_episode(&mut s, &env, &family, &stream, &spec.goal)
         })
         .collect();
@@ -150,6 +150,137 @@ fn event_stream_accounts_for_every_input() {
     assert_eq!(processed, expected_inputs);
 }
 
+/// A spec over the grouped NLP1 task (words share sentence deadlines,
+/// paper §3.2 step 2).
+fn grouped_spec(seed: u64, n_inputs: usize) -> SessionSpec {
+    SessionSpec {
+        goal: Goal::minimize_error(Seconds(0.12), Joules(6.0)),
+        scenario: Scenario::memory_env(seed),
+        n_inputs,
+        seed: Some(seed),
+        policy: None,
+    }
+}
+
+fn sentence_runtime() -> Runtime {
+    Runtime::builder()
+        .family(FamilyKind::Sentence)
+        .build()
+        .unwrap()
+}
+
+/// Mid-sentence checkpoint/restore round-trip: a session snapshotted
+/// while a sentence's shared budget is partially consumed (the next
+/// input has `member_idx != 0`) must resume bit-identically to an
+/// uninterrupted run — the `BudgetTracker` state travels inside
+/// `SessionSnapshot` (through JSON) and survives migration to a fresh
+/// runtime. A lost tracker would silently clamp every remaining word's
+/// deadline to the 1 µs floor instead.
+#[test]
+fn mid_sentence_checkpoint_resumes_identically() {
+    const N: usize = 120;
+    let stream = InputStream::generate(TaskId::Nlp1, N, 77);
+
+    let mut reference_rt = sentence_runtime();
+    let rid = reference_rt.open_session(grouped_spec(77, N)).unwrap();
+    reference_rt.run_to_completion(rid).unwrap();
+    let reference = reference_rt.close(rid).unwrap();
+
+    // Cut at every mid-sentence position of the first few sentences:
+    // the divergence, were the tracker lost, depends on where within
+    // the sentence the cut lands.
+    let cuts: Vec<usize> = stream
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|(i, inp)| {
+            *i > 0 && *i < 40 && inp.group.map(|g| g.member_idx != 0).unwrap_or(false)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!cuts.is_empty(), "NLP1 streams have mid-sentence inputs");
+
+    for cut in cuts {
+        let mut origin = sentence_runtime();
+        let id = origin.open_session(grouped_spec(77, N)).unwrap();
+        for _ in 0..cut {
+            origin.submit(id).unwrap();
+        }
+        let snap = origin.snapshot_session(id).unwrap();
+        // The tracker must actually be mid-group in the snapshot...
+        assert!(
+            snap.engine.budget().in_group(),
+            "cut {cut}: snapshot should carry live group state"
+        );
+        // ...and survive a JSON round-trip (the migration wire format).
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap: alert::sched::runtime::SessionSnapshot = serde_json::from_str(&json).unwrap();
+        drop(origin);
+
+        let mut destination = sentence_runtime();
+        let id2 = destination.restore_session(&snap).unwrap();
+        destination.run_to_completion(id2).unwrap();
+        let resumed = destination.close(id2).unwrap();
+        assert_eq!(
+            reference.records, resumed.records,
+            "cut {cut}: mid-sentence resume diverged from the uninterrupted run"
+        );
+    }
+}
+
+/// A snapshot whose budget tracker was lost (reset to idle) while the
+/// cursor sits mid-sentence describes exactly the silent-clamp failure
+/// mode — restore must reject it loudly instead of resuming wrong.
+#[test]
+fn restore_rejects_mid_sentence_snapshot_with_reset_budget() {
+    const N: usize = 80;
+    let stream = InputStream::generate(TaskId::Nlp1, N, 31);
+    let cut = stream
+        .inputs()
+        .iter()
+        .enumerate()
+        .position(|(i, inp)| i > 5 && inp.group.map(|g| g.member_idx != 0).unwrap_or(false))
+        .expect("grouped stream has mid-sentence inputs");
+
+    let mut origin = sentence_runtime();
+    let id = origin.open_session(grouped_spec(31, N)).unwrap();
+    for _ in 0..cut {
+        origin.submit(id).unwrap();
+    }
+    let good = origin.snapshot_session(id).unwrap();
+
+    // Simulate a snapshot that lost the tracker (e.g. produced by a
+    // pre-carry-over serializer): splice an idle budget tracker into the
+    // serialized engine state, keeping cursor and records intact.
+    let json = serde_json::to_string(&good).unwrap();
+    let start = json
+        .find("\"budget\":{")
+        .expect("engine serializes its budget tracker");
+    let end = start + json[start..].find('}').expect("tracker object closes") + 1;
+    let doctored_json = format!(
+        "{}\"budget\":{{\"remaining\":0.0,\"members_left\":0,\"in_group\":false}}{}",
+        &json[..start],
+        &json[end..]
+    );
+    let doctored: alert::sched::runtime::SessionSnapshot =
+        serde_json::from_str(&doctored_json).unwrap();
+    assert!(!doctored.engine.budget().in_group(), "tracker was reset");
+
+    let mut destination = sentence_runtime();
+    let err = destination.restore_session(&doctored).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::InvalidSpec(_)),
+        "expected InvalidSpec, got {err}"
+    );
+    assert!(
+        err.to_string().contains("mid-sentence"),
+        "error should explain the mid-sentence cut: {err}"
+    );
+
+    // The untouched snapshot still restores fine.
+    assert!(destination.restore_session(&good).is_ok());
+}
+
 /// A custom policy registered by name runs through the full session
 /// lifecycle next to the built-ins.
 #[test]
@@ -158,11 +289,11 @@ fn custom_policy_runs_as_session() {
     registry.register_fn("MaxQuality", |ctx| {
         // The registry showcase policy: delegate to the ALERT-Trad
         // constructor but under a custom registry name.
-        Box::new(AlertScheduler::traditional_only(
+        Ok(Box::new(AlertScheduler::traditional_only(
             ctx.family,
             ctx.platform,
             ctx.goal,
-        ))
+        )?) as Box<dyn alert::sched::Scheduler>)
     });
     let mut rt = Runtime::builder()
         .registry(registry)
