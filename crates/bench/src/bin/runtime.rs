@@ -1,5 +1,7 @@
 //! Session-runtime throughput baseline: inputs/sec and per-decision
-//! scheduler overhead across a (sessions × workers) grid, written to
+//! scheduler overhead across a (sessions × workers) grid, plus the
+//! `decisions` microbench grid (fast-lane vs full-enumeration decision
+//! cost under stable and drifting beliefs), written to
 //! `BENCH_runtime.json` at the workspace root so later scaling PRs have
 //! a machine-readable perf baseline to compare against.
 //!
@@ -10,12 +12,24 @@
 //! speedup scales with physical cores; `available_parallelism` is
 //! recorded in the JSON so single-core CI readings are interpretable.
 //!
+//! The decisions grid drives one `AlertController` through a decide →
+//! observe loop and, for **every** decision, replays the reference full
+//! enumeration at the same belief and asserts the two selections are
+//! bit-identical — the cached-vs-enumerated guard CI relies on. The
+//! verification pass walks the *identical* warmup + measurement
+//! trajectory the timing pass then re-walks unasserted (the controller
+//! is deterministic), so the assertion covers every timed decision
+//! without polluting the measurement.
+//!
 //! Usage: `runtime [n_inputs_per_session] [seed]` (defaults 300, 2020).
 
 use alert_bench::{banner, csv_header, csv_row, f};
+use alert_core::alert::{AlertController, AlertParams, Observation, OverheadPolicy};
+use alert_core::select::select_with_period;
+use alert_sched::alert::build_table;
 use alert_sched::runtime::{Runtime, SessionSpec};
 use alert_sched::{Episode, FamilyKind};
-use alert_stats::units::Seconds;
+use alert_stats::units::{Joules, Seconds, Watts};
 use alert_workload::{Goal, Scenario, SessionId};
 use std::time::Instant;
 
@@ -77,6 +91,141 @@ fn measure(sessions: usize, workers: usize, n_inputs: usize, seed: u64) -> Measu
         inputs_per_sec: inputs_total as f64 / elapsed,
         decision_overhead_us_mean: overhead_total / inputs_total as f64 * 1e6,
     }
+}
+
+/// One decision-bench grid point.
+struct DecisionMeasurement {
+    env: &'static str,
+    candidates: usize,
+    live_after_pruning: usize,
+    warmup: usize,
+    decisions: usize,
+    decision_us_fast: f64,
+    decision_us_full: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    verified_identical: usize,
+}
+
+/// The belief-driving observation for step `i`: `stable` replays the
+/// profile exactly (the environment the paper calls quiescent — the
+/// Kalman state converges and the decision cache takes over); `drift`
+/// perturbs every observation so the belief moves on every input and the
+/// cache never hits (measuring the pruned SoA enumeration itself).
+fn observation_for(env: &str, i: usize, profile: Seconds, cap: Watts) -> Observation {
+    let factor = if env == "stable" {
+        1.0
+    } else {
+        // Deterministic bounded wobble, different every step.
+        1.3 + 0.25 * (((i as f64) * 0.7).sin())
+    };
+    Observation {
+        latency: profile * factor,
+        profile_equivalent: profile,
+        idle_power: Some(Watts(6.0)),
+        idle_cap: cap,
+    }
+}
+
+/// Drives `controller` for `n` decide→observe steps starting at
+/// observation phase `start`, returning the total fast-lane decision
+/// time; when `verify` is set, every decision is replayed through the
+/// reference full enumeration and asserted bit-identical (the
+/// cached-vs-enumerated guard).
+fn drive_decisions(
+    controller: &mut AlertController,
+    goal: &Goal,
+    env: &'static str,
+    start: usize,
+    n: usize,
+    verify: bool,
+) -> (f64, f64, usize) {
+    let mut fast_s = 0.0;
+    let mut full_s = 0.0;
+    let mut verified = 0;
+    for i in start..start + n {
+        let t0 = Instant::now();
+        let sel = controller.decide(goal).expect("valid goal");
+        let t1 = Instant::now();
+        // Reference full enumeration at the same belief and effective
+        // deadline (OverheadPolicy::None keeps it equal to the goal's).
+        let reference = select_with_period(
+            controller.table(),
+            &controller.slowdown().distribution(),
+            controller.idle_ratio(),
+            &goal.with_deadline(sel.deadline),
+            goal.deadline,
+            controller.params().mode,
+        )
+        .expect("valid goal");
+        let t2 = Instant::now();
+        fast_s += (t1 - t0).as_secs_f64();
+        full_s += (t2 - t1).as_secs_f64();
+        if verify {
+            assert_eq!(
+                sel, reference,
+                "fast-lane selection diverged from full enumeration at {env} step {i}"
+            );
+            verified += 1;
+        }
+        let profile = controller.table().t_prof_stage(sel.candidate);
+        let cap = controller.table().cap(sel.candidate.power);
+        controller.observe(&observation_for(env, i, profile, cap));
+    }
+    (fast_s, full_s, verified)
+}
+
+/// The `bench decisions` grid: per-decision scheduler cost of the fast
+/// lane (SoA + pruning + belief-banded cache) against the reference full
+/// enumeration, on the CPU1 × image-family candidate table.
+fn bench_decisions(n_decisions: usize) -> Vec<DecisionMeasurement> {
+    let family = FamilyKind::Image.family();
+    let platform = alert_platform::Platform::cpu1();
+    let (table, _) = build_table(&family, &platform).expect("paper table builds");
+    let goal = Goal::minimize_error(Seconds(0.35), Joules(14.0));
+    let params = AlertParams {
+        // No overhead reserve: keeps the effective deadline equal to the
+        // goal deadline so the reference enumeration call is exact, and
+        // keeps the run deterministic.
+        overhead: OverheadPolicy::None,
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+    let warmup = (n_decisions / 4).max(64);
+    for env in ["stable", "drift"] {
+        // Verification pass: one continuous run over the *identical*
+        // warmup + measurement trajectory the timing pass walks below
+        // (the controller is deterministic, so the belief states match
+        // step for step) — every decision the timing pass will make is
+        // replayed against the reference enumeration here.
+        let mut ctl = AlertController::new(table.clone(), params).expect("valid params");
+        let (_, _, verified) = drive_decisions(&mut ctl, &goal, env, 0, warmup + n_decisions, true);
+        assert_eq!(verified, warmup + n_decisions);
+
+        // Timing pass: fresh controller, same observation phases —
+        // unverified warmup to converge the belief, then the measured
+        // window continuing at phase `warmup`.
+        let mut ctl = AlertController::new(table.clone(), params).expect("valid params");
+        let _ = drive_decisions(&mut ctl, &goal, env, 0, warmup, false);
+        let stats_before = ctl.cache_stats();
+        let (fast_s, full_s, _) = drive_decisions(&mut ctl, &goal, env, warmup, n_decisions, false);
+        let stats = ctl.cache_stats();
+        out.push(DecisionMeasurement {
+            env,
+            candidates: ctl.lane().candidate_count(),
+            live_after_pruning: ctl.lane().live_count(),
+            warmup,
+            decisions: n_decisions,
+            decision_us_fast: fast_s / n_decisions as f64 * 1e6,
+            decision_us_full: full_s / n_decisions as f64 * 1e6,
+            speedup: full_s / fast_s,
+            cache_hits: stats.hits - stats_before.hits,
+            cache_misses: stats.misses - stats_before.misses,
+            verified_identical: verified,
+        });
+    }
+    out
 }
 
 /// Sanity check baked into the benchmark: the parallel drain's episodes
@@ -149,12 +298,55 @@ fn main() {
         }
     }
 
+    // The decision-path microbench: fast lane vs full enumeration, with
+    // every selection verified bit-identical between the two paths.
+    banner(
+        "Decision fast lane",
+        "Per-decision scheduler cost: SoA+pruning+cache vs full enumeration (selections verified identical)",
+    );
+    csv_header(&[
+        "env",
+        "decisions",
+        "decision_us_fast",
+        "decision_us_full",
+        "speedup",
+        "cache_hits",
+        "cache_misses",
+    ]);
+    let decision_grid = bench_decisions((n_inputs * 4).clamp(400, 4000));
+    let mut decision_results = Vec::new();
+    for m in &decision_grid {
+        csv_row(&[
+            m.env.to_string(),
+            m.decisions.to_string(),
+            f(m.decision_us_fast, 3),
+            f(m.decision_us_full, 3),
+            f(m.speedup, 2),
+            m.cache_hits.to_string(),
+            m.cache_misses.to_string(),
+        ]);
+        decision_results.push(serde_json::json!({
+            "env": m.env,
+            "candidates": m.candidates,
+            "live_after_pruning": m.live_after_pruning,
+            "warmup": m.warmup,
+            "decisions": m.decisions,
+            "decision_overhead_us_mean": m.decision_us_fast,
+            "decision_overhead_us_mean_full_enum": m.decision_us_full,
+            "speedup": m.speedup,
+            "cache_hits": m.cache_hits,
+            "cache_misses": m.cache_misses,
+            "verified_identical": m.verified_identical,
+        }));
+    }
+
     let doc = serde_json::json!({
         "bench": "runtime_sessions",
         "n_inputs_per_session": n_inputs,
         "seed": seed,
         "available_parallelism": cores,
         "results": results,
+        "decisions": decision_results,
     });
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

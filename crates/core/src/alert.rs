@@ -16,12 +16,14 @@
 use crate::config::ConfigTable;
 use crate::goal::{Goal, GoalAdjuster};
 use crate::idle::IdleRatioEstimator;
-use crate::select::{select_with_period, Selection};
+use crate::lane::{BeliefBand, CacheStats, CandidateLane, DecisionCache, DecisionKey, LaneScratch};
+use crate::select::Selection;
 use crate::slowdown::SlowdownEstimator;
+use alert_stats::cputime::thread_cpu_time;
 use alert_stats::kalman::AdaptiveKalmanParams;
 use alert_stats::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How estimates incorporate uncertainty.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,9 +42,44 @@ pub enum OverheadPolicy {
     /// Reserve a fixed time out of every deadline (deterministic; the
     /// default for reproducible experiments).
     Fixed(Seconds),
-    /// Measure the controller's own wall-clock decision time and reserve
-    /// the worst case observed (the paper's behaviour).
+    /// Measure the controller's own decision time and reserve the worst
+    /// case observed (the paper's behaviour).
+    ///
+    /// Decisions are metered on the **thread-CPU clock**
+    /// ([`alert_stats::cputime`]) where available, falling back to the
+    /// wall clock elsewhere: the wall clock charges the controller for
+    /// scheduler preemption and lock waits, which on an oversubscribed
+    /// host inflated the measured "overhead" ~7× and fed that noise
+    /// straight back into deadlines. Residual nondeterminism (cache
+    /// state, frequency scaling) remains — see DESIGN.md §5.
     Measured,
+}
+
+/// A decision-cost stopwatch: thread-CPU clock when the platform has
+/// one, wall clock otherwise.
+struct DecisionClock {
+    cpu_start: Option<Duration>,
+    wall_start: Instant,
+}
+
+impl DecisionClock {
+    fn start() -> Self {
+        DecisionClock {
+            cpu_start: thread_cpu_time(),
+            wall_start: Instant::now(),
+        }
+    }
+
+    /// Elapsed decision cost. Floored at 1 ns: a cache-hit decision can
+    /// finish between two ticks of the CPU clock, and downstream
+    /// accounting treats a zero cost as "no decision happened".
+    fn elapsed(&self) -> Seconds {
+        let secs = match (self.cpu_start, thread_cpu_time()) {
+            (Some(a), Some(b)) => b.saturating_sub(a).as_secs_f64(),
+            _ => self.wall_start.elapsed().as_secs_f64(),
+        };
+        Seconds(secs.max(1e-9))
+    }
 }
 
 /// Controller parameters.
@@ -116,7 +153,8 @@ pub struct ControllerSnapshot {
     pub adjuster: GoalAdjuster,
     /// Decisions made so far.
     pub decisions: u64,
-    /// Wall-clock cost of the most recent decision.
+    /// Measured cost of the most recent decision (thread-CPU clock where
+    /// available).
     pub last_decision_cost: Seconds,
 }
 
@@ -124,6 +162,13 @@ pub struct ControllerSnapshot {
 #[derive(Debug, Clone)]
 pub struct AlertController {
     table: ConfigTable,
+    /// The selection fast lane (SoA + pruning), built once from `table`.
+    lane: CandidateLane,
+    /// Reusable per-decision scratch (probability memo, quality buffer).
+    scratch: LaneScratch,
+    /// Belief-banded decision memo. *Not* learned state: snapshots do not
+    /// carry it, restore/reset rebuild it cold (see `ControllerSnapshot`).
+    cache: DecisionCache,
     params: AlertParams,
     xi: SlowdownEstimator,
     idle: IdleRatioEstimator,
@@ -159,8 +204,13 @@ impl AlertController {
         if let OverheadPolicy::Fixed(t) = params.overhead {
             adjuster.record_overhead(t);
         }
+        let lane = CandidateLane::build(&table);
+        let scratch = LaneScratch::for_lane(&lane);
         Ok(AlertController {
             table,
+            lane,
+            scratch,
+            cache: DecisionCache::new(),
             xi: SlowdownEstimator::with_params(params.kalman)?,
             idle: IdleRatioEstimator::new(params.initial_idle_ratio),
             adjuster,
@@ -171,9 +221,11 @@ impl AlertController {
     }
 
     /// Announces a group (sentence) of `members` inputs sharing
-    /// `deadline` of total budget (paper §3.2 step 2).
+    /// `deadline` of total budget (paper §3.2 step 2). Invalidates the
+    /// decision cache: group membership reshapes effective deadlines.
     pub fn begin_group(&mut self, deadline: Seconds, members: usize) {
         self.adjuster.begin_group(deadline, members);
+        self.cache.invalidate();
     }
 
     /// Steps 2–4: picks the execution target for the next input, using the
@@ -198,18 +250,31 @@ impl AlertController {
         goal: &Goal,
         period: Seconds,
     ) -> Result<Selection, String> {
-        let start = Instant::now();
+        let clock = DecisionClock::start();
         let effective = self.adjuster.next_deadline(goal.deadline);
         let adjusted = goal.with_deadline(effective);
-        let sel = select_with_period(
-            &self.table,
-            &self.xi.distribution(),
-            self.idle.ratio(),
-            &adjusted,
-            period,
-            self.params.mode,
-        )?;
-        let cost = Seconds(start.elapsed().as_secs_f64());
+        let xi = self.xi.distribution();
+        let idle_ratio = self.idle.ratio();
+        let band = BeliefBand::quantize(xi.mean(), xi.std_dev(), idle_ratio, effective);
+        let key = DecisionKey::capture(&xi, idle_ratio, &adjusted, period, self.params.mode);
+        let sel = match self.cache.lookup(band, &key) {
+            // Selection is a pure function of the key; an exact
+            // revalidation inside the band replays it verbatim.
+            Some(sel) => sel,
+            None => {
+                let sel = self.lane.select_with_period(
+                    &mut self.scratch,
+                    &xi,
+                    idle_ratio,
+                    &adjusted,
+                    period,
+                    self.params.mode,
+                )?;
+                self.cache.store(band, key, sel);
+                sel
+            }
+        };
+        let cost = clock.elapsed();
         self.last_decision_cost = cost;
         if matches!(self.params.overhead, OverheadPolicy::Measured) {
             self.adjuster.record_overhead(cost);
@@ -242,7 +307,19 @@ impl AlertController {
         self.idle.ratio()
     }
 
-    /// Wall-clock cost of the most recent decision.
+    /// The selection fast lane (diagnostics: candidate/pruning counts).
+    pub fn lane(&self) -> &CandidateLane {
+        &self.lane
+    }
+
+    /// Decision-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cost of the most recent decision, metered on the thread-CPU clock
+    /// where available (wall clock otherwise — see
+    /// [`OverheadPolicy::Measured`]).
     pub fn last_decision_cost(&self) -> Seconds {
         self.last_decision_cost
     }
@@ -271,13 +348,16 @@ impl AlertController {
     /// Restores estimator state from a snapshot. The candidate table and
     /// parameters are untouched: a snapshot only carries *learned* state,
     /// so it can be applied to a freshly built controller of the same
-    /// policy (the migration path).
+    /// policy (the migration path). The decision cache is a pure memo
+    /// over that state — it is not carried, just invalidated and rebuilt
+    /// on the next decision (a cold cache cannot change any selection).
     pub fn restore(&mut self, snapshot: &ControllerSnapshot) {
         self.xi = snapshot.xi.clone();
         self.idle = snapshot.idle.clone();
         self.adjuster = snapshot.adjuster.clone();
         self.decisions = snapshot.decisions;
         self.last_decision_cost = snapshot.last_decision_cost;
+        self.cache.invalidate();
     }
 
     /// Resets estimators and goal adjustment (new episode).
@@ -290,6 +370,7 @@ impl AlertController {
         }
         self.decisions = 0;
         self.last_decision_cost = Seconds::ZERO;
+        self.cache.invalidate();
     }
 }
 

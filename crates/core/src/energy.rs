@@ -30,7 +30,7 @@ pub fn estimate_energy(
     period: Seconds,
 ) -> Joules {
     let t_mean = t_prof * xi.mean();
-    energy_with_exec_time(t_mean, p_run, cap, idle_ratio, period)
+    estimate_energy_at(t_mean, p_run, cap, idle_ratio, period)
 }
 
 /// Percentile-based period energy estimate (Eq. 12): uses the `pr`
@@ -45,11 +45,16 @@ pub fn estimate_energy_percentile(
     pr: f64,
 ) -> Joules {
     let t_pct = crate::latency::percentile_latency(xi, t_prof, pr);
-    energy_with_exec_time(t_pct, p_run, cap, idle_ratio, period)
+    estimate_energy_at(t_pct, p_run, cap, idle_ratio, period)
 }
 
-/// Shared kernel: run energy plus clamped idle energy.
-fn energy_with_exec_time(
+/// Shared kernel of Eqs. 9/12: run energy plus clamped idle energy at an
+/// already-resolved execution time. The public entry points above feed it
+/// the mean (`ξ̄·t^prof`) or percentile latency; the selection fast lane
+/// (`crate::lane`) feeds it a percentile latency computed with a hoisted
+/// `Φ⁻¹` ([`crate::latency::percentile_latency_with_z`]) — all three
+/// paths share this exact arithmetic, so they cannot diverge.
+pub fn estimate_energy_at(
     t_exec: Seconds,
     p_run: Watts,
     cap: Watts,

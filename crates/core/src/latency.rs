@@ -45,6 +45,24 @@ pub fn percentile_latency(xi: &Normal, t_prof: Seconds, pr: f64) -> Seconds {
     Seconds(latency_distribution(xi, t_prof).quantile(pr))
 }
 
+/// [`percentile_latency`] with the standard-normal quantile `z = Φ⁻¹(Pr_th)`
+/// precomputed by the caller.
+///
+/// The selection loop evaluates the Eq. 12 bound for *every* candidate at
+/// the *same* threshold, so the fast lane hoists the (expensive) `Φ⁻¹`
+/// out of the loop. Bit-identical to `percentile_latency(xi, t_prof,
+/// pr)` when `z == inv_phi(pr)` and `σ > 0`: the quantile of the scaled
+/// distribution is exactly `(μ·t) + (σ·t)·z`, which is the expression
+/// below (f64 multiplication is commutative at the bit level, so operand
+/// order cannot diverge).
+pub fn percentile_latency_with_z(xi: &Normal, t_prof: Seconds, z: f64) -> Seconds {
+    debug_assert!(
+        t_prof.is_finite() && t_prof.get() > 0.0,
+        "t_prof must be positive, got {t_prof}"
+    );
+    Seconds(xi.mean() * t_prof.get() + xi.std_dev() * t_prof.get() * z)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +121,26 @@ mod tests {
         assert!((pr - 0.95).abs() < 1e-9);
         // Higher thresholds give more pessimistic (larger) latencies.
         assert!(percentile_latency(&xi, t, 0.99) > p95);
+    }
+
+    #[test]
+    fn percentile_latency_with_hoisted_z_is_bit_identical() {
+        use alert_stats::normal::inv_phi;
+        for &(mu, sigma) in &[(1.0, 0.1), (1.7, 0.35), (0.4, 0.02)] {
+            let xi = Normal::new(mu, sigma);
+            for &pr in &[0.5, 0.9, 0.977_249_868_051_820_8, 0.999] {
+                let z = inv_phi(pr);
+                for &t in &[0.004, 0.05, 0.31] {
+                    let a = percentile_latency(&xi, Seconds(t), pr);
+                    let b = percentile_latency_with_z(&xi, Seconds(t), z);
+                    assert_eq!(
+                        a.get().to_bits(),
+                        b.get().to_bits(),
+                        "mu={mu} pr={pr} t={t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,13 +24,17 @@
 //! Modules: [`config`] (candidate tables), [`goal`] (objectives and
 //! adjustment), [`slowdown`] (ξ, Eq. 5), [`idle`] (φ, Eq. 8), [`latency`]
 //! (Eq. 6), [`quality`] (Eqs. 7/13), [`energy`] (Eqs. 9/12), [`select`]
-//! (Eqs. 1/2/10/11), and [`alert`] (the feedback loop).
+//! (Eqs. 1/2/10/11, the reference enumeration), [`lane`] (the
+//! selection-identical fast lane: SoA precomputation, dominated-candidate
+//! pruning, belief-banded decision cache), and [`alert`] (the feedback
+//! loop).
 
 pub mod alert;
 pub mod config;
 pub mod energy;
 pub mod goal;
 pub mod idle;
+pub mod lane;
 pub mod latency;
 pub mod quality;
 pub mod select;
@@ -39,5 +43,6 @@ pub mod slowdown;
 pub use alert::{AlertController, AlertParams, ControllerSnapshot, Observation, ProbabilityMode};
 pub use config::{Candidate, CandidateModel, ConfigTable, StagePoint};
 pub use goal::{Goal, GoalAdjuster, Objective};
+pub use lane::{CacheStats, CandidateLane, DecisionCache, LaneScratch};
 pub use select::{Estimates, Selection};
 pub use slowdown::SlowdownEstimator;

@@ -19,7 +19,7 @@
 //! expectation with the staircase evaluated at the mean latency; its
 //! failure to price tail risk is exactly what Fig. 10 measures.
 
-use crate::config::CandidateModel;
+use crate::config::{CandidateModel, StagePoint};
 use alert_stats::normal::Normal;
 use alert_stats::units::Seconds;
 
@@ -46,6 +46,29 @@ pub fn expected_quality(
         let pr = crate::latency::deadline_probability(xi, t_stage, deadline);
         probs.push(pr);
     }
+    expected_quality_from_probs(&stages[..=target_stage], model.fail_quality, &mut probs)
+}
+
+/// The Eq. 7/13 mixture given the *raw* per-stage completion
+/// probabilities `probs[k] = Pr[stage k completes by the deadline]`
+/// (clamped non-increasing in place, then telescoped).
+///
+/// This is the one implementation of the telescoping sum; both
+/// [`expected_quality`] and the selection fast lane (`crate::lane`,
+/// which memoizes the probabilities across sibling candidates) call it,
+/// so the two paths are arithmetically identical by construction.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or its length differs from `stages`.
+pub fn expected_quality_from_probs(
+    stages: &[StagePoint],
+    fail_quality: f64,
+    probs: &mut [f64],
+) -> f64 {
+    assert!(!probs.is_empty(), "at least one stage required");
+    assert_eq!(stages.len(), probs.len(), "stage/probability mismatch");
+    let target_stage = probs.len() - 1;
     // Completion probabilities are non-increasing across stages (same ξ);
     // enforce against floating noise.
     for k in 1..probs.len() {
@@ -58,7 +81,7 @@ pub fn expected_quality(
         let pr_next = if k < target_stage { probs[k + 1] } else { 0.0 };
         expected += stages[k].quality * (probs[k] - pr_next);
     }
-    expected += model.fail_quality * (1.0 - probs[0]);
+    expected += fail_quality * (1.0 - probs[0]);
     expected
 }
 
@@ -73,11 +96,32 @@ pub fn mean_only_quality(
 ) -> f64 {
     let stages = &model.stages;
     assert!(target_stage < stages.len(), "stage out of range");
-    let mut q = model.fail_quality;
-    for s in &stages[..=target_stage] {
-        let mean_t = t_prof_full.get() * s.frac * xi.mean();
+    mean_only_quality_over(
+        stages[..=target_stage]
+            .iter()
+            .map(|s| (t_prof_full * s.frac, s.quality)),
+        model.fail_quality,
+        xi.mean(),
+        deadline,
+    )
+}
+
+/// The mean-only staircase walk over `(stage profile latency, stage
+/// quality)` pairs — the shared kernel of [`mean_only_quality`] and the
+/// fast lane's precomputed-latency path. `t_prof_full * frac` (a single
+/// f64 multiply) is the caller's job; `· ξ̄` and the staircase walk happen
+/// here, in the exact original order of operations.
+pub fn mean_only_quality_over(
+    stage_pairs: impl Iterator<Item = (Seconds, f64)>,
+    fail_quality: f64,
+    xi_mean: f64,
+    deadline: Seconds,
+) -> f64 {
+    let mut q = fail_quality;
+    for (t_stage, quality) in stage_pairs {
+        let mean_t = t_stage.get() * xi_mean;
         if mean_t <= deadline.get() {
-            q = s.quality;
+            q = quality;
         } else {
             break;
         }

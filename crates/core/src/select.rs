@@ -127,13 +127,12 @@ pub fn evaluate(
 /// Anytime targets are stopped at the deadline by construction, so they
 /// always deliver on time; traditional targets must be expected to finish
 /// (and, with a threshold set, finish with probability ≥ Pr_th).
-fn latency_ok(table: &ConfigTable, c: Candidate, e: &Estimates, goal: &Goal) -> bool {
-    let model = &table.models()[c.model];
-    if model.is_anytime() {
+fn latency_ok(is_anytime: bool, stage: usize, e: &Estimates, goal: &Goal) -> bool {
+    if is_anytime {
         if let Some(pr) = goal.prob_threshold {
             // Even an anytime target should probably reach its *first*
             // output; the threshold is applied to the chosen stage.
-            return e.pr_deadline >= pr || c.stage == 0;
+            return e.pr_deadline >= pr || stage == 0;
         }
         return true;
     }
@@ -157,30 +156,171 @@ pub const QUALITY_GUARD_FRACTION: f64 = 0.015;
 
 /// Whether the non-latency constraint holds. The energy budget is checked
 /// against the conservative bound (Eq. 12); the quality floor is checked
-/// with a small guard above the expectation (Eq. 7).
-fn other_ok(table: &ConfigTable, c: Candidate, e: &Estimates, goal: &Goal) -> bool {
+/// with a small guard above the expectation (Eq. 7). `quality_guard` is
+/// the precomputed [`QUALITY_GUARD_FRACTION`] span margin of the
+/// candidate's model.
+fn other_ok(quality_guard: f64, e: &Estimates, goal: &Goal) -> bool {
     match goal.objective {
         Objective::MinimizeEnergy => {
             let floor = goal.min_quality.expect("validated goal");
-            let model = &table.models()[c.model];
-            let guard = QUALITY_GUARD_FRACTION * (model.final_quality() - model.fail_quality);
-            e.expected_quality >= floor + guard
+            e.expected_quality >= floor + quality_guard
         }
         Objective::MinimizeError => e.energy_bound <= goal.energy_budget.expect("validated goal"),
+    }
+}
+
+/// Lexicographic `a < b` over two keys, with **explicit NaN rejection**:
+/// a key containing NaN is never "better", and a NaN incumbent is always
+/// displaced by a NaN-free challenger. Without this, a degenerate
+/// estimate (e.g. a NaN expected quality from a malformed fallback
+/// quality) that lands in the running best would silently pin selection
+/// to an arbitrary earlier candidate — `partial_cmp` returns `None`
+/// against NaN and the old `unwrap_or(false)` kept the incumbent.
+/// For NaN-free keys this is exactly the old `partial_cmp` ordering.
+fn lex2_better(a: (f64, f64), b: (f64, f64)) -> bool {
+    let a_nan = a.0.is_nan() || a.1.is_nan();
+    let b_nan = b.0.is_nan() || b.1.is_nan();
+    match (a_nan, b_nan) {
+        (true, _) => false,
+        (false, true) => true,
+        (false, false) => a
+            .partial_cmp(&b)
+            .map(|o| o.is_lt())
+            .expect("NaN-free keys are totally ordered"),
+    }
+}
+
+/// Three-key variant of [`lex2_better`].
+fn lex3_better(a: (f64, f64, f64), b: (f64, f64, f64)) -> bool {
+    let a_nan = a.0.is_nan() || a.1.is_nan() || a.2.is_nan();
+    let b_nan = b.0.is_nan() || b.1.is_nan() || b.2.is_nan();
+    match (a_nan, b_nan) {
+        (true, _) => false,
+        (false, true) => true,
+        (false, false) => a
+            .partial_cmp(&b)
+            .map(|o| o.is_lt())
+            .expect("NaN-free keys are totally ordered"),
     }
 }
 
 /// Lexicographic "better" for the objective, with tie-breaks.
 fn better(goal: &Goal, a: &Estimates, b: &Estimates) -> bool {
     match goal.objective {
-        Objective::MinimizeEnergy => (a.energy.get(), -a.expected_quality, a.mean_latency.get())
-            .partial_cmp(&(b.energy.get(), -b.expected_quality, b.mean_latency.get()))
-            .map(|o| o.is_lt())
-            .unwrap_or(false),
-        Objective::MinimizeError => (-a.expected_quality, a.energy.get(), a.mean_latency.get())
-            .partial_cmp(&(-b.expected_quality, b.energy.get(), b.mean_latency.get()))
-            .map(|o| o.is_lt())
-            .unwrap_or(false),
+        Objective::MinimizeEnergy => lex3_better(
+            (a.energy.get(), -a.expected_quality, a.mean_latency.get()),
+            (b.energy.get(), -b.expected_quality, b.mean_latency.get()),
+        ),
+        Objective::MinimizeError => lex3_better(
+            (-a.expected_quality, a.energy.get(), a.mean_latency.get()),
+            (-b.expected_quality, b.energy.get(), b.mean_latency.get()),
+        ),
+    }
+}
+
+/// The selection state machine shared by the reference enumeration
+/// ([`select_with_period`]) and the pruned fast lane
+/// ([`crate::lane::CandidateLane`]): candidates are [`SelectionAccumulator::consider`]ed
+/// in table-enumeration order, the three competitions of §4 (valid /
+/// deadline-only / unconditional) advance in lockstep, and
+/// [`SelectionAccumulator::finish`] applies the fallback hierarchy.
+/// Sharing this one implementation is what makes "fast lane ≡ full
+/// enumeration" a structural property instead of a testing aspiration —
+/// the lane can only differ by *which* candidates it offers, and the
+/// dominance filter guarantees the pruned ones never win any competition.
+pub(crate) struct SelectionAccumulator {
+    best_valid: Option<(Candidate, Estimates)>,
+    best_latency_only: Option<(Candidate, Estimates)>,
+    best_any: Option<(Candidate, Estimates)>,
+}
+
+impl SelectionAccumulator {
+    pub(crate) fn new() -> Self {
+        SelectionAccumulator {
+            best_valid: None,
+            best_latency_only: None,
+            best_any: None,
+        }
+    }
+
+    /// Offers one candidate with its estimates. `is_anytime` and
+    /// `quality_guard` are the candidate's model facts (the caller looks
+    /// them up or has them precomputed in the lane).
+    pub(crate) fn consider(
+        &mut self,
+        c: Candidate,
+        e: Estimates,
+        is_anytime: bool,
+        quality_guard: f64,
+        goal: &Goal,
+    ) {
+        let l_ok = latency_ok(is_anytime, c.stage, &e, goal);
+        let o_ok = other_ok(quality_guard, &e, goal);
+
+        if l_ok && o_ok {
+            let replace = match &self.best_valid {
+                None => true,
+                Some((_, cur)) => better(goal, &e, cur),
+            };
+            if replace {
+                self.best_valid = Some((c, e));
+            }
+        }
+        if l_ok {
+            // Fallback 1 (constraints relaxed in priority order: the
+            // non-latency constraint is dropped first; §4): maximize
+            // quality among deadline-feasible targets, tie-break energy.
+            let replace = match &self.best_latency_only {
+                None => true,
+                Some((_, cur)) => lex2_better(
+                    (-e.expected_quality, e.energy.get()),
+                    (-cur.expected_quality, cur.energy.get()),
+                ),
+            };
+            if replace {
+                self.best_latency_only = Some((c, e));
+            }
+        }
+        // Fallback 2: nothing meets the deadline — chase the highest
+        // completion probability, then the lowest latency.
+        let replace = match &self.best_any {
+            None => true,
+            Some((_, cur)) => lex2_better(
+                (-e.pr_deadline, e.mean_latency.get()),
+                (-cur.pr_deadline, cur.mean_latency.get()),
+            ),
+        };
+        if replace {
+            self.best_any = Some((c, e));
+        }
+    }
+
+    /// Applies the §4 fallback hierarchy and produces the selection.
+    ///
+    /// # Errors
+    ///
+    /// Errors when no candidate was ever offered — an empty candidate
+    /// table (impossible through [`ConfigTable::new`], but the selection
+    /// layer no longer panics on it).
+    pub(crate) fn finish(self, goal: &Goal) -> Result<Selection, String> {
+        if let Some((candidate, estimates)) = self.best_valid {
+            return Ok(Selection {
+                candidate,
+                estimates,
+                deadline: goal.deadline,
+                feasible: true,
+            });
+        }
+        let (candidate, estimates) = self
+            .best_latency_only
+            .or(self.best_any)
+            .ok_or_else(|| "selection over an empty candidate table".to_string())?;
+        Ok(Selection {
+            candidate,
+            estimates,
+            deadline: goal.deadline,
+            feasible: false,
+        })
     }
 }
 
@@ -191,7 +331,8 @@ fn better(goal: &Goal, a: &Estimates, b: &Estimates) -> bool {
 ///
 /// Returns the goal-validation failure message if `goal` is malformed
 /// (goals are user input; an invalid one must surface to the caller
-/// rather than abort the process).
+/// rather than abort the process), or an error for an empty candidate
+/// table (unreachable through [`ConfigTable::new`]).
 pub fn select_with_period(
     table: &ConfigTable,
     xi: &Normal,
@@ -202,70 +343,14 @@ pub fn select_with_period(
 ) -> Result<Selection, String> {
     goal.validate().map_err(|e| format!("invalid goal: {e}"))?;
 
-    let mut best_valid: Option<(Candidate, Estimates)> = None;
-    let mut best_latency_only: Option<(Candidate, Estimates)> = None;
-    let mut best_any: Option<(Candidate, Estimates)> = None;
-
+    let mut acc = SelectionAccumulator::new();
     for c in table.candidates() {
         let e = evaluate(table, c, xi, idle_ratio, goal, period, mode);
-        let l_ok = latency_ok(table, c, &e, goal);
-        let o_ok = other_ok(table, c, &e, goal);
-
-        if l_ok && o_ok {
-            let replace = match &best_valid {
-                None => true,
-                Some((_, cur)) => better(goal, &e, cur),
-            };
-            if replace {
-                best_valid = Some((c, e));
-            }
-        }
-        if l_ok {
-            // Fallback 1 (constraints relaxed in priority order: the
-            // non-latency constraint is dropped first; §4): maximize
-            // quality among deadline-feasible targets, tie-break energy.
-            let replace = match &best_latency_only {
-                None => true,
-                Some((_, cur)) => (-e.expected_quality, e.energy.get())
-                    .partial_cmp(&(-cur.expected_quality, cur.energy.get()))
-                    .map(|o| o.is_lt())
-                    .unwrap_or(false),
-            };
-            if replace {
-                best_latency_only = Some((c, e));
-            }
-        }
-        // Fallback 2: nothing meets the deadline — chase the highest
-        // completion probability, then the lowest latency.
-        let replace = match &best_any {
-            None => true,
-            Some((_, cur)) => (-e.pr_deadline, e.mean_latency.get())
-                .partial_cmp(&(-cur.pr_deadline, cur.mean_latency.get()))
-                .map(|o| o.is_lt())
-                .unwrap_or(false),
-        };
-        if replace {
-            best_any = Some((c, e));
-        }
+        let model = &table.models()[c.model];
+        let guard = QUALITY_GUARD_FRACTION * (model.final_quality() - model.fail_quality);
+        acc.consider(c, e, model.is_anytime(), guard, goal);
     }
-
-    if let Some((candidate, estimates)) = best_valid {
-        return Ok(Selection {
-            candidate,
-            estimates,
-            deadline: goal.deadline,
-            feasible: true,
-        });
-    }
-    let (candidate, estimates) = best_latency_only
-        .or(best_any)
-        .expect("table has at least one candidate");
-    Ok(Selection {
-        candidate,
-        estimates,
-        deadline: goal.deadline,
-        feasible: false,
-    })
+    acc.finish(goal)
 }
 
 /// [`select_with_period`] with the period defaulting to the goal deadline
@@ -498,6 +583,39 @@ mod tests {
         let a = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         let b = select(&t, &calm(), 0.2, &goal, ProbabilityMode::Full).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nan_quality_estimate_cannot_pin_the_fallback() {
+        // A model whose fallback quality is NaN slips through
+        // `CandidateModel` validation (every comparison against NaN is
+        // false) and yields a NaN expected quality — even under a
+        // degenerate zero-variance ξ, where the mixture still multiplies
+        // the NaN by a zero weight. The old tie-breaks compared with
+        // `partial_cmp(..).unwrap_or(false)`, so once the NaN candidate
+        // became the running fallback, no sane candidate could displace
+        // it and selection silently returned garbage estimates.
+        let models = vec![
+            CandidateModel::traditional("poisoned", 0.9, f64::NAN),
+            CandidateModel::traditional("sane", 0.8, 0.0),
+        ];
+        let powers = vec![Watts(45.0)];
+        let t_prof = vec![vec![Seconds(0.040)], vec![Seconds(0.050)]];
+        let p_run = vec![vec![Watts(40.0)], vec![Watts(40.0)]];
+        let t = ConfigTable::new(models, powers, t_prof, p_run).expect("valid table");
+        // A floor nobody can meet forces the latency-only fallback,
+        // whose ranking key is the (possibly NaN) expected quality.
+        let goal = Goal::minimize_energy(Seconds(0.3), 0.99);
+        for xi in [Normal::new(1.0, 0.0), Normal::new(1.0, 0.05)] {
+            let s = select(&t, &xi, 0.2, &goal, ProbabilityMode::Full).unwrap();
+            assert!(!s.feasible);
+            assert_eq!(
+                t.models()[s.candidate.model].name,
+                "sane",
+                "NaN candidate must not win the fallback"
+            );
+            assert!(!s.estimates.expected_quality.is_nan());
+        }
     }
 
     #[test]

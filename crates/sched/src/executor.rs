@@ -484,6 +484,47 @@ mod tests {
     }
 
     #[test]
+    fn restored_snapshot_is_rehomed_to_a_stride_matching_shard() {
+        // A snapshot taken in a 2-worker runtime was owned by a session
+        // id with stride-2 residue; restoring it into a 3-worker runtime
+        // must RE-HOME it — mint a fresh id satisfying the target's
+        // stride so `shard_of` routes every subsequent request to the
+        // owning shard — never silently keep the foreign id and misroute.
+        let mut origin = Runtime::builder().build_sharded(2).unwrap();
+        let old_id = origin.open_session(spec(77, 24)).unwrap();
+        for _ in 0..9 {
+            origin.submit(old_id).unwrap();
+        }
+        let snap = origin.snapshot_session(old_id).unwrap();
+
+        let mut target = Runtime::builder().build_sharded(3).unwrap();
+        // Occupy shards 0 and 1 so the restore round-robins onto shard 2
+        // — a residue the origin id (0 mod 2) does not satisfy mod 3.
+        let a = target.open_session(spec(1, 5)).unwrap();
+        let b = target.open_session(spec(2, 5)).unwrap();
+        assert_eq!((target.shard_of(a), target.shard_of(b)), (0, 1));
+
+        let new_id = target.restore_session(&snap).unwrap();
+        assert_ne!(new_id, old_id, "foreign id must not be reused verbatim");
+        assert_eq!(
+            target.shard_of(new_id),
+            2,
+            "re-homed id must satisfy the owning shard's stride"
+        );
+        // Routing by the new id reaches the restored state...
+        assert_eq!(target.progress(new_id).unwrap(), 9);
+        assert_eq!(target.scheme(new_id).unwrap(), "ALERT");
+        // ...and resuming from it reproduces an uninterrupted run.
+        let mut reference = Runtime::builder().build().unwrap();
+        let rid = reference.open_session(spec(77, 24)).unwrap();
+        reference.run_to_completion(rid).unwrap();
+        let reference_ep = reference.close(rid).unwrap();
+        target.run_to_completion(new_id).unwrap();
+        let resumed = target.close(new_id).unwrap();
+        assert_eq!(reference_ep.records, resumed.records);
+    }
+
+    #[test]
     fn sharded_checkpoint_migration_roundtrip() {
         let mut reference = Runtime::builder().build().unwrap();
         let rid = reference.open_session(spec(21, 30)).unwrap();

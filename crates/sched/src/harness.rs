@@ -75,7 +75,8 @@ impl SessionEngine {
         &self.records
     }
 
-    /// Total scheduler overhead accumulated so far.
+    /// Total scheduler overhead accumulated so far (thread-CPU decision
+    /// time; see [`Scheduler::last_decision_cost`]).
     pub fn overhead(&self) -> Seconds {
         self.overhead
     }
@@ -408,7 +409,7 @@ mod tests {
         let ep2 = engine.finish(stepped.name(), &f.goal);
         assert_eq!(ep.scheme, ep2.scheme);
         assert_eq!(ep.records, ep2.records);
-        // The summaries agree on everything but the wall-clock scheduler
+        // The summaries agree on everything but the measured scheduler
         // overhead (which is nondeterministic by nature).
         assert_eq!(ep.summary.measured, ep2.summary.measured);
         assert_eq!(ep.summary.violations, ep2.summary.violations);

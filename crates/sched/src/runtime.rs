@@ -563,8 +563,10 @@ impl Runtime {
         spec.goal.validate().map_err(RuntimeError::InvalidSpec)?;
         let seed = spec.seed.unwrap_or(self.spec.seed);
         spec.seed = Some(seed);
-        let policy = spec.policy.unwrap_or_else(|| self.spec.policy.clone());
-        spec.policy = Some(policy);
+        let policy = spec
+            .policy
+            .take()
+            .unwrap_or_else(|| self.spec.policy.clone());
         let stream = InputStream::generate(self.task, spec.n_inputs, seed);
         let env = Arc::new(EpisodeEnv::build(
             &self.platform,
@@ -573,12 +575,10 @@ impl Runtime {
             &spec.goal,
             seed,
         ));
-        let scheduler = self.build_scheduler(
-            spec.policy.as_deref().expect("resolved above"),
-            spec.goal,
-            &env,
-            &stream,
-        )?;
+        let scheduler = self.build_scheduler(&policy, spec.goal, &env, &stream)?;
+        // Store the spec fully resolved so later checkpoints are
+        // self-contained.
+        spec.policy = Some(policy);
         Ok((spec, stream, env, scheduler))
     }
 

@@ -73,8 +73,10 @@ pub trait Scheduler: Send {
     /// Consumes the measurements of the input just processed.
     fn observe(&mut self, feedback: &Feedback);
 
-    /// Wall-clock cost of the most recent decision, when the scheme
-    /// tracks it (ALERT does, §4).
+    /// Measured cost of the most recent decision, when the scheme tracks
+    /// it (ALERT does, §4). Metered on the thread-CPU clock where the
+    /// platform has one, so co-runner preemption and lock waits are not
+    /// billed to the scheduler (see `alert_core::alert::OverheadPolicy`).
     fn last_decision_cost(&self) -> Seconds {
         Seconds::ZERO
     }

@@ -26,11 +26,15 @@
 //!   paper Fig. 11 and §3.6).
 //! * [`rng`] — deterministic RNG stream derivation and a few samplers not
 //!   worth pulling a dependency for.
+//! * [`cputime`] — the per-thread CPU clock (raw `clock_gettime` syscall
+//!   on Linux), so the controller can meter its own decision cost without
+//!   charging itself for preemption and lock waits.
 //!
 //! Everything here is deterministic and allocation-light; the hot paths
 //! (CDF evaluation, Kalman updates) are called once per candidate
 //! configuration per input by the controller.
 
+pub mod cputime;
 pub mod fit;
 pub mod histogram;
 pub mod hull;
