@@ -56,7 +56,8 @@ fn main() {
             for (scheme_label, mean_only) in [("ALERT", false), ("ALERT*", true)] {
                 let mut ppls = Vec::new();
                 for goal in &grid {
-                    let env = EpisodeEnv::build(&platform, scenario, &stream, goal, seed);
+                    let env =
+                        EpisodeEnv::build(&platform, scenario, &stream, goal, seed).expect("valid");
                     let params = if mean_only {
                         AlertParams::mean_only()
                     } else {
@@ -65,7 +66,7 @@ fn main() {
                     let mut s =
                         AlertScheduler::new(scheme_label, &family, set, &platform, *goal, params)
                             .expect("paper family fits");
-                    let ep = run_episode(&mut s, &env, &family, &stream, goal);
+                    let ep = run_episode(&mut s, &env, &family, &stream, goal).expect("episode");
                     // Perplexity = -quality score.
                     ppls.push(-ep.summary.avg_quality);
                 }

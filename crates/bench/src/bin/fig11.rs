@@ -34,9 +34,9 @@ fn main() {
         Scenario::compute_env(11),
         Scenario::memory_env(12),
     ] {
-        let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 77);
+        let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 77).expect("valid");
         let mut s = AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
-        let ep = run_episode(&mut s, &env, &family, &stream, &goal);
+        let ep = run_episode(&mut s, &env, &family, &stream, &goal).expect("episode");
         // Contended scenarios: keep only the samples observed while the
         // co-runner was active (the paper plots the contended regime).
         let xs: Vec<f64> = ep

@@ -38,13 +38,13 @@ fn main() {
     let stream = InputStream::generate(TaskId::Img2, n, 9);
     // Contention from input ~46 to ~119 on the fixed dispatch grid.
     let scenario = Scenario::scripted_memory_window(deadline * 46.0, deadline * 119.0);
-    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 2020);
+    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 2020).expect("valid");
 
     let mut alert = AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
-    let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal);
+    let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal).expect("episode");
     let mut trad =
         AlertScheduler::traditional_only(&family, &platform, goal).expect("paper family fits");
-    let ep_trad = run_episode(&mut trad, &env, &family, &stream, &goal);
+    let ep_trad = run_episode(&mut trad, &env, &family, &stream, &goal).expect("episode");
 
     csv_header(&[
         "input",

@@ -222,6 +222,13 @@ impl Scheduler for AlertScheduler {
         &self.name
     }
 
+    fn sync_goal(&mut self, goal: &alert_core::Goal) {
+        // Scripted goal changes (§5): the controller retargets the new
+        // requirement on the next decision. Same-valued syncs are free —
+        // the decision cache keys on the goal bits.
+        self.base_goal = *goal;
+    }
+
     fn decide(&mut self, ctx: &InputContext) -> Decision {
         let goal = self.base_goal.with_deadline(ctx.deadline);
         // `base_goal` was validated in `AlertScheduler::new` and the

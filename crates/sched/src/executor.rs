@@ -57,7 +57,7 @@ pub(crate) fn drain_shards(
     shards: Vec<Vec<(SessionId, Session)>>,
     family: &ModelFamily,
     mut sink: Option<&mut Box<dyn EventSink>>,
-) -> Vec<(SessionId, Episode)> {
+) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
     let (tx, rx) = mpsc::channel::<EpisodeEvent>();
     let emit = sink.is_some();
     let mut episodes: Vec<(SessionId, Episode)> = std::thread::scope(|scope| {
@@ -79,41 +79,42 @@ pub(crate) fn drain_shards(
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("executor worker panicked"))
-            .collect()
-    });
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect::<Result<Vec<_>, RuntimeError>>()
+            .map(|per_shard| per_shard.into_iter().flatten().collect())
+    })?;
     episodes.sort_by_key(|(id, _)| *id);
-    episodes
+    Ok(episodes)
 }
 
 /// One worker: round-robin over the shard's sessions (each live session
 /// advances one input per round — the exact per-session step sequence of
-/// the serial drain), then fold and close in id order.
+/// the serial drain), then fold and close in id order. A step error
+/// (scheduler bug) aborts the shard; the drain propagates the first one.
 fn drain_shard(
     mut shard: Vec<(SessionId, Session)>,
     family: &ModelFamily,
     tx: Option<mpsc::Sender<EpisodeEvent>>,
-) -> Vec<(SessionId, Episode)> {
+) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
     shard.sort_by_key(|(id, _)| *id);
     let mut live: Vec<usize> = (0..shard.len()).collect();
     while !live.is_empty() {
-        live.retain(|&k| {
+        let mut still = Vec::with_capacity(live.len());
+        for k in live {
             let (id, session) = &mut shard[k];
-            match session.step(family) {
-                Some(record) => {
-                    if let Some(tx) = &tx {
-                        let _ = tx.send(EpisodeEvent::InputProcessed {
-                            session: *id,
-                            record: record.clone(),
-                        });
-                    }
-                    true
+            if let Some(record) = session.step(family)? {
+                if let Some(tx) = &tx {
+                    let _ = tx.send(EpisodeEvent::InputProcessed {
+                        session: *id,
+                        record: record.clone(),
+                    });
                 }
-                None => false,
+                still.push(k);
             }
-        });
+        }
+        live = still;
     }
-    shard
+    Ok(shard
         .into_iter()
         .map(|(id, session)| {
             let scheme = session.scheme.clone();
@@ -127,7 +128,7 @@ fn drain_shard(
             }
             (id, episode)
         })
-        .collect()
+        .collect())
 }
 
 /// A long-lived multi-worker serving runtime: `workers` single-threaded

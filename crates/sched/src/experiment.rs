@@ -202,7 +202,10 @@ pub fn run_setting(
     stream: &InputStream,
     seed: u64,
 ) -> Episode {
-    let env = Arc::new(EpisodeEnv::build(platform, scenario, stream, &goal, seed));
+    let env = Arc::new(
+        EpisodeEnv::build(platform, scenario, stream, &goal, seed)
+            .expect("library scenarios validate"),
+    );
     let mut rt = sweep_runtime(family, platform, stream.task());
     let id = rt
         .open_session_on(kind.name(), goal, stream.clone(), env)
@@ -250,13 +253,10 @@ pub fn run_cell(
         .iter()
         .map(|&goal| {
             (
-                Arc::new(EpisodeEnv::build(
-                    platform,
-                    scenario,
-                    &stream,
-                    &goal,
-                    config.seed,
-                )),
+                Arc::new(
+                    EpisodeEnv::build(platform, scenario, &stream, &goal, config.seed)
+                        .expect("library scenarios validate"),
+                ),
                 goal,
             )
         })

@@ -17,12 +17,52 @@
 //! bit-identical by construction because both run exactly this code.
 
 use crate::budget::BudgetTracker;
-use crate::env::EpisodeEnv;
+use crate::env::{EnvError, EpisodeEnv};
 use crate::scheduler::{Feedback, InputContext, Scheduler};
 use alert_models::ModelFamily;
 use alert_stats::units::Seconds;
 use alert_workload::{EpisodeSummary, Goal, InputRecord, InputStream};
 use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the stepping engine (the environment no-panic
+/// path: a scheduler handing back a configuration the platform cannot
+/// execute is reported, not unwrapped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepError {
+    /// The scheduler picked a model whose footprint the platform cannot
+    /// host.
+    ModelDoesNotFit {
+        /// Scheme that made the decision.
+        scheme: String,
+        /// Model that does not fit.
+        model: String,
+        /// Platform it was dispatched to.
+        platform: String,
+    },
+    /// The environment could not realize the decision (infeasible cap).
+    Env(EnvError),
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::ModelDoesNotFit {
+                scheme,
+                model,
+                platform,
+            } => write!(f, "{scheme}: model {model} does not fit {platform}"),
+            StepError::Env(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+impl From<EnvError> for StepError {
+    fn from(e: EnvError) -> Self {
+        StepError::Env(e)
+    }
+}
 
 /// The outcome of one (scheduler, episode) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -88,26 +128,39 @@ impl SessionEngine {
         &self.budget
     }
 
-    /// Processes the next input of `stream` through `scheduler`: decide →
-    /// execute on the frozen environment → meter → observe. Returns a
-    /// reference to the accumulated record (cloning is the caller's
-    /// choice), or `None` when the stream is exhausted.
+    /// Processes the next input of `stream` through `scheduler`: sync
+    /// the scenario's effective goal → decide → execute on the frozen
+    /// environment (with any scripted cap ceiling applied) → meter →
+    /// observe. Returns a reference to the accumulated record (cloning
+    /// is the caller's choice), or `Ok(None)` when the stream is
+    /// exhausted.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the scheduler picks a model that does not fit the
-    /// platform (a scheduler bug, not a runtime condition).
+    /// Fails when the scheduler picks a model that does not fit the
+    /// platform or a cap the platform cannot program (scheduler bugs,
+    /// reported instead of unwound). Such an error is **terminal for the
+    /// session**: the scheduler was already consulted and the
+    /// shared-deadline budget claimed for this input (only the cursor
+    /// does not advance), so do not step the engine again — surface the
+    /// error and close the session, as the runtime does.
     pub fn step(
         &mut self,
         scheduler: &mut dyn Scheduler,
         env: &EpisodeEnv,
         family: &ModelFamily,
         stream: &InputStream,
-        goal: &Goal,
-    ) -> Option<&InputRecord> {
+    ) -> Result<Option<&InputRecord>, StepError> {
         let i = self.cursor;
-        let input = stream.inputs().get(i)?;
-        self.cursor += 1;
+        let Some(input) = stream.inputs().get(i) else {
+            return Ok(None);
+        };
+
+        // The requirement in force at this dispatch (base goal plus any
+        // scripted goal changes) — synced every step so restored
+        // checkpoints re-announce it deterministically.
+        let goal = *env.goal_of(i);
+        scheduler.sync_goal(&goal);
 
         let deadline = self.budget.next_deadline(goal.deadline, input.group);
         let ctx = InputContext {
@@ -120,14 +173,20 @@ impl SessionEngine {
         self.overhead += scheduler.last_decision_cost();
 
         let profile = &family.models()[decision.model];
-        assert!(
-            env.platform().supports_footprint(profile.footprint_gb),
-            "{}: model {} does not fit {}",
-            scheduler.name(),
-            profile.name,
-            env.platform().id()
-        );
-        let result = env.realize(i, profile, decision.cap, decision.stop);
+        if !env.platform().supports_footprint(profile.footprint_gb) {
+            return Err(StepError::ModelDoesNotFit {
+                scheme: scheduler.name().to_string(),
+                model: profile.name.clone(),
+                platform: env.platform().id().to_string(),
+            });
+        }
+        // The environment silently clamps the cap to any scripted
+        // ceiling; the scheduler keeps billing against the cap it
+        // *requested* and experiences the throttle as slowdown (the
+        // cap-change robustness axis, §5). Records likewise report the
+        // programmed cap; energy metering uses the physical one.
+        let result = env.realize(i, profile, decision.cap, decision.stop)?;
+        self.cursor += 1;
         let quality = result.quality_by(deadline, profile.fail_quality);
         let energy = env.period_energy(i, profile, decision.cap, &result);
         let idle_power = if result.latency < env.period(i) {
@@ -142,6 +201,8 @@ impl SessionEngine {
             cap: decision.cap,
             latency: result.latency,
             deadline,
+            min_quality: goal.min_quality,
+            energy_budget: goal.energy_budget,
             quality,
             energy,
             slowdown: result.observed_slowdown(),
@@ -159,7 +220,7 @@ impl SessionEngine {
             result: result.clone(),
         });
         self.budget.consume(result.latency);
-        self.records.last()
+        Ok(self.records.last())
     }
 
     /// Folds the accumulated records into an [`Episode`], consuming the
@@ -184,20 +245,20 @@ impl Default for SessionEngine {
 /// Runs `scheduler` over the whole episode (the one-shot adapter over
 /// [`SessionEngine`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the scheduler picks a model that does not fit the platform
-/// (a scheduler bug, not a runtime condition).
+/// Fails when the scheduler picks a model or cap the platform cannot
+/// execute (see [`SessionEngine::step`]).
 pub fn run_episode(
     scheduler: &mut dyn Scheduler,
     env: &EpisodeEnv,
     family: &ModelFamily,
     stream: &InputStream,
     goal: &Goal,
-) -> Episode {
+) -> Result<Episode, StepError> {
     let mut engine = SessionEngine::new();
-    while engine.step(scheduler, env, family, stream, goal).is_some() {}
-    engine.finish(scheduler.name(), goal)
+    while engine.step(scheduler, env, family, stream)?.is_some() {}
+    Ok(engine.finish(scheduler.name(), goal))
 }
 
 #[cfg(test)]
@@ -224,7 +285,7 @@ mod tests {
         let platform = Platform::cpu1();
         let family = ModelFamily::image_classification();
         let stream = InputStream::generate(TaskId::Img2, n, 5);
-        let env = Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, &goal, 31));
+        let env = Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, &goal, 31).unwrap());
         Fixture {
             env,
             family,
@@ -242,7 +303,7 @@ mod tests {
             200,
         );
         let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
-        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
+        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal).unwrap();
         assert_eq!(ep.records.len(), 200);
         assert_eq!(ep.summary.measured, 180);
         assert!(
@@ -264,6 +325,7 @@ mod tests {
         );
         let run = |s: &mut dyn Scheduler| {
             run_episode(s, &f.env, &f.family, &f.stream, &f.goal)
+                .unwrap()
                 .summary
                 .avg_energy
                 .get()
@@ -294,7 +356,7 @@ mod tests {
             150,
         );
         let mut sys = SysOnly::new(&f.family, &f.platform, f.goal);
-        let ep = run_episode(&mut sys, &f.env, &f.family, &f.stream, &f.goal);
+        let ep = run_episode(&mut sys, &f.env, &f.family, &f.stream, &f.goal).unwrap();
         assert!(
             ep.summary.disqualified(),
             "sys-only should violate the 0.93 floor with a 0.855 model"
@@ -309,7 +371,7 @@ mod tests {
             300,
         );
         let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
-        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal);
+        let ep = run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal).unwrap();
         assert!(
             ep.summary.violation_rate() <= 0.10,
             "violation rate {} too high under contention",
@@ -325,7 +387,7 @@ mod tests {
             150,
         );
         let mut st = OracleStatic::new(f.env.clone(), f.family.clone(), &f.stream, f.goal);
-        let ep = run_episode(&mut st, &f.env, &f.family, &f.stream, &f.goal);
+        let ep = run_episode(&mut st, &f.env, &f.family, &f.stream, &f.goal).unwrap();
         assert!(!ep.summary.disqualified());
         // Static never changes its configuration.
         let first = (&ep.records[0].model, ep.records[0].cap);
@@ -340,15 +402,11 @@ mod tests {
         let family = ModelFamily::sentence_prediction();
         let stream = InputStream::generate(TaskId::Nlp1, 400, 5);
         let goal = Goal::minimize_error(Seconds(0.12), Joules(6.0));
-        let env = Arc::new(EpisodeEnv::build(
-            &platform,
-            &Scenario::default_env(),
-            &stream,
-            &goal,
-            31,
-        ));
+        let env = Arc::new(
+            EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 31).unwrap(),
+        );
         let mut s = AlertScheduler::standard(&family, &platform, goal).unwrap();
-        let ep = run_episode(&mut s, &env, &family, &stream, &goal);
+        let ep = run_episode(&mut s, &env, &family, &stream, &goal).unwrap();
         assert_eq!(ep.records.len(), 400);
         // Deadlines inside a sentence vary with consumption but stay
         // positive and bounded by a generous multiple of the base.
@@ -372,7 +430,7 @@ mod tests {
         );
         let run = || {
             let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
-            run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+            run_episode(&mut s, &f.env, &f.family, &f.stream, &f.goal).unwrap()
         };
         let a = run();
         let b = run();
@@ -395,12 +453,15 @@ mod tests {
             100,
         );
         let mut one = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
-        let ep = run_episode(&mut one, &f.env, &f.family, &f.stream, &f.goal);
+        let ep = run_episode(&mut one, &f.env, &f.family, &f.stream, &f.goal).unwrap();
 
         let mut stepped = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let mut engine = SessionEngine::new();
         let mut n = 0;
-        while let Some(r) = engine.step(&mut stepped, &f.env, &f.family, &f.stream, &f.goal) {
+        while let Some(r) = engine
+            .step(&mut stepped, &f.env, &f.family, &f.stream)
+            .unwrap()
+        {
             assert_eq!(r.index, n);
             n += 1;
         }
@@ -427,11 +488,13 @@ mod tests {
         let mut s = AlertScheduler::standard(&f.family, &f.platform, f.goal).unwrap();
         let mut engine = SessionEngine::new();
         while engine
-            .step(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+            .step(&mut s, &f.env, &f.family, &f.stream)
+            .unwrap()
             .is_some()
         {}
         assert!(engine
-            .step(&mut s, &f.env, &f.family, &f.stream, &f.goal)
+            .step(&mut s, &f.env, &f.family, &f.stream)
+            .unwrap()
             .is_none());
         assert_eq!(engine.cursor(), 10);
         assert_eq!(engine.records().len(), 10);

@@ -49,10 +49,10 @@ pub mod sys_only;
 pub use alert::AlertScheduler;
 pub use app_only::AppOnly;
 pub use budget::BudgetTracker;
-pub use env::{EnvRealization, EpisodeEnv};
+pub use env::{EnvError, EnvRealization, EpisodeEnv};
 pub use executor::ShardedRuntime;
 pub use experiment::{run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind};
-pub use harness::{run_episode, Episode, SessionEngine};
+pub use harness::{run_episode, Episode, SessionEngine, StepError};
 pub use metrics::{objective_report, CellStat, ResultTable};
 pub use no_coord::NoCoord;
 pub use oracle::{Oracle, OracleStatic};

@@ -90,6 +90,12 @@ impl Scheduler for NoCoord {
         "No-coord"
     }
 
+    fn sync_goal(&mut self, goal: &Goal) {
+        // Both uncoordinated levels see the new requirement — their
+        // pathology is coordination, not awareness.
+        self.goal = *goal;
+    }
+
     fn decide(&mut self, ctx: &InputContext) -> Decision {
         let stages = self
             .profile

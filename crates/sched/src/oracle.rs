@@ -12,7 +12,7 @@
 //!   Table 4.
 
 use crate::budget::BudgetTracker;
-use crate::env::EpisodeEnv;
+use crate::env::{EnvError, EpisodeEnv};
 use crate::scheduler::{Decision, Feedback, InputContext, Scheduler};
 use alert_models::inference::StopPolicy;
 use alert_models::{ModelFamily, ModelProfile};
@@ -71,25 +71,31 @@ pub struct RealizedOutcome {
 }
 
 /// Evaluates one configuration on input `i` with the ground truth.
+///
+/// # Errors
+///
+/// Fails when the candidate's cap is infeasible for the platform (never
+/// for candidates from [`enumerate`], whose caps are the platform's own
+/// settings).
 pub fn realize_candidate(
     env: &EpisodeEnv,
     profile: &ModelProfile,
     c: &OracleCandidate,
     i: usize,
     deadline: Seconds,
-) -> RealizedOutcome {
+) -> Result<RealizedOutcome, EnvError> {
     let stop = match c.stage {
         None => StopPolicy::RunToCompletion,
         Some(k) => StopPolicy::AtTimeOrStage(deadline, k),
     };
-    let result = env.realize(i, profile, c.cap, stop);
+    let result = env.realize(i, profile, c.cap, stop)?;
     let quality = result.quality_by(deadline, profile.fail_quality);
     let energy = env.period_energy(i, profile, c.cap, &result);
-    RealizedOutcome {
+    Ok(RealizedOutcome {
         latency: result.latency,
         quality,
         energy,
-    }
+    })
 }
 
 /// Whether an outcome satisfies the goal's constraints on this single
@@ -153,7 +159,11 @@ impl Oracle {
         let mut best_any: Option<(OracleCandidate, RealizedOutcome)> = None;
         for &c in &self.candidates {
             let profile = &self.family.models()[c.model];
-            let o = realize_candidate(&self.env, profile, &c, i, deadline);
+            // Enumerated caps are platform settings, so realization
+            // cannot fail; skip defensively rather than panic.
+            let Ok(o) = realize_candidate(&self.env, profile, &c, i, deadline) else {
+                continue;
+            };
             if satisfies(&o, &self.goal, deadline) {
                 let key = objective_key(&o, &self.goal);
                 if best_valid.as_ref().is_none_or(|&(_, _, k)| key < k) {
@@ -188,6 +198,11 @@ impl Oracle {
 impl Scheduler for Oracle {
     fn name(&self) -> &str {
         "Oracle"
+    }
+
+    fn sync_goal(&mut self, goal: &Goal) {
+        // Perfect knowledge includes knowing the requirement in force.
+        self.goal = *goal;
     }
 
     fn decide(&mut self, ctx: &InputContext) -> Decision {
@@ -237,37 +252,50 @@ pub fn score_static(
     let mut sum_obj = 0.0;
     let mut sum_energy = 0.0;
     let mut sum_quality = 0.0;
-    let mut timely = 0usize;
-    let mut sum_quality_timely = 0.0;
+    let mut floored_timely = 0usize;
+    let mut sum_quality_floored = 0.0;
+    let mut sum_floor = 0.0;
     for (i, input) in stream.inputs().iter().enumerate() {
-        let deadline = budget.next_deadline(goal.deadline, input.group);
-        let o = realize_candidate(env, profile, c, i, deadline);
+        // Score under the requirement *in force at dispatch* — scripted
+        // goal changes move deadlines/floors/budgets mid-stream, and the
+        // harness run this selection is compared against uses exactly
+        // these effective goals (`base` only covers unscripted inputs).
+        let g = if i < env.len() { env.goal_of(i) } else { goal };
+        let deadline = budget.next_deadline(g.deadline, input.group);
+        // Enumerated caps are platform settings (see `Oracle::pick`).
+        let Ok(o) = realize_candidate(env, profile, c, i, deadline) else {
+            continue;
+        };
         budget.consume(o.latency);
         if i < warmup {
             continue;
         }
         n += 1;
-        if violates_per_input(&o, goal, deadline) {
+        if violates_per_input(&o, g, deadline) {
             violations += 1;
         }
-        sum_obj += objective_key(&o, goal);
+        sum_obj += objective_key(&o, g);
         sum_energy += o.energy.get();
         sum_quality += o.quality;
         if o.latency.get() <= deadline.get() * (1.0 + 1e-9) {
-            timely += 1;
-            sum_quality_timely += o.quality;
+            if let Some(floor) = g.min_quality {
+                floored_timely += 1;
+                sum_quality_floored += o.quality;
+                sum_floor += floor;
+            }
         }
     }
     let n_f = n.max(1) as f64;
     let mean_quality = sum_quality / n_f;
     let mut violation_rate = violations as f64 / n_f;
-    // Accuracy floor over timely deliveries (matches
-    // EpisodeSummary::disqualified): a failed floor means full
-    // disqualification.
-    if let Some(floor) = goal.min_quality {
-        if timely > 0 && sum_quality_timely / (timely as f64) < floor - 1e-12 {
-            violation_rate = 1.0;
-        }
+    // Accuracy floor over timely deliveries, against the average floor
+    // in force (matches EpisodeSummary::disqualified): a failed floor
+    // means full disqualification.
+    if floored_timely > 0
+        && sum_quality_floored / (floored_timely as f64)
+            < sum_floor / (floored_timely as f64) - 1e-12
+    {
+        violation_rate = 1.0;
     }
     StaticScore {
         violation_rate,
@@ -400,13 +428,9 @@ mod tests {
         let family = ModelFamily::image_classification();
         let stream = InputStream::generate(TaskId::Img2, 150, 11);
         let goal = Goal::minimize_energy(Seconds(0.5), 0.90);
-        let env = Arc::new(EpisodeEnv::build(
-            &platform,
-            &Scenario::default_env(),
-            &stream,
-            &goal,
-            42,
-        ));
+        let env = Arc::new(
+            EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 42).unwrap(),
+        );
         (env, family, stream, goal)
     }
 
@@ -431,7 +455,7 @@ mod tests {
             };
             let d = oracle.decide(&ctx);
             let profile = &family.models()[d.model];
-            let result = env.realize(i, profile, d.cap, d.stop);
+            let result = env.realize(i, profile, d.cap, d.stop).unwrap();
             let q = result.quality_by(ctx.deadline, profile.fail_quality);
             assert!(
                 result.latency <= ctx.deadline && q >= 0.90 - 1e-12,
@@ -460,7 +484,7 @@ mod tests {
             };
             let d = oracle.decide(&ctx);
             let profile = &family.models()[d.model];
-            let result = env.realize(i, profile, d.cap, d.stop);
+            let result = env.realize(i, profile, d.cap, d.stop).unwrap();
             if i >= warmup {
                 sum += env.period_energy(i, profile, d.cap, &result).get();
                 n += 1;
@@ -502,13 +526,9 @@ mod tests {
         let loose = Goal::minimize_energy(Seconds(0.8), 0.86);
         let tight = Goal::minimize_energy(Seconds(0.15), 0.86);
         let mk_env = |g: &Goal| {
-            Arc::new(EpisodeEnv::build(
-                &platform,
-                &Scenario::default_env(),
-                &stream,
-                g,
-                42,
-            ))
+            Arc::new(
+                EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, g, 42).unwrap(),
+            )
         };
         let cell = vec![(mk_env(&loose), loose), (mk_env(&tight), tight)];
         let cell_static = OracleStatic::for_cell(&cell, family.clone(), &stream);

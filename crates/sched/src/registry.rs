@@ -316,13 +316,9 @@ mod tests {
         let platform = Platform::cpu1();
         let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
         let stream = InputStream::generate(TaskId::Img2, 40, 3);
-        let env = Arc::new(EpisodeEnv::build(
-            &platform,
-            &Scenario::default_env(),
-            &stream,
-            &goal,
-            3,
-        ));
+        let env = Arc::new(
+            EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 3).unwrap(),
+        );
         (family, platform, goal, stream, env)
     }
 

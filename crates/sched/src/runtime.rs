@@ -37,7 +37,7 @@
 use crate::env::EpisodeEnv;
 use crate::executor;
 use crate::experiment::FamilyKind;
-use crate::harness::{Episode, SessionEngine};
+use crate::harness::{Episode, SessionEngine, StepError};
 use crate::registry::{PolicyContext, PolicyRegistry, RegistryError, UnknownPolicy};
 use crate::scheduler::Scheduler;
 use alert_core::alert::AlertParams;
@@ -219,6 +219,9 @@ pub enum RuntimeError {
     NotCheckpointable(SessionId, String),
     /// A spec failed validation (see message).
     InvalidSpec(String),
+    /// A session step failed (the scheduler handed back a configuration
+    /// the platform cannot execute) — see [`StepError`].
+    Step(StepError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -230,6 +233,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "{id} cannot be checkpointed: {why}")
             }
             RuntimeError::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
+            RuntimeError::Step(e) => write!(f, "{e}"),
         }
     }
 }
@@ -245,6 +249,12 @@ impl From<UnknownPolicy> for RuntimeError {
 impl From<RegistryError> for RuntimeError {
     fn from(e: RegistryError) -> Self {
         RuntimeError::Policy(e)
+    }
+}
+
+impl From<StepError> for RuntimeError {
+    fn from(e: StepError) -> Self {
+        RuntimeError::Step(e)
     }
 }
 
@@ -269,15 +279,10 @@ pub(crate) struct Session {
 impl Session {
     /// Advances this session by one input; returns a reference to the
     /// freshly accumulated record (cloning is the caller's choice), or
-    /// `None` when the stream is exhausted.
-    pub(crate) fn step(&mut self, family: &ModelFamily) -> Option<&InputRecord> {
-        self.engine.step(
-            self.scheduler.as_mut(),
-            &self.env,
-            family,
-            &self.stream,
-            &self.goal,
-        )
+    /// `Ok(None)` when the stream is exhausted.
+    pub(crate) fn step(&mut self, family: &ModelFamily) -> Result<Option<&InputRecord>, StepError> {
+        self.engine
+            .step(self.scheduler.as_mut(), &self.env, family, &self.stream)
     }
 
     /// Folds this session into its episode.
@@ -568,13 +573,10 @@ impl Runtime {
             .take()
             .unwrap_or_else(|| self.spec.policy.clone());
         let stream = InputStream::generate(self.task, spec.n_inputs, seed);
-        let env = Arc::new(EpisodeEnv::build(
-            &self.platform,
-            &spec.scenario,
-            &stream,
-            &spec.goal,
-            seed,
-        ));
+        let env = Arc::new(
+            EpisodeEnv::build(&self.platform, &spec.scenario, &stream, &spec.goal, seed)
+                .map_err(|e| RuntimeError::InvalidSpec(e.to_string()))?,
+        );
         let scheduler = self.build_scheduler(&policy, spec.goal, &env, &stream)?;
         // Store the spec fully resolved so later checkpoints are
         // self-contained.
@@ -676,7 +678,7 @@ impl Runtime {
             .sessions
             .get_mut(&id)
             .ok_or(RuntimeError::UnknownSession(id))?;
-        match (s.step(&self.family), self.sink.as_mut()) {
+        match (s.step(&self.family)?, self.sink.as_mut()) {
             (Some(r), Some(sink)) => {
                 sink.emit(&EpisodeEvent::InputProcessed {
                     session: id,
@@ -701,7 +703,7 @@ impl Runtime {
             .sessions
             .get_mut(&id)
             .ok_or(RuntimeError::UnknownSession(id))?;
-        let Some(record) = s.step(&self.family) else {
+        let Some(record) = s.step(&self.family)? else {
             return Ok(None);
         };
         match self.sink.as_mut() {
@@ -800,11 +802,7 @@ impl Runtime {
         for (id, session) in sessions {
             shards[id.shard_of(workers)].push((id, session));
         }
-        Ok(executor::drain_shards(
-            shards,
-            &self.family,
-            self.sink.as_mut(),
-        ))
+        executor::drain_shards(shards, &self.family, self.sink.as_mut())
     }
 
     /// Checkpoints a session opened from a [`SessionSpec`].
@@ -1237,13 +1235,9 @@ mod tests {
         let mut rt = runtime();
         let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
         let stream = InputStream::generate(TaskId::Img2, 30, 9);
-        let env = Arc::new(EpisodeEnv::build(
-            rt.platform(),
-            &Scenario::default_env(),
-            &stream,
-            &goal,
-            9,
-        ));
+        let env = Arc::new(
+            EpisodeEnv::build(rt.platform(), &Scenario::default_env(), &stream, &goal, 9).unwrap(),
+        );
         let id = rt.open_session_on("ALERT", goal, stream, env).unwrap();
         assert!(matches!(
             rt.snapshot_session(id),

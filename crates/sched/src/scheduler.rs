@@ -11,7 +11,7 @@
 use alert_core::ControllerSnapshot;
 use alert_models::inference::{InferenceResult, StopPolicy};
 use alert_stats::units::{Joules, Seconds, Watts};
-use alert_workload::GroupPos;
+use alert_workload::{Goal, GroupPos};
 
 /// What the scheduler knows before dispatching one input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +66,15 @@ pub struct Feedback {
 pub trait Scheduler: Send {
     /// Scheme name for reporting (Table 3/4 row labels).
     fn name(&self) -> &str;
+
+    /// Announces the requirement in force for the next input. The
+    /// harness calls this before every [`Scheduler::decide`] with the
+    /// scenario's effective goal — under scripted goal changes (paper §5:
+    /// deadlines tighten, floors move, budgets shrink mid-stream) this is
+    /// how a scheme learns the new target. Schemes that only consume the
+    /// per-input deadline (already carried by [`InputContext`]) may
+    /// ignore it; the default does.
+    fn sync_goal(&mut self, _goal: &Goal) {}
 
     /// Picks the configuration for the next input.
     fn decide(&mut self, ctx: &InputContext) -> Decision;

@@ -88,6 +88,12 @@ impl Scheduler for SysOnly {
         "Sys-only"
     }
 
+    fn sync_goal(&mut self, goal: &Goal) {
+        // [63]-style controllers take requirement updates from the
+        // runtime; the model stays pinned (that is the scheme's flaw).
+        self.goal = *goal;
+    }
+
     fn decide(&mut self, ctx: &InputContext) -> Decision {
         let ratio = self.filter.estimate().max(0.1);
         let mut best: Option<(usize, f64)> = None; // (cap idx, energy)

@@ -9,9 +9,13 @@
 //! * [`constraints`] — goals (minimize energy / minimize error with the
 //!   complementary constraints) and the 35-setting constraint grids used
 //!   for every Table 4 cell (Table 3 ranges).
-//! * [`scenario`] — the three run-time environments: Default, Memory
-//!   (STREAM-like co-runner), Compute (Bodytrack-like co-runner), plus the
-//!   scripted contention window of Fig. 9.
+//! * [`script`] — the scenario-script DSL: declarative timelines of
+//!   contention onset/offset, power-cap steps, goal changes, input drift,
+//!   arrival-process switches, and session churn.
+//! * [`scenario`] — named scenarios over the DSL: the paper's Default /
+//!   Memory / Compute trio, the Fig. 9 scripted window, and the dynamic
+//!   stress library (cap-storm, goal-flip, drift-ramp, burst/Poisson
+//!   arrivals, churn, compound stress).
 //! * [`record`] — per-input records and episode summaries with the
 //!   paper's violation accounting (>10% of inputs in violation disqualifies
 //!   a setting).
@@ -19,6 +23,7 @@
 pub mod constraints;
 pub mod record;
 pub mod scenario;
+pub mod script;
 pub mod session;
 pub mod stream;
 pub mod task;
@@ -26,6 +31,7 @@ pub mod task;
 pub use constraints::{constraint_grid, Goal, Objective};
 pub use record::{EpisodeSummary, InputRecord};
 pub use scenario::Scenario;
+pub use script::{ArrivalProcess, ArrivalSampler, GoalPatch, ScenarioScript, ScriptEvent};
 pub use session::{SessionId, StreamId};
 pub use stream::{GroupPos, InputSpec, InputStream};
 pub use task::TaskId;

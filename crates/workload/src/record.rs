@@ -30,6 +30,12 @@ pub struct InputRecord {
     pub latency: Seconds,
     /// The per-input deadline in force (after goal adjustment).
     pub deadline: Seconds,
+    /// The quality floor in force at dispatch (scripted goal changes
+    /// move it mid-stream); `None` when the effective goal has no floor.
+    pub min_quality: Option<f64>,
+    /// The per-period energy budget in force at dispatch; `None` when
+    /// the effective goal has no budget.
+    pub energy_budget: Option<Joules>,
     /// Quality score of the delivered answer.
     pub quality: f64,
     /// Period energy (run + idle).
@@ -62,7 +68,13 @@ impl InputRecord {
         match goal.objective {
             Objective::MinimizeEnergy => false,
             Objective::MinimizeError => {
-                let budget = goal.energy_budget.expect("validated goal");
+                // The budget *in force at dispatch* wins: scripted goal
+                // changes rescale it mid-stream. Records without one
+                // (legacy) fall back to the episode goal's.
+                let budget = self
+                    .energy_budget
+                    .or(goal.energy_budget)
+                    .expect("validated goal");
                 self.energy.get() > budget.get() * (1.0 + 1e-9)
             }
         }
@@ -117,14 +129,22 @@ impl EpisodeSummary {
             .iter()
             .filter(|r| r.latency.get() <= r.deadline.get() * (1.0 + 1e-9))
             .collect();
-        let quality_floor_met = match goal.min_quality {
-            None => true,
-            Some(floor) => {
-                timely.is_empty()
-                    || timely.iter().map(|r| r.quality).sum::<f64>() / timely.len() as f64
-                        >= floor - 1e-12
+        // The floor in force may move mid-stream (scripted goal
+        // changes): judge the average quality against the average of the
+        // per-record floors, which degenerates to the classic constant
+        // check when the floor never moves.
+        let mut q_sum = 0.0;
+        let mut floor_sum = 0.0;
+        let mut floored = 0usize;
+        for r in &timely {
+            if let Some(floor) = r.min_quality.or(goal.min_quality) {
+                q_sum += r.quality;
+                floor_sum += floor;
+                floored += 1;
             }
-        };
+        }
+        let quality_floor_met =
+            floored == 0 || q_sum / floored as f64 >= floor_sum / floored as f64 - 1e-12;
         EpisodeSummary {
             measured: n,
             violations,
@@ -169,6 +189,8 @@ mod tests {
             cap: Watts(50.0),
             latency: Seconds(latency),
             deadline: Seconds(deadline),
+            min_quality: None,
+            energy_budget: None,
             quality,
             energy: Joules(energy),
             slowdown: Some(1.0),
@@ -188,6 +210,41 @@ mod tests {
         assert!(!record(0.09, 0.1, 0.85, 5.0).violates(&goal));
         // Energy is unconstrained here.
         assert!(!record(0.09, 0.1, 0.95, 1e9).violates(&goal));
+    }
+
+    #[test]
+    fn effective_budget_in_force_overrides_the_episode_goal() {
+        // A scripted goal change halved the budget mid-stream: the
+        // record carries the effective budget and is judged against it.
+        let goal = Goal::minimize_error(Seconds(0.1), Joules(10.0));
+        let mut r = record(0.09, 0.1, 0.9, 5.0);
+        assert!(!r.violates(&goal));
+        r.energy_budget = Some(Joules(4.0));
+        assert!(r.violates(&goal), "the tightened budget must bind");
+        r.energy_budget = Some(Joules(6.0));
+        assert!(!r.violates(&goal));
+    }
+
+    #[test]
+    fn moving_quality_floor_binds_in_the_summary() {
+        // Floor raised to 0.95 for the second half: constant 0.91
+        // quality passes the base 0.90 floor but not the average of the
+        // floors in force.
+        let goal = Goal::minimize_energy(Seconds(0.1), 0.90);
+        let mk = |floor: f64| {
+            let mut r = record(0.05, 0.1, 0.91, 5.0);
+            r.min_quality = Some(floor);
+            r
+        };
+        let steady: Vec<InputRecord> = (0..10).map(|_| mk(0.90)).collect();
+        assert!(EpisodeSummary::from_records(&steady, &goal).quality_floor_met);
+        let flipped: Vec<InputRecord> = (0..5)
+            .map(|_| mk(0.90))
+            .chain((0..5).map(|_| mk(0.95)))
+            .collect();
+        let summary = EpisodeSummary::from_records(&flipped, &goal);
+        assert!(!summary.quality_floor_met, "raised floor must bind");
+        assert!(summary.disqualified());
     }
 
     #[test]

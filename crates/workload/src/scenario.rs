@@ -1,74 +1,235 @@
-//! Run-time environment scenarios.
+//! Named run-time environment scenarios over the scenario-script DSL.
 //!
 //! Paper Table 3 evaluates each scheme in three environments: "Default"
 //! (no co-runner), "Memory" (a memory-hungry co-runner that repeatedly
 //! stops and starts), and "Compute" (likewise, compute-hungry). Fig. 9
 //! additionally uses a single scripted contention window so the reaction
 //! of the controller can be inspected input by input.
+//!
+//! A [`Scenario`] is now a *name* over a [`ScenarioScript`]: the paper's
+//! three environments are scripts with at most one contention event, and
+//! [`Scenario::library`] extends them with the dynamic-condition suite
+//! the paper's robustness claims are about — cap storms, goal flips,
+//! input drift, bursty/Poisson arrivals, session churn, and compound
+//! stress. Custom scenarios come from [`Scenario::from_script`] (or
+//! straight from JSON: the whole type serializes).
 
+use crate::script::{ArrivalProcess, GoalPatch, ScenarioScript, ScriptEvent};
 use alert_platform::contention::{ContentionKind, ContentionProcess, PhaseSchedule};
 use alert_stats::units::Seconds;
 use serde::{Deserialize, Serialize};
+
+/// The on/off phase ranges of the paper's Table 3 random co-runners
+/// (tens of inputs per phase, matching the Fig. 9 scale).
+fn table3_schedule(seed: u64) -> PhaseSchedule {
+    PhaseSchedule::Random {
+        on: (Seconds(8.0), Seconds(20.0)),
+        off: (Seconds(6.0), Seconds(16.0)),
+        seed,
+    }
+}
 
 /// A named environment scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     name: String,
-    contention: Option<(ContentionKind, PhaseSchedule)>,
+    script: ScenarioScript,
 }
 
 impl Scenario {
-    /// The "Default" environment: the inference task runs alone.
-    pub fn default_env() -> Self {
+    /// A scenario from an explicit script (the custom-scenario path; see
+    /// `examples/scenario_script.rs`).
+    pub fn from_script(name: impl Into<String>, script: ScenarioScript) -> Self {
         Scenario {
-            name: "Default".to_string(),
-            contention: None,
+            name: name.into(),
+            script,
         }
     }
 
+    /// The "Default" environment: the inference task runs alone.
+    pub fn default_env() -> Self {
+        Scenario::from_script("Default", ScenarioScript::new())
+    }
+
     /// The "Memory" environment: a STREAM-like co-runner with random
-    /// on/off phases (paper Table 3; phase lengths match the Fig. 9
-    /// scale of tens of inputs per phase).
+    /// on/off phases (paper Table 3).
     pub fn memory_env(seed: u64) -> Self {
-        Scenario {
-            name: "Memory".to_string(),
-            contention: Some((
-                ContentionKind::Memory,
-                PhaseSchedule::Random {
-                    on: (Seconds(8.0), Seconds(20.0)),
-                    off: (Seconds(6.0), Seconds(16.0)),
-                    seed,
-                },
-            )),
-        }
+        Scenario::from_script(
+            "Memory",
+            ScenarioScript::new().with(ScriptEvent::Contention {
+                kind: ContentionKind::Memory,
+                schedule: table3_schedule(seed),
+            }),
+        )
     }
 
     /// The "Compute" environment: a Bodytrack-like co-runner with random
     /// on/off phases.
     pub fn compute_env(seed: u64) -> Self {
-        Scenario {
-            name: "Compute".to_string(),
-            contention: Some((
-                ContentionKind::Compute,
-                PhaseSchedule::Random {
-                    on: (Seconds(8.0), Seconds(20.0)),
-                    off: (Seconds(6.0), Seconds(16.0)),
-                    seed,
-                },
-            )),
-        }
+        Scenario::from_script(
+            "Compute",
+            ScenarioScript::new().with(ScriptEvent::Contention {
+                kind: ContentionKind::Compute,
+                schedule: table3_schedule(seed),
+            }),
+        )
     }
 
     /// The Fig. 9 scenario: one scripted memory-contention window
     /// (`[start, end)` in seconds of episode time).
     pub fn scripted_memory_window(start: Seconds, end: Seconds) -> Self {
-        Scenario {
-            name: "ScriptedMemory".to_string(),
-            contention: Some((
-                ContentionKind::Memory,
-                PhaseSchedule::Windows(vec![(start, end)]),
-            )),
+        Scenario::from_script(
+            "ScriptedMemory",
+            ScenarioScript::new().with(ScriptEvent::Contention {
+                kind: ContentionKind::Memory,
+                schedule: PhaseSchedule::Windows(vec![(start, end)]),
+            }),
+        )
+    }
+
+    /// "CapStorm": the platform's enforced power ceiling repeatedly
+    /// crashes to a fraction of the range and recovers — the paper's
+    /// power-cap-change robustness axis, turned up.
+    pub fn cap_storm() -> Self {
+        let steps = [
+            (0.15, 0.35),
+            (0.30, 1.0),
+            (0.45, 0.20),
+            (0.60, 1.0),
+            (0.75, 0.40),
+            (0.90, 1.0),
+        ];
+        let mut script = ScenarioScript::new();
+        for (at, frac) in steps {
+            script = script.with(ScriptEvent::CapStep { at, frac });
         }
+        Scenario::from_script("CapStorm", script)
+    }
+
+    /// "GoalFlip": the user tightens the deadline to 0.6× mid-stream and
+    /// relaxes it back — the §5 goal-change axis.
+    pub fn goal_flip() -> Self {
+        Scenario::from_script(
+            "GoalFlip",
+            ScenarioScript::new()
+                .with(ScriptEvent::GoalChange {
+                    at: 0.33,
+                    patch: GoalPatch::deadline(0.6),
+                })
+                .with(ScriptEvent::GoalChange {
+                    at: 0.66,
+                    patch: GoalPatch::deadline(1.0 / 0.6),
+                }),
+        )
+    }
+
+    /// "DriftRamp": the input distribution drifts — per-input latency
+    /// scale ramps to 1.7× over the middle half of the episode (cf.
+    /// sentences growing longer, paper Fig. 4's variability axis).
+    pub fn drift_ramp() -> Self {
+        Scenario::from_script(
+            "DriftRamp",
+            ScenarioScript::new().with(ScriptEvent::DriftRamp {
+                from: 0.25,
+                to: 0.75,
+                peak: 1.7,
+            }),
+        )
+    }
+
+    /// "BurstArrival": periodic arrivals collapse into 4-input bursts for
+    /// the middle of the episode, then recover.
+    pub fn burst_arrival() -> Self {
+        Scenario::from_script(
+            "BurstArrival",
+            ScenarioScript::new()
+                .with(ScriptEvent::ArrivalChange {
+                    at: 0.3,
+                    process: ArrivalProcess::Bursty {
+                        burst: 4,
+                        spread: 0.3,
+                    },
+                })
+                .with(ScriptEvent::ArrivalChange {
+                    at: 0.7,
+                    process: ArrivalProcess::Periodic,
+                }),
+        )
+    }
+
+    /// "PoissonArrival": the dispatch grid switches to memoryless
+    /// arrivals at the same offered load.
+    pub fn poisson_arrival() -> Self {
+        Scenario::from_script(
+            "PoissonArrival",
+            ScenarioScript::new().with(ScriptEvent::ArrivalChange {
+                at: 0.25,
+                process: ArrivalProcess::Poisson { rate_scale: 1.0 },
+            }),
+        )
+    }
+
+    /// "Churn": session open/close waves against the serving runtime,
+    /// under light memory contention.
+    pub fn churn(seed: u64) -> Self {
+        let mut script = ScenarioScript::new().with(ScriptEvent::Contention {
+            kind: ContentionKind::Memory,
+            schedule: table3_schedule(seed),
+        });
+        for at in [0.2, 0.5, 0.8] {
+            script = script.with(ScriptEvent::Churn {
+                at,
+                open: 6,
+                close: 6,
+            });
+        }
+        Scenario::from_script("Churn", script)
+    }
+
+    /// "CompoundStress": everything at once — both co-runner kinds, a
+    /// cap crash, a goal tightening, input drift, and bursty arrivals.
+    pub fn compound_stress(seed: u64) -> Self {
+        Scenario::from_script(
+            "CompoundStress",
+            ScenarioScript::new()
+                .with(ScriptEvent::Contention {
+                    kind: ContentionKind::Memory,
+                    schedule: table3_schedule(seed),
+                })
+                .with(ScriptEvent::Contention {
+                    kind: ContentionKind::Compute,
+                    schedule: table3_schedule(seed.wrapping_add(17)),
+                })
+                .with(ScriptEvent::CapStep {
+                    at: 0.40,
+                    frac: 0.45,
+                })
+                .with(ScriptEvent::CapStep {
+                    at: 0.75,
+                    frac: 1.0,
+                })
+                .with(ScriptEvent::GoalChange {
+                    at: 0.5,
+                    patch: GoalPatch::deadline(0.8),
+                })
+                .with(ScriptEvent::DriftRamp {
+                    from: 0.2,
+                    to: 0.8,
+                    peak: 1.4,
+                })
+                .with(ScriptEvent::ArrivalChange {
+                    at: 0.35,
+                    process: ArrivalProcess::Bursty {
+                        burst: 3,
+                        spread: 0.4,
+                    },
+                })
+                .with(ScriptEvent::Churn {
+                    at: 0.5,
+                    open: 4,
+                    close: 4,
+                }),
+        )
     }
 
     /// All three Table 3 environments, seeded.
@@ -80,21 +241,46 @@ impl Scenario {
         ]
     }
 
-    /// Scenario name ("Default" / "Compute" / "Memory" / …).
+    /// The full named-scenario library (the Table 3 trio plus the
+    /// dynamic-condition suite) — the rows of the scheme×scenario matrix
+    /// (`alert-bench --bin scenarios`).
+    pub fn library(seed: u64) -> Vec<Scenario> {
+        vec![
+            Scenario::default_env(),
+            Scenario::compute_env(seed),
+            Scenario::memory_env(seed.wrapping_add(1)),
+            Scenario::cap_storm(),
+            Scenario::goal_flip(),
+            Scenario::drift_ramp(),
+            Scenario::burst_arrival(),
+            Scenario::poisson_arrival(),
+            Scenario::churn(seed.wrapping_add(2)),
+            Scenario::compound_stress(seed.wrapping_add(3)),
+        ]
+    }
+
+    /// Scenario name ("Default" / "Compute" / "Memory" / "CapStorm" / …).
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// The contention kind, if any.
-    pub fn kind(&self) -> Option<ContentionKind> {
-        self.contention.as_ref().map(|(k, _)| *k)
+    /// The underlying script.
+    pub fn script(&self) -> &ScenarioScript {
+        &self.script
     }
 
-    /// Instantiates the phase process for one episode run.
+    /// The primary contention kind (first contention event), if any.
+    /// Multi-kind scripts report only the first; use
+    /// [`ScenarioScript::contention_kinds`] for the full set.
+    pub fn kind(&self) -> Option<ContentionKind> {
+        self.script.contention_kinds().first().copied()
+    }
+
+    /// Instantiates the phase process of the *primary* contention event
+    /// (compatibility accessor; realization uses
+    /// [`ScenarioScript::contention_processes`] to honor every event).
     pub fn process(&self) -> Option<(ContentionKind, ContentionProcess)> {
-        self.contention
-            .as_ref()
-            .map(|(k, s)| (*k, ContentionProcess::new(s.clone())))
+        self.script.contention_processes().into_iter().next()
     }
 }
 
@@ -108,6 +294,7 @@ mod tests {
         assert!(s.kind().is_none());
         assert!(s.process().is_none());
         assert_eq!(s.name(), "Default");
+        assert!(s.script().is_quiescent());
     }
 
     #[test]
@@ -136,5 +323,40 @@ mod tests {
         let a = Scenario::memory_env(1);
         let b = Scenario::memory_env(2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn library_has_ten_valid_uniquely_named_scenarios() {
+        let lib = Scenario::library(7);
+        assert_eq!(lib.len(), 10);
+        let mut names: Vec<&str> = lib.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "names must be unique");
+        for s in &lib {
+            s.script()
+                .validate()
+                .unwrap_or_else(|e| panic!("library scenario {} failed validation: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn compound_stress_activates_both_kinds() {
+        let s = Scenario::compound_stress(3);
+        assert_eq!(
+            s.script().contention_kinds(),
+            vec![ContentionKind::Memory, ContentionKind::Compute]
+        );
+        // And the primary-kind compatibility view reports Memory.
+        assert_eq!(s.kind(), Some(ContentionKind::Memory));
+    }
+
+    #[test]
+    fn scenarios_roundtrip_through_json() {
+        for s in Scenario::library(11) {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back, "{} must round-trip", s.name());
+        }
     }
 }

@@ -1,0 +1,674 @@
+//! The scenario-script DSL: declarative, composable dynamic environments.
+//!
+//! ALERT's headline claim is robustness under *changing* conditions —
+//! co-runner contention, power-cap changes, and goal changes mid-stream
+//! (paper §5, Table 3, Fig. 9). A [`ScenarioScript`] describes such an
+//! environment as a **timeline of events** over one serving episode:
+//!
+//! * [`ScriptEvent::Contention`] — a co-runner (memory or compute) with
+//!   its own on/off [`PhaseSchedule`]; any number compose, including both
+//!   kinds at once (compound stress).
+//! * [`ScriptEvent::CapStep`] — from a timeline mark onward, the platform
+//!   enforces a power-cap ceiling (a fraction of the feasible cap range;
+//!   `1.0` restores the full range). Schedulers are *not* told — they
+//!   observe the slowdown, exactly as on real hardware under RAPL.
+//! * [`ScriptEvent::GoalChange`] — the user's requirement changes
+//!   mid-stream: deadlines tighten or relax (a scale on the base
+//!   deadline), quality floors move, energy budgets scale.
+//! * [`ScriptEvent::DriftRamp`] — input-distribution drift: the
+//!   per-input latency scale ramps toward a peak factor (e.g. sentences
+//!   growing longer), composing multiplicatively with the stream's own
+//!   sampled variability.
+//! * [`ScriptEvent::ArrivalChange`] — the arrival process switches
+//!   (periodic → bursty → Poisson), reshaping the dispatch grid and the
+//!   idle-energy accounting windows.
+//! * [`ScriptEvent::Churn`] — a wave of sessions opens and closes
+//!   against the serving runtime. Environment realization ignores churn
+//!   (it does not touch the frozen per-input state); runtime drivers
+//!   (`alert-bench --bin scenarios`) execute the waves.
+//!
+//! **Timeline units.** Contention schedules are wall-clock seconds: they
+//! model external co-runners with their own clocks (and keep the Fig. 9
+//! scripted window bit-compatible). All other events fire at a `t` that
+//! is a **fraction of the episode horizon** (`n_inputs × base deadline`,
+//! clamped to `[0, 1]`), so named scenarios compose with any stream
+//! length or deadline without retuning.
+//!
+//! **Frozen randomness.** A script is *declarative*: realizing it
+//! (`alert-sched::env::EpisodeEnv::build`) draws every random quantity
+//! once from seed-keyed streams and freezes it, so every scheme faces
+//! bit-identical conditions and Oracle counterfactuals stay exact. The
+//! script itself holds no RNG state and serializes losslessly.
+
+use alert_platform::contention::{ContentionKind, ContentionProcess, PhaseSchedule};
+use alert_stats::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::Goal;
+
+/// How inputs arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Fixed grid: one input per effective deadline (sensor-style
+    /// periodic inputs, paper §2.1). The historical default.
+    Periodic,
+    /// Poisson arrivals: exponential inter-arrival times with mean
+    /// `deadline / rate_scale` (`rate_scale > 1` ⇒ overload).
+    Poisson {
+        /// Arrival-rate multiplier over the periodic rate.
+        rate_scale: f64,
+    },
+    /// Bursts of `burst` inputs spaced `spread × deadline` apart,
+    /// followed by a gap that keeps the mean period equal to the
+    /// deadline (same offered load, bursty shape).
+    Bursty {
+        /// Inputs per burst (≥ 1).
+        burst: usize,
+        /// Intra-burst spacing as a fraction of the deadline (in `(0, 1)`).
+        spread: f64,
+    },
+}
+
+impl ArrivalProcess {
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            ArrivalProcess::Periodic => Ok(()),
+            ArrivalProcess::Poisson { rate_scale } => {
+                if rate_scale.is_finite() && rate_scale > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "Poisson rate_scale must be positive, got {rate_scale}"
+                    ))
+                }
+            }
+            ArrivalProcess::Bursty { burst, spread } => {
+                if burst == 0 {
+                    return Err("Bursty burst must be ≥ 1".into());
+                }
+                if !(spread.is_finite() && spread > 0.0 && spread < 1.0) {
+                    return Err(format!("Bursty spread must be in (0,1), got {spread}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Samples successive inter-arrival periods for a (possibly switching)
+/// arrival process. One uniform draw `u ∈ [0, 1)` is consumed per input
+/// *regardless of the process in force*, so switching the arrival shape
+/// never re-aligns the other frozen random streams.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalSampler {
+    /// Position inside the current burst cycle (`Bursty` only).
+    burst_pos: usize,
+}
+
+impl ArrivalSampler {
+    /// A fresh sampler at the start of an episode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The period until the next input under `process`, given the
+    /// effective `deadline` and one pre-drawn uniform `u ∈ [0, 1)`.
+    pub fn next_period(&mut self, process: &ArrivalProcess, deadline: Seconds, u: f64) -> Seconds {
+        match *process {
+            ArrivalProcess::Periodic => {
+                self.burst_pos = 0;
+                deadline
+            }
+            ArrivalProcess::Poisson { rate_scale } => {
+                self.burst_pos = 0;
+                let mean = deadline.get() / rate_scale;
+                // Inverse-CDF; floored so dispatch time stays monotone
+                // with a strictly positive step.
+                Seconds((-(1.0 - u).ln() * mean).max(1e-6))
+            }
+            ArrivalProcess::Bursty { burst, spread } => {
+                let pos = self.burst_pos % burst.max(1);
+                self.burst_pos = pos + 1;
+                if pos + 1 < burst {
+                    deadline * spread
+                } else {
+                    // Close the cycle: total cycle time = burst × deadline.
+                    self.burst_pos = 0;
+                    deadline * (burst as f64 - spread * (burst as f64 - 1.0))
+                }
+            }
+        }
+    }
+}
+
+/// A mid-stream change of the user requirement, applied to the *base*
+/// goal. Patches on the timeline compose cumulatively in event order:
+/// deadline/budget scales multiply, quality floors last-set-wins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoalPatch {
+    /// Multiplies the deadline in force (`< 1` tightens).
+    pub deadline_scale: f64,
+    /// Replaces the quality floor (minimize-energy goals).
+    pub min_quality: Option<f64>,
+    /// Multiplies the energy budget in force (minimize-error goals).
+    pub energy_budget_scale: Option<f64>,
+}
+
+impl GoalPatch {
+    /// A patch that only rescales the deadline.
+    pub fn deadline(scale: f64) -> Self {
+        GoalPatch {
+            deadline_scale: scale,
+            min_quality: None,
+            energy_budget_scale: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.deadline_scale.is_finite() && self.deadline_scale > 0.0) {
+            return Err(format!(
+                "goal deadline_scale must be positive, got {}",
+                self.deadline_scale
+            ));
+        }
+        if let Some(s) = self.energy_budget_scale {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!(
+                    "goal energy_budget_scale must be positive, got {s}"
+                ));
+            }
+        }
+        if let Some(q) = self.min_quality {
+            if !q.is_finite() {
+                return Err(format!("goal min_quality must be finite, got {q}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&self, goal: &mut Goal) {
+        goal.deadline = goal.deadline * self.deadline_scale;
+        if let Some(q) = self.min_quality {
+            goal.min_quality = Some(q);
+        }
+        if let (Some(s), Some(b)) = (self.energy_budget_scale, goal.energy_budget) {
+            goal.energy_budget = Some(b * s);
+        }
+    }
+}
+
+/// One timeline event of a [`ScenarioScript`].
+///
+/// `at`/`from`/`to` marks are fractions of the episode horizon (see the
+/// module docs); contention schedules are wall-clock seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptEvent {
+    /// A co-located job with its own activity schedule.
+    Contention {
+        /// What the co-runner stresses.
+        kind: ContentionKind,
+        /// When it is active (wall-clock seconds).
+        schedule: PhaseSchedule,
+    },
+    /// From `at` onward the platform enforces a cap ceiling at `frac` of
+    /// the feasible cap range (`0` = minimum cap, `1` = unrestricted).
+    /// Later steps replace earlier ones.
+    CapStep {
+        /// Horizon fraction at which the step lands.
+        at: f64,
+        /// Ceiling position within the feasible cap range.
+        frac: f64,
+    },
+    /// From `at` onward the requirement changes by `patch` (cumulative
+    /// with earlier goal changes).
+    GoalChange {
+        /// Horizon fraction at which the requirement changes.
+        at: f64,
+        /// The change.
+        patch: GoalPatch,
+    },
+    /// The per-input latency scale ramps linearly from 1 at `from` to
+    /// `peak` at `to`, holding `peak` afterwards. Multiple ramps compose
+    /// multiplicatively.
+    DriftRamp {
+        /// Horizon fraction where the ramp starts.
+        from: f64,
+        /// Horizon fraction where the ramp reaches `peak`.
+        to: f64,
+        /// Latency-scale factor at the top of the ramp.
+        peak: f64,
+    },
+    /// From `at` onward inputs arrive under `process`.
+    ArrivalChange {
+        /// Horizon fraction at which the arrival process switches.
+        at: f64,
+        /// The new arrival process.
+        process: ArrivalProcess,
+    },
+    /// At `at`, a runtime driver opens `open` and closes `close`
+    /// background sessions (ignored by environment realization).
+    Churn {
+        /// Horizon fraction of the wave.
+        at: f64,
+        /// Sessions to open.
+        open: usize,
+        /// Sessions to close.
+        close: usize,
+    },
+}
+
+/// A declarative scripted environment: an initial arrival process plus a
+/// timeline of [`ScriptEvent`]s. See the module docs for the grammar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioScript {
+    /// Arrival process in force at the start of the episode.
+    pub arrival: ArrivalProcess,
+    /// Timeline events, in any order (queries sort by mark internally
+    /// where order matters).
+    pub events: Vec<ScriptEvent>,
+}
+
+impl Default for ScenarioScript {
+    /// The quiescent script: periodic arrivals, no events — the paper's
+    /// "Default" environment.
+    fn default() -> Self {
+        ScenarioScript {
+            arrival: ArrivalProcess::Periodic,
+            events: Vec::new(),
+        }
+    }
+}
+
+fn frac_ok(t: f64) -> bool {
+    t.is_finite() && (0.0..=1.0).contains(&t)
+}
+
+impl ScenarioScript {
+    /// A quiescent script (periodic arrivals, empty timeline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (builder-style).
+    pub fn with(mut self, event: ScriptEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Sets the initial arrival process (builder-style).
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Validates the whole script; realization refuses invalid scripts.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arrival.validate()?;
+        for (i, e) in self.events.iter().enumerate() {
+            let res = match e {
+                ScriptEvent::Contention { schedule, .. } => match schedule {
+                    PhaseSchedule::Windows(ws) => ws
+                        .iter()
+                        .all(|(s, t)| s.is_finite() && t.is_finite() && s <= t)
+                        .then_some(())
+                        .ok_or_else(|| "contention windows must satisfy start ≤ end".to_string()),
+                    PhaseSchedule::Random { on, off, .. } => {
+                        let ok = |(lo, hi): &(Seconds, Seconds)| {
+                            lo.is_finite() && hi.is_finite() && lo.get() > 0.0 && lo <= hi
+                        };
+                        (ok(on) && ok(off)).then_some(()).ok_or_else(|| {
+                            "random phase ranges must be positive and ordered".to_string()
+                        })
+                    }
+                    _ => Ok(()),
+                },
+                ScriptEvent::CapStep { at, frac } => (frac_ok(*at) && frac_ok(*frac))
+                    .then_some(())
+                    .ok_or_else(|| format!("cap step needs at/frac in [0,1], got {at}/{frac}")),
+                ScriptEvent::GoalChange { at, patch } => {
+                    if !frac_ok(*at) {
+                        Err(format!("goal change mark must be in [0,1], got {at}"))
+                    } else {
+                        patch.validate()
+                    }
+                }
+                ScriptEvent::DriftRamp { from, to, peak } => {
+                    if !(frac_ok(*from) && frac_ok(*to) && from <= to) {
+                        Err(format!(
+                            "drift ramp needs 0 ≤ from ≤ to ≤ 1, got {from}..{to}"
+                        ))
+                    } else if !(peak.is_finite() && *peak >= 0.05) {
+                        Err(format!("drift peak must be ≥ 0.05, got {peak}"))
+                    } else {
+                        Ok(())
+                    }
+                }
+                ScriptEvent::ArrivalChange { at, process } => {
+                    if !frac_ok(*at) {
+                        Err(format!("arrival change mark must be in [0,1], got {at}"))
+                    } else {
+                        process.validate()
+                    }
+                }
+                ScriptEvent::Churn { at, .. } => frac_ok(*at)
+                    .then_some(())
+                    .ok_or_else(|| format!("churn mark must be in [0,1], got {at}")),
+            };
+            res.map_err(|msg| format!("event {i}: {msg}"))?;
+        }
+        Ok(())
+    }
+
+    /// Instantiates one stateful activity process per contention event
+    /// (queried monotonically by environment realization).
+    pub fn contention_processes(&self) -> Vec<(ContentionKind, ContentionProcess)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ScriptEvent::Contention { kind, schedule } => {
+                    Some((*kind, ContentionProcess::new(schedule.clone())))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The contention kinds the script ever activates (deduplicated, in
+    /// first-appearance order).
+    pub fn contention_kinds(&self) -> Vec<ContentionKind> {
+        let mut out: Vec<ContentionKind> = Vec::new();
+        for e in &self.events {
+            if let ScriptEvent::Contention { kind, .. } = e {
+                if !out.contains(kind) {
+                    out.push(*kind);
+                }
+            }
+        }
+        out
+    }
+
+    /// The requirement in force at horizon fraction `t`: every goal
+    /// change at or before `t`, applied to `base` in mark order.
+    pub fn goal_at(&self, t: f64, base: &Goal) -> Goal {
+        let mut changes: Vec<(f64, &GoalPatch)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ScriptEvent::GoalChange { at, patch } if *at <= t => Some((*at, patch)),
+                _ => None,
+            })
+            .collect();
+        changes.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut goal = *base;
+        for (_, patch) in changes {
+            patch.apply(&mut goal);
+        }
+        goal
+    }
+
+    /// The cap ceiling in force at horizon fraction `t`, as a fraction of
+    /// the feasible cap range, or `None` when unrestricted.
+    pub fn cap_frac_at(&self, t: f64) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None; // (mark, frac)
+        for e in &self.events {
+            if let ScriptEvent::CapStep { at, frac } = e {
+                if *at <= t && best.is_none_or(|(m, _)| *at >= m) {
+                    best = Some((*at, *frac));
+                }
+            }
+        }
+        match best {
+            Some((_, frac)) if frac < 1.0 => Some(frac),
+            _ => None,
+        }
+    }
+
+    /// The input-distribution drift factor at horizon fraction `t`
+    /// (product over all ramps).
+    pub fn drift_at(&self, t: f64) -> f64 {
+        let mut f = 1.0;
+        for e in &self.events {
+            if let ScriptEvent::DriftRamp { from, to, peak } = e {
+                f *= if t <= *from {
+                    1.0
+                } else if t >= *to {
+                    *peak
+                } else {
+                    1.0 + (peak - 1.0) * (t - from) / (to - from)
+                };
+            }
+        }
+        f
+    }
+
+    /// The arrival process in force at horizon fraction `t`.
+    pub fn arrival_at(&self, t: f64) -> ArrivalProcess {
+        let mut best: Option<(f64, ArrivalProcess)> = None;
+        for e in &self.events {
+            if let ScriptEvent::ArrivalChange { at, process } = e {
+                if *at <= t && best.is_none_or(|(m, _)| *at >= m) {
+                    best = Some((*at, *process));
+                }
+            }
+        }
+        best.map_or(self.arrival, |(_, p)| p)
+    }
+
+    /// The churn waves on the timeline, ascending by mark:
+    /// `(mark, open, close)`.
+    pub fn churn_waves(&self) -> Vec<(f64, usize, usize)> {
+        let mut waves: Vec<(f64, usize, usize)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ScriptEvent::Churn { at, open, close } => Some((*at, *open, *close)),
+                _ => None,
+            })
+            .collect();
+        waves.sort_by(|a, b| a.0.total_cmp(&b.0));
+        waves
+    }
+
+    /// `true` when the script never perturbs anything (the "Default"
+    /// environment).
+    pub fn is_quiescent(&self) -> bool {
+        self.events.is_empty() && self.arrival == ArrivalProcess::Periodic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_stats::units::Joules;
+
+    fn base_goal() -> Goal {
+        Goal::minimize_energy(Seconds(0.4), 0.9)
+    }
+
+    #[test]
+    fn default_script_is_quiescent() {
+        let s = ScenarioScript::default();
+        assert!(s.is_quiescent());
+        assert!(s.validate().is_ok());
+        assert_eq!(s.goal_at(0.5, &base_goal()), base_goal());
+        assert_eq!(s.cap_frac_at(0.5), None);
+        assert_eq!(s.drift_at(0.5), 1.0);
+        assert_eq!(s.arrival_at(0.9), ArrivalProcess::Periodic);
+        assert!(s.churn_waves().is_empty());
+    }
+
+    #[test]
+    fn goal_changes_compose_in_mark_order() {
+        let s = ScenarioScript::new()
+            .with(ScriptEvent::GoalChange {
+                at: 0.6,
+                patch: GoalPatch::deadline(2.0),
+            })
+            .with(ScriptEvent::GoalChange {
+                at: 0.3,
+                patch: GoalPatch::deadline(0.5),
+            });
+        assert!(s.validate().is_ok());
+        assert_eq!(s.goal_at(0.0, &base_goal()).deadline, Seconds(0.4));
+        assert_eq!(s.goal_at(0.4, &base_goal()).deadline, Seconds(0.2));
+        // 0.4 × 0.5 × 2.0 — cumulative, independent of event-list order.
+        assert!((s.goal_at(1.0, &base_goal()).deadline.get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goal_patch_moves_floor_and_budget() {
+        let s = ScenarioScript::new().with(ScriptEvent::GoalChange {
+            at: 0.5,
+            patch: GoalPatch {
+                deadline_scale: 1.0,
+                min_quality: Some(0.95),
+                energy_budget_scale: Some(0.5),
+            },
+        });
+        let g = s.goal_at(0.7, &base_goal());
+        assert_eq!(g.min_quality, Some(0.95));
+        let err_goal = Goal::minimize_error(Seconds(0.4), Joules(10.0));
+        let g = s.goal_at(0.7, &err_goal);
+        assert_eq!(g.energy_budget, Some(Joules(5.0)));
+    }
+
+    #[test]
+    fn cap_steps_last_one_wins_and_one_restores() {
+        let s = ScenarioScript::new()
+            .with(ScriptEvent::CapStep { at: 0.2, frac: 0.3 })
+            .with(ScriptEvent::CapStep { at: 0.6, frac: 1.0 });
+        assert_eq!(s.cap_frac_at(0.1), None);
+        assert_eq!(s.cap_frac_at(0.4), Some(0.3));
+        assert_eq!(s.cap_frac_at(0.8), None, "frac 1.0 restores");
+    }
+
+    #[test]
+    fn drift_ramps_interpolate_and_hold() {
+        let s = ScenarioScript::new().with(ScriptEvent::DriftRamp {
+            from: 0.2,
+            to: 0.6,
+            peak: 2.0,
+        });
+        assert_eq!(s.drift_at(0.1), 1.0);
+        assert!((s.drift_at(0.4) - 1.5).abs() < 1e-12);
+        assert_eq!(s.drift_at(0.9), 2.0);
+    }
+
+    #[test]
+    fn arrival_switches_at_marks() {
+        let burst = ArrivalProcess::Bursty {
+            burst: 4,
+            spread: 0.25,
+        };
+        let s = ScenarioScript::new().with(ScriptEvent::ArrivalChange {
+            at: 0.5,
+            process: burst,
+        });
+        assert_eq!(s.arrival_at(0.4), ArrivalProcess::Periodic);
+        assert_eq!(s.arrival_at(0.6), burst);
+    }
+
+    #[test]
+    fn bursty_sampler_conserves_mean_load() {
+        let mut sampler = ArrivalSampler::new();
+        let p = ArrivalProcess::Bursty {
+            burst: 4,
+            spread: 0.25,
+        };
+        let d = Seconds(0.4);
+        let total: f64 = (0..8).map(|_| sampler.next_period(&p, d, 0.0).get()).sum();
+        // Two full cycles of 4 inputs each average one deadline per input.
+        assert!((total - 8.0 * 0.4).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn poisson_sampler_is_positive_and_mean_matches() {
+        let mut sampler = ArrivalSampler::new();
+        let p = ArrivalProcess::Poisson { rate_scale: 2.0 };
+        let d = Seconds(0.4);
+        let mut rng = alert_stats::rng::stream_rng(7, "arrival-test");
+        use rand::Rng;
+        let n = 4000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let period = sampler.next_period(&p, d, u);
+            assert!(period.get() > 0.0);
+            total += period.get();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 0.2).abs() < 0.02, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_events() {
+        let bad = [
+            ScenarioScript::new().with(ScriptEvent::CapStep { at: 1.5, frac: 0.5 }),
+            ScenarioScript::new().with(ScriptEvent::CapStep {
+                at: 0.5,
+                frac: -0.1,
+            }),
+            ScenarioScript::new().with(ScriptEvent::GoalChange {
+                at: 0.5,
+                patch: GoalPatch::deadline(0.0),
+            }),
+            ScenarioScript::new().with(ScriptEvent::DriftRamp {
+                from: 0.8,
+                to: 0.2,
+                peak: 1.5,
+            }),
+            ScenarioScript::new().with(ScriptEvent::ArrivalChange {
+                at: 0.5,
+                process: ArrivalProcess::Bursty {
+                    burst: 0,
+                    spread: 0.5,
+                },
+            }),
+            ScenarioScript::new().with_arrival(ArrivalProcess::Poisson { rate_scale: -1.0 }),
+        ];
+        for s in bad {
+            assert!(s.validate().is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_is_bit_exact() {
+        let s = ScenarioScript::new()
+            .with_arrival(ArrivalProcess::Poisson { rate_scale: 1.25 })
+            .with(ScriptEvent::Contention {
+                kind: ContentionKind::Memory,
+                schedule: PhaseSchedule::Random {
+                    on: (Seconds(8.0), Seconds(20.0)),
+                    off: (Seconds(6.0), Seconds(16.0)),
+                    seed: 11,
+                },
+            })
+            .with(ScriptEvent::CapStep {
+                at: 0.25,
+                frac: 0.3,
+            })
+            .with(ScriptEvent::GoalChange {
+                at: 0.5,
+                patch: GoalPatch {
+                    deadline_scale: 0.6,
+                    min_quality: Some(0.92),
+                    energy_budget_scale: Some(0.8),
+                },
+            })
+            .with(ScriptEvent::DriftRamp {
+                from: 0.2,
+                to: 0.8,
+                peak: 1.7,
+            })
+            .with(ScriptEvent::Churn {
+                at: 0.5,
+                open: 4,
+                close: 2,
+            });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScenarioScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Bit-exactness of the floats, not just PartialEq.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}

@@ -10,10 +10,12 @@
 //!
 //! This example shows dynamic *goal* changes on top of environment
 //! changes: a compute-hungry co-runner occupies the middle third of the
-//! episode. When the goal flips, the scheduler is rebuilt for the new
-//! constraints — and the learned estimator state (ξ slowdown belief, φ
-//! idle ratio) is carried across via the controller snapshot API, so no
-//! re-learning transient is paid at the phase boundary.
+//! episode. When the goal flips, the runtime announces the new
+//! requirement via `Scheduler::sync_goal` — the learned estimator state
+//! (ξ slowdown belief, φ idle ratio) stays in place, so no re-learning
+//! transient is paid at the phase boundary. (The session harness does
+//! exactly this for scripted `GoalChange` events; driving the scheduler
+//! manually here makes the mechanism visible.)
 //!
 //! Run with: `cargo run --release --example camera_pipeline`
 
@@ -34,7 +36,7 @@ fn main() {
 
     let stream = InputStream::generate(TaskId::Img2, n, 1234);
     let scenario = Scenario::scripted_memory_window(fps_period * 200.0, fps_period * 400.0);
-    let env = EpisodeEnv::build(&platform, &scenario, &stream, &relaxed, 1234);
+    let env = EpisodeEnv::build(&platform, &scenario, &stream, &relaxed, 1234).expect("valid");
 
     // Drive the scheduler manually so the goal can flip mid-stream:
     // "critical" phase covers inputs 300..450 (overlapping the
@@ -73,32 +75,23 @@ fn main() {
             violations = 0;
             current_phase = phase;
         }
-        // NOTE: a production wrapper would rebuild goals rarely; ALERT
-        // itself accepts a fresh goal every input (paper §3.1: "the
-        // required constraints" may change dynamically).
+        // Announce the requirement in force (paper §3.1: "the required
+        // constraints" may change dynamically). Same-valued syncs are
+        // free; on a flip the controller simply retargets — the learned
+        // estimators (ξ, φ, overhead reserve) carry over untouched.
+        alert.sync_goal(&goal);
         let ctx = InputContext {
             index: i,
             deadline: goal.deadline,
             period: env.period(i),
             group: None,
         };
-        // AlertScheduler is constructed per goal, so a floor switch means
-        // a rebuild — but the learned state survives: snapshot the
-        // controller's estimators (ξ, φ, overhead reserve) and restore
-        // them into the fresh instance. The phase boundary costs nothing.
-        if count == 0 {
-            let snapshot = alert
-                .controller_snapshot()
-                .expect("ALERT exports controller state");
-            let mut fresh =
-                AlertScheduler::standard(&family, &platform, goal).expect("paper family fits");
-            fresh.restore_controller(&snapshot);
-            alert = fresh;
-        }
 
         let d = alert.decide(&ctx);
         let profile = &family.models()[d.model];
-        let result = env.realize(i, profile, d.cap, d.stop);
+        let result = env
+            .realize(i, profile, d.cap, d.stop)
+            .expect("feasible cap");
         let quality = result.quality_by(ctx.deadline, profile.fail_quality);
         let energy = env.period_energy(i, profile, d.cap, &result);
         if profile.name != last_model {

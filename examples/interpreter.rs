@@ -32,13 +32,8 @@ fn main() {
         .family(FamilyKind::Sentence)
         .build()
         .expect("builtin policy");
-    let env = Arc::new(EpisodeEnv::build(
-        rt.platform(),
-        &scenario,
-        &stream,
-        &goal,
-        99,
-    ));
+    let env =
+        Arc::new(EpisodeEnv::build(rt.platform(), &scenario, &stream, &goal, 99).expect("valid"));
 
     let alert_id = rt
         .open_session_on("ALERT", goal, stream.clone(), env.clone())

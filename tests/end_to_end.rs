@@ -23,9 +23,7 @@ fn world(goal: Goal, scenario: Scenario, n: usize, seed: u64) -> World {
     let platform = Platform::cpu1();
     let family = ModelFamily::image_classification();
     let stream = InputStream::generate(TaskId::Img2, n, seed);
-    let env = Arc::new(EpisodeEnv::build(
-        &platform, &scenario, &stream, &goal, seed,
-    ));
+    let env = Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, &goal, seed).unwrap());
     World {
         platform,
         family,
@@ -36,7 +34,7 @@ fn world(goal: Goal, scenario: Scenario, n: usize, seed: u64) -> World {
 }
 
 fn run(w: &World, s: &mut dyn Scheduler) -> alert::sched::Episode {
-    run_episode(s, &w.env, &w.family, &w.stream, &w.goal)
+    run_episode(s, &w.env, &w.family, &w.stream, &w.goal).unwrap()
 }
 
 /// Paper §5.2 ordering on one representative minimize-energy setting:
@@ -163,16 +161,17 @@ fn static_baseline_pays_for_rigidity() {
     let tight = Goal::minimize_energy(Seconds(0.35), 0.90);
     let loose = Goal::minimize_energy(Seconds(0.70), 0.80);
     let scenario = Scenario::memory_env(33);
-    let mk_env = |g: &Goal| Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, g, 33));
+    let mk_env =
+        |g: &Goal| Arc::new(EpisodeEnv::build(&platform, &scenario, &stream, g, 33).unwrap());
     let cell = vec![(mk_env(&tight), tight), (mk_env(&loose), loose)];
     let choice = OracleStatic::for_cell(&cell, family.clone(), &stream).choice();
 
     // Replay the pinned configuration on the loose setting.
     let mut st = OracleStatic::from_choice(choice);
     let loose_env = mk_env(&loose);
-    let ep_static = run_episode(&mut st, &loose_env, &family, &stream, &loose);
+    let ep_static = run_episode(&mut st, &loose_env, &family, &stream, &loose).unwrap();
     let mut alert = AlertScheduler::standard(&family, &platform, loose).unwrap();
-    let ep_alert = run_episode(&mut alert, &loose_env, &family, &stream, &loose);
+    let ep_alert = run_episode(&mut alert, &loose_env, &family, &stream, &loose).unwrap();
     assert!(
         ep_alert.summary.avg_energy.get() < ep_static.summary.avg_energy.get(),
         "ALERT ({:.2} J) must beat the cell-pinned static ({:.2} J) on the loose setting",
@@ -189,17 +188,13 @@ fn sentence_prediction_end_to_end() {
     let family = ModelFamily::sentence_prediction();
     let stream = InputStream::generate(TaskId::Nlp1, 600, 8);
     let goal = Goal::minimize_error(Seconds(0.08), Watts(30.0) * Seconds(0.08));
-    let env = Arc::new(EpisodeEnv::build(
-        &platform,
-        &Scenario::default_env(),
-        &stream,
-        &goal,
-        8,
-    ));
+    let env = Arc::new(
+        EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 8).unwrap(),
+    );
     let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
-    let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal);
+    let ep_alert = run_episode(&mut alert, &env, &family, &stream, &goal).unwrap();
     let mut sys = SysOnly::new(&family, &platform, goal);
-    let ep_sys = run_episode(&mut sys, &env, &family, &stream, &goal);
+    let ep_sys = run_episode(&mut sys, &env, &family, &stream, &goal).unwrap();
     assert!(ep_alert.summary.violation_rate() <= 0.10);
     // Perplexity = -quality; ALERT must be at least as good.
     assert!(
@@ -219,15 +214,11 @@ fn single_model_family_works() {
     let family = ModelFamily::new("single", vec![sparse_resnet_family()[2].clone()]);
     let stream = InputStream::generate(TaskId::Img2, 150, 4);
     let goal = Goal::minimize_energy(Seconds(0.5), 0.90);
-    let env = Arc::new(EpisodeEnv::build(
-        &platform,
-        &Scenario::default_env(),
-        &stream,
-        &goal,
-        4,
-    ));
+    let env = Arc::new(
+        EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 4).unwrap(),
+    );
     let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
-    let ep = run_episode(&mut alert, &env, &family, &stream, &goal);
+    let ep = run_episode(&mut alert, &env, &family, &stream, &goal).unwrap();
     assert_eq!(ep.records.len(), 150);
     // All decisions use the single model; caps may vary.
     assert!(ep.records.iter().all(|r| r.model == "sparse_resnet_26"));

@@ -43,9 +43,10 @@ fn sixty_four_interleaved_sessions_match_sequential_episodes() {
             let spec = session_spec(i);
             let seed = spec.seed.expect("session_spec sets a seed");
             let stream = InputStream::generate(TaskId::Img2, spec.n_inputs, seed);
-            let env = EpisodeEnv::build(&platform, &spec.scenario, &stream, &spec.goal, seed);
+            let env =
+                EpisodeEnv::build(&platform, &spec.scenario, &stream, &spec.goal, seed).unwrap();
             let mut s = AlertScheduler::standard(&family, &platform, spec.goal).unwrap();
-            run_episode(&mut s, &env, &family, &stream, &spec.goal)
+            run_episode(&mut s, &env, &family, &stream, &spec.goal).unwrap()
         })
         .collect();
 

@@ -1,0 +1,281 @@
+//! Integration tests of the scenario engine: script serde round-trips,
+//! frozen-environment determinism across schemes (including through
+//! cap/goal phase boundaries), scripted-condition end-to-end behavior,
+//! and runtime sessions over scripted scenarios.
+
+use alert::platform::Platform;
+use alert::sched::runtime::{Runtime, SessionSpec};
+use alert::sched::{run_episode, AlertScheduler, EpisodeEnv, SysOnly};
+use alert::stats::units::Seconds;
+use alert::workload::{
+    ArrivalProcess, GoalPatch, InputStream, Scenario, ScenarioScript, ScriptEvent, TaskId,
+};
+use alert::workload::{Goal, Objective};
+use proptest::prelude::*;
+
+/// A stressful compound script whose phases cover every event class.
+fn compound_script(seed: u64) -> Scenario {
+    Scenario::compound_stress(seed)
+}
+
+#[test]
+fn scripted_scenario_survives_json_bit_exactly() {
+    // A scripted scenario serialized, restored and re-serialized is
+    // byte-identical — and realizes to a bit-identical environment.
+    let scenario = compound_script(40);
+    let json = serde_json::to_string_pretty(&scenario).unwrap();
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(scenario, back);
+    assert_eq!(json, serde_json::to_string_pretty(&back).unwrap());
+
+    let platform = Platform::cpu1();
+    let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+    let stream = InputStream::generate(TaskId::Img2, 150, 9);
+    let a = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 9).unwrap();
+    let b = EpisodeEnv::build(&platform, &back, &stream, &goal, 9).unwrap();
+    assert_eq!(a.realizations(), b.realizations());
+}
+
+#[test]
+fn session_spec_with_scripted_scenario_roundtrips() {
+    let spec = SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.4), 0.9),
+        scenario: Scenario::cap_storm(),
+        n_inputs: 80,
+        seed: Some(5),
+        policy: Some("ALERT".into()),
+    };
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SessionSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
+
+proptest! {
+    /// Same seed ⇒ bit-identical `EnvRealization` sequence no matter
+    /// which scheme consumes the environment — the realization is built
+    /// once from (scenario, stream, goal, seed) and running a scheme
+    /// over it mutates nothing, including through cap/goal phase
+    /// boundaries (library scenarios 3..10 all script phase changes).
+    #[test]
+    fn frozen_env_is_scheme_independent(
+        seed in 0i64..500,
+        scenario_idx in 0usize..10,
+        n in 60usize..140,
+    ) {
+        let seed = seed as u64;
+        let scenario = &Scenario::library(7)[scenario_idx];
+        let platform = Platform::cpu1();
+        let family = alert::models::ModelFamily::image_classification();
+        let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+        let stream = InputStream::generate(TaskId::Img2, n, seed);
+
+        let env_a = EpisodeEnv::build(&platform, scenario, &stream, &goal, seed).unwrap();
+        let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
+        let ep_alert = run_episode(&mut alert, &env_a, &family, &stream, &goal).unwrap();
+        prop_assert_eq!(ep_alert.records.len(), n);
+
+        let env_b = EpisodeEnv::build(&platform, scenario, &stream, &goal, seed).unwrap();
+        let mut sys = SysOnly::new(&family, &platform, goal);
+        let _ = run_episode(&mut sys, &env_b, &family, &stream, &goal).unwrap();
+
+        // Bit-identical conditions for both schemes, after both ran.
+        prop_assert_eq!(env_a.realizations(), env_b.realizations());
+    }
+}
+
+#[test]
+fn alert_tracks_a_goal_flip_mid_stream() {
+    // Under GoalFlip the deadline tightens to 0.24 s for the middle
+    // third; ALERT must meet the tightened deadlines too (Sys-only's
+    // pinned model also fits — the point here is the *adaptive* scheme
+    // never blows the flipped phase).
+    let platform = Platform::cpu1();
+    let family = alert::models::ModelFamily::image_classification();
+    let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+    let stream = InputStream::generate(TaskId::Img2, 240, 11);
+    let scenario = Scenario::goal_flip();
+    let env = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 11).unwrap();
+    let mut s = AlertScheduler::standard(&family, &platform, goal).unwrap();
+    let ep = run_episode(&mut s, &env, &family, &stream, &goal).unwrap();
+
+    let flipped: Vec<_> = ep
+        .records
+        .iter()
+        .filter(|r| (r.deadline.get() - 0.24).abs() < 1e-9)
+        .collect();
+    assert!(flipped.len() > 40, "flip phase: {} inputs", flipped.len());
+    let misses = flipped
+        .iter()
+        .filter(|r| r.latency.get() > r.deadline.get() * (1.0 + 1e-9))
+        .count();
+    assert!(
+        (misses as f64) < flipped.len() as f64 * 0.1,
+        "{misses}/{} misses inside the tightened phase",
+        flipped.len()
+    );
+}
+
+#[test]
+fn cap_ceiling_is_invisible_in_records_but_physical_in_energy() {
+    // A scripted full-episode cap ceiling at the range minimum: records
+    // keep reporting the caps the scheduler programmed, while the
+    // realized latencies follow the clamped cap (observed slowdown ≫ 1
+    // for a scheme predicting at high caps).
+    let platform = Platform::cpu1();
+    let family = alert::models::ModelFamily::image_classification();
+    let goal = Goal::minimize_energy(Seconds(0.8), 0.85);
+    let stream = InputStream::generate(TaskId::Img2, 100, 3);
+    let capped = Scenario::from_script(
+        "FloorCap",
+        ScenarioScript::new().with(ScriptEvent::CapStep { at: 0.0, frac: 0.0 }),
+    );
+    let env = EpisodeEnv::build(&platform, &capped, &stream, &goal, 3).unwrap();
+    let free = EpisodeEnv::build(&platform, &Scenario::default_env(), &stream, &goal, 3).unwrap();
+
+    // App-only always requests the default (maximum) cap.
+    let run = |env: &EpisodeEnv| {
+        let mut s = alert::sched::AppOnly::new(&family, &platform);
+        run_episode(&mut s, env, &family, &stream, &goal).unwrap()
+    };
+    let ep_capped = run(&env);
+    let ep_free = run(&free);
+    let max_cap = platform.default_cap();
+    assert!(ep_capped.records.iter().all(|r| r.cap == max_cap));
+    // Same programmed cap, but the physical clamp slows execution and
+    // cuts the drawn power.
+    assert!(
+        ep_capped.summary.avg_latency.get() > ep_free.summary.avg_latency.get() * 1.5,
+        "clamped {} vs free {}",
+        ep_capped.summary.avg_latency,
+        ep_free.summary.avg_latency
+    );
+    assert!(ep_capped.summary.avg_energy < ep_free.summary.avg_energy);
+}
+
+#[test]
+fn runtime_sessions_replay_scripted_scenarios_deterministically() {
+    // The runtime path (SessionSpec → open → drain) realizes scripted
+    // scenarios exactly like the one-shot harness, including checkpoint
+    // restore across a goal-change boundary.
+    let spec = SessionSpec {
+        goal: Goal::minimize_error(
+            Seconds(0.4),
+            alert::stats::units::Watts(25.0) * Seconds(0.4),
+        ),
+        scenario: compound_script(21),
+        n_inputs: 90,
+        seed: Some(77),
+        policy: Some("ALERT".into()),
+    };
+    assert_eq!(spec.goal.objective, Objective::MinimizeError);
+
+    let mut rt = Runtime::builder().build().unwrap();
+    let id = rt.open_session(spec.clone()).unwrap();
+    rt.run_to_completion(id).unwrap();
+    let reference = rt.close(id).unwrap();
+
+    // Stop halfway — inside the scripted phase sequence — snapshot,
+    // migrate, finish: bit-identical to the uninterrupted run.
+    let mut rt1 = Runtime::builder().build().unwrap();
+    let id1 = rt1.open_session(spec).unwrap();
+    for _ in 0..45 {
+        rt1.submit(id1).unwrap();
+    }
+    let snap = rt1.snapshot_session(id1).unwrap();
+    let mut rt2 = Runtime::builder().build().unwrap();
+    let id2 = rt2.restore_session(&snap).unwrap();
+    rt2.run_to_completion(id2).unwrap();
+    let resumed = rt2.close(id2).unwrap();
+    assert_eq!(reference.records, resumed.records);
+}
+
+#[test]
+fn runtime_rejects_invalid_scripts_loudly() {
+    let mut rt = Runtime::builder().build().unwrap();
+    let bad = SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.4), 0.9),
+        scenario: Scenario::from_script(
+            "Bad",
+            ScenarioScript::new().with(ScriptEvent::GoalChange {
+                at: 0.5,
+                patch: GoalPatch::deadline(-1.0),
+            }),
+        ),
+        n_inputs: 20,
+        seed: Some(1),
+        policy: None,
+    };
+    let err = rt.open_session(bad).unwrap_err();
+    assert!(err.to_string().contains("deadline_scale"), "{err}");
+}
+
+#[test]
+fn arrival_processes_keep_schemes_comparable() {
+    // Arrival switches reshape the dispatch grid, but two builds of the
+    // same scenario still agree bit-exactly (the Poisson draws come from
+    // a dedicated frozen stream).
+    let platform = Platform::cpu1();
+    let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+    let stream = InputStream::generate(TaskId::Img2, 120, 13);
+    let scenario = Scenario::from_script(
+        "SwitchingArrivals",
+        ScenarioScript::new()
+            .with_arrival(ArrivalProcess::Bursty {
+                burst: 5,
+                spread: 0.2,
+            })
+            .with(ScriptEvent::ArrivalChange {
+                at: 0.5,
+                process: ArrivalProcess::Poisson { rate_scale: 1.5 },
+            }),
+    );
+    let a = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 13).unwrap();
+    let b = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 13).unwrap();
+    assert_eq!(a.realizations(), b.realizations());
+    // Dispatch times are strictly non-decreasing across the switch.
+    for i in 1..a.len() {
+        assert!(a.realization(i).dispatch_time >= a.realization(i - 1).dispatch_time);
+    }
+}
+
+#[test]
+fn scripted_floor_raise_binds_in_episode_accounting() {
+    // Sys-only pins the fastest traditional model (quality 0.855). With
+    // a base floor of 0.85 it passes; when the script raises the floor
+    // to 0.90 mid-stream, the records carry the effective floor and the
+    // episode is disqualified — even though the base goal alone would
+    // judge it compliant.
+    let platform = Platform::cpu1();
+    let family = alert::models::ModelFamily::image_classification();
+    let goal = Goal::minimize_energy(Seconds(0.5), 0.85);
+    let stream = InputStream::generate(TaskId::Img2, 120, 5);
+    let run = |scenario: &Scenario| {
+        let env = EpisodeEnv::build(&platform, scenario, &stream, &goal, 5).unwrap();
+        let mut s = SysOnly::new(&family, &platform, goal);
+        run_episode(&mut s, &env, &family, &stream, &goal).unwrap()
+    };
+    let steady = run(&Scenario::default_env());
+    assert!(steady.summary.quality_floor_met);
+
+    let raised = Scenario::from_script(
+        "FloorRaise",
+        ScenarioScript::new().with(ScriptEvent::GoalChange {
+            at: 0.4,
+            patch: GoalPatch {
+                deadline_scale: 1.0,
+                min_quality: Some(0.90),
+                energy_budget_scale: None,
+            },
+        }),
+    );
+    let flipped = run(&raised);
+    assert!(
+        flipped.records.iter().any(|r| r.min_quality == Some(0.90)),
+        "records must carry the raised floor"
+    );
+    assert!(
+        !flipped.summary.quality_floor_met,
+        "the scripted floor must bind in the summary"
+    );
+    assert!(flipped.summary.disqualified());
+}
