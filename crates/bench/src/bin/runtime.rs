@@ -228,6 +228,130 @@ fn bench_decisions(n_decisions: usize) -> Vec<DecisionMeasurement> {
     out
 }
 
+/// Churn at scale: thousands of sessions opened and closed in waves
+/// against a `ShardedRuntime` while one measured session keeps serving.
+struct ChurnMeasurement {
+    workers: usize,
+    waves: usize,
+    background_sessions: usize,
+    opens_per_sec: f64,
+    closes_per_sec: f64,
+    isolation_verified: bool,
+}
+
+/// Opens `background` sessions in `waves` waves (closing each previous
+/// wave as the next lands) against a 4-shard runtime, measuring
+/// open/close throughput, while a measured ALERT session is stepped to
+/// completion in between — its records must be bit-identical to an
+/// undisturbed run (the session-isolation guarantee, now at thousands of
+/// sessions instead of tens).
+fn bench_churn(n_inputs: usize, seed: u64) -> ChurnMeasurement {
+    let workers = 4;
+    let waves = 8;
+    let per_wave = ((n_inputs * 10).clamp(1_000, 4_000) / waves).max(1);
+    let measured_spec = SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.4), 0.9),
+        scenario: Scenario::memory_env(seed),
+        n_inputs,
+        seed: Some(seed),
+        policy: Some("ALERT".into()),
+    };
+    // Tiny background streams: the open/close path itself is what is
+    // being metered (stream + env + scheduler construction, routing,
+    // fold-and-close), not their serving time.
+    let bg_template = measured_spec.clone();
+    let bg_spec = move |k: u64| SessionSpec {
+        n_inputs: 2,
+        seed: Some(seed ^ (0x9e37_79b9_u64.wrapping_mul(k + 1))),
+        ..bg_template.clone()
+    };
+
+    // Undisturbed reference on a serial runtime.
+    let mut rt = Runtime::builder()
+        .platform(alert_platform::PlatformId::Cpu1)
+        .family(FamilyKind::Image)
+        .seed(seed)
+        .build()
+        .expect("builtin policy");
+    let id = rt.open_session(measured_spec.clone()).expect("open");
+    rt.run_to_completion(id).expect("episode runs");
+    let reference = rt.close(id).expect("close reference session").records;
+
+    // Churned run.
+    let mut sharded = Runtime::builder()
+        .platform(alert_platform::PlatformId::Cpu1)
+        .family(FamilyKind::Image)
+        .seed(seed)
+        .build_sharded(workers)
+        .expect("builtin policy");
+    let measured = sharded.open_session(measured_spec).expect("open");
+    let mut background: std::collections::VecDeque<SessionId> = std::collections::VecDeque::new();
+    let steps_per_wave = n_inputs / waves + 1;
+    let (mut opened, mut closed) = (0u64, 0usize);
+    let (mut open_s, mut close_s) = (0.0f64, 0.0f64);
+    let mut measured_records = Vec::with_capacity(n_inputs);
+    for _ in 0..waves {
+        let t0 = Instant::now();
+        for _ in 0..per_wave {
+            background.push_back(sharded.open_session(bg_spec(opened)).expect("open"));
+            opened += 1;
+        }
+        open_s += t0.elapsed().as_secs_f64();
+        // At peak churn every shard must be carrying background load
+        // (round-robin placement keeps the shards balanced).
+        let counts = sharded.shard_session_counts();
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "unbalanced shards under churn: {counts:?}"
+        );
+        // The measured session keeps serving through the wave.
+        for _ in 0..steps_per_wave {
+            if let Some(r) = sharded.submit(measured).expect("submit measured session") {
+                measured_records.push(r);
+            }
+        }
+        // The previous wave drains: at most one wave stays alive.
+        let t0 = Instant::now();
+        while background.len() > per_wave {
+            let bg = background.pop_front().expect("len checked");
+            sharded.close(bg).expect("close background session");
+            closed += 1;
+        }
+        close_s += t0.elapsed().as_secs_f64();
+    }
+    // Finish the measured stream, then drain the remaining background.
+    while let Some(r) = sharded.submit(measured).expect("submit measured session") {
+        measured_records.push(r);
+    }
+    let churned = sharded
+        .close(measured)
+        .expect("close measured session")
+        .records;
+    let t0 = Instant::now();
+    for bg in background {
+        sharded.close(bg).expect("close background session");
+        closed += 1;
+    }
+    close_s += t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        measured_records, churned,
+        "submit records must match the closed episode's"
+    );
+    assert_eq!(
+        churned, reference,
+        "churn at scale must not perturb the measured session (isolation)"
+    );
+    ChurnMeasurement {
+        workers,
+        waves,
+        background_sessions: opened as usize,
+        opens_per_sec: opened as f64 / open_s,
+        closes_per_sec: closed as f64 / close_s,
+        isolation_verified: true,
+    }
+}
+
 /// Sanity check baked into the benchmark: the parallel drain's episodes
 /// are bit-identical to the serial drain's.
 fn assert_parallel_matches_serial(n_inputs: usize, seed: u64) {
@@ -340,6 +464,32 @@ fn main() {
         }));
     }
 
+    // Churn at scale: thousands of open/close operations against the
+    // sharded runtime, isolation asserted on a measured session.
+    banner(
+        "Churn at scale",
+        "Session open/close throughput under wave churn on the sharded runtime",
+    );
+    let churn = bench_churn(n_inputs.min(120), seed);
+    csv_header(&[
+        "workers",
+        "waves",
+        "background_sessions",
+        "opens_per_sec",
+        "closes_per_sec",
+    ]);
+    csv_row(&[
+        churn.workers.to_string(),
+        churn.waves.to_string(),
+        churn.background_sessions.to_string(),
+        f(churn.opens_per_sec, 0),
+        f(churn.closes_per_sec, 0),
+    ]);
+    println!(
+        "[churn isolation verified across {} background sessions]",
+        churn.background_sessions
+    );
+
     let doc = serde_json::json!({
         "bench": "runtime_sessions",
         "n_inputs_per_session": n_inputs,
@@ -347,6 +497,14 @@ fn main() {
         "available_parallelism": cores,
         "results": results,
         "decisions": decision_results,
+        "churn": serde_json::json!({
+            "workers": churn.workers,
+            "waves": churn.waves,
+            "background_sessions": churn.background_sessions,
+            "opens_per_sec": churn.opens_per_sec,
+            "closes_per_sec": churn.closes_per_sec,
+            "isolation_verified": churn.isolation_verified,
+        }),
     });
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -1,7 +1,8 @@
 //! The scheme × scenario matrix: every registered paper scheme against
 //! the full named-scenario library (`Scenario::library`) — the paper's
-//! three environments plus cap-storm, goal-flip, drift-ramp,
-//! burst/Poisson arrivals, session churn, and compound stress. Written
+//! three environments plus cap-storm, goal-flip, floor-raise,
+//! drift-ramp, burst/Poisson arrivals, session churn, and compound
+//! stress. Written
 //! to `BENCH_scenarios.json` at the workspace root; CI runs a short grid
 //! and gates on it.
 //!
@@ -79,8 +80,11 @@ fn run_row(
 ) -> Vec<Cell> {
     let goal = base_goal();
     let platform = alert_platform::Platform::cpu1();
+    // Span-aware realization: the library's FloorRaise row expresses its
+    // quality floor relative to the serving family's achievable range.
+    let span = alert_workload::quality_span(&FamilyKind::Image.family(), &platform);
     let reference = Arc::new(
-        EpisodeEnv::build(&platform, scenario, stream, &goal, seed)
+        EpisodeEnv::build_scoped(&platform, scenario, stream, &goal, seed, Some(span))
             .expect("library scenarios validate"),
     );
     let stress = scenario.name() != "Default";
@@ -90,8 +94,9 @@ fn run_row(
             // The frozen-randomness guarantee, asserted per cell: a
             // rebuild from the same recipe is bit-identical to the env
             // every other scheme of this row runs on.
-            let rebuilt = EpisodeEnv::build(&platform, scenario, stream, &goal, seed)
-                .expect("library scenarios validate");
+            let rebuilt =
+                EpisodeEnv::build_scoped(&platform, scenario, stream, &goal, seed, Some(span))
+                    .expect("library scenarios validate");
             assert_eq!(
                 rebuilt.realizations(),
                 reference.realizations(),

@@ -29,7 +29,7 @@ use alert_platform::platform::NoiseDraws;
 use alert_platform::Platform;
 use alert_stats::rng::stream_rng;
 use alert_stats::units::{Joules, Seconds, Watts};
-use alert_workload::{ArrivalSampler, Goal, InputStream, Scenario};
+use alert_workload::{ArrivalProcess, ArrivalSampler, Goal, InputStream, QualitySpan, Scenario};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -105,11 +105,9 @@ pub struct EpisodeEnv {
 impl EpisodeEnv {
     /// Builds the environment for `stream` under `scenario` on `platform`.
     ///
-    /// The arrival grid follows the script's arrival process (the default
-    /// is periodic at the effective goal deadline; for grouped tasks the
-    /// per-word period equals the per-word share of the sentence budget).
-    /// Event marks are resolved against the nominal horizon
-    /// `stream.len() × goal.deadline`.
+    /// Equivalent to [`EpisodeEnv::build_scoped`] without a
+    /// [`QualitySpan`]; scenarios that move the quality floor *relative*
+    /// to the family range must use the scoped constructor.
     ///
     /// # Errors
     ///
@@ -121,8 +119,59 @@ impl EpisodeEnv {
         goal: &Goal,
         seed: u64,
     ) -> Result<Self, EnvError> {
+        Self::build_scoped(platform, scenario, stream, goal, seed, None)
+    }
+
+    /// Builds the environment for `stream` under `scenario` on
+    /// `platform`, resolving relative quality-floor patches against
+    /// `span` (the serving family's achievable quality range,
+    /// [`alert_workload::quality_span`]).
+    ///
+    /// The arrival grid follows the script's arrival process (the default
+    /// is periodic at the effective goal deadline; for grouped tasks the
+    /// per-word period equals the per-word share of the sentence budget).
+    /// Event marks are resolved against the nominal horizon
+    /// `stream.len() × goal.deadline`.
+    ///
+    /// Under [`ArrivalProcess::Trace`] both the period *and* the
+    /// per-input scale come from the script's attached
+    /// [`TraceSource`](alert_workload::TraceSource) (fitted onto the
+    /// horizon by the process's `TraceFit` mode), replacing the sampled
+    /// grid and the stream's own scales; scripted drift still composes
+    /// multiplicatively on top, and the per-input arrival draw is still
+    /// consumed so switching to or from replay never re-aligns the other
+    /// frozen random streams.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scenario script does not validate, when a relative
+    /// floor is scripted without a `span`, or when the attached trace
+    /// cannot cover the horizon under its fit mode.
+    pub fn build_scoped(
+        platform: &Platform,
+        scenario: &Scenario,
+        stream: &InputStream,
+        goal: &Goal,
+        seed: u64,
+        span: Option<QualitySpan>,
+    ) -> Result<Self, EnvError> {
         let script = scenario.script();
         script.validate().map_err(EnvError::Script)?;
+        if script.uses_relative_floor() && span.is_none() {
+            return Err(EnvError::Script(
+                "script moves the quality floor relative to the family range; \
+                 realize with EpisodeEnv::build_scoped and the family's QualitySpan"
+                    .into(),
+            ));
+        }
+        for fit in script.trace_fits() {
+            // validate() guarantees the source exists when a trace
+            // arrival is scripted.
+            let source = script.trace().expect("validated trace attachment");
+            source
+                .check_horizon(stream.len(), fit)
+                .map_err(EnvError::Script)?;
+        }
         let mut noise_rng = stream_rng(seed, "episode-noise");
         let mut cont_rng = stream_rng(seed, "episode-contention");
         let mut arrival_rng = stream_rng(seed, "episode-arrival");
@@ -136,15 +185,35 @@ impl EpisodeEnv {
 
         let mut realizations = Vec::with_capacity(stream.len());
         let mut now = Seconds::ZERO;
-        for input in stream.inputs() {
+        for (i, input) in stream.inputs().iter().enumerate() {
             let frac = (now.get() / horizon).clamp(0.0, 1.0);
-            let eff_goal = script.goal_at(frac, goal);
+            let eff_goal = script.goal_at(frac, goal, span);
             let cap_limit = script
                 .cap_frac_at(frac)
                 .map(|f| Watts(cap_min.get() + f * (cap_max.get() - cap_min.get())));
+            // One arrival draw per input regardless of the process in
+            // force (trace replay included), so the frozen streams never
+            // re-align across arrival switches.
             let arrival_u: f64 = arrival_rng.gen_range(0.0..1.0);
-            let period =
-                sampler.next_period(&script.arrival_at(frac), eff_goal.deadline, arrival_u);
+            let (period, base_scale) = match script.arrival_at(frac) {
+                ArrivalProcess::Trace { fit } => {
+                    // Trace periods bypass the sampler; clear its burst
+                    // state so a later switch back to `Bursty` starts a
+                    // fresh cycle (same semantics as the sampler's own
+                    // `Trace` arm).
+                    sampler.reset();
+                    let step = script.trace().expect("validated trace attachment").step(
+                        i,
+                        stream.len(),
+                        fit,
+                    );
+                    (step.inter_arrival, step.scale)
+                }
+                process => (
+                    sampler.next_period(&process, eff_goal.deadline, arrival_u),
+                    input.scale,
+                ),
+            };
             let mut mem_active = false;
             let mut cmp_active = false;
             for (k, p) in processes.iter_mut() {
@@ -158,7 +227,7 @@ impl EpisodeEnv {
             realizations.push(EnvRealization {
                 dispatch_time: now,
                 period,
-                scale: input.scale * script.drift_at(frac),
+                scale: base_scale * script.drift_at(frac),
                 goal: eff_goal,
                 cap_limit,
                 mem_active,
@@ -515,15 +584,207 @@ mod tests {
             ScenarioScript::new().with(ScriptEvent::GoalChange {
                 at: 0.5,
                 patch: GoalPatch {
-                    deadline_scale: 1.0,
                     min_quality: Some(0.95),
-                    energy_budget_scale: None,
+                    ..Default::default()
                 },
             }),
         );
         let (env, _) = setup(scenario);
         assert_eq!(env.goal_of(0).min_quality, Some(0.9));
         assert_eq!(env.goal_of(env.len() - 1).min_quality, Some(0.95));
+    }
+
+    #[test]
+    fn relative_floor_needs_a_span_and_resolves_with_one() {
+        let platform = Platform::cpu2();
+        let stream = InputStream::generate(TaskId::Img2, 100, 7);
+        let goal = Goal::minimize_energy(Seconds(0.2), 0.9);
+        let scenario = Scenario::floor_raise();
+        // Span-less realization refuses loudly...
+        let err = EpisodeEnv::build(&platform, &scenario, &stream, &goal, 3);
+        assert!(matches!(err, Err(EnvError::Script(_))), "{err:?}");
+        // ...and the scoped path resolves the floor inside the span.
+        let span = alert_workload::QualitySpan::new(0.855, 0.935);
+        let env =
+            EpisodeEnv::build_scoped(&platform, &scenario, &stream, &goal, 3, Some(span)).unwrap();
+        assert_eq!(env.goal_of(0).min_quality, Some(0.9));
+        let raised = env.goal_of(env.len() - 1).min_quality.unwrap();
+        assert!((raised - span.floor_at(0.85)).abs() < 1e-12, "{raised}");
+    }
+
+    #[test]
+    fn trace_replay_reproduces_recorded_arrivals_and_scales() {
+        use alert_workload::{TraceFit, TraceSource, TraceStep};
+        // "Record" an environment: its periods and realized scales become
+        // the trace; the replay must reproduce both bit-exactly.
+        let (orig, stream) = setup(Scenario::drift_ramp());
+        let steps: Vec<TraceStep> = (0..orig.len())
+            .map(|i| TraceStep {
+                inter_arrival: orig.period(i),
+                scale: orig.realization(i).scale,
+            })
+            .collect();
+        let source = TraceSource::new("recorded", steps);
+        for fit in [TraceFit::Loop, TraceFit::Truncate, TraceFit::Stretch] {
+            let replay = Scenario::replay("Replay", source.clone(), fit);
+            let (env, _) = setup(replay);
+            assert_eq!(env.len(), orig.len());
+            for i in 0..env.len() {
+                assert_eq!(
+                    env.period(i).get().to_bits(),
+                    orig.period(i).get().to_bits(),
+                    "{fit} period {i}"
+                );
+                assert_eq!(
+                    env.realization(i).scale.to_bits(),
+                    orig.realization(i).scale.to_bits(),
+                    "{fit} scale {i}"
+                );
+            }
+        }
+        let _ = stream;
+    }
+
+    #[test]
+    fn trace_replay_composes_with_counterfactual_scripts() {
+        use alert_workload::{TraceFit, TraceSource, TraceStep};
+        let (orig, _) = setup(Scenario::default_env());
+        let steps: Vec<TraceStep> = (0..orig.len())
+            .map(|i| TraceStep {
+                inter_arrival: orig.period(i),
+                scale: orig.realization(i).scale,
+            })
+            .collect();
+        let source = TraceSource::new("recorded", steps);
+        // Counterfactual: the same traffic under a cap crash and a goal
+        // tightening — arrivals/scales stay recorded, conditions change.
+        let counter = Scenario::replay_under(
+            "ReplayUnderStress",
+            source,
+            TraceFit::Truncate,
+            ScenarioScript::new()
+                .with(ScriptEvent::CapStep { at: 0.5, frac: 0.0 })
+                .with(ScriptEvent::GoalChange {
+                    at: 0.5,
+                    patch: GoalPatch::deadline(0.8),
+                }),
+        );
+        let (env, _) = setup(counter);
+        let n = env.len();
+        for i in 0..n {
+            assert_eq!(
+                env.period(i).get().to_bits(),
+                orig.period(i).get().to_bits()
+            );
+            assert_eq!(
+                env.realization(i).scale.to_bits(),
+                orig.realization(i).scale.to_bits()
+            );
+        }
+        // The overlaid events bind: the tail is capped and tightened.
+        assert!(env.realization(n - 1).cap_limit.is_some());
+        assert!(env.goal_of(n - 1).deadline < env.goal_of(0).deadline);
+        // Unlike periodic arrivals, the recorded grid does NOT follow the
+        // tightened deadline — it is historical traffic.
+        assert_eq!(
+            env.period(n - 1).get().to_bits(),
+            orig.period(n - 1).get().to_bits()
+        );
+    }
+
+    #[test]
+    fn bursty_restarts_fresh_after_a_trace_segment() {
+        use alert_workload::{TraceFit, TraceSource, TraceStep};
+        // Regression: while a trace segment is in force the sampler is
+        // bypassed; switching back to Bursty must start a fresh burst
+        // cycle, not resume mid-cycle from the pre-trace position.
+        let bursty = ArrivalProcess::Bursty {
+            burst: 4,
+            spread: 0.25,
+        };
+        let source = TraceSource::new(
+            "mid",
+            vec![TraceStep {
+                inter_arrival: Seconds(0.5),
+                scale: 1.0,
+            }],
+        );
+        let scenario = Scenario::from_script(
+            "BurstTraceBurst",
+            ScenarioScript::new()
+                .with_arrival(bursty)
+                .with(ScriptEvent::ArrivalChange {
+                    at: 0.4,
+                    process: ArrivalProcess::Trace {
+                        fit: TraceFit::Loop,
+                    },
+                })
+                .with(ScriptEvent::ArrivalChange {
+                    at: 0.7,
+                    process: bursty,
+                })
+                .with_trace(source),
+        );
+        let (env, _) = setup(scenario);
+        // Find the first input back on the bursty grid after the trace
+        // segment (trace periods are 0.5; bursty periods are 0.05 or the
+        // cycle-closing 0.65).
+        let first_trace = (0..env.len())
+            .find(|&i| env.period(i) == Seconds(0.5))
+            .expect("trace segment lands");
+        let first_back = (first_trace..env.len())
+            .find(|&i| env.period(i) != Seconds(0.5))
+            .expect("bursty resumes");
+        // A fresh cycle starts with the intra-burst spacing, never the
+        // cycle-closing gap a mid-cycle resume could produce.
+        assert!(
+            (env.period(first_back).get() - 0.2 * 0.25).abs() < 1e-12,
+            "post-trace burst must restart, got period {}",
+            env.period(first_back)
+        );
+    }
+
+    #[test]
+    fn trace_replay_fit_modes_cover_horizon_mismatch() {
+        use alert_workload::{TraceFit, TraceSource, TraceStep};
+        let short = TraceSource::new(
+            "short",
+            (0..10)
+                .map(|k| TraceStep {
+                    inter_arrival: Seconds(0.1 + 0.01 * k as f64),
+                    scale: 1.0 + 0.05 * k as f64,
+                })
+                .collect(),
+        );
+        // Truncate refuses a 200-input horizon over a 10-step trace...
+        let err = || {
+            let platform = Platform::cpu2();
+            let stream = InputStream::generate(TaskId::Img2, 200, 7);
+            let goal = Goal::minimize_energy(Seconds(0.2), 0.9);
+            EpisodeEnv::build(
+                &platform,
+                &Scenario::replay("R", short.clone(), TraceFit::Truncate),
+                &stream,
+                &goal,
+                99,
+            )
+        };
+        assert!(matches!(err(), Err(EnvError::Script(_))));
+        // ...Loop wraps, Stretch resamples with time-rescaling.
+        let (looped, _) = setup(Scenario::replay("R", short.clone(), TraceFit::Loop));
+        for i in 0..looped.len() {
+            assert_eq!(
+                looped.period(i).get().to_bits(),
+                short.steps()[i % 10].inter_arrival.get().to_bits()
+            );
+        }
+        let (stretched, _) = setup(Scenario::replay("R", short.clone(), TraceFit::Stretch));
+        let factor = 10.0 / stretched.len() as f64;
+        for i in 0..stretched.len() {
+            let j = (i * 10) / stretched.len();
+            let expected = short.steps()[j].inter_arrival.get() * factor;
+            assert_eq!(stretched.period(i).get().to_bits(), expected.to_bits());
+        }
     }
 
     #[test]

@@ -232,6 +232,12 @@ impl ShardedRuntime {
         self.shards.iter().map(Runtime::session_count).sum()
     }
 
+    /// Open sessions per shard, in shard order (the churn-at-scale bench
+    /// asserts round-robin placement keeps the shards balanced).
+    pub fn shard_session_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(Runtime::session_count).collect()
+    }
+
     /// Ids of all open sessions, ascending.
     pub fn open_sessions(&self) -> Vec<SessionId> {
         let mut ids: Vec<SessionId> = self

@@ -201,6 +201,9 @@ impl SessionEngine {
             cap: decision.cap,
             latency: result.latency,
             deadline,
+            goal_deadline: goal.deadline,
+            period: env.period(i),
+            scale: env.realization(i).scale,
             min_quality: goal.min_quality,
             energy_budget: goal.energy_budget,
             quality,

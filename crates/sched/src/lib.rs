@@ -24,6 +24,10 @@
 //!   the long-lived multi-worker
 //!   [`ShardedRuntime`](executor::ShardedRuntime), bit-identical to the
 //!   serial drain per session.
+//! * [`capture`] — trace capture: the
+//!   [`TraceRecorder`](capture::TraceRecorder) event sink records live
+//!   runtime traffic (serial or sharded) into the versioned
+//!   `alert-workload` trace format for later replay as a scenario.
 //! * [`harness`] — the resumable per-stream
 //!   [`SessionEngine`](harness::SessionEngine) and the one-shot
 //!   [`run_episode`](harness::run_episode) adapter.
@@ -34,6 +38,7 @@
 pub mod alert;
 pub mod app_only;
 pub mod budget;
+pub mod capture;
 pub mod env;
 pub mod executor;
 pub mod experiment;
@@ -49,6 +54,7 @@ pub mod sys_only;
 pub use alert::AlertScheduler;
 pub use app_only::AppOnly;
 pub use budget::BudgetTracker;
+pub use capture::TraceRecorder;
 pub use env::{EnvError, EnvRealization, EpisodeEnv};
 pub use executor::ShardedRuntime;
 pub use experiment::{run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind};

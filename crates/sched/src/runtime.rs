@@ -573,9 +573,20 @@ impl Runtime {
             .take()
             .unwrap_or_else(|| self.spec.policy.clone());
         let stream = InputStream::generate(self.task, spec.n_inputs, seed);
+        // Sessions always realize span-aware: scenarios that move the
+        // quality floor relative to the family range resolve it against
+        // the serving family (a no-op for absolute scripts).
+        let span = alert_workload::quality_span(&self.family, &self.platform);
         let env = Arc::new(
-            EpisodeEnv::build(&self.platform, &spec.scenario, &stream, &spec.goal, seed)
-                .map_err(|e| RuntimeError::InvalidSpec(e.to_string()))?,
+            EpisodeEnv::build_scoped(
+                &self.platform,
+                &spec.scenario,
+                &stream,
+                &spec.goal,
+                seed,
+                Some(span),
+            )
+            .map_err(|e| RuntimeError::InvalidSpec(e.to_string()))?,
         );
         let scheduler = self.build_scheduler(&policy, spec.goal, &env, &stream)?;
         // Store the spec fully resolved so later checkpoints are
@@ -1072,6 +1083,30 @@ mod tests {
             let ep = rt.close(id).unwrap();
             assert_eq!(ep.records, isolated_ep.records);
         }
+    }
+
+    #[test]
+    fn relative_floor_scenarios_resolve_against_the_serving_family() {
+        // The runtime realizes sessions span-aware, so the family-generic
+        // FloorRaise scenario needs no extra plumbing from callers.
+        let mut rt = runtime();
+        let span = alert_workload::quality_span(rt.family(), rt.platform());
+        let id = rt
+            .open_session(SessionSpec {
+                scenario: Scenario::floor_raise(),
+                ..spec(3)
+            })
+            .unwrap();
+        rt.run_to_completion(id).unwrap();
+        let ep = rt.close(id).unwrap();
+        let first = ep.records.first().unwrap();
+        let last = ep.records.last().unwrap();
+        assert_eq!(first.min_quality, Some(0.9), "base floor before the mark");
+        let raised = last.min_quality.expect("floor in force");
+        assert!(
+            (raised - span.floor_at(0.85)).abs() < 1e-12,
+            "raised floor {raised} must sit at 85% of the family span"
+        );
     }
 
     #[test]

@@ -91,6 +91,31 @@ pub fn achievable_quality(
     best
 }
 
+/// The quality range achievable by `family` on `platform` — the span
+/// that *relative* quality-floor patches
+/// ([`crate::GoalPatch::floor_frac`]) resolve against, so one named
+/// scenario binds identically for image-quality families (≈ `[0.85,
+/// 0.94]`) and negative-perplexity families. The span runs from the
+/// least to the most accurate candidate that fits the platform (all
+/// candidates, when none fit — degenerate platforms should still get a
+/// well-formed span rather than a panic).
+pub fn quality_span(family: &ModelFamily, platform: &Platform) -> crate::script::QualitySpan {
+    let fitting: Vec<f64> = family
+        .models()
+        .iter()
+        .filter(|m| platform.supports_footprint(m.footprint_gb))
+        .map(|m| m.quality)
+        .collect();
+    let qualities: Vec<f64> = if fitting.is_empty() {
+        family.models().iter().map(|m| m.quality).collect()
+    } else {
+        fitting
+    };
+    let lo = qualities.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = qualities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    crate::script::QualitySpan::new(lo, hi)
+}
+
 /// Builds the 35-setting constraint grid for one (objective, family,
 /// platform) combination — one Table 4 cell.
 pub fn constraint_grid(
@@ -210,6 +235,23 @@ mod tests {
         assert!(Goal::minimize_error(Seconds(0.1), Joules(5.0))
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn quality_span_covers_each_familys_range() {
+        let platform = Platform::cpu1();
+        let image = quality_span(&ModelFamily::image_classification(), &platform);
+        assert!(image.lo < image.hi);
+        assert!((0.80..0.90).contains(&image.lo), "image lo {}", image.lo);
+        assert!((0.90..1.00).contains(&image.hi), "image hi {}", image.hi);
+        let nlp = quality_span(&ModelFamily::sentence_prediction(), &platform);
+        assert!(nlp.lo < nlp.hi);
+        assert!(nlp.hi < 0.0, "perplexity scores are negative: {}", nlp.hi);
+        // The same fraction resolves inside each family's own range.
+        for span in [image, nlp] {
+            let floor = span.floor_at(0.85);
+            assert!(span.lo <= floor && floor <= span.hi);
+        }
     }
 
     #[test]

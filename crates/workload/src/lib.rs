@@ -14,11 +14,17 @@
 //!   arrival-process switches, and session churn.
 //! * [`scenario`] — named scenarios over the DSL: the paper's Default /
 //!   Memory / Compute trio, the Fig. 9 scripted window, and the dynamic
-//!   stress library (cap-storm, goal-flip, drift-ramp, burst/Poisson
-//!   arrivals, churn, compound stress).
+//!   stress library (cap-storm, goal-flip, floor-raise, drift-ramp,
+//!   burst/Poisson arrivals, churn, compound stress) plus trace-replay
+//!   scenarios ([`Scenario::replay`], [`Scenario::replay_under`]).
 //! * [`record`] — per-input records and episode summaries with the
 //!   paper's violation accounting (>10% of inputs in violation disqualifies
 //!   a setting).
+//! * [`trace`] — the capture/replay subsystem: a versioned line-delimited
+//!   trace format (per-input inter-arrival, scale, goal in force,
+//!   observed outcome) with streaming reader/writer, and the
+//!   [`TraceSource`] replay path that turns a recorded request log back
+//!   into a first-class scenario (`ArrivalProcess::Trace`).
 
 pub mod constraints;
 pub mod record;
@@ -27,11 +33,18 @@ pub mod script;
 pub mod session;
 pub mod stream;
 pub mod task;
+pub mod trace;
 
-pub use constraints::{constraint_grid, Goal, Objective};
+pub use constraints::{constraint_grid, quality_span, Goal, Objective};
 pub use record::{EpisodeSummary, InputRecord};
 pub use scenario::Scenario;
-pub use script::{ArrivalProcess, ArrivalSampler, GoalPatch, ScenarioScript, ScriptEvent};
+pub use script::{
+    ArrivalProcess, ArrivalSampler, GoalPatch, QualitySpan, ScenarioScript, ScriptEvent,
+};
 pub use session::{SessionId, StreamId};
 pub use stream::{GroupPos, InputSpec, InputStream};
 pub use task::TaskId;
+pub use trace::{
+    TraceError, TraceFit, TraceHeader, TraceOutcome, TraceReader, TraceRecord, TraceSource,
+    TraceStep, TraceWriter, WorkloadTrace,
+};

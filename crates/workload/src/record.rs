@@ -30,6 +30,16 @@ pub struct InputRecord {
     pub latency: Seconds,
     /// The per-input deadline in force (after goal adjustment).
     pub deadline: Seconds,
+    /// The *goal* deadline in force at dispatch (before shared-group
+    /// budget adjustment) — what a trace capture reports as the
+    /// requirement in force.
+    pub goal_deadline: Seconds,
+    /// Period until the next input arrived (the inter-arrival time /
+    /// idle-accounting window): the arrival half of a trace capture.
+    pub period: Seconds,
+    /// Realized per-input latency scale (stream sample × scripted
+    /// drift): the input-weight half of a trace capture.
+    pub scale: f64,
     /// The quality floor in force at dispatch (scripted goal changes
     /// move it mid-stream); `None` when the effective goal has no floor.
     pub min_quality: Option<f64>,
@@ -189,6 +199,9 @@ mod tests {
             cap: Watts(50.0),
             latency: Seconds(latency),
             deadline: Seconds(deadline),
+            goal_deadline: Seconds(deadline),
+            period: Seconds(deadline),
+            scale: 1.0,
             min_quality: None,
             energy_budget: None,
             quality,

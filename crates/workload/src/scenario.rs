@@ -15,6 +15,7 @@
 //! straight from JSON: the whole type serializes).
 
 use crate::script::{ArrivalProcess, GoalPatch, ScenarioScript, ScriptEvent};
+use crate::trace::{TraceFit, TraceSource};
 use alert_platform::contention::{ContentionKind, ContentionProcess, PhaseSchedule};
 use alert_stats::units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -120,6 +121,49 @@ impl Scenario {
                     at: 0.66,
                     patch: GoalPatch::deadline(1.0 / 0.6),
                 }),
+        )
+    }
+
+    /// "FloorRaise": the user raises the quality floor to 85% of the
+    /// candidate family's achievable range for the second half of the
+    /// episode. The floor is *relative* ([`GoalPatch::floor_frac`]), so
+    /// the same named scenario binds for image-quality families and
+    /// negative-perplexity families alike; realizing it requires a
+    /// [`crate::QualitySpan`] (the runtime passes the serving family's
+    /// span automatically).
+    pub fn floor_raise() -> Self {
+        Scenario::from_script(
+            "FloorRaise",
+            ScenarioScript::new().with(ScriptEvent::GoalChange {
+                at: 0.5,
+                patch: GoalPatch::floor_frac(0.85),
+            }),
+        )
+    }
+
+    /// A trace-replay scenario: the recorded log `source` supplies every
+    /// input's inter-arrival time and latency scale, fitted onto the
+    /// horizon by `fit`; everything else is quiescent.
+    pub fn replay(name: impl Into<String>, source: TraceSource, fit: TraceFit) -> Self {
+        Scenario::replay_under(name, source, fit, ScenarioScript::new())
+    }
+
+    /// A *counterfactual* trace replay: the recorded arrivals and scales
+    /// from `source`, re-run under `script`'s events (cap steps, goal
+    /// patches, drift, contention) — "what would this traffic have
+    /// experienced if …". The script's arrival timeline is overridden to
+    /// the trace replay.
+    pub fn replay_under(
+        name: impl Into<String>,
+        source: TraceSource,
+        fit: TraceFit,
+        script: ScenarioScript,
+    ) -> Self {
+        Scenario::from_script(
+            name,
+            script
+                .with_arrival(ArrivalProcess::Trace { fit })
+                .with_trace(source),
         )
     }
 
@@ -251,6 +295,7 @@ impl Scenario {
             Scenario::memory_env(seed.wrapping_add(1)),
             Scenario::cap_storm(),
             Scenario::goal_flip(),
+            Scenario::floor_raise(),
             Scenario::drift_ramp(),
             Scenario::burst_arrival(),
             Scenario::poisson_arrival(),
@@ -326,18 +371,54 @@ mod tests {
     }
 
     #[test]
-    fn library_has_ten_valid_uniquely_named_scenarios() {
+    fn library_has_eleven_valid_uniquely_named_scenarios() {
         let lib = Scenario::library(7);
-        assert_eq!(lib.len(), 10);
+        assert_eq!(lib.len(), 11);
         let mut names: Vec<&str> = lib.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "names must be unique");
+        assert_eq!(names.len(), 11, "names must be unique");
         for s in &lib {
             s.script()
                 .validate()
                 .unwrap_or_else(|e| panic!("library scenario {} failed validation: {e}", s.name()));
         }
+    }
+
+    #[test]
+    fn floor_raise_is_relative_and_family_generic() {
+        let s = Scenario::floor_raise();
+        assert!(s.script().uses_relative_floor());
+        assert!(s.script().validate().is_ok());
+    }
+
+    #[test]
+    fn replay_scenarios_attach_the_trace_and_compose() {
+        use crate::trace::TraceStep;
+        use alert_stats::units::Seconds as S;
+        let source = TraceSource::new(
+            "t",
+            vec![TraceStep {
+                inter_arrival: S(0.2),
+                scale: 1.3,
+            }],
+        );
+        let plain = Scenario::replay("TraceReplay", source.clone(), TraceFit::Loop);
+        assert!(plain.script().validate().is_ok());
+        assert!(plain.script().uses_trace());
+        // Counterfactual: the same trace under a cap crash.
+        let counter = Scenario::replay_under(
+            "TraceUnderCap",
+            source,
+            TraceFit::Loop,
+            ScenarioScript::new().with(ScriptEvent::CapStep { at: 0.2, frac: 0.3 }),
+        );
+        assert!(counter.script().validate().is_ok());
+        assert_eq!(counter.script().cap_frac_at(0.5), Some(0.3));
+        // Replay scenarios serialize like any other (self-contained).
+        let json = serde_json::to_string(&counter).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(counter, back);
     }
 
     #[test]

@@ -20,8 +20,14 @@
 //!   growing longer), composing multiplicatively with the stream's own
 //!   sampled variability.
 //! * [`ScriptEvent::ArrivalChange`] — the arrival process switches
-//!   (periodic → bursty → Poisson), reshaping the dispatch grid and the
-//!   idle-energy accounting windows.
+//!   (periodic → bursty → Poisson → trace replay), reshaping the
+//!   dispatch grid and the idle-energy accounting windows.
+//!   [`ArrivalProcess::Trace`] replays a recorded request log attached
+//!   via [`ScenarioScript::with_trace`]: each input's inter-arrival time
+//!   and latency scale come from the capture, fitted onto the horizon by
+//!   a [`crate::trace::TraceFit`] mode, and every other event class
+//!   (caps, goal patches, drift, contention) composes on top — recorded
+//!   traffic re-run under counterfactual environments.
 //! * [`ScriptEvent::Churn`] — a wave of sessions opens and closes
 //!   against the serving runtime. Environment realization ignores churn
 //!   (it does not touch the frozen per-input state); runtime drivers
@@ -45,6 +51,7 @@ use alert_stats::units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::constraints::Goal;
+use crate::trace::{TraceFit, TraceSource};
 
 /// How inputs arrive.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,6 +73,16 @@ pub enum ArrivalProcess {
         burst: usize,
         /// Intra-burst spacing as a fraction of the deadline (in `(0, 1)`).
         spread: f64,
+    },
+    /// Replay of a recorded request log: the script's attached
+    /// [`TraceSource`] ([`ScenarioScript::with_trace`]) supplies each
+    /// input's inter-arrival time *and* latency scale, fitted onto the
+    /// horizon by `fit`. Environment realization resolves this variant
+    /// against the attachment; a bare [`ArrivalSampler`] (no trace in
+    /// reach) falls back to the periodic grid.
+    Trace {
+        /// How a horizon/trace length mismatch is reconciled.
+        fit: TraceFit,
     },
 }
 
@@ -91,7 +108,15 @@ impl ArrivalProcess {
                 }
                 Ok(())
             }
+            // The fit mode is self-valid; the attached source is checked
+            // at the script level (`ScenarioScript::validate`).
+            ArrivalProcess::Trace { .. } => Ok(()),
         }
+    }
+
+    /// `true` for the trace-replay arrival source.
+    pub fn is_trace(&self) -> bool {
+        matches!(self, ArrivalProcess::Trace { .. })
     }
 }
 
@@ -109,6 +134,15 @@ impl ArrivalSampler {
     /// A fresh sampler at the start of an episode.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the burst-cycle state. Environment realization calls this
+    /// while a trace segment is in force (trace periods bypass
+    /// [`ArrivalSampler::next_period`]), so a later switch back to
+    /// `Bursty` starts a fresh cycle exactly as a direct `next_period`
+    /// call under `Trace` would have left it.
+    pub fn reset(&mut self) {
+        self.burst_pos = 0;
     }
 
     /// The period until the next input under `process`, given the
@@ -137,7 +171,44 @@ impl ArrivalSampler {
                     deadline * (burst as f64 - spread * (burst as f64 - 1.0))
                 }
             }
+            // Trace replay is resolved by environment realization against
+            // the script's attached source; a bare sampler degrades to
+            // the periodic grid.
+            ArrivalProcess::Trace { .. } => {
+                self.burst_pos = 0;
+                deadline
+            }
         }
+    }
+}
+
+/// A family's achievable quality range, used to resolve *relative*
+/// quality-floor patches ([`GoalPatch::min_quality_frac`]): fraction `f`
+/// maps to `lo + f × (hi − lo)`. Image-quality families span roughly
+/// `[0.85, 0.94]` while sentence prediction scores negative
+/// perplexities, so named scenarios express floors as range fractions
+/// and stay family-generic (see
+/// `alert_workload::constraints::quality_span`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualitySpan {
+    /// Quality of the least accurate candidate.
+    pub lo: f64,
+    /// Quality of the most accurate candidate.
+    pub hi: f64,
+}
+
+impl QualitySpan {
+    /// A span from explicit bounds (ordered on construction).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        QualitySpan {
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+
+    /// The absolute floor at fraction `frac` of the span.
+    pub fn floor_at(&self, frac: f64) -> f64 {
+        self.lo + frac * (self.hi - self.lo)
     }
 }
 
@@ -148,10 +219,30 @@ impl ArrivalSampler {
 pub struct GoalPatch {
     /// Multiplies the deadline in force (`< 1` tightens).
     pub deadline_scale: f64,
-    /// Replaces the quality floor (minimize-energy goals).
+    /// Replaces the quality floor with an absolute value
+    /// (minimize-energy goals). Mutually exclusive with
+    /// `min_quality_frac`.
     pub min_quality: Option<f64>,
+    /// Replaces the quality floor with a *fraction* of the candidate
+    /// family's achievable quality range (a [`QualitySpan`], supplied at
+    /// realization), so one named scenario works across image-quality
+    /// and negative-perplexity families. Mutually exclusive with
+    /// `min_quality`.
+    pub min_quality_frac: Option<f64>,
     /// Multiplies the energy budget in force (minimize-error goals).
     pub energy_budget_scale: Option<f64>,
+}
+
+impl Default for GoalPatch {
+    /// The identity patch: nothing changes.
+    fn default() -> Self {
+        GoalPatch {
+            deadline_scale: 1.0,
+            min_quality: None,
+            min_quality_frac: None,
+            energy_budget_scale: None,
+        }
+    }
 }
 
 impl GoalPatch {
@@ -159,8 +250,16 @@ impl GoalPatch {
     pub fn deadline(scale: f64) -> Self {
         GoalPatch {
             deadline_scale: scale,
-            min_quality: None,
-            energy_budget_scale: None,
+            ..Default::default()
+        }
+    }
+
+    /// A patch that moves the quality floor to fraction `frac` of the
+    /// family's achievable range (family-generic floor raise).
+    pub fn floor_frac(frac: f64) -> Self {
+        GoalPatch {
+            min_quality_frac: Some(frac),
+            ..Default::default()
         }
     }
 
@@ -183,13 +282,26 @@ impl GoalPatch {
                 return Err(format!("goal min_quality must be finite, got {q}"));
             }
         }
+        if let Some(f) = self.min_quality_frac {
+            if !(f.is_finite() && (0.0..=1.0).contains(&f)) {
+                return Err(format!("goal min_quality_frac must be in [0,1], got {f}"));
+            }
+            if self.min_quality.is_some() {
+                return Err(
+                    "goal patch sets both min_quality and min_quality_frac; pick one".into(),
+                );
+            }
+        }
         Ok(())
     }
 
-    fn apply(&self, goal: &mut Goal) {
+    fn apply(&self, goal: &mut Goal, span: Option<QualitySpan>) {
         goal.deadline = goal.deadline * self.deadline_scale;
         if let Some(q) = self.min_quality {
             goal.min_quality = Some(q);
+        }
+        if let (Some(f), Some(s)) = (self.min_quality_frac, span) {
+            goal.min_quality = Some(s.floor_at(f));
         }
         if let (Some(s), Some(b)) = (self.energy_budget_scale, goal.energy_budget) {
             goal.energy_budget = Some(b * s);
@@ -266,6 +378,11 @@ pub struct ScenarioScript {
     /// Timeline events, in any order (queries sort by mark internally
     /// where order matters).
     pub events: Vec<ScriptEvent>,
+    /// The recorded request log replayed by any
+    /// [`ArrivalProcess::Trace`] arrival on this script (initial or via
+    /// [`ScriptEvent::ArrivalChange`]); validation requires it whenever
+    /// the script replays a trace. `None` for synthetic scripts.
+    pub trace: Option<TraceSource>,
 }
 
 impl Default for ScenarioScript {
@@ -275,6 +392,7 @@ impl Default for ScenarioScript {
         ScenarioScript {
             arrival: ArrivalProcess::Periodic,
             events: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -301,9 +419,66 @@ impl ScenarioScript {
         self
     }
 
+    /// Attaches the recorded request log replayed by
+    /// [`ArrivalProcess::Trace`] arrivals (builder-style).
+    pub fn with_trace(mut self, trace: TraceSource) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached replay source, if any.
+    pub fn trace(&self) -> Option<&TraceSource> {
+        self.trace.as_ref()
+    }
+
+    /// Every trace fit mode the script's arrival timeline can put in
+    /// force (initial arrival plus `ArrivalChange` events), deduplicated.
+    pub fn trace_fits(&self) -> Vec<TraceFit> {
+        let mut out: Vec<TraceFit> = Vec::new();
+        let mut push = |p: &ArrivalProcess| {
+            if let ArrivalProcess::Trace { fit } = p {
+                if !out.contains(fit) {
+                    out.push(*fit);
+                }
+            }
+        };
+        push(&self.arrival);
+        for e in &self.events {
+            if let ScriptEvent::ArrivalChange { process, .. } = e {
+                push(process);
+            }
+        }
+        out
+    }
+
+    /// `true` when any arrival on the timeline replays a trace.
+    pub fn uses_trace(&self) -> bool {
+        !self.trace_fits().is_empty()
+    }
+
+    /// `true` when any goal change moves the quality floor *relative* to
+    /// the family range — such scripts need a [`QualitySpan`] at
+    /// realization.
+    pub fn uses_relative_floor(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                ScriptEvent::GoalChange { patch, .. } if patch.min_quality_frac.is_some()
+            )
+        })
+    }
+
     /// Validates the whole script; realization refuses invalid scripts.
     pub fn validate(&self) -> Result<(), String> {
         self.arrival.validate()?;
+        if let Some(trace) = &self.trace {
+            trace.validate()?;
+        }
+        if self.uses_trace() && self.trace.is_none() {
+            return Err("script replays a trace arrival but no trace is attached \
+                 (ScenarioScript::with_trace)"
+                .into());
+        }
         for (i, e) in self.events.iter().enumerate() {
             let res = match e {
                 ScriptEvent::Contention { schedule, .. } => match schedule {
@@ -389,7 +564,10 @@ impl ScenarioScript {
 
     /// The requirement in force at horizon fraction `t`: every goal
     /// change at or before `t`, applied to `base` in mark order.
-    pub fn goal_at(&self, t: f64, base: &Goal) -> Goal {
+    /// Relative floor patches resolve against `span`; without one they
+    /// leave the floor untouched (realization refuses that combination
+    /// up front, so it only arises in direct queries).
+    pub fn goal_at(&self, t: f64, base: &Goal, span: Option<QualitySpan>) -> Goal {
         let mut changes: Vec<(f64, &GoalPatch)> = self
             .events
             .iter()
@@ -401,7 +579,7 @@ impl ScenarioScript {
         changes.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut goal = *base;
         for (_, patch) in changes {
-            patch.apply(&mut goal);
+            patch.apply(&mut goal, span);
         }
         goal
     }
@@ -490,11 +668,13 @@ mod tests {
         let s = ScenarioScript::default();
         assert!(s.is_quiescent());
         assert!(s.validate().is_ok());
-        assert_eq!(s.goal_at(0.5, &base_goal()), base_goal());
+        assert_eq!(s.goal_at(0.5, &base_goal(), None), base_goal());
         assert_eq!(s.cap_frac_at(0.5), None);
         assert_eq!(s.drift_at(0.5), 1.0);
         assert_eq!(s.arrival_at(0.9), ArrivalProcess::Periodic);
         assert!(s.churn_waves().is_empty());
+        assert!(!s.uses_trace());
+        assert!(!s.uses_relative_floor());
     }
 
     #[test]
@@ -509,10 +689,10 @@ mod tests {
                 patch: GoalPatch::deadline(0.5),
             });
         assert!(s.validate().is_ok());
-        assert_eq!(s.goal_at(0.0, &base_goal()).deadline, Seconds(0.4));
-        assert_eq!(s.goal_at(0.4, &base_goal()).deadline, Seconds(0.2));
+        assert_eq!(s.goal_at(0.0, &base_goal(), None).deadline, Seconds(0.4));
+        assert_eq!(s.goal_at(0.4, &base_goal(), None).deadline, Seconds(0.2));
         // 0.4 × 0.5 × 2.0 — cumulative, independent of event-list order.
-        assert!((s.goal_at(1.0, &base_goal()).deadline.get() - 0.4).abs() < 1e-12);
+        assert!((s.goal_at(1.0, &base_goal(), None).deadline.get() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -520,16 +700,93 @@ mod tests {
         let s = ScenarioScript::new().with(ScriptEvent::GoalChange {
             at: 0.5,
             patch: GoalPatch {
-                deadline_scale: 1.0,
                 min_quality: Some(0.95),
                 energy_budget_scale: Some(0.5),
+                ..Default::default()
             },
         });
-        let g = s.goal_at(0.7, &base_goal());
+        let g = s.goal_at(0.7, &base_goal(), None);
         assert_eq!(g.min_quality, Some(0.95));
         let err_goal = Goal::minimize_error(Seconds(0.4), Joules(10.0));
-        let g = s.goal_at(0.7, &err_goal);
+        let g = s.goal_at(0.7, &err_goal, None);
         assert_eq!(g.energy_budget, Some(Joules(5.0)));
+    }
+
+    #[test]
+    fn relative_floor_resolves_against_the_family_span() {
+        let s = ScenarioScript::new().with(ScriptEvent::GoalChange {
+            at: 0.5,
+            patch: GoalPatch::floor_frac(0.75),
+        });
+        assert!(s.validate().is_ok());
+        assert!(s.uses_relative_floor());
+        // An image-quality span and a negative-perplexity span both
+        // resolve inside their own range — the same named scenario works
+        // for either family.
+        let image = QualitySpan::new(0.855, 0.935);
+        let g = s.goal_at(0.7, &base_goal(), Some(image));
+        assert!((g.min_quality.unwrap() - 0.915).abs() < 1e-12);
+        let nlp = QualitySpan::new(-160.0, -120.0);
+        let g = s.goal_at(0.7, &base_goal(), Some(nlp));
+        assert!((g.min_quality.unwrap() - -130.0).abs() < 1e-12);
+        // Without a span the relative patch leaves the floor untouched.
+        let g = s.goal_at(0.7, &base_goal(), None);
+        assert_eq!(g.min_quality, base_goal().min_quality);
+        // Before the mark, nothing changes even with a span.
+        let g = s.goal_at(0.3, &base_goal(), Some(image));
+        assert_eq!(g.min_quality, base_goal().min_quality);
+    }
+
+    #[test]
+    fn relative_floor_validation() {
+        let out_of_range = ScenarioScript::new().with(ScriptEvent::GoalChange {
+            at: 0.5,
+            patch: GoalPatch::floor_frac(1.5),
+        });
+        assert!(out_of_range.validate().is_err());
+        let both = ScenarioScript::new().with(ScriptEvent::GoalChange {
+            at: 0.5,
+            patch: GoalPatch {
+                min_quality: Some(0.9),
+                min_quality_frac: Some(0.5),
+                ..Default::default()
+            },
+        });
+        assert!(both.validate().is_err());
+    }
+
+    #[test]
+    fn trace_arrivals_require_an_attached_source() {
+        use crate::trace::{TraceFit, TraceSource, TraceStep};
+        let bare = ScenarioScript::new().with_arrival(ArrivalProcess::Trace {
+            fit: TraceFit::Loop,
+        });
+        assert!(bare.uses_trace());
+        assert!(bare.validate().is_err(), "no source attached");
+        let source = TraceSource::new(
+            "t",
+            vec![TraceStep {
+                inter_arrival: Seconds(0.3),
+                scale: 1.1,
+            }],
+        );
+        let attached = bare.with_trace(source.clone());
+        assert!(attached.validate().is_ok());
+        assert_eq!(attached.trace_fits(), vec![TraceFit::Loop]);
+        // A mid-stream switch to trace replay is also detected.
+        let switched = ScenarioScript::new()
+            .with(ScriptEvent::ArrivalChange {
+                at: 0.5,
+                process: ArrivalProcess::Trace {
+                    fit: TraceFit::Stretch,
+                },
+            })
+            .with_trace(source);
+        assert!(switched.validate().is_ok());
+        assert_eq!(switched.trace_fits(), vec![TraceFit::Stretch]);
+        // An attached but degenerate source is rejected outright.
+        let empty = ScenarioScript::new().with_trace(TraceSource::new("e", vec![]));
+        assert!(empty.validate().is_err());
     }
 
     #[test]
@@ -652,6 +909,7 @@ mod tests {
                 patch: GoalPatch {
                     deadline_scale: 0.6,
                     min_quality: Some(0.92),
+                    min_quality_frac: None,
                     energy_budget_scale: Some(0.8),
                 },
             })

@@ -110,6 +110,12 @@ impl InputStream {
         &self.inputs
     }
 
+    /// The per-input latency scale factors, in order (the sequence a
+    /// trace capture snapshots and a trace replay overrides).
+    pub fn scales(&self) -> impl Iterator<Item = f64> + '_ {
+        self.inputs.iter().map(|i| i.scale)
+    }
+
     /// Number of inputs.
     pub fn len(&self) -> usize {
         self.inputs.len()

@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn frozen_env_is_scheme_independent(
         seed in 0i64..500,
-        scenario_idx in 0usize..10,
+        scenario_idx in 0usize..11,
         n in 60usize..140,
     ) {
         let seed = seed as u64;
@@ -68,13 +68,20 @@ proptest! {
         let family = alert::models::ModelFamily::image_classification();
         let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
         let stream = InputStream::generate(TaskId::Img2, n, seed);
+        // Span-aware build: the library's FloorRaise scenario expresses
+        // its floor relative to the family's quality range.
+        let span = alert::workload::quality_span(&family, &platform);
 
-        let env_a = EpisodeEnv::build(&platform, scenario, &stream, &goal, seed).unwrap();
+        let env_a =
+            EpisodeEnv::build_scoped(&platform, scenario, &stream, &goal, seed, Some(span))
+                .unwrap();
         let mut alert = AlertScheduler::standard(&family, &platform, goal).unwrap();
         let ep_alert = run_episode(&mut alert, &env_a, &family, &stream, &goal).unwrap();
         prop_assert_eq!(ep_alert.records.len(), n);
 
-        let env_b = EpisodeEnv::build(&platform, scenario, &stream, &goal, seed).unwrap();
+        let env_b =
+            EpisodeEnv::build_scoped(&platform, scenario, &stream, &goal, seed, Some(span))
+                .unwrap();
         let mut sys = SysOnly::new(&family, &platform, goal);
         let _ = run_episode(&mut sys, &env_b, &family, &stream, &goal).unwrap();
 
@@ -262,9 +269,8 @@ fn scripted_floor_raise_binds_in_episode_accounting() {
         ScenarioScript::new().with(ScriptEvent::GoalChange {
             at: 0.4,
             patch: GoalPatch {
-                deadline_scale: 1.0,
                 min_quality: Some(0.90),
-                energy_budget_scale: None,
+                ..Default::default()
             },
         }),
     );
@@ -278,4 +284,64 @@ fn scripted_floor_raise_binds_in_episode_accounting() {
         "the scripted floor must bind in the summary"
     );
     assert!(flipped.summary.disqualified());
+}
+
+#[test]
+fn relative_floor_raise_binds_for_the_image_family() {
+    // The library's FloorRaise scenario expresses its floor as 85% of the
+    // family's quality range. For the image family that lands around
+    // 0.92 — above Sys-only's pinned 0.855 model, so the raise must
+    // disqualify it even though the base 0.85 floor is satisfied.
+    let platform = Platform::cpu1();
+    let family = alert::models::ModelFamily::image_classification();
+    let span = alert::workload::quality_span(&family, &platform);
+    let goal = Goal::minimize_energy(Seconds(0.5), 0.85);
+    let stream = InputStream::generate(TaskId::Img2, 120, 5);
+    let scenario = Scenario::floor_raise();
+    let env =
+        EpisodeEnv::build_scoped(&platform, &scenario, &stream, &goal, 5, Some(span)).unwrap();
+    assert_eq!(env.goal_of(0).min_quality, Some(0.85));
+    let raised = env.goal_of(env.len() - 1).min_quality.unwrap();
+    assert!((raised - span.floor_at(0.85)).abs() < 1e-12);
+    assert!(raised > 0.9, "image floor raise lands at {raised}");
+
+    let mut s = SysOnly::new(&family, &platform, goal);
+    let ep = run_episode(&mut s, &env, &family, &stream, &goal).unwrap();
+    assert!(
+        !ep.summary.quality_floor_met,
+        "the relative raise must bind"
+    );
+    assert!(ep.summary.disqualified());
+}
+
+#[test]
+fn relative_floor_raise_binds_for_the_sentence_family() {
+    // The SAME named scenario, realized for the sentence-prediction
+    // family, resolves to a negative-perplexity floor inside that
+    // family's range — no per-family retuning.
+    let platform = Platform::cpu1();
+    let family = alert::models::ModelFamily::sentence_prediction();
+    let span = alert::workload::quality_span(&family, &platform);
+    assert!(span.hi < 0.0, "perplexity scores are negative");
+    let goal = Goal::minimize_energy(Seconds(0.2), span.lo);
+    let stream = InputStream::generate(TaskId::Nlp1, 200, 5);
+    let scenario = Scenario::floor_raise();
+    let env =
+        EpisodeEnv::build_scoped(&platform, &scenario, &stream, &goal, 5, Some(span)).unwrap();
+    assert_eq!(env.goal_of(0).min_quality, Some(span.lo));
+    let raised = env.goal_of(env.len() - 1).min_quality.unwrap();
+    assert!((raised - span.floor_at(0.85)).abs() < 1e-12);
+    assert!(
+        span.lo < raised && raised <= span.hi,
+        "raised NLP floor {raised} must sit inside [{}, {}]",
+        span.lo,
+        span.hi
+    );
+    // The raise binds against a scheme pinned to the weakest candidate.
+    let mut s = SysOnly::new(&family, &platform, goal);
+    let ep = run_episode(&mut s, &env, &family, &stream, &goal).unwrap();
+    assert!(
+        !ep.summary.quality_floor_met,
+        "the raised perplexity floor must bind"
+    );
 }
