@@ -43,11 +43,11 @@ fn main() {
 
     let (min_cap, _, e_min) = rows
         .iter()
-        .min_by(|a, b| a.2.get().partial_cmp(&b.2.get()).unwrap())
+        .min_by(|a, b| a.2.get().total_cmp(&b.2.get()))
         .unwrap();
     let (max_cap, _, e_max) = rows
         .iter()
-        .max_by(|a, b| a.2.get().partial_cmp(&b.2.get()).unwrap())
+        .max_by(|a, b| a.2.get().total_cmp(&b.2.get()))
         .unwrap();
     let span = rows[0].1.get() / rows.last().unwrap().1.get();
     println!("\nshape checks (paper: >2x latency span, min@40W, max mid-range ~1.3x):");

@@ -74,7 +74,7 @@ fn main() {
     let most_accurate = zoo
         .iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.quality.partial_cmp(&b.quality).unwrap())
+        .max_by(|(_, a), (_, b)| a.quality.total_cmp(&b.quality))
         .map(|(i, _)| i)
         .expect("non-empty zoo");
 

@@ -68,7 +68,7 @@ fn main() {
                     idle_cap: ctl.table().cap(sel.candidate.power),
                 });
             }
-            costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            costs.sort_by(f64::total_cmp);
             let mean = costs.iter().sum::<f64>() / costs.len() as f64;
             let p99 = costs[(costs.len() as f64 * 0.99) as usize];
             // Mean inference time at the default cap across candidates.

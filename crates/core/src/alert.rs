@@ -19,11 +19,10 @@ use crate::idle::IdleRatioEstimator;
 use crate::lane::{BeliefBand, CacheStats, CandidateLane, DecisionCache, DecisionKey, LaneScratch};
 use crate::select::Selection;
 use crate::slowdown::SlowdownEstimator;
-use alert_stats::cputime::thread_cpu_time;
+use alert_stats::cputime::DecisionStopwatch;
 use alert_stats::kalman::AdaptiveKalmanParams;
 use alert_stats::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
 
 /// How estimates incorporate uncertainty.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,18 +54,20 @@ pub enum OverheadPolicy {
     Measured,
 }
 
-/// A decision-cost stopwatch: thread-CPU clock when the platform has
-/// one, wall clock otherwise.
+/// A decision-cost stopwatch, delegating to the sanctioned meter
+/// ([`alert_stats::cputime::DecisionStopwatch`]: thread-CPU clock when
+/// the platform has one, wall clock otherwise). The controller itself
+/// never touches ambient wall time — the fallback lives inside the
+/// metering module, where `alert-lint`'s `no-wall-clock` rule permits
+/// it.
 struct DecisionClock {
-    cpu_start: Option<Duration>,
-    wall_start: Instant,
+    inner: DecisionStopwatch,
 }
 
 impl DecisionClock {
     fn start() -> Self {
         DecisionClock {
-            cpu_start: thread_cpu_time(),
-            wall_start: Instant::now(),
+            inner: DecisionStopwatch::start(),
         }
     }
 
@@ -74,11 +75,7 @@ impl DecisionClock {
     /// finish between two ticks of the CPU clock, and downstream
     /// accounting treats a zero cost as "no decision happened".
     fn elapsed(&self) -> Seconds {
-        let secs = match (self.cpu_start, thread_cpu_time()) {
-            (Some(a), Some(b)) => b.saturating_sub(a).as_secs_f64(),
-            _ => self.wall_start.elapsed().as_secs_f64(),
-        };
-        Seconds(secs.max(1e-9))
+        Seconds(self.inner.elapsed().as_secs_f64().max(1e-9))
     }
 }
 

@@ -64,6 +64,7 @@ impl CandidateModel {
 
     /// Final-output quality.
     pub fn final_quality(&self) -> f64 {
+        // lint:allow(no-panic): validate() rejects empty stage lists and every construction path validates
         self.stages.last().expect("validated: non-empty").quality
     }
 
@@ -72,22 +73,22 @@ impl CandidateModel {
         if self.name.is_empty() {
             return Err("empty candidate name".into());
         }
-        if self.stages.is_empty() {
+        let (Some(first), Some(last)) = (self.stages.first(), self.stages.last()) else {
             return Err(format!("{}: no stages", self.name));
-        }
+        };
         for w in self.stages.windows(2) {
-            if w[1].frac <= w[0].frac || w[1].quality <= w[0].quality {
+            let [lo, hi] = w else { continue };
+            if hi.frac <= lo.frac || hi.quality <= lo.quality {
                 return Err(format!("{}: staircase not increasing", self.name));
             }
         }
-        let last = self.stages.last().expect("non-empty");
         if (last.frac - 1.0).abs() > 1e-9 {
             return Err(format!("{}: final stage frac must be 1.0", self.name));
         }
-        if self.stages[0].frac <= 0.0 {
+        if first.frac <= 0.0 {
             return Err(format!("{}: first stage frac must be positive", self.name));
         }
-        if self.fail_quality >= self.stages[0].quality {
+        if self.fail_quality >= first.quality {
             return Err(format!("{}: fallback beats first output", self.name));
         }
         Ok(())
@@ -243,12 +244,8 @@ impl ConfigTable {
     pub fn fastest_model(&self) -> usize {
         let j = self.powers.len() - 1;
         (0..self.models.len())
-            .min_by(|&a, &b| {
-                self.t_prof[a][j]
-                    .get()
-                    .partial_cmp(&self.t_prof[b][j].get())
-                    .expect("finite")
-            })
+            .min_by(|&a, &b| self.t_prof[a][j].get().total_cmp(&self.t_prof[b][j].get()))
+            // lint:allow(no-panic): the model table is validated non-empty at construction
             .expect("non-empty")
     }
 
@@ -258,9 +255,9 @@ impl ConfigTable {
             .max_by(|&a, &b| {
                 self.models[a]
                     .final_quality()
-                    .partial_cmp(&self.models[b].final_quality())
-                    .expect("finite")
+                    .total_cmp(&self.models[b].final_quality())
             })
+            // lint:allow(no-panic): the model table is validated non-empty at construction
             .expect("non-empty")
     }
 }

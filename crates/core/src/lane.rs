@@ -228,6 +228,7 @@ impl CandidateLane {
             && period.is_finite()
             && period.get() >= 0.0
             && (mode == ProbabilityMode::MeanOnly
+                // lint:allow(nan-unsafe-compare): exact zero-variance sentinel; a NaN std_dev fails the comparison and falls through to the sound full-set path
                 || xi.std_dev() == 0.0
                 || goal.prob_threshold.is_none_or(|p| p >= 0.5));
 

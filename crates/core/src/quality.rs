@@ -81,7 +81,7 @@ pub fn expected_quality_from_probs(
         let pr_next = if k < target_stage { probs[k + 1] } else { 0.0 };
         expected += stages[k].quality * (probs[k] - pr_next);
     }
-    expected += fail_quality * (1.0 - probs[0]);
+    expected += fail_quality * (1.0 - probs.first().copied().unwrap_or(0.0));
     expected
 }
 

@@ -1,0 +1,508 @@
+//! A hand-rolled lexical scanner for Rust source text.
+//!
+//! The linter's rules must never fire on text inside comments, string
+//! literals, or char literals (a doc comment that *mentions* `unwrap()`
+//! is not a panic site), so the first pass splits a file into a tiling
+//! of [`Token`]s: plain code, line/block comments, and the literal
+//! forms that can hide rule keywords. This is deliberately **not** a
+//! full Rust lexer — code is left as one opaque span between literals —
+//! but it handles every escape that matters for span integrity:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, C strings;
+//! * raw strings `r"…"`/`r#"…"#` (any guard depth), raw byte/C strings;
+//! * char and byte-char literals, disambiguated from lifetimes and
+//!   loop labels (`'a'` vs `<'a>` vs `'outer:`).
+//!
+//! Invariants (property-tested in `tests/lexer_roundtrip.rs`):
+//!
+//! 1. tokens are non-empty and contiguous: `tok[i].end == tok[i+1].start`;
+//! 2. they tile the input exactly: first starts at 0, last ends at
+//!    `src.len()`, so concatenating the spans reproduces the input
+//!    byte-for-byte;
+//! 3. every token boundary lies on a UTF-8 character boundary;
+//! 4. lexing never fails — unterminated literals/comments extend to
+//!    end of input rather than erroring.
+
+use serde::Serialize;
+
+/// What a span of source text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TokKind {
+    /// Plain code (anything not claimed by the kinds below).
+    Code,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escape handling.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, `cr#"…"#` at any guard depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, or `b'x'` — *not* lifetimes.
+    Char,
+}
+
+/// One span of the tiling. Offsets are byte offsets into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Token {
+    /// Span classification.
+    pub kind: TokKind,
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+/// True for bytes that may continue an identifier. Non-ASCII bytes are
+/// treated as identifier-continuing: Rust permits non-ASCII
+/// identifiers, and over-approximating here only makes the scanner
+/// *more* conservative about recognizing literal prefixes.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that may start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Splits `src` into a contiguous token tiling. Never fails; see the
+/// module docs for the invariants.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        tokens: Vec::new(),
+        code_start: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    tokens: Vec<Token>,
+    code_start: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut i = 0;
+        while i < self.src.len() {
+            let b = self.src[i];
+            match b {
+                b'/' if self.peek(i + 1) == Some(b'/') => {
+                    self.flush_code(i);
+                    i = self.scan_line_comment(i);
+                }
+                b'/' if self.peek(i + 1) == Some(b'*') => {
+                    self.flush_code(i);
+                    i = self.scan_block_comment(i);
+                }
+                b'"' => {
+                    self.flush_code(i);
+                    i = self.scan_string(i);
+                }
+                b'\'' => i = self.scan_quote(i),
+                _ if is_ident_start(b) => {
+                    // Consume the identifier whole, then check whether it
+                    // is a literal prefix (`r`, `b`, `c`, `br`, `cr`)
+                    // glued to a quote — `let bridge = 1` must not see
+                    // `r` + `idge` as a raw-string start.
+                    let id_end = self.ident_end(i);
+                    i = self.after_ident(i, id_end);
+                }
+                _ => i += 1,
+            }
+        }
+        self.flush_code(self.src.len());
+        self.tokens
+    }
+
+    fn peek(&self, i: usize) -> Option<u8> {
+        self.src.get(i).copied()
+    }
+
+    fn flush_code(&mut self, end: usize) {
+        if end > self.code_start {
+            self.tokens.push(Token {
+                kind: TokKind::Code,
+                start: self.code_start,
+                end,
+            });
+        }
+        self.code_start = end;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) -> usize {
+        self.tokens.push(Token { kind, start, end });
+        self.code_start = end;
+        end
+    }
+
+    /// `// …` — ends *before* the newline so the newline stays in code.
+    fn scan_line_comment(&mut self, start: usize) -> usize {
+        let mut i = start + 2;
+        while i < self.src.len() && self.src[i] != b'\n' {
+            i += 1;
+        }
+        self.push(TokKind::LineComment, start, i)
+    }
+
+    /// `/* … */` with nesting; unterminated extends to end of input.
+    fn scan_block_comment(&mut self, start: usize) -> usize {
+        let mut i = start + 2;
+        let mut depth = 1usize;
+        while i < self.src.len() && depth > 0 {
+            if self.src[i] == b'/' && self.peek(i + 1) == Some(b'*') {
+                depth += 1;
+                i += 2;
+            } else if self.src[i] == b'*' && self.peek(i + 1) == Some(b'/') {
+                depth -= 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, i)
+    }
+
+    /// `"…"` with `\"` and `\\` escapes; unterminated extends to EOF.
+    /// `start` is the opening quote; the prefix (if any) was already
+    /// claimed by the caller.
+    fn scan_string_body(&mut self, token_start: usize, quote: usize) -> usize {
+        let mut i = quote + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.push(TokKind::Str, token_start, i.min(self.src.len()))
+    }
+
+    fn scan_string(&mut self, start: usize) -> usize {
+        self.scan_string_body(start, start)
+    }
+
+    /// Raw string starting at `token_start` whose guard hashes begin at
+    /// `hash_start`: counts `#`s, expects `"`, then scans for `"` + the
+    /// same number of `#`s. Returns `None` (no token emitted) if the
+    /// text after the hashes is not a quote — then it wasn't a raw
+    /// string at all.
+    fn scan_raw_string(&mut self, token_start: usize, hash_start: usize) -> Option<usize> {
+        let mut i = hash_start;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        let guards = i - hash_start;
+        if self.peek(i) != Some(b'"') {
+            return None;
+        }
+        i += 1;
+        while i < self.src.len() {
+            if self.src[i] == b'"' {
+                let close_end = i + 1 + guards;
+                if self.src[i + 1..self.src.len().min(close_end)]
+                    .iter()
+                    .take_while(|&&b| b == b'#')
+                    .count()
+                    == guards
+                    && close_end <= self.src.len()
+                {
+                    return Some(self.push(TokKind::RawStr, token_start, close_end));
+                }
+            }
+            i += 1;
+        }
+        Some(self.push(TokKind::RawStr, token_start, self.src.len()))
+    }
+
+    /// `'` — either a char literal or a lifetime/label. `start` points
+    /// at the quote; `token_start` includes a `b` prefix if present.
+    fn scan_char_or_lifetime(&mut self, token_start: usize, quote: usize) -> usize {
+        match self.peek(quote + 1) {
+            // `'\…'` is always a char literal: lifetimes cannot start
+            // with a backslash.
+            Some(b'\\') => {
+                self.flush_code(token_start);
+                let mut i = quote + 1;
+                while i < self.src.len() {
+                    match self.src[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                self.push(TokKind::Char, token_start, i.min(self.src.len()))
+            }
+            // `'X'` (one char, possibly multi-byte) is a char literal;
+            // `'ident` / `'_` with no closing quote is a lifetime and
+            // stays in code.
+            Some(_) => {
+                let rest = &self.text[quote + 1..];
+                let mut chars = rest.char_indices();
+                // The guard above proved there is at least one byte.
+                let Some((_, c)) = chars.next() else {
+                    return quote + 1;
+                };
+                let after = quote + 1 + c.len_utf8();
+                if self.peek(after) == Some(b'\'') && c != '\'' {
+                    self.flush_code(token_start);
+                    self.push(TokKind::Char, token_start, after + 1)
+                } else {
+                    // Lifetime, label, or stray quote: plain code.
+                    quote + 1
+                }
+            }
+            None => quote + 1,
+        }
+    }
+
+    fn scan_quote(&mut self, quote: usize) -> usize {
+        self.scan_char_or_lifetime(quote, quote)
+    }
+
+    /// End offset of the identifier starting at `i`.
+    fn ident_end(&self, i: usize) -> usize {
+        let mut j = i + 1;
+        while j < self.src.len() && is_ident_continue(self.src[j]) {
+            j += 1;
+        }
+        j
+    }
+
+    /// Handles what follows a consumed identifier: literal-prefixed
+    /// strings and byte chars, or plain code.
+    fn after_ident(&mut self, start: usize, end: usize) -> usize {
+        let name = &self.src[start..end];
+        let next = self.peek(end);
+        match (name, next) {
+            // Raw strings: r"…", r#"…"#, br"…", cr#"…"# …
+            (b"r" | b"br" | b"cr", Some(b'"' | b'#')) => {
+                // Tentatively a raw string; `r#foo` (raw identifier)
+                // falls through as code when no quote follows the
+                // hashes.
+                let save = self.code_start;
+                self.flush_code(start);
+                match self.scan_raw_string(start, end) {
+                    Some(n) => n,
+                    None => {
+                        // Not a raw string after all (e.g. `r#ident`).
+                        // Undo the flush by restoring the code span.
+                        if self.tokens.last().is_some_and(|t| {
+                            t.kind == TokKind::Code && t.start == save && t.end == start
+                        }) {
+                            self.tokens.pop();
+                        }
+                        self.code_start = save;
+                        end
+                    }
+                }
+            }
+            // Byte / C strings: b"…", c"…".
+            (b"b" | b"c", Some(b'"')) => {
+                self.flush_code(start);
+                self.scan_string_body(start, end)
+            }
+            // Byte char: b'x'.
+            (b"b", Some(b'\'')) => self.scan_char_or_lifetime(start, end),
+            _ => end,
+        }
+    }
+}
+
+/// A masked copy of `src` with the same byte length: bytes inside
+/// comments and string/char literals are replaced by spaces (newlines
+/// kept, so line numbers survive), code bytes kept verbatim. Rules scan
+/// this, which is what guarantees "`unwrap` in a doc comment is not a
+/// violation" by construction.
+pub fn mask(src: &str, tokens: &[Token]) -> Vec<u8> {
+    let mut out = src.as_bytes().to_vec();
+    for t in tokens {
+        if t.kind != TokKind::Code {
+            for b in &mut out[t.start..t.end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn tiles(src: &str) {
+        let toks = lex(src);
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?}");
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn plain_code_is_one_token() {
+        assert_eq!(kinds("let x = 1;"), vec![(TokKind::Code, "let x = 1;")]);
+    }
+
+    #[test]
+    fn line_comment_excludes_newline() {
+        assert_eq!(
+            kinds("a // c\nb"),
+            vec![
+                (TokKind::Code, "a "),
+                (TokKind::LineComment, "// c"),
+                (TokKind::Code, "\nb"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "x /* a /* b */ c */ y";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokKind::Code, "x "),
+                (TokKind::BlockComment, "/* a /* b */ c */"),
+                (TokKind::Code, " y"),
+            ]
+        );
+        tiles(src);
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        let src = r#"let s = "a\"b\\";"#;
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokKind::Code, "let s = "),
+                (TokKind::Str, r#""a\"b\\""#),
+                (TokKind::Code, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_with_guards_hides_unwrap() {
+        let src = r###"let s = r#"x.unwrap() "quoted" inside"#;"###;
+        let toks = kinds(src);
+        assert_eq!(toks[1].0, TokKind::RawStr);
+        assert!(toks[1].1.contains("unwrap"));
+        assert_eq!(toks[2], (TokKind::Code, ";"));
+        tiles(src);
+    }
+
+    #[test]
+    fn raw_identifier_is_code() {
+        let src = "let r#fn = 1;";
+        assert_eq!(kinds(src), vec![(TokKind::Code, "let r#fn = 1;")]);
+    }
+
+    #[test]
+    fn prefix_must_not_split_identifiers() {
+        // `bridge` ends in nothing special; `carb"x"` is `carb` then a
+        // plain string (invalid Rust, but must still tile).
+        tiles("let bridge = 1;");
+        assert_eq!(
+            kinds("let bridge = 1;"),
+            vec![(TokKind::Code, "let bridge = 1;")]
+        );
+        tiles(r#"carb"x""#);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src =
+            "fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; 'outer: loop { break 'outer; } }";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+        tiles(src);
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let src = "let c = '\u{1F600}'; let l = '\u{3B1}';";
+        // Both are char literals ('α' too).
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+        tiles(src);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##;
+        let toks = kinds(src);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Char && *s == "b'x'"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStr));
+        tiles(src);
+    }
+
+    #[test]
+    fn unterminated_forms_extend_to_eof() {
+        for src in [
+            "/* never closed",
+            "\"never closed",
+            "r#\"never closed",
+            "// eof",
+        ] {
+            tiles(src);
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} -> {toks:?}");
+        }
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_stay_strings() {
+        let src = r#"let s = "// not a comment /* nor this */";"#;
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::Str);
+    }
+
+    #[test]
+    fn mask_preserves_length_and_newlines() {
+        let src = "a\n\"s\ntr\"\n// c\nb";
+        let toks = lex(src);
+        let m = mask(src, &toks);
+        assert_eq!(m.len(), src.len());
+        let nl = |bs: &[u8]| bs.iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(nl(&m), nl(src.as_bytes()));
+        assert!(!String::from_utf8_lossy(&m).contains("tr"));
+    }
+}

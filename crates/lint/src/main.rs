@@ -1,0 +1,87 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! alert-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Scans the workspace (auto-detected from the current directory unless
+//! `--root` is given), writes `LINT.json` at the workspace root (or
+//! `--json PATH`), prints the human table, and exits:
+//!
+//! * `0` — clean (every violation suppressed with a reasoned allow);
+//! * `1` — unsuppressed violations;
+//! * `2` — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("alert-lint: {e}");
+            eprintln!("usage: alert-lint [--root DIR] [--json PATH] [--quiet]");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| alert_lint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("alert-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match alert_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alert-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json_path = args.json.unwrap_or_else(|| root.join("LINT.json"));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("alert-lint: writing {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if !args.quiet {
+        print!("{}", report.human_table());
+        println!("report: {}", json_path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,993 @@
+//! The rule catalog and the context-aware rule engine.
+//!
+//! Rules scan the **masked** source (comments and literals blanked by
+//! [`crate::lexer::mask`]) so they can never fire on prose, and consult
+//! the [`FileContext`] so the same textual pattern is a violation in
+//! one place and sanctioned in another (wall-clock reads: fatal in a
+//! decision path, the whole point of a bench bin).
+//!
+//! Suppression is *only* via inline annotations:
+//!
+//! ```text
+//! // lint:allow(rule-a, rule-b): reason the invariant holds here
+//! ```
+//!
+//! A trailing annotation covers its own line; a standalone one covers
+//! the next line that contains code. An annotation with an empty
+//! reason, an unknown rule id, or one that suppresses nothing is
+//! itself a violation (`allow-needs-reason` / `unused-allow`), so the
+//! allow ledger cannot silently rot. See DESIGN.md §9 for the catalog
+//! rationale and how to add a rule.
+
+use crate::context::{FileContext, FileKind};
+use crate::lexer::{mask, Token};
+use serde::Serialize;
+
+/// Rule identifiers (the strings used in `lint:allow(...)`).
+pub const NO_PANIC: &str = "no-panic";
+/// See [`NO_PANIC`].
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// See [`NO_PANIC`].
+pub const NO_UNSEEDED_RNG: &str = "no-unseeded-rng";
+/// See [`NO_PANIC`].
+pub const NO_HASH_ITERATION: &str = "no-hash-iteration";
+/// See [`NO_PANIC`].
+pub const NAN_UNSAFE_COMPARE: &str = "nan-unsafe-compare";
+/// See [`NO_PANIC`].
+pub const ALLOW_NEEDS_REASON: &str = "allow-needs-reason";
+/// See [`NO_PANIC`].
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// One catalog entry, for reports and allow validation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RuleInfo {
+    /// The id used in `lint:allow(...)`.
+    pub id: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+}
+
+/// The full catalog. Order is the severity-agnostic display order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: NO_PANIC,
+        summary: "library code must not contain panic-capable sites \
+                  (unwrap/expect/panic!/unreachable!/todo!/unimplemented!/\
+                  integer-literal indexing); return Result or justify the invariant",
+    },
+    RuleInfo {
+        id: NO_WALL_CLOCK,
+        summary: "no Instant/SystemTime outside bench bins and the metering module \
+                  (crates/stats cputime); decision paths meter on alert-stats::cputime",
+    },
+    RuleInfo {
+        id: NO_UNSEEDED_RNG,
+        summary: "no thread_rng/from_entropy/OsRng anywhere — all randomness is \
+                  frozen behind seeded streams for replay identity",
+    },
+    RuleInfo {
+        id: NO_HASH_ITERATION,
+        summary: "no HashMap/HashSet in decision/realization code — iteration \
+                  order is nondeterministic; use BTreeMap/Vec or justify that \
+                  the container is never iterated",
+    },
+    RuleInfo {
+        id: NAN_UNSAFE_COMPARE,
+        summary: "no partial_cmp().unwrap()/expect() and no ==/!= against float \
+                  literals; use f64::total_cmp or \
+                  alert-core::select::{lex2_better,lex3_better}",
+    },
+    RuleInfo {
+        id: ALLOW_NEEDS_REASON,
+        summary: "every lint:allow must name known rules and carry a non-empty \
+                  reason after a colon",
+    },
+    RuleInfo {
+        id: UNUSED_ALLOW,
+        summary: "a lint:allow that suppresses nothing is stale and must be removed",
+    },
+];
+
+/// True iff `id` names a catalog rule.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Paths (workspace-relative prefixes or exact files) that constitute
+/// decision/realization code, where hash-container nondeterminism can
+/// change what the system *does* rather than just how logs are ordered.
+const DECISION_PATHS: &[&str] = &[
+    "crates/core/src/",          // estimators, selection, fast lane
+    "crates/sched/src/alert.rs", // ALERT scheduler decisions
+    "crates/sched/src/oracle.rs",
+    "crates/sched/src/sys_only.rs",
+    "crates/sched/src/no_coord.rs",
+    "crates/sched/src/app_only.rs",
+    "crates/sched/src/env.rs", // environment realization
+    "crates/workload/src/script.rs",
+    "crates/workload/src/scenario.rs",
+];
+
+/// The one module allowed to touch the wall clock outside bench code:
+/// it *implements* the sanctioned meter (CPU clock with wall fallback).
+const METERING_MODULE: &str = "crates/stats/src/cputime.rs";
+
+/// One unsuppressed finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Catalog rule id.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The source line, trimmed.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// One `lint:allow` annotation that suppressed at least one finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllowEntry {
+    /// Rules the annotation names.
+    pub rules: Vec<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: usize,
+    /// The justification after the colon.
+    pub reason: String,
+    /// How many findings it suppressed.
+    pub suppressed: usize,
+}
+
+/// Everything the engine found in one file.
+#[derive(Debug, Default)]
+pub struct FileFindings {
+    /// Unsuppressed violations.
+    pub violations: Vec<Violation>,
+    /// The allow ledger (annotations that suppressed something).
+    pub allowed: Vec<AllowEntry>,
+}
+
+/// Runs every rule over one lexed file.
+pub fn check_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileFindings {
+    let masked = mask(src, tokens);
+    let lines = LineIndex::new(src);
+    let mut raw = Vec::new();
+
+    scan_identifiers(ctx, &masked, &lines, src, &mut raw);
+    scan_literal_index(ctx, &masked, &lines, src, &mut raw);
+    scan_float_eq(ctx, &masked, &lines, src, &mut raw);
+
+    let allows = parse_allows(ctx, src, tokens, &masked, &lines, &mut raw);
+    resolve(ctx, raw, allows, &lines, src)
+}
+
+// ---------------------------------------------------------------- engine
+
+struct LineIndex {
+    /// Byte offset of the start of each line.
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line number of a byte offset.
+    fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Byte range of a 1-based line (without the newline).
+    fn span_of(&self, line: usize, total: usize) -> (usize, usize) {
+        let start = self.starts[line - 1];
+        let end = self
+            .starts
+            .get(line)
+            .map_or(total, |&next| next.saturating_sub(1));
+        (start, end)
+    }
+}
+
+/// A rule hit before suppression.
+struct RawViolation {
+    rule: &'static str,
+    offset: usize,
+    message: String,
+}
+
+fn snippet(src: &str, lines: &LineIndex, line: usize) -> String {
+    let (s, e) = lines.span_of(line, src.len());
+    src[s..e].trim().to_string()
+}
+
+fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Next non-whitespace byte at or after `i`.
+fn next_nonws(masked: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < masked.len() {
+        if !masked[i].is_ascii_whitespace() {
+            return Some((i, masked[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Previous non-whitespace byte strictly before `i`.
+fn prev_nonws(masked: &[u8], i: usize) -> Option<(usize, u8)> {
+    (0..i)
+        .rev()
+        .map(|j| (j, masked[j]))
+        .find(|&(_, b)| !b.is_ascii_whitespace())
+}
+
+/// Identifier-driven rules: panics, clocks, RNG, hash containers,
+/// `partial_cmp(..).unwrap()`.
+fn scan_identifiers(
+    ctx: &FileContext,
+    masked: &[u8],
+    lines: &LineIndex,
+    src: &str,
+    out: &mut Vec<RawViolation>,
+) {
+    let mut i = 0;
+    while i < masked.len() {
+        if !is_word(masked[i]) || (i > 0 && is_word(masked[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < masked.len() && is_word(masked[i]) {
+            i += 1;
+        }
+        let word = &masked[start..i];
+        let after = next_nonws(masked, i).map(|(_, b)| b);
+        let dotted = prev_nonws(masked, start).map(|(_, b)| b) == Some(b'.');
+        match word {
+            b"unwrap" | b"expect"
+                if after == Some(b'(') && dotted && rule_applies(NO_PANIC, ctx, start) =>
+            {
+                let w = String::from_utf8_lossy(word);
+                out.push(RawViolation {
+                    rule: NO_PANIC,
+                    offset: start,
+                    message: format!(
+                        ".{w}() can panic; return a Result/Option or annotate the invariant"
+                    ),
+                });
+            }
+            b"panic" | b"unreachable" | b"todo" | b"unimplemented"
+                if after == Some(b'!') && rule_applies(NO_PANIC, ctx, start) =>
+            {
+                let w = String::from_utf8_lossy(word);
+                out.push(RawViolation {
+                    rule: NO_PANIC,
+                    offset: start,
+                    message: format!("{w}! aborts the session; library code must not panic"),
+                });
+            }
+            b"Instant" | b"SystemTime" if rule_applies(NO_WALL_CLOCK, ctx, start) => {
+                let w = String::from_utf8_lossy(word);
+                out.push(RawViolation {
+                    rule: NO_WALL_CLOCK,
+                    offset: start,
+                    message: format!(
+                        "{w} is ambient wall time; meter on alert_stats::cputime \
+                         (DecisionStopwatch) or move the code to a bench bin"
+                    ),
+                });
+            }
+            b"thread_rng" | b"ThreadRng" | b"from_entropy" | b"from_os_rng" | b"OsRng"
+                if rule_applies(NO_UNSEEDED_RNG, ctx, start) =>
+            {
+                let w = String::from_utf8_lossy(word);
+                out.push(RawViolation {
+                    rule: NO_UNSEEDED_RNG,
+                    offset: start,
+                    message: format!(
+                        "{w} draws entropy outside the frozen seeded streams and \
+                         breaks capture/replay identity"
+                    ),
+                });
+            }
+            b"HashMap" | b"HashSet" if rule_applies(NO_HASH_ITERATION, ctx, start) => {
+                let w = String::from_utf8_lossy(word);
+                out.push(RawViolation {
+                    rule: NO_HASH_ITERATION,
+                    offset: start,
+                    message: format!(
+                        "{w} in decision/realization code: iteration order is \
+                         nondeterministic; use BTreeMap/Vec or justify that this \
+                         container is never iterated"
+                    ),
+                });
+            }
+            b"partial_cmp"
+                if after == Some(b'(')
+                    && rule_applies(NAN_UNSAFE_COMPARE, ctx, start)
+                    && partial_cmp_then_panic(masked, i) =>
+            {
+                out.push(RawViolation {
+                    rule: NAN_UNSAFE_COMPARE,
+                    offset: start,
+                    message: "partial_cmp().unwrap()/expect() panics on NaN; use \
+                              f64::total_cmp or the NaN-rejecting \
+                              alert_core::select::{lex2_better, lex3_better}"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    let _ = (lines, src);
+}
+
+/// After a `partial_cmp` identifier ending at `i`: does the call chain
+/// continue with `.unwrap(` / `.expect(`? Follows the balanced argument
+/// parens first.
+fn partial_cmp_then_panic(masked: &[u8], i: usize) -> bool {
+    let Some((open, b'(')) = next_nonws(masked, i) else {
+        return false;
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < masked.len() {
+        match masked[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= masked.len() {
+        return false;
+    }
+    let Some((dot, b'.')) = next_nonws(masked, j + 1) else {
+        return false;
+    };
+    let Some((w, _)) = next_nonws(masked, dot + 1) else {
+        return false;
+    };
+    let mut e = w;
+    while e < masked.len() && is_word(masked[e]) {
+        e += 1;
+    }
+    // Full-word match only: `.unwrap_or(Ordering::Equal)` is NaN-safe.
+    matches!(&masked[w..e], b"unwrap" | b"expect")
+}
+
+/// `xs[0]`-style indexing with an integer literal: the classic
+/// off-by-one panic site (`first()`/`get()` exist). Heuristic: a `[`
+/// whose previous non-whitespace byte ends an expression (identifier,
+/// `)`, or `]`) and whose content is exactly an integer literal.
+///
+/// Indexing into a SCREAMING_CASE receiver (`P[4]`) is skipped: those
+/// are fixed-length `const` arrays, where rustc's deny-by-default
+/// `unconditional_panic` lint already rejects an out-of-bounds literal
+/// index at compile time. The rule targets slices and `Vec`s, whose
+/// lengths rustc cannot see.
+fn scan_literal_index(
+    ctx: &FileContext,
+    masked: &[u8],
+    lines: &LineIndex,
+    src: &str,
+    out: &mut Vec<RawViolation>,
+) {
+    for i in 0..masked.len() {
+        if masked[i] != b'[' {
+            continue;
+        }
+        let Some((p, prev)) = prev_nonws(masked, i) else {
+            continue;
+        };
+        if !(is_word(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        if is_word(prev) && is_const_ident(masked, p) {
+            continue;
+        }
+        let mut j = i + 1;
+        let digits_start = j;
+        while j < masked.len() && (masked[j].is_ascii_digit() || masked[j] == b'_') {
+            j += 1;
+        }
+        if j == digits_start || j >= masked.len() || masked[j] != b']' {
+            continue;
+        }
+        if rule_applies(NO_PANIC, ctx, i) {
+            out.push(RawViolation {
+                rule: NO_PANIC,
+                offset: i,
+                message: "integer-literal indexing panics out of bounds; use \
+                          .get(n)/.first() or annotate why the length is guaranteed"
+                    .to_string(),
+            });
+        }
+    }
+    let _ = (lines, src);
+}
+
+/// Is the identifier ending at byte `last` SCREAMING_CASE (uppercase,
+/// digits, underscores — with at least one uppercase letter)?
+fn is_const_ident(masked: &[u8], last: usize) -> bool {
+    let mut start = last;
+    while start > 0 && is_word(masked[start - 1]) {
+        start -= 1;
+    }
+    let word = &masked[start..=last];
+    word.iter().any(|b| b.is_ascii_uppercase())
+        && word
+            .iter()
+            .all(|&b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// `x == 0.0` / `x != 1.5`: equality against a float literal is almost
+/// always a NaN-unsafe or rounding-unsafe comparison. Tuple fields
+/// (`a.0 == b.0`) are not float literals and do not match.
+fn scan_float_eq(
+    ctx: &FileContext,
+    masked: &[u8],
+    lines: &LineIndex,
+    src: &str,
+    out: &mut Vec<RawViolation>,
+) {
+    let mut i = 0;
+    while i + 1 < masked.len() {
+        let op_is_eq = masked[i] == b'=' && masked[i + 1] == b'=';
+        let op_is_ne = masked[i] == b'!' && masked[i + 1] == b'=';
+        if !(op_is_eq || op_is_ne) {
+            i += 1;
+            continue;
+        }
+        // Exclude `<=`, `>=`, `==` scanned mid-token, and compound ops.
+        if op_is_eq && i > 0 && matches!(masked[i - 1], b'<' | b'>' | b'!' | b'=') {
+            i += 2;
+            continue;
+        }
+        if masked.get(i + 2) == Some(&b'=') {
+            i += 3;
+            continue;
+        }
+        let rhs_float = rhs_is_float_literal(masked, i + 2);
+        let lhs_float = lhs_is_float_literal(masked, i);
+        if (rhs_float || lhs_float) && rule_applies(NAN_UNSAFE_COMPARE, ctx, i) {
+            out.push(RawViolation {
+                rule: NAN_UNSAFE_COMPARE,
+                offset: i,
+                message: "==/!= against a float literal is NaN/rounding-unsafe; \
+                          compare with total_cmp, an epsilon, or annotate the \
+                          exact-value invariant"
+                    .to_string(),
+            });
+        }
+        i += 2;
+    }
+    let _ = (lines, src);
+}
+
+/// Does a float literal (`12.5`, `1_000.0`, optionally `-`-signed)
+/// start at or after `i`?
+fn rhs_is_float_literal(masked: &[u8], i: usize) -> bool {
+    let Some((mut j, b)) = next_nonws(masked, i) else {
+        return false;
+    };
+    if b == b'-' {
+        let Some((k, _)) = next_nonws(masked, j + 1) else {
+            return false;
+        };
+        j = k;
+    }
+    let digits = |mut k: usize| {
+        let s = k;
+        while k < masked.len() && (masked[k].is_ascii_digit() || masked[k] == b'_') {
+            k += 1;
+        }
+        (k > s).then_some(k)
+    };
+    let Some(dot) = digits(j) else { return false };
+    if masked.get(dot) != Some(&b'.') {
+        return false;
+    }
+    // `0..10` is a range, not a float.
+    digits(dot + 1).is_some() && masked.get(dot + 1) != Some(&b'.')
+}
+
+/// Does a float literal end just before operator position `i`? Walks
+/// backwards over `digits . digits` and requires the byte before the
+/// leading digits not to extend an identifier or field access (so
+/// `a.0 == …` is not a float).
+fn lhs_is_float_literal(masked: &[u8], i: usize) -> bool {
+    let Some((j, b)) = prev_nonws(masked, i) else {
+        return false;
+    };
+    if !b.is_ascii_digit() {
+        return false;
+    }
+    // Walk back over the fraction digits to what must be the dot.
+    let mut k = j;
+    while masked[k].is_ascii_digit() || masked[k] == b'_' {
+        if k == 0 {
+            return false; // bare integer at start of file
+        }
+        k -= 1;
+    }
+    if masked[k] != b'.' || k == 0 {
+        return false;
+    }
+    // At least one integer digit before the dot (`a.0` has none:
+    // that is a tuple-field access, not a float).
+    let mut m = k - 1;
+    if !masked[m].is_ascii_digit() {
+        return false;
+    }
+    while masked[m].is_ascii_digit() || masked[m] == b'_' {
+        if m == 0 {
+            return true; // literal starts at offset 0
+        }
+        m -= 1;
+    }
+    // The byte before the literal must not extend an identifier or a
+    // field chain (`x1.0`, `a.1.0`).
+    !(is_word(masked[m]) || masked[m] == b'.')
+}
+
+/// Which contexts each rule bites in.
+fn rule_applies(rule: &str, ctx: &FileContext, offset: usize) -> bool {
+    match rule {
+        NO_PANIC => ctx.kind == FileKind::Library && !ctx.in_test(offset),
+        NO_WALL_CLOCK => {
+            ctx.kind != FileKind::Bench && ctx.path != METERING_MODULE && !ctx.in_test(offset)
+        }
+        // Frozen randomness is global policy: tests and benches too.
+        NO_UNSEEDED_RNG => true,
+        NO_HASH_ITERATION => {
+            !ctx.in_test(offset)
+                && DECISION_PATHS
+                    .iter()
+                    .any(|p| ctx.path == *p || (p.ends_with('/') && ctx.path.starts_with(p)))
+        }
+        NAN_UNSAFE_COMPARE => !ctx.in_test(offset),
+        _ => true,
+    }
+}
+
+// ---------------------------------------------------------------- allows
+
+struct Allow {
+    rules: Vec<String>,
+    line: usize,
+    target_line: Option<usize>,
+    reason: String,
+    suppressed: usize,
+}
+
+/// Parses `lint:allow` annotations out of line comments. Malformed ones
+/// (bad grammar, unknown rule, empty reason) become `allow-needs-reason`
+/// violations immediately.
+fn parse_allows(
+    ctx: &FileContext,
+    src: &str,
+    tokens: &[Token],
+    masked: &[u8],
+    lines: &LineIndex,
+    raw: &mut Vec<RawViolation>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if t.kind != crate::lexer::TokKind::LineComment {
+            continue;
+        }
+        // Comment content past `//` and any doc markers.
+        let content = src[t.start + 2..t.end]
+            .trim_start_matches(['/', '!'])
+            .trim();
+        let Some(rest) = content.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let line = lines.line_of(t.start);
+        let bad = |msg: &str, raw: &mut Vec<RawViolation>| {
+            raw.push(RawViolation {
+                rule: ALLOW_NEEDS_REASON,
+                offset: t.start,
+                message: msg.to_string(),
+            });
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            bad("lint:allow must be followed by (rule, ...): reason", raw);
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("lint:allow rule list is missing its closing paren", raw);
+            continue;
+        };
+        let rule_list: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rule_list.is_empty() {
+            bad("lint:allow names no rules", raw);
+            continue;
+        }
+        if let Some(unknown) = rule_list.iter().find(|r| !known_rule(r)) {
+            bad(&format!("lint:allow names unknown rule `{unknown}`"), raw);
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':').map(str::trim) else {
+            bad("lint:allow needs `: reason` after the rule list", raw);
+            continue;
+        };
+        if reason.is_empty() {
+            bad("lint:allow reason must not be empty", raw);
+            continue;
+        }
+        allows.push(Allow {
+            rules: rule_list,
+            line,
+            target_line: allow_target(masked, lines, t.start, line),
+            reason: reason.to_string(),
+            suppressed: 0,
+        });
+    }
+    let _ = ctx;
+    allows
+}
+
+/// Which line an annotation covers: its own if code precedes it on the
+/// line, else the next line containing code.
+fn allow_target(
+    masked: &[u8],
+    lines: &LineIndex,
+    comment_start: usize,
+    line: usize,
+) -> Option<usize> {
+    let (line_start, _) = lines.span_of(line, masked.len());
+    let leading_code = masked[line_start..comment_start]
+        .iter()
+        .any(|b| !b.is_ascii_whitespace());
+    if leading_code {
+        return Some(line);
+    }
+    for l in line + 1..=lines.starts.len() {
+        let (s, e) = lines.span_of(l, masked.len());
+        if masked[s..e.min(masked.len())]
+            .iter()
+            .any(|b| !b.is_ascii_whitespace())
+        {
+            return Some(l);
+        }
+    }
+    None
+}
+
+/// Applies suppression and produces the final findings.
+fn resolve(
+    ctx: &FileContext,
+    raw: Vec<RawViolation>,
+    mut allows: Vec<Allow>,
+    lines: &LineIndex,
+    src: &str,
+) -> FileFindings {
+    let mut out = FileFindings::default();
+    for v in raw {
+        let line = lines.line_of(v.offset);
+        // Meta-rules cannot be suppressed: an allow for the allow
+        // grammar would be turtles all the way down.
+        let suppressible = v.rule != ALLOW_NEEDS_REASON && v.rule != UNUSED_ALLOW;
+        let allow = suppressible
+            .then(|| {
+                allows
+                    .iter_mut()
+                    .find(|a| a.target_line == Some(line) && a.rules.iter().any(|r| r == v.rule))
+            })
+            .flatten();
+        match allow {
+            Some(a) => a.suppressed += 1,
+            None => out.violations.push(Violation {
+                rule: v.rule.to_string(),
+                file: ctx.path.clone(),
+                line,
+                snippet: snippet(src, lines, line),
+                message: v.message,
+            }),
+        }
+    }
+    for a in allows {
+        if a.suppressed == 0 {
+            out.violations.push(Violation {
+                rule: UNUSED_ALLOW.to_string(),
+                file: ctx.path.clone(),
+                line: a.line,
+                snippet: snippet(src, lines, a.line),
+                message: format!(
+                    "lint:allow({}) suppresses nothing; remove the stale annotation",
+                    a.rules.join(", ")
+                ),
+            });
+        } else {
+            out.allowed.push(AllowEntry {
+                rules: a.rules,
+                file: ctx.path.clone(),
+                line: a.line,
+                reason: a.reason,
+                suppressed: a.suppressed,
+            });
+        }
+    }
+    out.violations.sort_by(|a, b| {
+        (a.line, a.rule.as_str(), a.snippet.as_str()).cmp(&(
+            b.line,
+            b.rule.as_str(),
+            b.snippet.as_str(),
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::context_for;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> FileFindings {
+        let tokens = lex(src);
+        let ctx = context_for(path, src);
+        check_file(&ctx, src, &tokens)
+    }
+
+    fn rules_of(f: &FileFindings) -> Vec<&str> {
+        f.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_library_fires() {
+        let f = run("crates/core/src/x.rs", "fn f() { y.unwrap(); }");
+        assert_eq!(rules_of(&f), vec![NO_PANIC]);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { y.unwrap_or(0); y.unwrap_or_else(|| 1); y.unwrap_or_default(); }",
+        );
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn unwrap_in_bench_or_test_is_fine() {
+        for path in [
+            "crates/bench/src/bin/fig3.rs",
+            "tests/end_to_end.rs",
+            "examples/quickstart.rs",
+        ] {
+            let f = run(path, "fn f() { y.unwrap(); panic!(); }");
+            assert!(f.violations.is_empty(), "{path}: {:?}", f.violations);
+        }
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_fine() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_fine() {
+        let src = "// call .unwrap() here\nfn f() { let s = \"x.unwrap()\"; let r = r#\"y.unwrap()\"#; }\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { if a { panic!(\"x\") } else if b { unreachable!() } else { todo!() } }",
+        );
+        assert_eq!(rules_of(&f), vec![NO_PANIC, NO_PANIC, NO_PANIC]);
+    }
+
+    #[test]
+    fn literal_index_fires_but_variable_index_does_not() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { let a = xs[0]; let b = xs[i]; let c = xs[1..]; }",
+        );
+        assert_eq!(rules_of(&f), vec![NO_PANIC]);
+        assert!(f.violations[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn const_array_literal_index_is_fine() {
+        // Out-of-bounds literal indexing into a fixed-length const
+        // array is a compile error (`unconditional_panic`), so the
+        // heuristic skips SCREAMING_CASE receivers.
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { let y = P[4] * z + COEFFS[0]; let bad = xs[0]; }",
+        );
+        assert_eq!(rules_of(&f), vec![NO_PANIC]);
+        assert!(f.violations[0].snippet.contains("xs[0]"));
+    }
+
+    #[test]
+    fn array_type_and_attr_are_not_indexing() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "#[repr(align(8))]\nfn f(x: [u8; 4]) -> [f64; 2] { [0.0; 2] }",
+        );
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_bench_and_metering() {
+        let f = run("crates/sched/src/runtime.rs", "use std::time::Instant;\n");
+        assert_eq!(rules_of(&f), vec![NO_WALL_CLOCK]);
+        let f = run(
+            "crates/bench/src/bin/runtime.rs",
+            "use std::time::Instant;\n",
+        );
+        assert!(f.violations.is_empty());
+        let f = run("crates/stats/src/cputime.rs", "use std::time::Instant;\n");
+        assert!(f.violations.is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires_even_in_tests() {
+        let f = run("tests/end_to_end.rs", "let mut r = rand::thread_rng();\n");
+        assert_eq!(rules_of(&f), vec![NO_UNSEEDED_RNG]);
+    }
+
+    #[test]
+    fn hash_map_fires_only_on_decision_paths() {
+        let src = "use std::collections::HashMap;\n";
+        let f = run("crates/core/src/lane.rs", src);
+        assert_eq!(rules_of(&f), vec![NO_HASH_ITERATION]);
+        let f = run("crates/sched/src/registry.rs", src);
+        assert!(f.violations.is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires() {
+        let f = run(
+            "crates/bench/src/bin/fig3.rs",
+            "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+        assert_eq!(rules_of(&f), vec![NAN_UNSAFE_COMPARE]);
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { let c = a.partial_cmp(&b).expect(\"finite\"); }",
+        );
+        // Fires both the NaN rule and no-panic (library code).
+        assert!(rules_of(&f).contains(&NAN_UNSAFE_COMPARE));
+        assert!(rules_of(&f).contains(&NO_PANIC));
+    }
+
+    #[test]
+    fn partial_cmp_without_panic_is_fine() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { let c = a.partial_cmp(&b).map(|o| o.is_lt()); }",
+        );
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn float_literal_eq_fires() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { if x == 0.0 { } if 1.5 != y { } }",
+        );
+        assert_eq!(rules_of(&f), vec![NAN_UNSAFE_COMPARE, NAN_UNSAFE_COMPARE]);
+    }
+
+    #[test]
+    fn tuple_fields_ranges_and_ints_are_fine() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { if a.0 == b.0 { } if n == 3 { } for i in 0..10 { } if x <= 1.0 { } if x >= 0.0 { } }",
+        );
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_lands_in_ledger() {
+        let src = "fn f() { y.unwrap(); } // lint:allow(no-panic): y was validated above\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.allowed.len(), 1);
+        assert_eq!(f.allowed[0].reason, "y was validated above");
+        assert_eq!(f.allowed[0].suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// lint:allow(no-panic): invariant: table is non-empty\n// (more prose)\nfn f() { y.unwrap(); }\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.allowed[0].suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        for src in [
+            "fn f() { y.unwrap(); } // lint:allow(no-panic)\n",
+            "fn f() { y.unwrap(); } // lint:allow(no-panic):\n",
+            "fn f() { y.unwrap(); } // lint:allow(no-panic):   \n",
+        ] {
+            let f = run("crates/core/src/x.rs", src);
+            assert!(
+                rules_of(&f).contains(&ALLOW_NEEDS_REASON),
+                "{src:?} -> {:?}",
+                f.violations
+            );
+            // The unwrap stays unsuppressed too.
+            assert!(rules_of(&f).contains(&NO_PANIC));
+        }
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_violation() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f() { y.unwrap(); } // lint:allow(no-panics): typo in rule id\n",
+        );
+        assert!(rules_of(&f).contains(&ALLOW_NEEDS_REASON));
+    }
+
+    #[test]
+    fn unused_allow_is_a_violation() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "// lint:allow(no-panic): stale justification\nfn f() { let x = 1; }\n",
+        );
+        assert_eq!(rules_of(&f), vec![UNUSED_ALLOW]);
+        assert!(f.allowed.is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines() {
+        let src = "fn f() { y.unwrap(); } // lint:allow(no-panic): only this line\nfn g() { z.unwrap(); }\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec![NO_PANIC]);
+        assert_eq!(f.violations[0].line, 2);
+    }
+
+    #[test]
+    fn allow_covers_multiple_hits_on_one_line() {
+        let src = "fn f() { a.unwrap(); b.unwrap(); } // lint:allow(no-panic): both validated\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty());
+        assert_eq!(f.allowed[0].suppressed, 2);
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "fn f() { t.partial_cmp(&u).unwrap(); } // lint:allow(no-panic, nan-unsafe-compare): inputs proven finite\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.allowed[0].suppressed, 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: the `lint:allow` grammar — reasoned, reason-less, unknown
+//! rule, and unused annotations. Deliberately violating — excluded from
+//! the workspace scan.
+
+pub fn suppressed(opt: Option<i32>) -> i32 {
+    // lint:allow(no-panic): fixture invariant — the caller always passes Some
+    opt.unwrap()
+}
+
+pub fn suppressed_trailing(opt: Option<i32>) -> i32 {
+    opt.unwrap() // lint:allow(no-panic): fixture invariant — the caller always passes Some
+}
+
+pub fn reasonless(opt: Option<i32>) -> i32 {
+    // lint:allow(no-panic)
+    opt.unwrap()
+}
+
+pub fn unknown_rule(opt: Option<i32>) -> i32 {
+    // lint:allow(no-such-rule): this rule does not exist
+    opt.unwrap()
+}
+
+pub fn unused(x: i32) -> i32 {
+    // lint:allow(no-panic): nothing on the next line can panic
+    x + 1
+}

@@ -1,0 +1,31 @@
+//! Fixture: wall-clock and unseeded-randomness sites. Deliberately
+//! violating — excluded from the workspace scan.
+
+use std::time::{Instant, SystemTime};
+
+pub fn clocked() -> f64 {
+    let t0 = Instant::now(); // finding: wall clock
+    let _wall = SystemTime::now(); // finding: wall clock
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // finding: unseeded rng
+    let other = rand::rngs::StdRng::from_entropy(); // finding: unseeded rng
+    let _ = other;
+    rng.gen()
+}
+
+pub fn prose_is_fine() -> &'static str {
+    // Instant::now() in a comment is prose.
+    "the string Instant::now() is also prose"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

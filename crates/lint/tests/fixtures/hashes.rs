@@ -1,0 +1,15 @@
+//! Fixture: hash-iteration sites for decision-path files. Deliberately
+//! violating — excluded from the workspace scan.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn decide(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // finding x2 on decision paths
+    let mut s: HashSet<u32> = HashSet::new(); // finding x2 on decision paths
+    let ordered: BTreeMap<u32, u32> = BTreeMap::new(); // fine: ordered
+    for &k in keys {
+        m.insert(k, k);
+        s.insert(k);
+    }
+    m.len() + s.len() + ordered.len()
+}

@@ -1,0 +1,18 @@
+//! Fixture: NaN-unsafe float comparisons. Deliberately violating —
+//! excluded from the workspace scan.
+
+pub fn unsafe_compares(xs: &mut [f64], x: f64) -> bool {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // finding: partial_cmp().unwrap()
+    let eq = x == 0.5; // finding: bare float == literal
+    let ne = 1.0 != x; // finding: bare float != literal
+    eq || ne
+}
+
+pub fn safe_compares(xs: &mut [f64], x: f64) -> bool {
+    xs.sort_by(f64::total_cmp); // fine
+    let lt = x < 0.5; // ordering comparisons are fine
+    let opt = x.partial_cmp(&0.5).is_some_and(|o| o.is_lt()); // fine
+    let tup = (1, 2);
+    let fields = tup.0 == tup.1; // tuple fields are not float literals
+    lt || opt || fields
+}

@@ -1,0 +1,52 @@
+//! Fixture: panic-family sites a library file must not contain, mixed
+//! with look-alikes inside comments, strings, and test code that must
+//! NOT fire. Deliberately violating — excluded from the workspace scan.
+
+/* A block comment mentioning unwrap() and panic!("no") does not count.
+   /* Nested block comments nest, and unwrap() in here is still prose. */
+   Still inside the outer comment: expect("nope"). */
+
+pub fn real_violations(xs: &[i32], opt: Option<i32>) -> i32 {
+    let a = opt.unwrap(); // finding 1: unwrap
+    let b = opt.expect("present"); // finding 2: expect
+    if xs.is_empty() {
+        panic!("empty"); // finding 3: panic!
+    }
+    match a {
+        0 => todo!(), // finding 4: todo!
+        1 => unreachable!(), // finding 5: unreachable!
+        _ => {}
+    }
+    a + b + xs[0] // finding 6: literal index
+}
+
+pub fn look_alikes() -> &'static str {
+    // unwrap() in a line comment is prose, not code.
+    let s = "calling unwrap() inside a string literal";
+    let r = r#"raw string with panic!("boom") and "quotes" inside"#;
+    let deep = r##"guard-depth two: "# does not close "##;
+    let ch = '"'; // char literal holding a quote
+    let esc = '\''; // escaped quote char
+    let _lifetime: &'static str = "lifetimes are not char literals";
+    let _ = (s, r, deep, ch, esc);
+    "ok"
+}
+
+/// SCREAMING_CASE receivers are const tables; rustc already rejects
+/// out-of-bounds literal indexing into them at compile time.
+const COEFFS: [f64; 3] = [1.0, 2.0, 3.0];
+
+pub fn const_index() -> f64 {
+    COEFFS[0] + COEFFS[2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<i32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: [i32; 1] = [7];
+        assert_eq!(w[0], 7);
+    }
+}

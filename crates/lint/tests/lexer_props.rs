@@ -1,0 +1,109 @@
+//! Property tests for the lexer's tiling invariants: on *any* input —
+//! including unterminated literals and comment soup — the token stream
+//! must tile the source exactly, land only on UTF-8 boundaries, and
+//! mask to a same-length byte string that preserves newlines.
+//!
+//! The vendored proptest shim has no string strategies, so sources are
+//! composed by index-picking from a fragment table that covers every
+//! token kind, nesting, escapes, raw-string guards, lifetimes, and
+//! deliberately broken (unterminated) pieces.
+
+use alert_lint::lexer::{lex, mask, TokKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Tricky source fragments. Unterminated pieces are deliberately
+/// included: the lexer must extend them to end-of-input, never fail.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { x.unwrap(); }",
+    "// line comment with \"quotes\" and unwrap()",
+    "/* block /* nested */ still open? no: */",
+    "\"plain string with \\\" escape\"",
+    "r\"raw, no guard\"",
+    "r#\"guard one: \" inside\"#",
+    "br##\"guard two: \"# inside\"##",
+    "c\"c string\"",
+    "b\"byte string with \\\\ backslash\"",
+    "'a'",
+    "'\\''",
+    "'\\u{1F600}'",
+    "b'x'",
+    "&'static str",
+    "<'a, 'b>",
+    "let bridge = 1;",
+    "let r = 2; let b = 3; let c = 4;",
+    "π_unicode_ident",
+    "\"π in a string\"",
+    "/* unterminated",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "'",
+    "#[cfg(test)] mod tests { fn t() {} }",
+    "\n",
+    " ",
+    "==",
+    "1.5e-3",
+];
+
+/// Separators spliced between fragments.
+const SEPS: &[&str] = &["", " ", "\n", ";\n"];
+
+/// Builds one source string from fragment/separator index picks.
+fn compose(picks: &[(usize, usize)]) -> String {
+    let mut s = String::new();
+    for &(f, sep) in picks {
+        s.push_str(FRAGMENTS[f % FRAGMENTS.len()]);
+        s.push_str(SEPS[sep % SEPS.len()]);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn tiling_round_trips_byte_offsets(
+        picks in vec((0usize..FRAGMENTS.len(), 0usize..SEPS.len()), 0..12),
+    ) {
+        let src = compose(&picks);
+        let tokens = lex(&src);
+
+        // Empty input is the only input with no tokens.
+        prop_assert_eq!(tokens.is_empty(), src.is_empty());
+
+        // Contiguous tiling: starts at 0, ends at len, no gaps or
+        // overlaps, every boundary a char boundary, no empty tokens.
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor, "gap or overlap in {:?}", src);
+            prop_assert!(t.start < t.end, "empty token in {:?}", src);
+            prop_assert!(src.is_char_boundary(t.start));
+            prop_assert!(src.is_char_boundary(t.end));
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "tiling must end at EOF of {:?}", src);
+
+        // Concatenating the spans reproduces the input byte-for-byte.
+        let rebuilt: String = tokens.iter().map(|t| &src[t.start..t.end]).collect();
+        prop_assert_eq!(&rebuilt, &src);
+
+        // Lexing is deterministic.
+        prop_assert_eq!(&lex(&src), &tokens);
+
+        // The mask is same-length, keeps Code bytes verbatim, keeps
+        // newlines everywhere (line numbers survive), and blanks
+        // non-code so rules cannot fire on prose.
+        let masked = mask(&src, &tokens);
+        prop_assert_eq!(masked.len(), src.len());
+        for t in &tokens {
+            for (off, &b) in src.as_bytes()[t.start..t.end].iter().enumerate() {
+                let m = masked[t.start + off];
+                if t.kind == TokKind::Code {
+                    prop_assert_eq!(m, b);
+                } else if b == b'\n' {
+                    prop_assert_eq!(m, b'\n');
+                } else {
+                    prop_assert_eq!(m, b' ', "non-code byte leaked in {:?}", src);
+                }
+            }
+        }
+    }
+}

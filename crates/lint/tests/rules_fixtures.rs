@@ -1,0 +1,184 @@
+//! Fixture-driven rule tests: each file under `tests/fixtures/` is a
+//! deliberately-violating source; the tests pin exactly which (rule,
+//! line) pairs fire when that source is placed at a given workspace
+//! path. This is the regression net for the acceptance criterion that
+//! reintroducing a fixed violation (say, an `unwrap()` in
+//! `crates/core/src`) turns the lint red.
+
+use alert_lint::context::FileContext;
+use alert_lint::lexer::lex;
+use alert_lint::rules::{self, check_file, FileFindings};
+
+/// Runs the rule engine on `src` as if it lived at `path`.
+fn check(path: &str, src: &str) -> FileFindings {
+    let tokens = lex(src);
+    let ctx = FileContext::build(path, src, &tokens);
+    check_file(&ctx, src, &tokens)
+}
+
+/// The (rule, line) pairs of all unsuppressed violations, sorted.
+fn hits(f: &FileFindings) -> Vec<(String, usize)> {
+    let mut v: Vec<(String, usize)> = f
+        .violations
+        .iter()
+        .map(|v| (v.rule.clone(), v.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn panic_family_fires_in_library_code_only_outside_tests() {
+    let f = check(
+        "crates/core/src/panics.rs",
+        include_str!("fixtures/panics.rs"),
+    );
+    // Six real sites: unwrap, expect, panic!, todo!, unreachable!, and
+    // the slice literal-index. Nothing from comments (nested block
+    // comments included), string/raw-string/char literals, the
+    // SCREAMING_CASE const table, or the #[cfg(test)] module.
+    assert_eq!(
+        hits(&f),
+        vec![
+            (rules::NO_PANIC.to_string(), 10),
+            (rules::NO_PANIC.to_string(), 11),
+            (rules::NO_PANIC.to_string(), 13),
+            (rules::NO_PANIC.to_string(), 16),
+            (rules::NO_PANIC.to_string(), 17),
+            (rules::NO_PANIC.to_string(), 20),
+        ]
+    );
+}
+
+#[test]
+fn panic_family_is_silent_in_bench_and_test_targets() {
+    let src = include_str!("fixtures/panics.rs");
+    for path in [
+        "crates/bench/src/bin/fig9.rs",
+        "crates/core/tests/integration.rs",
+    ] {
+        let f = check(path, src);
+        assert!(
+            !hits(&f).iter().any(|(r, _)| r == rules::NO_PANIC),
+            "{path}: no-panic must not apply outside library code"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_and_rng_fire_outside_tests() {
+    let f = check(
+        "crates/models/src/clocks.rs",
+        include_str!("fixtures/clocks_rng.rs"),
+    );
+    // The import line carries both clock types; the two call sites add
+    // one each. The #[cfg(test)] Instant::now() is exempt; the rng
+    // sites fire everywhere.
+    assert_eq!(
+        hits(&f),
+        vec![
+            (rules::NO_UNSEEDED_RNG.to_string(), 13),
+            (rules::NO_UNSEEDED_RNG.to_string(), 14),
+            (rules::NO_WALL_CLOCK.to_string(), 4),
+            (rules::NO_WALL_CLOCK.to_string(), 4),
+            (rules::NO_WALL_CLOCK.to_string(), 7),
+            (rules::NO_WALL_CLOCK.to_string(), 8),
+        ]
+    );
+}
+
+#[test]
+fn wall_clock_is_sanctioned_in_bench_and_the_metering_module() {
+    let src = include_str!("fixtures/clocks_rng.rs");
+    for path in [
+        "crates/bench/src/bin/fig9.rs",
+        "crates/stats/src/cputime.rs",
+    ] {
+        let f = check(path, src);
+        assert!(
+            !hits(&f).iter().any(|(r, _)| r == rules::NO_WALL_CLOCK),
+            "{path}: wall clock is sanctioned here"
+        );
+    }
+}
+
+#[test]
+fn hash_iteration_fires_only_on_decision_paths() {
+    let src = include_str!("fixtures/hashes.rs");
+    let on_path = check("crates/core/src/hashes.rs", src);
+    // Import line (HashMap + HashSet), then two mentions per binding
+    // line (type annotation and constructor). BTreeMap never fires.
+    assert_eq!(
+        hits(&on_path),
+        vec![
+            (rules::NO_HASH_ITERATION.to_string(), 4),
+            (rules::NO_HASH_ITERATION.to_string(), 4),
+            (rules::NO_HASH_ITERATION.to_string(), 7),
+            (rules::NO_HASH_ITERATION.to_string(), 7),
+            (rules::NO_HASH_ITERATION.to_string(), 8),
+            (rules::NO_HASH_ITERATION.to_string(), 8),
+        ]
+    );
+    let off_path = check("crates/stats/src/hashes.rs", src);
+    assert_eq!(
+        hits(&off_path),
+        vec![],
+        "hash containers are fine off the decision paths"
+    );
+}
+
+#[test]
+fn nan_unsafe_compares_fire_and_safe_forms_do_not() {
+    let f = check(
+        "crates/stats/src/nan.rs",
+        include_str!("fixtures/nan_compare.rs"),
+    );
+    // partial_cmp().unwrap() is both NaN-unsafe and a panic site; the
+    // two bare float==literal comparisons fire once each. total_cmp,
+    // orderings, is_some_and, and tuple-field `.0 == .1` stay silent.
+    assert_eq!(
+        hits(&f),
+        vec![
+            (rules::NAN_UNSAFE_COMPARE.to_string(), 5),
+            (rules::NAN_UNSAFE_COMPARE.to_string(), 6),
+            (rules::NAN_UNSAFE_COMPARE.to_string(), 7),
+            (rules::NO_PANIC.to_string(), 5),
+        ]
+    );
+}
+
+#[test]
+fn allow_grammar_suppresses_ledgers_and_polices_itself() {
+    let f = check(
+        "crates/core/src/allows.rs",
+        include_str!("fixtures/allows.rs"),
+    );
+    // Reason-less and unknown-rule annotations are themselves findings
+    // AND fail to suppress; an annotation covering nothing is flagged
+    // as unused.
+    assert_eq!(
+        hits(&f),
+        vec![
+            (rules::ALLOW_NEEDS_REASON.to_string(), 15),
+            (rules::ALLOW_NEEDS_REASON.to_string(), 20),
+            (rules::NO_PANIC.to_string(), 16),
+            (rules::NO_PANIC.to_string(), 21),
+            (rules::UNUSED_ALLOW.to_string(), 25),
+        ]
+    );
+    // Both the standalone and the trailing reasoned allows suppressed
+    // exactly one site each and entered the ledger with their reasons.
+    let mut ledger: Vec<(usize, usize, &str)> = f
+        .allowed
+        .iter()
+        .map(|a| (a.line, a.suppressed, a.reason.as_str()))
+        .collect();
+    ledger.sort();
+    assert_eq!(
+        ledger,
+        vec![
+            (6, 1, "fixture invariant — the caller always passes Some"),
+            (11, 1, "fixture invariant — the caller always passes Some"),
+        ]
+    );
+}

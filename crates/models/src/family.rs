@@ -49,6 +49,7 @@ impl ModelFamily {
         assert!(!models.is_empty(), "family {name} has no models");
         for m in &models {
             if let Err(e) = m.validate() {
+                // lint:allow(no-panic): documented panic contract — invalid members are construction-time programming errors
                 panic!("family {name}: model {} invalid: {e}", m.name);
             }
         }
@@ -79,11 +80,8 @@ impl ModelFamily {
     pub fn fastest(&self) -> &ModelProfile {
         self.models
             .iter()
-            .min_by(|a, b| {
-                a.ref_latency_s
-                    .partial_cmp(&b.ref_latency_s)
-                    .expect("finite")
-            })
+            .min_by(|a, b| a.ref_latency_s.total_cmp(&b.ref_latency_s))
+            // lint:allow(no-panic): new() asserts families are non-empty
             .expect("non-empty family")
     }
 
@@ -91,7 +89,8 @@ impl ModelFamily {
     pub fn most_accurate(&self) -> &ModelProfile {
         self.models
             .iter()
-            .max_by(|a, b| a.quality.partial_cmp(&b.quality).expect("finite"))
+            .max_by(|a, b| a.quality.total_cmp(&b.quality))
+            // lint:allow(no-panic): new() asserts families are non-empty
             .expect("non-empty family")
     }
 

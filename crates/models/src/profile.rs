@@ -72,26 +72,23 @@ impl AnytimeSpec {
     /// increasing and end at 1.0, and qualities are strictly increasing
     /// (later outputs are more reliable, paper §3.5).
     pub fn new(stages: Vec<AnytimeStage>) -> Self {
-        assert!(!stages.is_empty(), "anytime spec needs at least one stage");
+        let (Some(first), Some(last)) = (stages.first(), stages.last()) else {
+            // lint:allow(no-panic): documented panic contract for construction-time misuse
+            panic!("anytime spec needs at least one stage");
+        };
         for w in stages.windows(2) {
+            let [lo, hi] = w else { continue };
+            assert!(hi.frac > lo.frac, "stage fractions must strictly increase");
             assert!(
-                w[1].frac > w[0].frac,
-                "stage fractions must strictly increase"
-            );
-            assert!(
-                w[1].quality > w[0].quality,
+                hi.quality > lo.quality,
                 "stage qualities must strictly increase"
             );
         }
-        let last = stages.last().expect("non-empty");
         assert!(
             (last.frac - 1.0).abs() < 1e-9,
             "final stage must complete the network (frac = 1.0)"
         );
-        assert!(
-            stages[0].frac > 0.0,
-            "first stage fraction must be positive"
-        );
+        assert!(first.frac > 0.0, "first stage fraction must be positive");
         AnytimeSpec { stages }
     }
 
@@ -196,11 +193,13 @@ impl ModelProfile {
             return Err(format!("accuracy out of range: {}", self.quality));
         }
         if let Some(a) = &self.anytime {
-            let last = a.stages().last().expect("non-empty");
+            let (Some(first), Some(last)) = (a.stages().first(), a.stages().last()) else {
+                return Err("anytime spec has no stages".into());
+            };
             if (last.quality - self.quality).abs() > 1e-9 {
                 return Err("final stage quality must equal profile quality".into());
             }
-            if a.stages()[0].quality <= self.fail_quality {
+            if first.quality <= self.fail_quality {
                 return Err("first stage must beat the fallback".into());
             }
         }

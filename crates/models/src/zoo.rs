@@ -109,6 +109,7 @@ pub fn vgg16() -> ModelProfile {
     imagenet42()
         .into_iter()
         .find(|m| m.name == "vgg_16")
+        // lint:allow(no-panic): the zoo table is a compile-time constant containing vgg_16; covered by tests
         .expect("vgg_16 in zoo")
 }
 
@@ -117,6 +118,7 @@ pub fn resnet50() -> ModelProfile {
     imagenet42()
         .into_iter()
         .find(|m| m.name == "resnet_v1_50")
+        // lint:allow(no-panic): the zoo table is a compile-time constant containing resnet_v1_50; covered by tests
         .expect("resnet_v1_50 in zoo")
 }
 

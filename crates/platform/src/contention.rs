@@ -116,6 +116,7 @@ impl ContentionProcess {
             PhaseSchedule::Windows(ws) => ws.iter().any(|&(s, e)| t >= s && t < e),
             PhaseSchedule::Random { on, off, .. } => {
                 let (on, off) = (*on, *off);
+                // lint:allow(no-panic): constructors pair every Random schedule with an rng; the split fields are a construction invariant
                 let rng = self.rng.as_mut().expect("random schedule has rng");
                 while t >= self.phase.1 {
                     let (was_active, end) = self.phase;

@@ -37,8 +37,9 @@ impl GpuFreqTable {
     pub fn new(levels: Vec<GpuLevel>) -> Self {
         assert!(levels.len() >= 2, "a lookup table needs at least 2 levels");
         for w in levels.windows(2) {
+            let [lo, hi] = w else { continue };
             assert!(
-                w[1].freq_mhz > w[0].freq_mhz && w[1].power > w[0].power,
+                hi.freq_mhz > lo.freq_mhz && hi.power > lo.power,
                 "levels must be strictly increasing in frequency and power"
             );
         }
@@ -93,7 +94,7 @@ impl GpuFreqTable {
         }
         chosen.ok_or(PowerError::CapOutOfRange {
             requested: budget,
-            min: self.levels[0].power,
+            min: self.levels[0].power, // lint:allow(no-panic): new() asserts at least two levels
             max: self.levels[self.levels.len() - 1].power,
         })
     }
@@ -118,7 +119,7 @@ impl GpuFreqTable {
 
     /// The slowest level's power (minimum feasible budget).
     pub fn min_power(&self) -> Watts {
-        self.levels[0].power
+        self.levels[0].power // lint:allow(no-panic): new() asserts at least two levels
     }
 
     /// The fastest level's power (maximum useful budget).

@@ -58,6 +58,7 @@ pub fn build_table(
         t_prof.push(
             powers
                 .iter()
+                // lint:allow(no-panic): powers come from the platform's own setting table, so every cap is feasible
                 .map(|&p| inference::profile_latency(m, platform, p).expect("feasible cap"))
                 .collect(),
         );
@@ -119,6 +120,7 @@ impl AlertScheduler {
                     .models()
                     .iter()
                     .position(|m| &m.name == name)
+                    // lint:allow(no-panic): the restricted family is filtered out of this same family, so every member resolves
                     .expect("restricted model exists in family")
             })
             .collect();
@@ -237,6 +239,7 @@ impl Scheduler for AlertScheduler {
         let sel = self
             .controller
             .decide_with_period(&goal, ctx.period)
+            // lint:allow(no-panic): see comment above — base_goal is validated in new() and deadlines are positive
             .expect("goal validated at construction");
         let c = sel.candidate;
         let cap = self.controller.table().cap(c.power);

@@ -31,6 +31,7 @@ impl AppOnly {
             .models()
             .iter()
             .position(|m| m.is_anytime() && platform.supports_footprint(m.footprint_gb))
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
             .expect("App-only needs an anytime model that fits the platform");
         AppOnly {
             model,

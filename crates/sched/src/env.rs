@@ -167,6 +167,7 @@ impl EpisodeEnv {
         for fit in script.trace_fits() {
             // validate() guarantees the source exists when a trace
             // arrival is scripted.
+            // lint:allow(no-panic): validate() guarantees the source exists when a trace arrival is scripted
             let source = script.trace().expect("validated trace attachment");
             source
                 .check_horizon(stream.len(), fit)
@@ -202,6 +203,7 @@ impl EpisodeEnv {
                     // fresh cycle (same semantics as the sampler's own
                     // `Trace` arm).
                     sampler.reset();
+                    // lint:allow(no-panic): validate() guarantees the source exists when a trace arrival is scripted
                     let step = script.trace().expect("validated trace attachment").step(
                         i,
                         stream.len(),

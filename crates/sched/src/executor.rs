@@ -79,6 +79,7 @@ pub(crate) fn drain_shards(
         }
         handles
             .into_iter()
+            // lint:allow(no-panic): join() only errs if the worker panicked; re-raising that panic is the correct propagation
             .map(|h| h.join().expect("executor worker panicked"))
             .collect::<Result<Vec<_>, RuntimeError>>()
             .map(|per_shard| per_shard.into_iter().flatten().collect())
@@ -358,6 +359,7 @@ impl ShardedRuntime {
             }
             handles
                 .into_iter()
+                // lint:allow(no-panic): join() only errs if the worker panicked; re-raising that panic is the correct propagation
                 .map(|h| h.join().expect("shard drain panicked"))
                 .collect::<Result<Vec<_>, RuntimeError>>()
                 .map(|per_shard| per_shard.into_iter().flatten().collect())

@@ -58,10 +58,12 @@ impl NoCoord {
             .enumerate()
             .find(|(_, m)| m.is_anytime() && platform.supports_footprint(m.footprint_gb))
             .map(|(i, m)| (i, m.clone()))
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
             .expect("No-coord needs an anytime model that fits the platform");
         let caps = platform.power_settings();
         let t_prof: Vec<Seconds> = caps
             .iter()
+            // lint:allow(no-panic): caps come from the platform's own setting table, so every cap is feasible
             .map(|&c| inference::profile_latency(&profile, platform, c).expect("feasible"))
             .collect();
         let p_run = caps
@@ -101,6 +103,7 @@ impl Scheduler for NoCoord {
             .profile
             .anytime
             .as_ref()
+            // lint:allow(no-panic): new() selects an anytime member, so the profile always carries stages
             .expect("anytime model")
             .stages();
 

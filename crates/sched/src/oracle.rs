@@ -108,7 +108,9 @@ fn satisfies(o: &RealizedOutcome, goal: &Goal, deadline: Seconds) -> bool {
         return false;
     }
     match goal.objective {
+        // lint:allow(no-panic): Goal::validate requires the matching bound for this objective; schedulers only receive validated goals
         Objective::MinimizeEnergy => o.quality >= goal.min_quality.expect("validated") - 1e-12,
+        // lint:allow(no-panic): Goal::validate requires the matching bound for this objective; schedulers only receive validated goals
         Objective::MinimizeError => o.energy <= goal.energy_budget.expect("validated"),
     }
 }
@@ -121,6 +123,7 @@ fn violates_per_input(o: &RealizedOutcome, goal: &Goal, deadline: Seconds) -> bo
     }
     match goal.objective {
         Objective::MinimizeEnergy => false,
+        // lint:allow(no-panic): Goal::validate requires the matching bound for this objective; schedulers only receive validated goals
         Objective::MinimizeError => o.energy > goal.energy_budget.expect("validated"),
     }
 }
@@ -190,6 +193,7 @@ impl Oracle {
         } else {
             best_deadline_only
                 .or(best_any)
+                // lint:allow(no-panic): enumerate() yields at least one candidate for every non-empty family, and families are validated non-empty
                 .expect("non-empty candidate set")
         }
     }
@@ -348,7 +352,7 @@ impl OracleStatic {
         stream: &InputStream,
     ) -> Self {
         assert!(!cell.is_empty(), "cell needs at least one setting");
-        let candidates = enumerate(&family, &cell[0].0);
+        let candidates = enumerate(&family, &cell[0].0); // lint:allow(no-panic): guarded by the non-empty cell assert above
         let mut best: Option<(OracleCandidate, usize, f64, StaticScore)> = None;
         for c in candidates {
             let mut met = 0usize;
@@ -372,9 +376,11 @@ impl OracleStatic {
                 }
             };
             if better {
+                // lint:allow(no-panic): first_score is set on the first iteration over the non-empty cell
                 best = Some((c, met, mean_obj, first_score.expect("non-empty cell")));
             }
         }
+        // lint:allow(no-panic): enumerate() yields at least one candidate for every non-empty family, and families are validated non-empty
         let (choice, _, _, score) = best.expect("non-empty candidate set");
         OracleStatic {
             choice,

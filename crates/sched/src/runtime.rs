@@ -725,6 +725,7 @@ impl Runtime {
                 };
                 sink.emit(&event);
                 let EpisodeEvent::InputProcessed { record, .. } = event else {
+                    // lint:allow(no-panic): the event variant is constructed two lines above; no other variant can reach here
                     unreachable!("constructed above")
                 };
                 Ok(Some(record))

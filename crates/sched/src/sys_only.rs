@@ -49,16 +49,14 @@ impl SysOnly {
             .iter()
             .enumerate()
             .filter(|(_, m)| !m.is_anytime() && platform.supports_footprint(m.footprint_gb))
-            .min_by(|(_, a), (_, b)| {
-                a.ref_latency_s
-                    .partial_cmp(&b.ref_latency_s)
-                    .expect("finite")
-            })
+            .min_by(|(_, a), (_, b)| a.ref_latency_s.total_cmp(&b.ref_latency_s))
             .map(|(i, m)| (i, m.clone()))
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
             .expect("Sys-only needs a traditional model that fits the platform");
         let caps = platform.power_settings();
         let t_prof = caps
             .iter()
+            // lint:allow(no-panic): caps come from the platform's own setting table, so every cap is feasible
             .map(|&c| inference::profile_latency(&profile, platform, c).expect("feasible"))
             .collect();
         let p_run = caps

@@ -107,6 +107,53 @@ pub fn thread_cpu_time() -> Option<Duration> {
     None
 }
 
+/// A decision-cost stopwatch: thread-CPU clock when the platform has
+/// one, wall clock otherwise.
+///
+/// This is the *only* sanctioned way for non-bench code to measure its
+/// own cost. The wall-clock member exists purely as the fallback for
+/// targets without `CLOCK_THREAD_CPUTIME_ID`; keeping it here (in the
+/// metering module) rather than at the call site is what lets
+/// controller state carry no ambient wall time — `alert-lint`'s
+/// `no-wall-clock` rule enforces exactly that boundary.
+#[derive(Debug)]
+pub struct DecisionStopwatch {
+    cpu_start: Option<Duration>,
+    wall_start: std::time::Instant,
+}
+
+impl DecisionStopwatch {
+    /// Starts the stopwatch on the calling thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alert_stats::cputime::DecisionStopwatch;
+    ///
+    /// let sw = DecisionStopwatch::start();
+    /// let cost = sw.elapsed();
+    /// assert!(cost >= std::time::Duration::ZERO);
+    /// ```
+    pub fn start() -> Self {
+        DecisionStopwatch {
+            cpu_start: thread_cpu_time(),
+            wall_start: std::time::Instant::now(),
+        }
+    }
+
+    /// Elapsed cost since [`DecisionStopwatch::start`]: CPU time where
+    /// the thread clock exists, wall time elsewhere. Can be zero — a
+    /// cached decision may finish between two ticks of the CPU clock —
+    /// so callers that treat zero as "nothing happened" must apply
+    /// their own floor.
+    pub fn elapsed(&self) -> Duration {
+        match (self.cpu_start, thread_cpu_time()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => self.wall_start.elapsed(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,7 @@ impl KsStatistic {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut d: f64 = 0.0;
         for (i, &x) in sorted.iter().enumerate() {

@@ -66,11 +66,7 @@ pub fn lower_convex_hull(points: &[Point2]) -> Vec<Point2> {
     if pts.len() <= 1 {
         return pts;
     }
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("finite")
-            .then(a.y.partial_cmp(&b.y).expect("finite"))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     // Collapse duplicate x, keeping the lowest y (sorted order guarantees
     // the first of each x-run is lowest).
     pts.dedup_by(|next, kept| (next.x - kept.x).abs() < f64::EPSILON * kept.x.abs().max(1.0));
@@ -105,11 +101,7 @@ pub fn pareto_frontier(points: &[Point2]) -> Vec<Point2> {
         .copied()
         .filter(|p| p.x.is_finite() && p.y.is_finite())
         .collect();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("finite")
-            .then(a.y.partial_cmp(&b.y).expect("finite"))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     let mut frontier: Vec<Point2> = Vec::new();
     let mut best_y = f64::INFINITY;
     for p in pts {
@@ -130,11 +122,14 @@ pub fn above_hull(hull: &[Point2], p: Point2, eps: f64) -> bool {
     if hull.len() < 2 {
         return true;
     }
-    if p.x < hull[0].x || p.x > hull[hull.len() - 1].x {
+    let (Some(first), Some(last)) = (hull.first(), hull.last()) else {
+        return true;
+    };
+    if p.x < first.x || p.x > last.x {
         return true;
     }
     for w in hull.windows(2) {
-        let (a, b) = (w[0], w[1]);
+        let &[a, b] = w else { continue };
         if p.x >= a.x && p.x <= b.x {
             let t = if b.x > a.x {
                 (p.x - a.x) / (b.x - a.x)

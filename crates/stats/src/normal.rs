@@ -296,6 +296,7 @@ impl Normal {
     /// For the degenerate `sigma == 0` case the density is not defined; this
     /// returns `f64::INFINITY` at `mu` and `0` elsewhere.
     pub fn pdf(&self, x: f64) -> f64 {
+        // lint:allow(nan-unsafe-compare): exact degenerate-distribution sentinel; sigma is validated finite and non-negative at construction
         if self.sigma == 0.0 {
             if x == self.mu {
                 f64::INFINITY
@@ -309,6 +310,7 @@ impl Normal {
 
     /// Cumulative probability `P[X <= x]`.
     pub fn cdf(&self, x: f64) -> f64 {
+        // lint:allow(nan-unsafe-compare): exact degenerate-distribution sentinel; sigma is validated finite and non-negative at construction
         if self.sigma == 0.0 {
             if x >= self.mu {
                 1.0
@@ -327,6 +329,7 @@ impl Normal {
     /// Panics if `p` is outside `(0, 1)` and the distribution is not
     /// degenerate.
     pub fn quantile(&self, p: f64) -> f64 {
+        // lint:allow(nan-unsafe-compare): exact degenerate-distribution sentinel; sigma is validated finite and non-negative at construction
         if self.sigma == 0.0 {
             self.mu
         } else {
@@ -337,6 +340,7 @@ impl Normal {
     /// Probability that `X` exceeds `x` (upper tail), computed without
     /// cancellation.
     pub fn sf(&self, x: f64) -> f64 {
+        // lint:allow(nan-unsafe-compare): exact degenerate-distribution sentinel; sigma is validated finite and non-negative at construction
         if self.sigma == 0.0 {
             if x >= self.mu {
                 0.0

@@ -156,7 +156,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     Some(percentile_sorted(&sorted, p))
 }
 
@@ -169,7 +169,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     let n = sorted.len();
     if n == 1 {
-        return sorted[0];
+        return sorted[0]; // lint:allow(no-panic): guarded by the non-empty assert above; panicking here is the documented contract
     }
     let rank = p / 100.0 * (n - 1) as f64;
     let lo = rank.floor() as usize;
@@ -207,7 +207,7 @@ pub fn five_number(xs: &[f64]) -> Option<FiveNumber> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     Some(FiveNumber {
         p10: percentile_sorted(&sorted, 10.0),
         p25: percentile_sorted(&sorted, 25.0),

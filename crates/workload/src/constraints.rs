@@ -37,13 +37,10 @@ pub const POWER_FRACTIONS: [f64; 5] = [0.25, 0.45, 0.65, 0.85, 1.0];
 pub fn deadline_unit(family: &ModelFamily, platform: &Platform) -> Seconds {
     let anytime = family
         .anytime_members()
-        .max_by(|a, b| {
-            a.ref_latency_s
-                .partial_cmp(&b.ref_latency_s)
-                .expect("finite")
-        })
+        .max_by(|a, b| a.ref_latency_s.total_cmp(&b.ref_latency_s))
         .unwrap_or_else(|| family.most_accurate());
     inference::profile_latency(anytime, platform, platform.default_cap())
+        // lint:allow(no-panic): the default cap is drawn from the platform's own table, so it is always feasible
         .expect("default cap is feasible")
 }
 
@@ -72,6 +69,7 @@ pub fn achievable_quality(
         if !platform.supports_footprint(m.footprint_gb) {
             continue;
         }
+        // lint:allow(no-panic): cap is the platform's default cap, feasible by construction; unsupported footprints were skipped above
         let full = inference::profile_latency(m, platform, cap).expect("feasible");
         match &m.anytime {
             None => {

@@ -84,6 +84,7 @@ impl InputRecord {
                 let budget = self
                     .energy_budget
                     .or(goal.energy_budget)
+                    // lint:allow(no-panic): Goal::validate requires energy_budget for MinimizeError goals
                     .expect("validated goal");
                 self.energy.get() > budget.get() * (1.0 + 1e-9)
             }

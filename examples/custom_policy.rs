@@ -48,8 +48,7 @@ impl GreedyRaceToIdle {
         by_quality.sort_by(|&a, &b| {
             family.models()[b]
                 .quality
-                .partial_cmp(&family.models()[a].quality)
-                .expect("finite")
+                .total_cmp(&family.models()[a].quality)
         });
         GreedyRaceToIdle {
             family: family.clone(),
