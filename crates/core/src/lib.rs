@@ -32,13 +32,18 @@
 pub mod alert;
 pub mod config;
 pub mod energy;
-pub mod goal;
 pub mod idle;
 pub mod lane;
 pub mod latency;
 pub mod quality;
 pub mod select;
 pub mod slowdown;
+
+/// Goal vocabulary ([`Goal`], [`Objective`], [`GoalAdjuster`]) lives in
+/// `alert-workload` — goals are workload statements, not controller
+/// state — and is re-exported here so controller code keeps its
+/// `crate::goal::…` paths.
+pub use alert_workload::goal;
 
 pub use alert::{AlertController, AlertParams, ControllerSnapshot, Observation, ProbabilityMode};
 pub use config::{Candidate, CandidateModel, ConfigTable, StagePoint};

@@ -87,6 +87,12 @@ pub fn expected_quality_from_probs(
 
 /// The ALERT\* (mean-only) quality estimate: the staircase evaluated at
 /// the mean latency, with no probabilistic mixing.
+///
+/// # Panics
+///
+/// Panics if `target_stage` is out of range for `model.stages` — stage
+/// indices come from the candidate table, so an out-of-range index is a
+/// construction bug, not a runtime condition.
 pub fn mean_only_quality(
     xi: &Normal,
     model: &CandidateModel,

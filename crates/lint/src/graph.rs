@@ -1,0 +1,960 @@
+//! An approximate whole-workspace call graph.
+//!
+//! Nodes are the `fn` items recovered by [`crate::items`]; edges are
+//! call expressions in fn bodies, resolved against the module tree and
+//! each file's `use` imports. Resolution is deliberately *approximate*
+//! (DESIGN.md §10): when a call cannot be path-resolved, the graph
+//! falls back to matching by bare name anywhere in the workspace and
+//! records the edges as **low confidence**. Taint-style analyses
+//! (panic reachability, lock-order propagation, RNG provenance) follow
+//! high-confidence edges plus low-confidence edges whose name matched
+//! exactly one workspace fn — a multi-candidate name match is recorded
+//! for the report but never propagates, so heuristic fan-out cannot
+//! manufacture violations.
+//!
+//! Construction is deterministic: files arrive sorted by path, items in
+//! source order, and every map is a `BTreeMap`, so node ids, edge order
+//! and the serialized summary are byte-stable across runs and
+//! filesystems (property-tested in `tests/graph_props.rs`).
+
+use crate::context::FileContext;
+use crate::items::{walk, Item, ItemKind, Vis};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// How a call edge was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Confidence {
+    /// Path-resolved through the module tree / `use` imports.
+    High,
+    /// Name-heuristic fallback (bare-name or method-name match).
+    Low,
+}
+
+/// One fn node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the owning file in the scanned-file list.
+    pub file: usize,
+    /// Crate path token (`alert_core`, …; `alert` for the root crate).
+    pub crate_token: String,
+    /// Inline-module path inside the file (file-level module included).
+    pub module: Vec<String>,
+    /// Self type when the fn lives in an `impl`/`trait` block.
+    pub self_ty: Option<String>,
+    /// The fn name.
+    pub name: String,
+    /// Byte span of the whole item in its file.
+    pub span: (usize, usize),
+    /// Byte span of the body, when the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Raw parameter-list text.
+    pub params: String,
+    /// Raw return-type text (includes `->` and any `where` clause).
+    pub ret: String,
+    /// Whether the fn itself is `pub` **and** every enclosing inline
+    /// module is `pub` **and** its file module is publicly declared —
+    /// the approximation of "part of the crate's public API".
+    pub pub_api: bool,
+}
+
+impl FnNode {
+    /// Human-readable path, e.g. `alert_core::goal::Goal::validate`.
+    pub fn display_path(&self) -> String {
+        let mut parts = vec![self.crate_token.clone()];
+        parts.extend(self.module.iter().cloned());
+        if let Some(ty) = &self.self_ty {
+            parts.push(ty.clone());
+        }
+        parts.push(self.name.clone());
+        parts.join("::")
+    }
+}
+
+/// One call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Caller node id.
+    pub from: usize,
+    /// Callee node id.
+    pub to: usize,
+    /// Resolution quality.
+    pub confidence: Confidence,
+    /// Number of candidate fns the call matched (1 for path-resolved).
+    pub candidates: usize,
+    /// Byte offset of the call site in the caller's file.
+    pub offset: usize,
+}
+
+impl Edge {
+    /// Whether taint-style analyses may follow this edge: path-resolved,
+    /// or a name heuristic that matched exactly one fn in the workspace.
+    pub fn propagates(&self) -> bool {
+        self.confidence == Confidence::High || self.candidates == 1
+    }
+}
+
+/// Everything the graph knows about one scanned file.
+pub struct FileFns {
+    /// Workspace-relative path.
+    pub path: String,
+    /// `use` imports: last-segment alias → full normalized path.
+    pub imports: BTreeMap<String, String>,
+}
+
+/// The whole-workspace call graph.
+pub struct CallGraph {
+    /// All fn nodes, in (file, source-order) order.
+    pub nodes: Vec<FnNode>,
+    /// All edges, in caller order.
+    pub edges: Vec<Edge>,
+    /// Per-file import tables (parallel to the scanned-file list).
+    pub files: Vec<FileFns>,
+    /// Calls that matched nothing in the workspace (std / vendor calls
+    /// mostly); counted for the report.
+    pub unresolved_calls: usize,
+    /// Forward adjacency over propagating edges.
+    fwd: Vec<Vec<usize>>,
+    /// Reverse adjacency over propagating edges.
+    rev: Vec<Vec<usize>>,
+}
+
+/// Serializable graph roll-up for the `graph` section of `LINT.json`.
+#[derive(Debug, Serialize)]
+pub struct GraphStats {
+    /// Files whose items were parsed.
+    pub files_parsed: usize,
+    /// Total fn nodes.
+    pub fns: usize,
+    /// Public-API fn nodes.
+    pub pub_fns: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Path-resolved edges.
+    pub edges_high: usize,
+    /// Name-heuristic edges.
+    pub edges_low: usize,
+    /// Calls matching no workspace fn (external).
+    pub unresolved_calls: usize,
+}
+
+/// A file as the graph builder consumes it.
+pub struct GraphInput<'a> {
+    /// File context (path, kind, test spans).
+    pub ctx: &'a FileContext,
+    /// Masked source bytes.
+    pub masked: &'a [u8],
+    /// Parsed item tree.
+    pub items: &'a [Item],
+}
+
+fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Crate path token for a file: `crates/core/...` → `alert_core`, the
+/// root package → `alert`.
+pub fn crate_token(ctx: &FileContext) -> String {
+    ctx.crate_name.replace('-', "_")
+}
+
+/// The file-level module path of a file inside its crate:
+/// `crates/core/src/goal.rs` → `["goal"]`, `lib.rs`/`main.rs`/bins →
+/// `[]`, `src/foo/bar.rs` → `["foo", "bar"]`.
+fn file_module(path: &str) -> Vec<String> {
+    let parts: Vec<&str> = path.split('/').collect();
+    let src_idx = parts.iter().position(|p| *p == "src");
+    let Some(si) = src_idx else { return Vec::new() };
+    let tail = &parts[si + 1..];
+    let mut module = Vec::new();
+    for (i, part) in tail.iter().enumerate() {
+        let last = i + 1 == tail.len();
+        if last {
+            if let Some(stem) = part.strip_suffix(".rs") {
+                if stem != "lib" && stem != "main" && stem != "mod" {
+                    module.push(stem.to_string());
+                }
+            }
+        } else if *part == "bin" {
+            // Bin targets are their own crate roots.
+            return Vec::new();
+        } else {
+            module.push(part.to_string());
+        }
+    }
+    module
+}
+
+impl CallGraph {
+    /// Builds the graph from every scanned file. `files` must be sorted
+    /// by path (the workspace scanner guarantees it), which makes node
+    /// ids deterministic.
+    pub fn build(files: &[GraphInput<'_>]) -> CallGraph {
+        // Pass 0: which file-level modules are publicly declared, per
+        // crate: from `pub mod x;` declarations in crate roots.
+        let mut pub_file_mods: BTreeMap<(String, String), bool> = BTreeMap::new();
+        for f in files {
+            let is_crate_root = f.ctx.path.ends_with("/lib.rs") || f.ctx.path.ends_with("/main.rs");
+            if !is_crate_root {
+                continue;
+            }
+            let token = crate_token(f.ctx);
+            for it in f.items {
+                if it.kind == ItemKind::ModDecl {
+                    pub_file_mods.insert((token.clone(), it.name.clone()), it.vis == Vis::Pub);
+                }
+            }
+        }
+
+        // Pass 1: collect nodes and per-file imports.
+        let mut nodes: Vec<FnNode> = Vec::new();
+        let mut file_fns: Vec<FileFns> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            let token = crate_token(f.ctx);
+            let base_mod = file_module(&f.ctx.path);
+            let file_mod_pub = base_mod.first().is_none_or(|m| {
+                *pub_file_mods
+                    .get(&(token.clone(), m.clone()))
+                    .unwrap_or(&true)
+            });
+            let mut imports = BTreeMap::new();
+            collect_imports(f.items, &mut imports);
+            // Walk with pub-ancestry tracking: recompute by walking the
+            // tree manually so we know whether every enclosing inline
+            // mod is pub.
+            collect_fns(
+                f.items,
+                fi,
+                &token,
+                &base_mod,
+                file_mod_pub,
+                &mut Vec::new(),
+                true,
+                None,
+                &mut nodes,
+            );
+            file_fns.push(FileFns {
+                path: f.ctx.path.clone(),
+                imports,
+            });
+        }
+
+        // Name index: bare fn name → node ids (sorted by construction).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        // Qualified indexes for path resolution.
+        // (crate, module-joined, name) → id; (crate, self_ty, name) → ids.
+        let mut by_path: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut by_ty: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut by_crate_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            by_name.entry(&n.name).or_default().push(id);
+            by_crate_name
+                .entry((n.crate_token.clone(), n.name.clone()))
+                .or_default()
+                .push(id);
+            if n.self_ty.is_none() {
+                by_path.insert(
+                    (n.crate_token.clone(), n.module.join("::"), n.name.clone()),
+                    id,
+                );
+            }
+            if let Some(ty) = &n.self_ty {
+                by_ty
+                    .entry((ty.clone(), n.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+
+        // Pass 2: extract and resolve calls from each fn body.
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut unresolved = 0usize;
+        for (caller_id, node) in nodes.iter().enumerate() {
+            let Some((b0, b1)) = node.body else { continue };
+            let f = &files[node.file];
+            let imports = &file_fns[node.file].imports;
+            for call in extract_calls(&f.masked[..b1.min(f.masked.len())], b0) {
+                let resolved = resolve_call(
+                    &call,
+                    node,
+                    imports,
+                    &by_path,
+                    &by_ty,
+                    &by_name,
+                    &by_crate_name,
+                );
+                match resolved {
+                    Resolution::Direct(to) => edges.push(Edge {
+                        from: caller_id,
+                        to,
+                        confidence: Confidence::High,
+                        candidates: 1,
+                        offset: call.offset,
+                    }),
+                    Resolution::Heuristic(ids) => {
+                        let candidates = ids.len();
+                        for to in ids {
+                            edges.push(Edge {
+                                from: caller_id,
+                                to,
+                                confidence: Confidence::Low,
+                                candidates,
+                                offset: call.offset,
+                            });
+                        }
+                    }
+                    Resolution::External => unresolved += 1,
+                }
+            }
+        }
+
+        let mut fwd = vec![Vec::new(); nodes.len()];
+        let mut rev = vec![Vec::new(); nodes.len()];
+        for e in &edges {
+            if e.propagates() {
+                fwd[e.from].push(e.to);
+                rev[e.to].push(e.from);
+            }
+        }
+        CallGraph {
+            nodes,
+            edges,
+            files: file_fns,
+            unresolved_calls: unresolved,
+            fwd,
+            rev,
+        }
+    }
+
+    /// Roll-up stats for the report.
+    pub fn stats(&self, files_parsed: usize) -> GraphStats {
+        GraphStats {
+            files_parsed,
+            fns: self.nodes.len(),
+            pub_fns: self.nodes.iter().filter(|n| n.pub_api).count(),
+            edges: self.edges.len(),
+            edges_high: self
+                .edges
+                .iter()
+                .filter(|e| e.confidence == Confidence::High)
+                .count(),
+            edges_low: self
+                .edges
+                .iter()
+                .filter(|e| e.confidence == Confidence::Low)
+                .count(),
+            unresolved_calls: self.unresolved_calls,
+        }
+    }
+
+    /// Node ids whose body span contains `offset` in file `file`.
+    pub fn enclosing_fn(&self, file: usize, offset: usize) -> Option<usize> {
+        // Innermost fn wins (closures aside, fns do not nest often).
+        let mut best: Option<(usize, usize)> = None;
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.file != file {
+                continue;
+            }
+            if let Some((b0, b1)) = n.body {
+                if (b0..b1).contains(&offset) {
+                    let width = b1 - b0;
+                    if best.is_none_or(|(_, w)| width < w) {
+                        best = Some((id, width));
+                    }
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// All nodes reachable *from* `start` over propagating edges
+    /// (excluding `start` unless it is on a cycle).
+    pub fn reachable_from(&self, start: usize) -> Vec<usize> {
+        bfs(&self.fwd, start)
+    }
+
+    /// All nodes that can reach `target` over propagating edges.
+    pub fn reaching(&self, target: usize) -> Vec<usize> {
+        bfs(&self.rev, target)
+    }
+
+    /// Direct propagating callees of `id`.
+    pub fn callees(&self, id: usize) -> &[usize] {
+        self.fwd.get(id).map_or(&[], Vec::as_slice)
+    }
+}
+
+fn bfs(adj: &[Vec<usize>], start: usize) -> Vec<usize> {
+    let mut seen = vec![false; adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &m in adj.get(n).map_or(&[][..], Vec::as_slice) {
+            if !seen[m] {
+                seen[m] = true;
+                out.push(m);
+                queue.push_back(m);
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects fn nodes with module/visibility ancestry.
+#[allow(clippy::too_many_arguments)]
+fn collect_fns(
+    items: &[Item],
+    file: usize,
+    crate_token: &str,
+    base_mod: &[String],
+    file_mod_pub: bool,
+    inline_mods: &mut Vec<String>,
+    ancestors_pub: bool,
+    self_ty: Option<&str>,
+    out: &mut Vec<FnNode>,
+) {
+    for it in items {
+        match it.kind {
+            ItemKind::Fn => {
+                let mut module = base_mod.to_vec();
+                module.extend(inline_mods.iter().cloned());
+                out.push(FnNode {
+                    file,
+                    crate_token: crate_token.to_string(),
+                    module,
+                    self_ty: self_ty.map(str::to_string),
+                    name: it.name.clone(),
+                    span: it.span,
+                    body: it.body,
+                    params: it.params.clone(),
+                    ret: it.ret.clone(),
+                    pub_api: it.vis == Vis::Pub && ancestors_pub && file_mod_pub,
+                });
+            }
+            ItemKind::Mod => {
+                inline_mods.push(it.name.clone());
+                collect_fns(
+                    &it.children,
+                    file,
+                    crate_token,
+                    base_mod,
+                    file_mod_pub,
+                    inline_mods,
+                    ancestors_pub && it.vis == Vis::Pub,
+                    None,
+                    out,
+                );
+                inline_mods.pop();
+            }
+            ItemKind::Impl | ItemKind::Trait => {
+                collect_fns(
+                    &it.children,
+                    file,
+                    crate_token,
+                    base_mod,
+                    file_mod_pub,
+                    inline_mods,
+                    ancestors_pub,
+                    Some(&it.name),
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Flattens `use` items into alias → full path entries. Groups expand
+/// (`use a::{b, c as d}` → `b → a::b`, `d → a::c`); globs are skipped.
+fn collect_imports(items: &[Item], out: &mut BTreeMap<String, String>) {
+    fn add(prefix: &str, segment: &str, out: &mut BTreeMap<String, String>) {
+        let seg = segment.trim();
+        if seg.is_empty() || seg == "*" {
+            return;
+        }
+        if let Some(brace) = seg.find('{') {
+            let inner_prefix = format!("{prefix}{}", &seg[..brace]);
+            let inner = seg[brace + 1..].trim_end_matches('}');
+            for part in split_top_commas(inner) {
+                add(&inner_prefix, part, out);
+            }
+            return;
+        }
+        let (path_part, alias) = match seg.split_once(" as ") {
+            Some((p, a)) => (p.trim(), a.trim().to_string()),
+            None => {
+                let last = seg.rsplit("::").next().unwrap_or(seg).trim().to_string();
+                (seg, last)
+            }
+        };
+        if alias.is_empty() || alias == "self" {
+            return;
+        }
+        out.insert(alias, format!("{prefix}{path_part}"));
+    }
+    walk(items, &mut |it, _, _| {
+        if it.kind == ItemKind::Use {
+            add("", &it.name, out);
+        }
+    });
+}
+
+/// Splits on commas that are not nested inside braces.
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// One extracted call reference.
+#[derive(Debug, Clone)]
+pub struct CallRef {
+    /// Path segments (`["Foo", "bar"]` for `Foo::bar(…)`; one segment
+    /// for bare calls).
+    pub segments: Vec<String>,
+    /// Whether this was a method call (`.name(…)`).
+    pub method: bool,
+    /// Byte offset of the (first segment of the) call in the file.
+    pub offset: usize,
+}
+
+/// Scans a masked body span (`bytes[.. end]` with logical start
+/// `start`) for call-looking references: `path::seg(`, `ident(`, and
+/// `.method(`. Macros (`name!`) are skipped — the rules that care about
+/// macros scan for them lexically.
+pub fn extract_calls(bytes: &[u8], start: usize) -> Vec<CallRef> {
+    let mut out = Vec::new();
+    let mut i = start;
+    let end = bytes.len();
+    while i < end {
+        if !is_word(bytes[i]) || bytes[i].is_ascii_digit() || (i > 0 && is_word(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Collect a `::`-joined path starting here.
+        let path_start = i;
+        let mut segments = Vec::new();
+        let mut j = i;
+        loop {
+            let seg_start = j;
+            while j < end && is_word(bytes[j]) {
+                j += 1;
+            }
+            segments.push(String::from_utf8_lossy(&bytes[seg_start..j]).into_owned());
+            let mut k = j;
+            while k < end && bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if k + 1 < end && bytes[k] == b':' && bytes[k + 1] == b':' {
+                let mut m = k + 2;
+                while m < end && bytes[m].is_ascii_whitespace() {
+                    m += 1;
+                }
+                // Turbofish `::<…>` — skip the generics, expect `(`.
+                if m < end && bytes[m] == b'<' {
+                    let after = skip_angles(bytes, m, end);
+                    let mut n = after;
+                    while n < end && bytes[n].is_ascii_whitespace() {
+                        n += 1;
+                    }
+                    j = n;
+                    break;
+                }
+                if m < end && is_word(bytes[m]) && !bytes[m].is_ascii_digit() {
+                    j = m;
+                    continue;
+                }
+                j = m;
+                break;
+            }
+            j = k;
+            break;
+        }
+        // A call iff the next byte is `(`; `name!(…)` is a macro.
+        let is_call = j < end && bytes[j] == b'(';
+        let is_macro = j < end && bytes[j] == b'!';
+        if is_call && !is_macro {
+            let before = prev_nonws(bytes, path_start);
+            let method = before == Some(b'.');
+            // Skip keyword-looking heads (`if (…)`, `while(…)`, …) and
+            // struct-field inits; a one-segment "call" after `.` is a
+            // method, after anything else a free fn.
+            let head = segments.first().map(String::as_str).unwrap_or("");
+            const KEYWORDS: &[&str] = &[
+                "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "move", "in",
+                "as", "ref", "mut", "box", "await", "dyn", "impl", "where", "unsafe",
+            ];
+            if !KEYWORDS.contains(&head) {
+                out.push(CallRef {
+                    segments,
+                    method,
+                    offset: path_start,
+                });
+            }
+        }
+        i = j.max(path_start + 1);
+    }
+    out
+}
+
+fn prev_nonws(bytes: &[u8], i: usize) -> Option<u8> {
+    (0..i)
+        .rev()
+        .map(|j| bytes[j])
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+fn skip_angles(bytes: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && (bytes[i - 1] == b'-' || bytes[i - 1] == b'=') => {}
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            b';' | b'{' => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+enum Resolution {
+    Direct(usize),
+    Heuristic(Vec<usize>),
+    External,
+}
+
+/// Resolves one call reference from inside `caller`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    call: &CallRef,
+    caller: &FnNode,
+    imports: &BTreeMap<String, String>,
+    by_path: &BTreeMap<(String, String, String), usize>,
+    by_ty: &BTreeMap<(String, String), Vec<usize>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_crate_name: &BTreeMap<(String, String), Vec<usize>>,
+) -> Resolution {
+    let Some(last) = call.segments.last() else {
+        return Resolution::External;
+    };
+    let name = last.as_str();
+    // Method call: all fns with that name, anywhere (the receiver type
+    // is unknown without inference, so every candidate is recorded).
+    if call.method {
+        return heuristic(name, by_name);
+    }
+    if call.segments.len() == 1 {
+        // Bare call: same module of the same crate first, then an
+        // imported fn, then the crate root, then name heuristic.
+        let key = (
+            caller.crate_token.clone(),
+            caller.module.join("::"),
+            name.to_string(),
+        );
+        if let Some(&id) = by_path.get(&key) {
+            return Resolution::Direct(id);
+        }
+        if let Some(full) = imports.get(name) {
+            if let Some(id) = resolve_full_path(full, by_path, by_ty) {
+                return Resolution::Direct(id);
+            }
+        }
+        let root_key = (caller.crate_token.clone(), String::new(), name.to_string());
+        if let Some(&id) = by_path.get(&root_key) {
+            return Resolution::Direct(id);
+        }
+        return heuristic(name, by_name);
+    }
+    // Multi-segment path: normalize the head.
+    let mut segs: Vec<String> = call.segments.clone();
+    let head = segs.first().cloned().unwrap_or_default();
+    match head.as_str() {
+        "crate" => {
+            segs.remove(0);
+            segs.insert(0, caller.crate_token.clone());
+        }
+        "self" => {
+            segs.remove(0);
+            let mut pre = vec![caller.crate_token.clone()];
+            pre.extend(caller.module.iter().cloned());
+            pre.extend(segs);
+            segs = pre;
+        }
+        "super" => {
+            segs.remove(0);
+            let mut module = caller.module.clone();
+            module.pop();
+            let mut pre = vec![caller.crate_token.clone()];
+            pre.extend(module);
+            pre.extend(segs);
+            segs = pre;
+        }
+        "Self" => {
+            if let Some(ty) = &caller.self_ty {
+                segs.remove(0);
+                segs.insert(0, ty.clone());
+            }
+        }
+        _ => {
+            if let Some(full) = imports.get(&head) {
+                let mut pre: Vec<String> = full.split("::").map(|s| s.trim().to_string()).collect();
+                pre.extend(segs.into_iter().skip(1));
+                segs = pre;
+            }
+        }
+    }
+    let joined = segs.join("::");
+    if let Some(id) = resolve_full_path(&joined, by_path, by_ty) {
+        return Resolution::Direct(id);
+    }
+    // `Type::fn` without import info: try the type index directly.
+    if let Some((_, rest)) = segs.split_last() {
+        if let Some((ty, _)) = rest.split_last() {
+            let key = (ty.clone(), name.to_string());
+            if let Some(ids) = by_ty.get(&key) {
+                return narrow(ids);
+            }
+            // `module::fn` relative to the current crate.
+            let key = (
+                caller.crate_token.clone(),
+                rest.join("::"),
+                name.to_string(),
+            );
+            if let Some(&id) = by_path.get(&key) {
+                return Resolution::Direct(id);
+            }
+            // `alert_x::fn` — crate-qualified bare name.
+            if let (2, Some(head2)) = (segs.len(), segs.first()) {
+                if head2.starts_with("alert") {
+                    if let Some(ids) = by_crate_name.get(&(head2.clone(), name.to_string())) {
+                        return narrow(ids);
+                    }
+                }
+            }
+        }
+    }
+    heuristic(name, by_name)
+}
+
+/// A unique candidate is a direct resolution; several are heuristic.
+fn narrow(ids: &[usize]) -> Resolution {
+    match ids {
+        [only] => Resolution::Direct(*only),
+        [] => Resolution::External,
+        many => Resolution::Heuristic(many.to_vec()),
+    }
+}
+
+fn heuristic(name: &str, by_name: &BTreeMap<&str, Vec<usize>>) -> Resolution {
+    match by_name.get(name) {
+        Some(ids) if !ids.is_empty() => Resolution::Heuristic(ids.clone()),
+        _ => Resolution::External,
+    }
+}
+
+/// Resolves a fully-qualified textual path (`alert_core::goal::Goal::validate`
+/// or `alert_stats::rng::stream_rng`) against the indexes.
+fn resolve_full_path(
+    full: &str,
+    by_path: &BTreeMap<(String, String, String), usize>,
+    by_ty: &BTreeMap<(String, String), Vec<usize>>,
+) -> Option<usize> {
+    let segs: Vec<&str> = full.split("::").map(str::trim).collect();
+    let (&name, rest) = segs.split_last()?;
+    let (&krate, mods) = rest.split_first()?;
+    // Free fn in a module.
+    let key = (krate.to_string(), mods.join("::"), name.to_string());
+    if let Some(&id) = by_path.get(&key) {
+        return Some(id);
+    }
+    // Assoc fn: last module segment is really a type name.
+    if let Some((&ty, _)) = mods.split_last() {
+        if let Some([only]) = by_ty
+            .get(&(ty.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+        {
+            return Some(*only);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::context_for;
+    use crate::lexer::{lex, mask};
+
+    struct Owned {
+        ctx: FileContext,
+        masked: Vec<u8>,
+        items: Vec<Item>,
+    }
+
+    fn prep(path: &str, src: &str) -> Owned {
+        let tokens = lex(src);
+        let ctx = context_for(path, src);
+        let masked = mask(src, &tokens);
+        let items = crate::items::parse(&masked);
+        Owned { ctx, masked, items }
+    }
+
+    fn build(files: &[Owned]) -> CallGraph {
+        let inputs: Vec<GraphInput<'_>> = files
+            .iter()
+            .map(|o| GraphInput {
+                ctx: &o.ctx,
+                masked: &o.masked,
+                items: &o.items,
+            })
+            .collect();
+        CallGraph::build(&inputs)
+    }
+
+    fn node(g: &CallGraph, path: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.display_path() == path)
+            .unwrap_or_else(|| {
+                let all: Vec<String> = g.nodes.iter().map(|n| n.display_path()).collect();
+                panic!("no node {path}; have {all:?}")
+            })
+    }
+
+    #[test]
+    fn same_module_call_resolves_high() {
+        let files = [prep(
+            "crates/core/src/a.rs",
+            "pub fn outer() { inner(); }\nfn inner() {}\n",
+        )];
+        let g = build(&files);
+        let from = node(&g, "alert_core::a::outer");
+        let to = node(&g, "alert_core::a::inner");
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.confidence == Confidence::High));
+    }
+
+    #[test]
+    fn cross_crate_call_through_import() {
+        let files = [
+            prep(
+                "crates/stats/src/rng.rs",
+                "pub fn stream_rng(seed: u64) -> u64 { seed }\n",
+            ),
+            prep(
+                "crates/platform/src/contention.rs",
+                "use alert_stats::rng::stream_rng;\npub fn f() { stream_rng(1); }\n",
+            ),
+        ];
+        let g = build(&files);
+        let from = node(&g, "alert_platform::contention::f");
+        let to = node(&g, "alert_stats::rng::stream_rng");
+        let e = g
+            .edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .expect("edge exists");
+        assert_eq!(e.confidence, Confidence::High);
+    }
+
+    #[test]
+    fn method_call_is_low_confidence_unique_propagates() {
+        let files = [prep(
+            "crates/core/src/a.rs",
+            "struct S;\nimpl S { pub fn only_here(&self) {} }\npub fn f(s: &S) { s.only_here(); }\n",
+        )];
+        let g = build(&files);
+        let from = node(&g, "alert_core::a::f");
+        let to = node(&g, "alert_core::a::S::only_here");
+        let e = g
+            .edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .expect("edge exists");
+        assert_eq!(e.confidence, Confidence::Low);
+        assert!(e.propagates());
+        assert_eq!(g.reachable_from(from), vec![to]);
+    }
+
+    #[test]
+    fn ambiguous_method_does_not_propagate() {
+        let files = [prep(
+            "crates/core/src/a.rs",
+            "struct A;\nstruct B;\nimpl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\npub fn f(a: &A) { a.go(); }\n",
+        )];
+        let g = build(&files);
+        let from = node(&g, "alert_core::a::f");
+        let lows: Vec<&Edge> = g.edges.iter().filter(|e| e.from == from).collect();
+        assert_eq!(lows.len(), 2);
+        assert!(lows.iter().all(|e| !e.propagates()));
+        assert!(g.reachable_from(from).is_empty());
+    }
+
+    #[test]
+    fn pub_api_requires_pub_ancestry() {
+        let files = [
+            prep("crates/core/src/lib.rs", "pub mod alert;\nmod hidden;\n"),
+            prep(
+                "crates/core/src/alert.rs",
+                "pub fn api() {}\nfn private() {}\n",
+            ),
+            prep("crates/core/src/hidden.rs", "pub fn not_api() {}\n"),
+        ];
+        let g = build(&files);
+        assert!(g.nodes[node(&g, "alert_core::alert::api")].pub_api);
+        assert!(!g.nodes[node(&g, "alert_core::alert::private")].pub_api);
+        assert!(!g.nodes[node(&g, "alert_core::hidden::not_api")].pub_api);
+    }
+
+    #[test]
+    fn assoc_fn_path_call() {
+        let files = [prep(
+            "crates/core/src/a.rs",
+            "pub struct S;\nimpl S { pub fn new() -> S { S } }\npub fn f() { let _ = S::new(); }\n",
+        )];
+        let g = build(&files);
+        let from = node(&g, "alert_core::a::f");
+        let to = node(&g, "alert_core::a::S::new");
+        assert!(g.edges.iter().any(|e| e.from == from && e.to == to));
+    }
+
+    #[test]
+    fn determinism() {
+        let files = [
+            prep("crates/core/src/a.rs", "pub fn f() { g(); }\nfn g() {}\n"),
+            prep("crates/core/src/b.rs", "pub fn h() { crate::a::f(); }\n"),
+        ];
+        let g1 = build(&files);
+        let g2 = build(&files);
+        let paths1: Vec<String> = g1.nodes.iter().map(|n| n.display_path()).collect();
+        let paths2: Vec<String> = g2.nodes.iter().map(|n| n.display_path()).collect();
+        assert_eq!(paths1, paths2);
+        let e1: Vec<(usize, usize)> = g1.edges.iter().map(|e| (e.from, e.to)).collect();
+        let e2: Vec<(usize, usize)> = g2.edges.iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(e1, e2);
+    }
+}

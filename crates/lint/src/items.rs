@@ -1,0 +1,935 @@
+//! An approximate item parser: masked source → module tree.
+//!
+//! The semantic rules ([`crate::semantic`]) need to know *where
+//! functions live* (module path, enclosing impl, visibility) and *what a
+//! file imports*, not what expressions mean. This parser recovers
+//! exactly that subset from the masked byte string produced by
+//! [`crate::lexer::mask`]: since comments and literals are already
+//! blanked, brace matching and keyword scanning cannot be derailed by
+//! prose, and the parser can stay a few hundred lines instead of
+//! vendoring `syn`.
+//!
+//! Grammar subset (DESIGN.md §10):
+//!
+//! * items: `fn`, `struct`, `enum`, `trait`, `impl`, `mod` (inline and
+//!   file-level declarations), `use`, `const`, `static`, `type`,
+//!   `macro_rules!`, `extern crate`;
+//! * visibility: `pub`, `pub(...)` (any restriction), private;
+//! * fn signatures: modifiers (`const`/`async`/`unsafe`/`extern "…"`),
+//!   generics with `->` inside bounds (`F: Fn(A) -> B`), the parameter
+//!   list, and the raw return-type text;
+//! * bodies are opaque byte spans — expressions are never parsed.
+//!
+//! Totality: like the lexer, parsing **never fails**. Unrecognized
+//! constructs are skipped bytewise; every loop makes progress; property
+//! tests in `tests/graph_props.rs` drive adversarial compositions
+//! through the parser and assert it terminates with consistent spans.
+
+use serde::Serialize;
+
+/// Item classification (the subset the semantic rules consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ItemKind {
+    /// A function or method (`fn`).
+    Fn,
+    /// An inline module with a body (`mod m { … }`).
+    Mod,
+    /// A file-level module declaration (`mod m;`).
+    ModDecl,
+    /// An `impl` block; `name` is the base identifier of the self type.
+    Impl,
+    /// A `trait` definition (children are its methods).
+    Trait,
+    /// A `struct`, `enum`, or `union` definition.
+    Type,
+    /// A `use` declaration; `name` holds the whitespace-normalized path
+    /// text between `use` and `;`.
+    Use,
+    /// A `const` or `static` item.
+    Const,
+    /// Anything else that was recognized enough to skip (type aliases,
+    /// `macro_rules!`, `extern crate`, …).
+    Other,
+}
+
+/// Visibility as written at the item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Vis {
+    /// `pub`.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    Restricted,
+    /// No visibility keyword.
+    Private,
+}
+
+/// One parsed item. Offsets are byte offsets into the (masked) source.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Classification.
+    pub kind: ItemKind,
+    /// Identifier: fn/struct/trait/mod name, impl self-type base ident,
+    /// or the full normalized path for `use` items.
+    pub name: String,
+    /// Written visibility.
+    pub vis: Vis,
+    /// Full span of the item (keyword through body or `;`).
+    pub span: (usize, usize),
+    /// Span *inside* the braces of a body, when the item has one.
+    pub body: Option<(usize, usize)>,
+    /// Raw parameter-list text for `fn` items (between the parens).
+    pub params: String,
+    /// Raw return-type text for `fn` items (between `)` and the body,
+    /// including any `where` clause).
+    pub ret: String,
+    /// Nested items for `mod`/`impl`/`trait` bodies.
+    pub children: Vec<Item>,
+}
+
+/// Parses the full masked source of one file into a list of top-level
+/// items (nested items hang off `children`). Never fails.
+pub fn parse(masked: &[u8]) -> Vec<Item> {
+    parse_range(masked, 0, masked.len(), 0)
+}
+
+/// Recursion limit for nested module/impl bodies: beyond this the body
+/// is kept opaque (no children), which only makes the analysis *more*
+/// approximate, never wrong about spans.
+const MAX_DEPTH: usize = 16;
+
+fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Parses items in `masked[start..end]`.
+fn parse_range(masked: &[u8], start: usize, end: usize, depth: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < end {
+        let before = i;
+        i = skip_trivia(masked, i, end);
+        if i >= end {
+            break;
+        }
+        if let Some((item, next)) = parse_item(masked, i, end, depth) {
+            items.push(item);
+            i = next.max(i + 1);
+        } else {
+            // Error recovery: skip one word or one byte, but never a
+            // brace opener unbalanced — skip balanced groups whole so a
+            // stray block cannot desynchronize sibling items.
+            match masked[i] {
+                b'{' | b'(' | b'[' => i = skip_balanced(masked, i, end),
+                b if is_word(b) => {
+                    while i < end && is_word(masked[i]) {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        if i <= before {
+            i = before + 1;
+        }
+    }
+    items
+}
+
+/// Skips whitespace and attributes (`#[…]` / `#![…]`).
+fn skip_trivia(masked: &[u8], mut i: usize, end: usize) -> usize {
+    loop {
+        while i < end && masked[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < end && masked[i] == b'#' {
+            let mut j = i + 1;
+            if masked.get(j) == Some(&b'!') {
+                j += 1;
+            }
+            while j < end && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if masked.get(j) == Some(&b'[') {
+                i = skip_balanced(masked, j, end);
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// From an opening bracket at `open`, returns the offset just past its
+/// matching closer (`()`/`[]`/`{}` all nest against each other).
+fn skip_balanced(masked: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match masked[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Reads the identifier starting at `i`; returns (text end, name).
+fn read_ident(masked: &[u8], i: usize, end: usize) -> Option<(usize, String)> {
+    if i >= end || !is_word(masked[i]) || masked[i].is_ascii_digit() {
+        return None;
+    }
+    let mut j = i;
+    while j < end && is_word(masked[j]) {
+        j += 1;
+    }
+    Some((j, String::from_utf8_lossy(&masked[i..j]).into_owned()))
+}
+
+/// Matches the keyword `kw` at `i` (word-boundary safe); returns the
+/// offset past it.
+fn keyword(masked: &[u8], i: usize, end: usize, kw: &str) -> Option<usize> {
+    let bytes = kw.as_bytes();
+    let stop = i.checked_add(bytes.len())?;
+    if stop > end || &masked[i..stop] != bytes {
+        return None;
+    }
+    if stop < end && is_word(masked[stop]) {
+        return None;
+    }
+    Some(stop)
+}
+
+fn skip_ws(masked: &[u8], mut i: usize, end: usize) -> usize {
+    while i < end && masked[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skips a generics list starting at `<`. `->` and `=>` arrows inside
+/// bounds (`F: Fn(A) -> B`) must not close the list, so a `>` preceded
+/// by `-` or `=` is passed over.
+fn skip_generics(masked: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match masked[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && (masked[i - 1] == b'-' || masked[i - 1] == b'=') => {}
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            // A generics list never contains `;` or `{`; bail out so a
+            // stray `<` (comparison operator) cannot swallow the item.
+            b';' | b'{' => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Attempts to parse one item at `i`. Returns the item and the offset
+/// just past it, or `None` when `i` does not start a recognized item.
+fn parse_item(masked: &[u8], i: usize, end: usize, depth: usize) -> Option<(Item, usize)> {
+    let start = i;
+    // Visibility.
+    let (vis, mut p) = if let Some(after) = keyword(masked, i, end, "pub") {
+        let q = skip_ws(masked, after, end);
+        if masked.get(q) == Some(&b'(') {
+            (
+                Vis::Restricted,
+                skip_ws(masked, skip_balanced(masked, q, end), end),
+            )
+        } else {
+            (Vis::Pub, q)
+        }
+    } else {
+        (Vis::Private, i)
+    };
+    // Fn modifiers (`const fn`, `async fn`, `unsafe fn`, `extern "C" fn`).
+    // `const` alone introduces a const item instead; disambiguated below.
+    loop {
+        if let Some(after) = keyword(masked, p, end, "const") {
+            let q = skip_ws(masked, after, end);
+            // `const fn` / `const unsafe fn` keep scanning; `const NAME`
+            // is a const item.
+            if keyword(masked, q, end, "fn").is_some()
+                || keyword(masked, q, end, "unsafe").is_some()
+                || keyword(masked, q, end, "extern").is_some()
+                || keyword(masked, q, end, "async").is_some()
+            {
+                p = q;
+                continue;
+            }
+            return parse_terminated(masked, start, after, end, vis, ItemKind::Const);
+        }
+        if let Some(after) = keyword(masked, p, end, "async")
+            .or_else(|| keyword(masked, p, end, "unsafe"))
+            .or_else(|| keyword(masked, p, end, "extern"))
+        {
+            p = skip_ws(masked, after, end);
+            continue;
+        }
+        break;
+    }
+
+    if let Some(after) = keyword(masked, p, end, "fn") {
+        return parse_fn(masked, start, after, end, vis);
+    }
+    if let Some(after) = keyword(masked, p, end, "mod") {
+        return parse_mod(masked, start, after, end, vis, depth);
+    }
+    if let Some(after) = keyword(masked, p, end, "use") {
+        return parse_use(masked, start, after, end, vis);
+    }
+    if let Some(after) = keyword(masked, p, end, "impl") {
+        return parse_impl(masked, start, after, end, depth);
+    }
+    if let Some(after) = keyword(masked, p, end, "trait") {
+        return parse_named_body(masked, start, after, end, vis, ItemKind::Trait, depth);
+    }
+    if let Some(after) = keyword(masked, p, end, "struct")
+        .or_else(|| keyword(masked, p, end, "enum"))
+        .or_else(|| keyword(masked, p, end, "union"))
+    {
+        return parse_type_item(masked, start, after, end, vis);
+    }
+    if let Some(after) = keyword(masked, p, end, "static") {
+        return parse_terminated(masked, start, after, end, vis, ItemKind::Const);
+    }
+    if let Some(after) = keyword(masked, p, end, "type") {
+        return parse_terminated(masked, start, after, end, vis, ItemKind::Other);
+    }
+    if let Some(after) = keyword(masked, p, end, "macro_rules") {
+        return parse_macro_rules(masked, start, after, end);
+    }
+    None
+}
+
+/// `fn name <generics>? ( params ) ret? (where …)? ({ body } | ;)`.
+fn parse_fn(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+) -> Option<(Item, usize)> {
+    let p = skip_ws(masked, after_kw, end);
+    let (mut q, name) = read_ident(masked, p, end)?;
+    q = skip_ws(masked, q, end);
+    if masked.get(q) == Some(&b'<') {
+        q = skip_ws(masked, skip_generics(masked, q, end), end);
+    }
+    if masked.get(q) != Some(&b'(') {
+        return None;
+    }
+    let params_open = q;
+    let params_end = skip_balanced(masked, q, end);
+    let params =
+        normalize(&masked[params_open + 1..params_end.saturating_sub(1).max(params_open + 1)]);
+    // Scan to the body `{` or a `;` (trait method declaration). Return
+    // type and where clause cannot contain top-level braces in the
+    // supported subset.
+    let mut r = params_end;
+    while r < end && masked[r] != b'{' && masked[r] != b';' {
+        r += 1;
+    }
+    let ret = normalize(&masked[params_end..r.min(end)]);
+    if r < end && masked[r] == b'{' {
+        let close = skip_balanced(masked, r, end);
+        let item = Item {
+            kind: ItemKind::Fn,
+            name,
+            vis,
+            span: (start, close),
+            body: Some((r + 1, close.saturating_sub(1).max(r + 1))),
+            params,
+            ret,
+            children: Vec::new(),
+        };
+        Some((item, close))
+    } else {
+        let stop = if r < end { r + 1 } else { end };
+        let item = Item {
+            kind: ItemKind::Fn,
+            name,
+            vis,
+            span: (start, stop),
+            body: None,
+            params,
+            ret,
+            children: Vec::new(),
+        };
+        Some((item, stop))
+    }
+}
+
+/// `mod name ;` or `mod name { … }`.
+fn parse_mod(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+    depth: usize,
+) -> Option<(Item, usize)> {
+    let p = skip_ws(masked, after_kw, end);
+    let (q, name) = read_ident(masked, p, end)?;
+    let r = skip_ws(masked, q, end);
+    match masked.get(r) {
+        Some(&b';') => Some((
+            Item {
+                kind: ItemKind::ModDecl,
+                name,
+                vis,
+                span: (start, r + 1),
+                body: None,
+                params: String::new(),
+                ret: String::new(),
+                children: Vec::new(),
+            },
+            r + 1,
+        )),
+        Some(&b'{') => {
+            let close = skip_balanced(masked, r, end);
+            let inner = (r + 1, close.saturating_sub(1).max(r + 1));
+            let children = if depth < MAX_DEPTH {
+                parse_range(masked, inner.0, inner.1, depth + 1)
+            } else {
+                Vec::new()
+            };
+            Some((
+                Item {
+                    kind: ItemKind::Mod,
+                    name,
+                    vis,
+                    span: (start, close),
+                    body: Some(inner),
+                    params: String::new(),
+                    ret: String::new(),
+                    children,
+                },
+                close,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// `use path;` — `name` is the normalized text between `use` and `;`
+/// (groups `{a, b}` included verbatim; expansion happens in the graph).
+fn parse_use(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+) -> Option<(Item, usize)> {
+    let mut i = skip_ws(masked, after_kw, end);
+    let path_start = i;
+    while i < end && masked[i] != b';' {
+        if masked[i] == b'{' {
+            i = skip_balanced(masked, i, end);
+        } else {
+            i += 1;
+        }
+    }
+    let item = Item {
+        kind: ItemKind::Use,
+        name: normalize(&masked[path_start..i.min(end)]),
+        vis,
+        span: (start, (i + 1).min(end)),
+        body: None,
+        params: String::new(),
+        ret: String::new(),
+        children: Vec::new(),
+    };
+    Some((item, (i + 1).min(end)))
+}
+
+/// `impl<G>? Type { … }` or `impl<G>? Trait for Type { … }`; `name` is
+/// the base identifier of the self type.
+fn parse_impl(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    depth: usize,
+) -> Option<(Item, usize)> {
+    let mut p = skip_ws(masked, after_kw, end);
+    if masked.get(p) == Some(&b'<') {
+        p = skip_ws(masked, skip_generics(masked, p, end), end);
+    }
+    // Scan the header up to the body `{` (skipping generics bumps along
+    // the way so `Foo<Bar<Baz>>` cannot confuse the `for` search).
+    let mut q = p;
+    let mut for_at: Option<usize> = None;
+    while q < end && masked[q] != b'{' && masked[q] != b';' {
+        if masked[q] == b'<' {
+            q = skip_generics(masked, q, end);
+            continue;
+        }
+        if let Some(after) = keyword(masked, q, end, "for") {
+            // Word-boundary on the left too.
+            if q == 0 || !is_word(masked[q - 1]) {
+                for_at = Some(after);
+            }
+            q = after;
+            continue;
+        }
+        if let Some(after) = keyword(masked, q, end, "where") {
+            if q == 0 || !is_word(masked[q - 1]) {
+                break;
+            }
+            q = after;
+            continue;
+        }
+        q += 1;
+    }
+    let ty_start = for_at.map_or(p, |a| skip_ws(masked, a, end));
+    let name = type_base_ident(&masked[ty_start..q.min(end)]);
+    // Find the body.
+    let mut r = q;
+    while r < end && masked[r] != b'{' && masked[r] != b';' {
+        r += 1;
+    }
+    if r >= end || masked[r] == b';' {
+        return None;
+    }
+    let close = skip_balanced(masked, r, end);
+    let inner = (r + 1, close.saturating_sub(1).max(r + 1));
+    let children = if depth < MAX_DEPTH {
+        parse_range(masked, inner.0, inner.1, depth + 1)
+    } else {
+        Vec::new()
+    };
+    Some((
+        Item {
+            kind: ItemKind::Impl,
+            name,
+            vis: Vis::Private,
+            span: (start, close),
+            body: Some(inner),
+            params: String::new(),
+            ret: String::new(),
+            children,
+        },
+        close,
+    ))
+}
+
+/// `trait Name … { methods }` (body parsed for default methods).
+fn parse_named_body(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+    kind: ItemKind,
+    depth: usize,
+) -> Option<(Item, usize)> {
+    let p = skip_ws(masked, after_kw, end);
+    let (q, name) = read_ident(masked, p, end)?;
+    let mut r = q;
+    while r < end && masked[r] != b'{' && masked[r] != b';' {
+        if masked[r] == b'<' {
+            r = skip_generics(masked, r, end);
+        } else {
+            r += 1;
+        }
+    }
+    if r >= end {
+        return None;
+    }
+    if masked[r] == b';' {
+        return Some((
+            Item {
+                kind,
+                name,
+                vis,
+                span: (start, r + 1),
+                body: None,
+                params: String::new(),
+                ret: String::new(),
+                children: Vec::new(),
+            },
+            r + 1,
+        ));
+    }
+    let close = skip_balanced(masked, r, end);
+    let inner = (r + 1, close.saturating_sub(1).max(r + 1));
+    let children = if depth < MAX_DEPTH {
+        parse_range(masked, inner.0, inner.1, depth + 1)
+    } else {
+        Vec::new()
+    };
+    Some((
+        Item {
+            kind,
+            name,
+            vis,
+            span: (start, close),
+            body: Some(inner),
+            params: String::new(),
+            ret: String::new(),
+            children,
+        },
+        close,
+    ))
+}
+
+/// `struct S;` / `struct S(T);` / `struct S { … }` / `enum E { … }`.
+fn parse_type_item(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+) -> Option<(Item, usize)> {
+    let p = skip_ws(masked, after_kw, end);
+    let (q, name) = read_ident(masked, p, end)?;
+    let mut r = q;
+    while r < end {
+        match masked[r] {
+            b'<' => r = skip_generics(masked, r, end),
+            b'(' => r = skip_balanced(masked, r, end),
+            b'{' => {
+                let close = skip_balanced(masked, r, end);
+                return Some((
+                    Item {
+                        kind: ItemKind::Type,
+                        name,
+                        vis,
+                        span: (start, close),
+                        body: Some((r + 1, close.saturating_sub(1).max(r + 1))),
+                        params: String::new(),
+                        ret: String::new(),
+                        children: Vec::new(),
+                    },
+                    close,
+                ));
+            }
+            b';' => {
+                return Some((
+                    Item {
+                        kind: ItemKind::Type,
+                        name,
+                        vis,
+                        span: (start, r + 1),
+                        body: None,
+                        params: String::new(),
+                        ret: String::new(),
+                        children: Vec::new(),
+                    },
+                    r + 1,
+                ));
+            }
+            _ => r += 1,
+        }
+    }
+    None
+}
+
+/// Items that run to a `;`, skipping balanced groups (a const
+/// initializer may contain braces: `const X: T = Foo { a: 1 };`).
+fn parse_terminated(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+    vis: Vis,
+    kind: ItemKind,
+) -> Option<(Item, usize)> {
+    let p = skip_ws(masked, after_kw, end);
+    let (mut q, name) = read_ident(masked, p, end)?;
+    while q < end && masked[q] != b';' {
+        match masked[q] {
+            b'{' | b'(' | b'[' => q = skip_balanced(masked, q, end),
+            b'<' => q = skip_generics(masked, q, end),
+            _ => q += 1,
+        }
+    }
+    let stop = (q + 1).min(end);
+    Some((
+        Item {
+            kind,
+            name,
+            vis,
+            span: (start, stop),
+            body: None,
+            params: String::new(),
+            ret: String::new(),
+            children: Vec::new(),
+        },
+        stop,
+    ))
+}
+
+/// `macro_rules! name { … }` (or `( … );` / `[ … ];`).
+fn parse_macro_rules(
+    masked: &[u8],
+    start: usize,
+    after_kw: usize,
+    end: usize,
+) -> Option<(Item, usize)> {
+    let mut p = skip_ws(masked, after_kw, end);
+    if masked.get(p) != Some(&b'!') {
+        return None;
+    }
+    p = skip_ws(masked, p + 1, end);
+    let (q, name) = read_ident(masked, p, end)?;
+    let r = skip_ws(masked, q, end);
+    match masked.get(r) {
+        Some(&b'{') => {
+            let close = skip_balanced(masked, r, end);
+            Some((
+                Item {
+                    kind: ItemKind::Other,
+                    name,
+                    vis: Vis::Private,
+                    span: (start, close),
+                    body: None,
+                    params: String::new(),
+                    ret: String::new(),
+                    children: Vec::new(),
+                },
+                close,
+            ))
+        }
+        Some(&b'(') | Some(&b'[') => {
+            let mut s = skip_balanced(masked, r, end);
+            if masked.get(s) == Some(&b';') {
+                s += 1;
+            }
+            Some((
+                Item {
+                    kind: ItemKind::Other,
+                    name,
+                    vis: Vis::Private,
+                    span: (start, s),
+                    body: None,
+                    params: String::new(),
+                    ret: String::new(),
+                    children: Vec::new(),
+                },
+                s,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Collapses runs of whitespace to single spaces and trims.
+fn normalize(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    let mut ws = false;
+    for &b in bytes {
+        if b.is_ascii_whitespace() {
+            ws = true;
+        } else {
+            if ws && !out.is_empty() {
+                out.push(' ');
+            }
+            ws = false;
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Base identifier of a type header: `lexer::Token<'a>` → `Token`,
+/// `&mut Foo` → `Foo`, `Vec<u8>` → `Vec`.
+fn type_base_ident(bytes: &[u8]) -> String {
+    // Strip to the path before any `<`, then take the last `::` segment.
+    let head_end = bytes.iter().position(|&b| b == b'<').unwrap_or(bytes.len());
+    let head = &bytes[..head_end];
+    let mut cur_start: Option<usize> = None;
+    let mut last: (usize, usize) = (0, 0);
+    for (idx, &b) in head.iter().enumerate() {
+        if is_word(b) {
+            if cur_start.is_none() {
+                cur_start = Some(idx);
+            }
+        } else if let Some(s) = cur_start.take() {
+            last = (s, idx);
+        }
+    }
+    if let Some(s) = cur_start {
+        last = (s, head.len());
+    }
+    String::from_utf8_lossy(&head[last.0..last.1]).into_owned()
+}
+
+/// Depth-first walk over an item tree, yielding each item with its
+/// enclosing module path (inline `mod` names only) and impl self type.
+pub fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item, &[&'a str], Option<&'a str>)) {
+    fn rec<'a>(
+        items: &'a [Item],
+        mods: &mut Vec<&'a str>,
+        self_ty: Option<&'a str>,
+        f: &mut impl FnMut(&'a Item, &[&'a str], Option<&'a str>),
+    ) {
+        for it in items {
+            f(it, mods, self_ty);
+            match it.kind {
+                ItemKind::Mod => {
+                    mods.push(&it.name);
+                    rec(&it.children, mods, None, f);
+                    mods.pop();
+                }
+                ItemKind::Impl => rec(&it.children, mods, Some(&it.name), f),
+                ItemKind::Trait => rec(&it.children, mods, Some(&it.name), f),
+                _ => {}
+            }
+        }
+    }
+    rec(items, &mut Vec::new(), None, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, mask};
+
+    fn parse_src(src: &str) -> Vec<Item> {
+        let tokens = lex(src);
+        parse(&mask(src, &tokens))
+    }
+
+    fn names(items: &[Item]) -> Vec<(ItemKind, &str)> {
+        items.iter().map(|i| (i.kind, i.name.as_str())).collect()
+    }
+
+    #[test]
+    fn flat_items() {
+        let items = parse_src(
+            "pub fn a() {}\nfn b(x: u8) -> u8 { x }\npub struct S { f: u8 }\nenum E { A, B }\nconst N: usize = 3;\nuse std::fmt;\n",
+        );
+        assert_eq!(
+            names(&items),
+            vec![
+                (ItemKind::Fn, "a"),
+                (ItemKind::Fn, "b"),
+                (ItemKind::Type, "S"),
+                (ItemKind::Type, "E"),
+                (ItemKind::Const, "N"),
+                (ItemKind::Use, "std::fmt"),
+            ]
+        );
+        assert_eq!(items[0].vis, Vis::Pub);
+        assert_eq!(items[1].vis, Vis::Private);
+        assert_eq!(items[1].params, "x: u8");
+        assert!(items[1].ret.contains("-> u8"));
+    }
+
+    #[test]
+    fn nested_mods_and_impls() {
+        let src = "mod outer { pub mod inner { pub fn deep() {} } }\nimpl Foo { pub fn m(&self) {} }\nimpl fmt::Display for Bar<'_> { fn fmt(&self) {} }\n";
+        let items = parse_src(src);
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert_eq!(items[0].children[0].kind, ItemKind::Mod);
+        assert_eq!(items[0].children[0].children[0].name, "deep");
+        assert_eq!(items[1].kind, ItemKind::Impl);
+        assert_eq!(items[1].name, "Foo");
+        assert_eq!(items[1].children[0].name, "m");
+        assert_eq!(items[2].name, "Bar");
+        assert_eq!(items[2].children[0].name, "fmt");
+    }
+
+    #[test]
+    fn generics_with_arrows_in_where_clause() {
+        let src = "pub fn apply<F: Fn(usize) -> f64>(f: F) -> f64 where F: Fn(usize) -> f64 { f(0) }\nfn after() {}\n";
+        let items = parse_src(src);
+        assert_eq!(
+            names(&items),
+            vec![(ItemKind::Fn, "apply"), (ItemKind::Fn, "after")]
+        );
+        assert!(items[0].ret.contains("-> f64"));
+    }
+
+    #[test]
+    fn const_fn_vs_const_item() {
+        let items = parse_src("pub const fn cf() -> u8 { 1 }\npub const K: u8 = 2;\n");
+        assert_eq!(
+            names(&items),
+            vec![(ItemKind::Fn, "cf"), (ItemKind::Const, "K")]
+        );
+    }
+
+    #[test]
+    fn const_with_struct_literal_initializer() {
+        let items = parse_src("const X: P = P { a: 1, b: 2 };\nfn g() {}\n");
+        assert_eq!(
+            names(&items),
+            vec![(ItemKind::Const, "X"), (ItemKind::Fn, "g")]
+        );
+    }
+
+    #[test]
+    fn use_groups_and_mod_decl() {
+        let items = parse_src("pub use a::b::{C, d};\nmod stream;\npub mod task;\n");
+        assert_eq!(items[0].kind, ItemKind::Use);
+        assert_eq!(items[0].name, "a::b::{C, d}");
+        assert_eq!(items[1].kind, ItemKind::ModDecl);
+        assert_eq!(items[2].vis, Vis::Pub);
+    }
+
+    #[test]
+    fn trait_with_default_method() {
+        let items = parse_src("pub trait T { fn req(&self); fn def(&self) { self.req() } }");
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        assert_eq!(
+            names(&items[0].children),
+            vec![(ItemKind::Fn, "req"), (ItemKind::Fn, "def")]
+        );
+        assert!(items[0].children[0].body.is_none());
+        assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn totality_on_garbage() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl",
+            "mod {",
+            "pub pub pub",
+            "struct",
+            "}} {{",
+            "fn f(",
+            "impl Foo for { }",
+            "macro_rules! m",
+        ] {
+            let _ = parse_src(src); // must not panic or loop
+        }
+    }
+
+    #[test]
+    fn walk_reports_module_paths() {
+        let src = "mod a { impl T { fn m() {} } }\nfn top() {}\n";
+        let items = parse_src(src);
+        let mut seen = Vec::new();
+        walk(&items, &mut |it, mods, ty| {
+            if it.kind == ItemKind::Fn {
+                seen.push((it.name.clone(), mods.join("::"), ty.map(str::to_string)));
+            }
+        });
+        assert_eq!(
+            seen,
+            vec![
+                ("m".to_string(), "a".to_string(), Some("T".to_string())),
+                ("top".to_string(), String::new(), None),
+            ]
+        );
+    }
+}

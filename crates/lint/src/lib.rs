@@ -13,13 +13,18 @@
 //! on it; the in-repo self-test (`tests/workspace_clean.rs`) asserts
 //! the workspace is lint-clean on every `cargo test` run.
 //!
-//! See DESIGN.md §9 for the rule catalog, the
-//! `// lint:allow(rule): reason` grammar, and how to add a rule.
+//! See DESIGN.md §9 for the lexical rule catalog, the
+//! `// lint:allow(rule): reason` grammar, and how to add a rule;
+//! DESIGN.md §10 covers the semantic layer ([`items`], [`graph`],
+//! [`semantic`]) and its soundness caveats.
 
 pub mod context;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 
 use context::FileContext;
 use report::Report;
@@ -51,12 +56,27 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
+/// One file loaded and lexically scanned — the unit both passes share.
+struct LoadedFile {
+    ctx: FileContext,
+    src: String,
+    masked: Vec<u8>,
+    items: Vec<items::Item>,
+    scan: rules::FileScan,
+}
+
 /// Scans the workspace rooted at `root` and returns the full report.
+///
+/// Two passes: a per-file lexical pass (lex, classify, lexical rules,
+/// allow parsing), then the workspace-level semantic pass (item trees,
+/// call graph, the four graph-powered rules). Semantic findings merge
+/// into each file's raw findings *before* suppression resolution, so
+/// `lint:allow(panic-reachability)` etc. behave exactly like lexical
+/// allows.
 pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
     let files = collect_rust_files(root)?;
-    let mut violations = Vec::new();
-    let mut allowed = Vec::new();
     let files_scanned = files.len();
+    let mut loaded: Vec<LoadedFile> = Vec::with_capacity(files_scanned);
     for (abs, rel) in files {
         let src = fs::read_to_string(&abs).map_err(|source| LintError {
             path: abs.clone(),
@@ -64,11 +84,44 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
         })?;
         let tokens = lexer::lex(&src);
         let ctx = FileContext::build(&rel, &src, &tokens);
-        let findings = rules::check_file(&ctx, &src, &tokens);
+        let masked = lexer::mask(&src, &tokens);
+        let items = items::parse(&masked);
+        let scan = rules::scan_file(&ctx, &src, &tokens);
+        loaded.push(LoadedFile {
+            ctx,
+            src,
+            masked,
+            items,
+            scan,
+        });
+    }
+
+    let mut sem = {
+        let inputs: Vec<semantic::SemanticInput<'_>> = loaded
+            .iter()
+            .map(|l| semantic::SemanticInput {
+                ctx: &l.ctx,
+                src: &l.src,
+                masked: &l.masked,
+                items: &l.items,
+                allows: l.scan.allow_view(),
+            })
+            .collect();
+        semantic::analyze(&inputs)
+    };
+
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    for (i, l) in loaded.into_iter().enumerate() {
+        let mut scan = l.scan;
+        if let Some(extra) = sem.violations.get_mut(i) {
+            scan.raw.append(extra);
+        }
+        let findings = rules::resolve_scan(&l.ctx, scan, &l.src);
         violations.extend(findings.violations);
         allowed.extend(findings.allowed);
     }
-    Ok(Report::new(files_scanned, violations, allowed))
+    Ok(Report::new(files_scanned, violations, allowed, sem.graph))
 }
 
 /// All `.rs` files under `root` as (absolute, workspace-relative with

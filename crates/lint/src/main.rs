@@ -1,7 +1,7 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! alert-lint [--root DIR] [--json PATH] [--quiet]
+//! alert-lint [--root DIR] [--json PATH] [--json-only] [--quiet]
 //! ```
 //!
 //! Scans the workspace (auto-detected from the current directory unless
@@ -11,6 +11,11 @@
 //! * `0` — clean (every violation suppressed with a reasoned allow);
 //! * `1` — unsuppressed violations;
 //! * `2` — usage or I/O error.
+//!
+//! `--json-only` prints the JSON document to stdout instead of the
+//! human table (the `LINT.json` file is still written), so CI and
+//! scripts can pipe the report without scraping: exit codes unchanged.
+//! `--quiet` suppresses all stdout output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +23,7 @@ use std::process::ExitCode;
 struct Args {
     root: Option<PathBuf>,
     json: Option<PathBuf>,
+    json_only: bool,
     quiet: bool,
 }
 
@@ -25,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         json: None,
+        json_only: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -36,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
             }
+            "--json-only" => args.json_only = true,
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -48,7 +56,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("alert-lint: {e}");
-            eprintln!("usage: alert-lint [--root DIR] [--json PATH] [--quiet]");
+            eprintln!("usage: alert-lint [--root DIR] [--json PATH] [--json-only] [--quiet]");
             return ExitCode::from(2);
         }
     };
@@ -75,7 +83,9 @@ fn main() -> ExitCode {
         eprintln!("alert-lint: writing {}: {e}", json_path.display());
         return ExitCode::from(2);
     }
-    if !args.quiet {
+    if args.json_only {
+        println!("{}", report.to_json());
+    } else if !args.quiet {
         print!("{}", report.human_table());
         println!("report: {}", json_path.display());
     }

@@ -24,6 +24,68 @@ pub struct Report {
     pub allowed: Vec<AllowEntry>,
     /// Roll-up counts (duplicated for cheap gating).
     pub counts: Counts,
+    /// The semantic pass roll-up: call-graph size, layer table,
+    /// lock-order edges, panic/RNG accounting. Counts here are **raw**
+    /// (pre-suppression), so CI can gate structural invariants (zero
+    /// layer violations, zero lock cycles, complete RNG provenance)
+    /// independently of the allow ledger.
+    pub graph: GraphSection,
+}
+
+/// The `graph` section of `LINT.json`.
+#[derive(Debug, Default, Serialize)]
+pub struct GraphSection {
+    /// Files whose item trees were parsed.
+    pub files_parsed: usize,
+    /// Call-graph fn nodes.
+    pub fns: usize,
+    /// Nodes on the pub API surface.
+    pub pub_fns: usize,
+    /// Call edges (all confidences).
+    pub edges: usize,
+    /// Path-resolved edges.
+    pub edges_high: usize,
+    /// Name-heuristic edges.
+    pub edges_low: usize,
+    /// Calls matching no workspace fn (std / vendored callees).
+    pub unresolved_calls: usize,
+    /// The declarative crate layer table in force.
+    pub layers: Vec<LayerEntry>,
+    /// Raw (pre-suppression) upward layer references.
+    pub layer_violations: usize,
+    /// Acquired-while-held lock order edges.
+    pub lock_edges: Vec<LockEdge>,
+    /// Cycle-closing lock edges (potential deadlocks), raw.
+    pub lock_cycles: usize,
+    /// assert!-family sites in protected library code.
+    pub panic_sources: usize,
+    /// Of those: documented `# Panics`, reasoned allow, compile-time,
+    /// or off the pub API surface.
+    pub panic_accounted: usize,
+    /// RNG construction sites (incl. `rand::random`).
+    pub rng_constructions: usize,
+    /// Of those: traced to a named seed/stream source.
+    pub rng_traced: usize,
+}
+
+/// One crate layer assignment.
+#[derive(Debug, Serialize)]
+pub struct LayerEntry {
+    /// Crate path token (`alert_core`, …).
+    pub name: String,
+    /// Layer number (references must point strictly downward).
+    pub layer: u32,
+}
+
+/// One acquired-while-held edge.
+#[derive(Debug, Serialize)]
+pub struct LockEdge {
+    /// Lock held at the time (`path::name`).
+    pub from: String,
+    /// Lock acquired while holding `from`.
+    pub to: String,
+    /// File where the inner acquisition happens.
+    pub file: String,
 }
 
 /// Roll-up totals.
@@ -43,6 +105,7 @@ impl Report {
         files_scanned: usize,
         mut violations: Vec<Violation>,
         mut allowed: Vec<AllowEntry>,
+        graph: GraphSection,
     ) -> Report {
         violations.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
@@ -65,6 +128,7 @@ impl Report {
             },
             violations,
             allowed,
+            graph,
         }
     }
 
@@ -122,6 +186,26 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
+            "call graph: {} fn(s), {} edge(s) ({} path-resolved, {} heuristic), \
+             {} external call(s)\n",
+            self.graph.fns,
+            self.graph.edges,
+            self.graph.edges_high,
+            self.graph.edges_low,
+            self.graph.unresolved_calls,
+        ));
+        out.push_str(&format!(
+            "semantic: {} layer violation(s), {} lock edge(s) ({} cycle(s)), \
+             {}/{} panic source(s) accounted, {}/{} RNG construction(s) traced\n",
+            self.graph.layer_violations,
+            self.graph.lock_edges.len(),
+            self.graph.lock_cycles,
+            self.graph.panic_accounted,
+            self.graph.panic_sources,
+            self.graph.rng_traced,
+            self.graph.rng_constructions,
+        ));
+        out.push_str(&format!(
             "{} file(s) scanned: {} violation(s), {} allow annotation(s) covering {} site(s)\n",
             self.files_scanned,
             self.counts.violations,
@@ -176,6 +260,7 @@ mod tests {
                 reason: "why".to_string(),
                 suppressed: 2,
             }],
+            GraphSection::default(),
         );
         assert_eq!(r.violations[0].file, "a.rs");
         assert_eq!(r.counts.violations, 2);
@@ -188,7 +273,7 @@ mod tests {
 
     #[test]
     fn json_round_trips_shape() {
-        let r = Report::new(1, vec![], vec![]);
+        let r = Report::new(1, vec![], vec![], GraphSection::default());
         let json = r.to_json();
         let doc: serde_json::Value = serde_json::from_str(&json).expect("valid json");
         let serde_json::Value::Object(o) = doc else {
@@ -201,6 +286,7 @@ mod tests {
             "allowed",
             "counts",
             "rules",
+            "graph",
         ] {
             assert!(o.contains_key(key), "missing {key}");
         }

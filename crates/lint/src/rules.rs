@@ -33,6 +33,14 @@ pub const NO_UNSEEDED_RNG: &str = "no-unseeded-rng";
 pub const NO_HASH_ITERATION: &str = "no-hash-iteration";
 /// See [`NO_PANIC`].
 pub const NAN_UNSAFE_COMPARE: &str = "nan-unsafe-compare";
+/// See [`NO_PANIC`]. Semantic rule ([`crate::semantic`]).
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// See [`NO_PANIC`]. Semantic rule ([`crate::semantic`]).
+pub const CRATE_LAYER_DAG: &str = "crate-layer-dag";
+/// See [`NO_PANIC`]. Semantic rule ([`crate::semantic`]).
+pub const LOCK_ORDER: &str = "lock-order";
+/// See [`NO_PANIC`]. Semantic rule ([`crate::semantic`]).
+pub const RNG_PROVENANCE: &str = "rng-provenance";
 /// See [`NO_PANIC`].
 pub const ALLOW_NEEDS_REASON: &str = "allow-needs-reason";
 /// See [`NO_PANIC`].
@@ -76,6 +84,29 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no partial_cmp().unwrap()/expect() and no ==/!= against float \
                   literals; use f64::total_cmp or \
                   alert-core::select::{lex2_better,lex3_better}",
+    },
+    RuleInfo {
+        id: PANIC_REACHABILITY,
+        summary: "assert!-family sites in protected library code must document \
+                  `# Panics`, carry a reasoned allow, or be unreachable from the \
+                  crate's pub API (reachability over the approximate call graph)",
+    },
+    RuleInfo {
+        id: CRATE_LAYER_DAG,
+        summary: "cross-crate references must follow the layer DAG stats < platform \
+                  < models < workload < core < sched < bench/lint — strictly \
+                  downward, including use-level re-exports Cargo.toml cannot see",
+    },
+    RuleInfo {
+        id: LOCK_ORDER,
+        summary: "Mutex/RwLock acquired-while-held order must be acyclic across \
+                  fns (call-graph propagated); a cycle is a potential deadlock",
+    },
+    RuleInfo {
+        id: RNG_PROVENANCE,
+        summary: "every RNG construction must trace to a named seed/stream source \
+                  (stream_rng/task_rng/derive_seed or a literal seed); no RNG born \
+                  from another RNG's output, no rand::random",
     },
     RuleInfo {
         id: ALLOW_NEEDS_REASON,
@@ -151,8 +182,27 @@ pub struct FileFindings {
     pub allowed: Vec<AllowEntry>,
 }
 
-/// Runs every rule over one lexed file.
-pub fn check_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileFindings {
+/// The lexical pass result for one file, before suppression. The
+/// workspace driver appends semantic findings to `raw` and then calls
+/// [`resolve_scan`]; `check_file` composes the two for lexical-only use.
+pub struct FileScan {
+    pub(crate) raw: Vec<RawViolation>,
+    pub(crate) allows: Vec<Allow>,
+}
+
+impl FileScan {
+    /// The allow annotations as (covered line, rules named) — the view
+    /// the semantic pass uses to treat reasoned allows as taint sinks.
+    pub(crate) fn allow_view(&self) -> Vec<(Option<usize>, Vec<String>)> {
+        self.allows
+            .iter()
+            .map(|a| (a.target_line, a.rules.clone()))
+            .collect()
+    }
+}
+
+/// Runs the lexical rules and parses allows for one file.
+pub fn scan_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileScan {
     let masked = mask(src, tokens);
     let lines = LineIndex::new(src);
     let mut raw = Vec::new();
@@ -162,7 +212,20 @@ pub fn check_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileFinding
     scan_float_eq(ctx, &masked, &lines, src, &mut raw);
 
     let allows = parse_allows(ctx, src, tokens, &masked, &lines, &mut raw);
-    resolve(ctx, raw, allows, &lines, src)
+    FileScan { raw, allows }
+}
+
+/// Applies suppression to a (possibly semantically-extended) scan.
+pub fn resolve_scan(ctx: &FileContext, scan: FileScan, src: &str) -> FileFindings {
+    let lines = LineIndex::new(src);
+    resolve(ctx, scan.raw, scan.allows, &lines, src)
+}
+
+/// Runs every lexical rule over one lexed file (unit-test entry; the
+/// workspace driver interleaves the semantic pass between scan and
+/// resolve).
+pub fn check_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileFindings {
+    resolve_scan(ctx, scan_file(ctx, src, tokens), src)
 }
 
 // ---------------------------------------------------------------- engine
@@ -200,10 +263,10 @@ impl LineIndex {
 }
 
 /// A rule hit before suppression.
-struct RawViolation {
-    rule: &'static str,
-    offset: usize,
-    message: String,
+pub(crate) struct RawViolation {
+    pub(crate) rule: &'static str,
+    pub(crate) offset: usize,
+    pub(crate) message: String,
 }
 
 fn snippet(src: &str, lines: &LineIndex, line: usize) -> String {
@@ -571,12 +634,16 @@ fn rule_applies(rule: &str, ctx: &FileContext, offset: usize) -> bool {
 
 // ---------------------------------------------------------------- allows
 
-struct Allow {
+pub(crate) struct Allow {
     rules: Vec<String>,
     line: usize,
     target_line: Option<usize>,
     reason: String,
     suppressed: usize,
+    /// Per-rule suppression counts: a named rule that never fires on
+    /// the covered line is flagged as a stale member (`unused-allow`),
+    /// keeping multi-rule annotations honest as rules get smarter.
+    suppressed_by: std::collections::BTreeMap<String, usize>,
 }
 
 /// Parses `lint:allow` annotations out of line comments. Malformed ones
@@ -646,6 +713,7 @@ fn parse_allows(
             target_line: allow_target(masked, lines, t.start, line),
             reason: reason.to_string(),
             suppressed: 0,
+            suppressed_by: std::collections::BTreeMap::new(),
         });
     }
     let _ = ctx;
@@ -701,7 +769,10 @@ fn resolve(
             })
             .flatten();
         match allow {
-            Some(a) => a.suppressed += 1,
+            Some(a) => {
+                a.suppressed += 1;
+                *a.suppressed_by.entry(v.rule.to_string()).or_insert(0) += 1;
+            }
             None => out.violations.push(Violation {
                 rule: v.rule.to_string(),
                 file: ctx.path.clone(),
@@ -724,6 +795,20 @@ fn resolve(
                 ),
             });
         } else {
+            // Per-rule honesty: each named rule must have fired at
+            // least once on the covered line, or it is a stale member.
+            for dead in a.rules.iter().filter(|r| !a.suppressed_by.contains_key(*r)) {
+                out.violations.push(Violation {
+                    rule: UNUSED_ALLOW.to_string(),
+                    file: ctx.path.clone(),
+                    line: a.line,
+                    snippet: snippet(src, lines, a.line),
+                    message: format!(
+                        "lint:allow names `{dead}` but no {dead} finding fires on \
+                         the covered line; drop the stale rule from the list"
+                    ),
+                });
+            }
             out.allowed.push(AllowEntry {
                 rules: a.rules,
                 file: ctx.path.clone(),

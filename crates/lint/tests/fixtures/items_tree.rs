@@ -1,0 +1,43 @@
+//! Fixture: item-parser shapes — nested modules, impls, traits, and
+//! generic fns whose where-clauses contain `->` arrows (the classic
+//! return-type/where ambiguity). Excluded from the workspace scan.
+
+pub mod outer {
+    pub mod inner {
+        pub fn leaf(n: u32) -> u32 {
+            n + 1
+        }
+    }
+
+    pub struct Gadget {
+        pub state: u32,
+    }
+
+    impl Gadget {
+        pub fn apply<F>(&self, f: F) -> u32
+        where
+            F: Fn(u32) -> u32,
+        {
+            f(self.state)
+        }
+
+        fn private_helper(&self) -> u32 {
+            self.state
+        }
+    }
+}
+
+pub use outer::inner::leaf;
+
+pub trait Step {
+    fn step(&mut self) -> bool;
+}
+
+const LIMIT: usize = 8;
+
+fn root_fn<T>(xs: Vec<T>) -> usize
+where
+    T: Into<u64>,
+{
+    xs.len().min(LIMIT)
+}

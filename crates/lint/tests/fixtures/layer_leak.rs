@@ -1,0 +1,8 @@
+//! Fixture: upward layer reference (sched → bench). Deliberately
+//! violating — excluded from the workspace scan.
+
+use alert_bench::harness::Run;
+
+pub fn schedule(r: Run) -> Run {
+    r
+}

@@ -1,0 +1,22 @@
+//! Fixture: inverted lock acquisition order (queue→done in one fn,
+//! done→queue in another). Deliberately violating — excluded from the
+//! workspace scan.
+
+pub struct Executor {
+    queue: Mutex<u32>,
+    done: Mutex<u32>,
+}
+
+impl Executor {
+    pub fn push(&self) {
+        let q = self.queue.lock();
+        let d = self.done.lock();
+        let _ = (q, d);
+    }
+
+    pub fn drain(&self) {
+        let d = self.done.lock();
+        let q = self.queue.lock();
+        let _ = (q, d);
+    }
+}

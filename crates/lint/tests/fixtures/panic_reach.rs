@@ -1,0 +1,12 @@
+//! Fixture: an `assert!` in a private fn reachable from the pub API,
+//! with no `# Panics` contract on the way in. Deliberately violating —
+//! excluded from the workspace scan.
+
+pub fn api(n: usize) -> usize {
+    internal(n)
+}
+
+fn internal(n: usize) -> usize {
+    assert!(n > 0, "n must be positive");
+    n - 1
+}

@@ -1,0 +1,7 @@
+//! Fixture: RNG constructed from ambient entropy via `rand::random`
+//! instead of a named seed/stream source. Deliberately violating —
+//! excluded from the workspace scan.
+
+pub fn fresh() -> StdRng {
+    StdRng::seed_from_u64(rand::random())
+}

@@ -1,0 +1,120 @@
+//! Fixture-driven item-parser test: parses `fixtures/items_tree.rs`
+//! (nested modules, impls, traits, and generic fns with `->` arrows in
+//! their where-clauses) and pins the exact tree shape the semantic
+//! rules consume.
+
+use alert_lint::items::{parse, walk, Item, ItemKind, Vis};
+use alert_lint::lexer::{lex, mask};
+
+fn parse_fixture() -> (String, Vec<Item>) {
+    let src = include_str!("fixtures/items_tree.rs").to_string();
+    let tokens = lex(&src);
+    let masked = mask(&src, &tokens);
+    (src, parse(&masked))
+}
+
+fn shape(items: &[Item]) -> Vec<(ItemKind, &str, Vis)> {
+    items
+        .iter()
+        .map(|i| (i.kind, i.name.as_str(), i.vis))
+        .collect()
+}
+
+#[test]
+fn top_level_shape_is_pinned() {
+    let (_, items) = parse_fixture();
+    assert_eq!(
+        shape(&items),
+        vec![
+            (ItemKind::Mod, "outer", Vis::Pub),
+            (ItemKind::Use, "outer::inner::leaf", Vis::Pub),
+            (ItemKind::Trait, "Step", Vis::Pub),
+            (ItemKind::Const, "LIMIT", Vis::Private),
+            (ItemKind::Fn, "root_fn", Vis::Private),
+        ]
+    );
+}
+
+#[test]
+fn nested_modules_and_impls_nest() {
+    let (_, items) = parse_fixture();
+    let outer = &items[0];
+    assert_eq!(
+        shape(&outer.children),
+        vec![
+            (ItemKind::Mod, "inner", Vis::Pub),
+            (ItemKind::Type, "Gadget", Vis::Pub),
+            (ItemKind::Impl, "Gadget", Vis::Private),
+        ]
+    );
+    let inner = &outer.children[0];
+    assert_eq!(
+        shape(&inner.children),
+        vec![(ItemKind::Fn, "leaf", Vis::Pub)]
+    );
+    let gadget_impl = &outer.children[2];
+    assert_eq!(
+        shape(&gadget_impl.children),
+        vec![
+            (ItemKind::Fn, "apply", Vis::Pub),
+            (ItemKind::Fn, "private_helper", Vis::Private),
+        ]
+    );
+}
+
+#[test]
+fn arrow_in_where_clause_does_not_eat_the_body() {
+    let (src, items) = parse_fixture();
+    let apply = &items[0].children[2].children[0];
+    assert_eq!(apply.name, "apply");
+    // The declared return type and the where-clause (with its own
+    // `->` inside `Fn(u32) -> u32`) both land in `ret`…
+    assert!(apply.ret.contains("u32"), "ret: {}", apply.ret);
+    assert!(apply.ret.contains("where"), "ret: {}", apply.ret);
+    // …and the body span still starts at the real body, not inside the
+    // where-clause.
+    let (b0, b1) = apply.body.expect("apply has a body");
+    assert!(src[b0..b1].contains("f(self.state)"), "{}", &src[b0..b1]);
+    // Same for the free fn whose where-clause spans lines.
+    let root = items.last().expect("root_fn");
+    let (r0, r1) = root.body.expect("root_fn has a body");
+    assert!(src[r0..r1].contains("xs.len()"), "{}", &src[r0..r1]);
+}
+
+#[test]
+fn trait_methods_are_children() {
+    let (_, items) = parse_fixture();
+    let tr = &items[2];
+    assert_eq!(
+        shape(&tr.children),
+        vec![(ItemKind::Fn, "step", Vis::Private)]
+    );
+    assert_eq!(tr.children[0].ret.trim(), "-> bool");
+}
+
+#[test]
+fn walk_visits_every_fn_with_module_path() {
+    let (_, items) = parse_fixture();
+    let mut fns: Vec<String> = Vec::new();
+    walk(&items, &mut |item, mods, self_ty| {
+        if item.kind == ItemKind::Fn {
+            fns.push(format!(
+                "{}::{}{}",
+                mods.join("::"),
+                self_ty.map(|t| format!("{t}::")).unwrap_or_default(),
+                item.name
+            ));
+        }
+    });
+    fns.sort();
+    assert_eq!(
+        fns,
+        vec![
+            "::Step::step",
+            "::root_fn",
+            "outer::Gadget::apply",
+            "outer::Gadget::private_helper",
+            "outer::inner::leaf",
+        ]
+    );
+}

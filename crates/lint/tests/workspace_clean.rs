@@ -53,4 +53,48 @@ fn workspace_has_no_unsuppressed_violations() {
             a.line
         );
     }
+
+    // The full 11-rule catalog is in force: 7 lexical rules, the 4
+    // semantic (graph-powered) rules, and nothing unexpected.
+    let mut rules: Vec<&str> = report.rules.iter().map(|r| r.id).collect();
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        vec![
+            "allow-needs-reason",
+            "crate-layer-dag",
+            "lock-order",
+            "nan-unsafe-compare",
+            "no-hash-iteration",
+            "no-panic",
+            "no-unseeded-rng",
+            "no-wall-clock",
+            "panic-reachability",
+            "rng-provenance",
+            "unused-allow",
+        ]
+    );
+
+    // The semantic pass actually ran over the real corpus: the call
+    // graph is populated and its structural invariants hold raw
+    // (pre-suppression) — no upward layer references, no lock-order
+    // cycles, every RNG construction traced to a named seed source,
+    // every panic source accounted for.
+    let g = &report.graph;
+    assert!(g.files_parsed > 50, "item parser skipped the corpus");
+    assert!(g.fns > 500, "only {} fns in the call graph", g.fns);
+    assert!(g.pub_fns > 0 && g.pub_fns < g.fns);
+    assert!(g.edges_high > 0, "no path-resolved edges at all");
+    assert_eq!(g.edges, g.edges_high + g.edges_low);
+    assert!(!g.layers.is_empty(), "layer table missing from the report");
+    assert_eq!(g.layer_violations, 0, "upward layer reference crept in");
+    assert_eq!(g.lock_cycles, 0, "lock-order cycle crept in");
+    assert_eq!(
+        g.rng_traced, g.rng_constructions,
+        "an RNG construction lost its seed provenance"
+    );
+    assert_eq!(
+        g.panic_accounted, g.panic_sources,
+        "an assert! site is reachable from the pub API undocumented"
+    );
 }

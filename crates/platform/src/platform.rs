@@ -380,6 +380,12 @@ impl Platform {
     /// `t_ref(CPU2 @ max) × class_speed × (ρ/σ(cap) + 1 − ρ)`.
     ///
     /// This is the `t^prof_{i,j}` the controller's tables are built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]` — the memory-intensity ratio
+    /// is a profiled constant per workload class, so an out-of-range
+    /// value is a caller bug, not a runtime condition.
     pub fn profile_latency(
         &self,
         ref_latency: Seconds,

@@ -56,6 +56,12 @@ pub fn stream_rng(seed: u64, label: &str) -> StdRng {
 /// Clamping (rather than rejection) slightly inflates the boundary mass but
 /// is deterministic in the number of RNG draws, which keeps streams aligned
 /// across configuration changes. Good enough for workload noise.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` — an inverted truncation interval has no
+/// well-defined sample, and every caller derives the bounds from
+/// already-validated scenario parameters.
 pub fn sample_truncated_normal<R: rand::Rng>(
     rng: &mut R,
     mean: f64,

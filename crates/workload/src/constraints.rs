@@ -1,8 +1,9 @@
 //! Constraint grids (paper Table 3 ranges).
 //!
-//! The goal types themselves ([`Goal`], [`Objective`]) live in
-//! `alert-core` — they are controller vocabulary — and are re-exported
-//! here. This module contributes the *evaluation grid*: each Table 4 cell
+//! The goal types themselves ([`Goal`], [`Objective`]) live in this
+//! crate's [`crate::goal`] module — goals are workload statements — and
+//! are re-exported here. This module contributes the *evaluation grid*:
+//! each Table 4 cell
 //! averages "35–40 combinations of latency, accuracy and energy
 //! constraints" drawn from Table 3's ranges:
 //!
@@ -12,7 +13,7 @@
 //! * energy budgets spanning the platform's feasible power-cap range
 //!   times the input period.
 
-pub use alert_core::goal::{Goal, Objective};
+pub use crate::goal::{Goal, Objective};
 
 use alert_models::{inference, ModelFamily};
 use alert_platform::Platform;

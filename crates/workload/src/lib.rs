@@ -27,6 +27,7 @@
 //!   into a first-class scenario (`ArrivalProcess::Trace`).
 
 pub mod constraints;
+pub mod goal;
 pub mod record;
 pub mod scenario;
 pub mod script;
