@@ -24,10 +24,16 @@
 //! Usage: `scenarios [n_inputs_per_episode] [seed]` (defaults 300, 2020).
 
 use alert_bench::{banner, csv_header, csv_row, f};
+use alert_core::lane::{CandidateLane, LaneScratch};
+use alert_core::select::select_with_period;
+use alert_core::ProbabilityMode;
+use alert_platform::Platform;
+use alert_sched::alert::build_table_multi;
 use alert_sched::env::EpisodeEnv;
 use alert_sched::runtime::{Runtime, SessionSpec};
 use alert_sched::FamilyKind;
-use alert_stats::units::Seconds;
+use alert_stats::units::{Joules, Seconds, Watts};
+use alert_stats::Normal;
 use alert_workload::{Goal, InputStream, Scenario};
 use std::sync::Arc;
 
@@ -123,6 +129,153 @@ fn run_row(
                 decision_overhead_us_mean: ep.summary.overhead.get()
                     / ep.records.len().max(1) as f64
                     * 1e6,
+                disqualified: ep.summary.disqualified(),
+            }
+        })
+        .collect()
+}
+
+/// One cell of the placement matrix (a node row × scheme × scenario).
+struct PlacementCell {
+    node: &'static str,
+    scheme: &'static str,
+    scenario: String,
+    measured: usize,
+    deadline_miss_rate: f64,
+    violation_rate: f64,
+    avg_energy_j: f64,
+    avg_quality: f64,
+    /// Fraction of inputs placed off device 0.
+    off_primary_share: f64,
+    disqualified: bool,
+}
+
+/// The placement node rows: a GPU-primary node and a CPU+GPU node under
+/// one shared 230 W envelope (split proportional to max draw: ~192 W to
+/// the GPU, ~38 W to the CPU — both keep a usable DVFS range).
+fn placement_nodes() -> Vec<(&'static str, Vec<Platform>, Option<Watts>)> {
+    vec![
+        ("GPU", vec![Platform::gpu()], None),
+        (
+            "CPU+GPU",
+            vec![Platform::cpu1(), Platform::gpu()],
+            Some(Watts(230.0)),
+        ),
+    ]
+}
+
+/// The in-bench "lane ≡ reference enumeration" assertion over placement:
+/// the SoA fast lane and the full reference enumeration must agree on
+/// the selected (device, model, stage, power) for the node's actual
+/// heterogeneous candidate table, across beliefs, goals, and probability
+/// modes. Returns the number of agreement checks performed.
+fn assert_lane_matches_reference(
+    node: &str,
+    platforms: &[Platform],
+    shared_budget: Option<Watts>,
+) -> usize {
+    let family = FamilyKind::Image.family();
+    let refs: Vec<&Platform> = platforms.iter().collect();
+    let (table, _) = build_table_multi(&family, &refs, shared_budget).expect("node table builds");
+    let lane = CandidateLane::build(&table);
+    let mut scratch = LaneScratch::for_lane(&lane);
+    let mut checks = 0usize;
+    for (mean, std) in [(1.0, 0.02), (1.6, 0.3), (0.8, 0.0)] {
+        let xi = Normal::new(mean, std);
+        for goal in [
+            Goal::minimize_energy(Seconds(0.4), 0.9),
+            Goal::minimize_energy(Seconds(0.05), 0.9),
+            Goal::minimize_error(Seconds(0.4), Joules(8.0)),
+        ] {
+            for mode in [ProbabilityMode::Full, ProbabilityMode::MeanOnly] {
+                let fast = lane
+                    .select_with_period(&mut scratch, &xi, 0.25, &goal, goal.deadline, mode)
+                    .expect("valid goal");
+                let full = select_with_period(&table, &xi, 0.25, &goal, goal.deadline, mode)
+                    .expect("valid goal");
+                assert_eq!(
+                    fast, full,
+                    "lane diverged from reference on {node} (mean={mean} std={std} {goal:?} {mode:?})"
+                );
+                checks += 1;
+            }
+        }
+    }
+    checks
+}
+
+/// Runs one placement row: every scheme on the same shared heterogeneous
+/// frozen environment, with the per-scheme rebuild asserted bit-identical
+/// across *every device's* realization grid and cap-ceiling timeline.
+fn run_placement_row(
+    node: &'static str,
+    platforms: &[Platform],
+    shared_budget: Option<Watts>,
+    scenario: &Scenario,
+    stream: &InputStream,
+    seed: u64,
+    identity_checks: &mut usize,
+) -> Vec<PlacementCell> {
+    let goal = base_goal();
+    let primary = &platforms[0];
+    let span = alert_workload::quality_span(&FamilyKind::Image.family(), primary);
+    let build = || {
+        EpisodeEnv::build_hetero(platforms, scenario, stream, &goal, seed, Some(span))
+            .expect("library scenarios validate")
+    };
+    let reference = Arc::new(build());
+    SCHEMES
+        .iter()
+        .map(|&scheme| {
+            // The frozen-randomness guarantee, extended over placement:
+            // a rebuild must match on device 0's realizations *and* on
+            // every extra device's scripted cap-ceiling timeline.
+            let rebuilt = build();
+            assert_eq!(
+                rebuilt.realizations(),
+                reference.realizations(),
+                "environment realization diverged for {scheme} on {node}/{}",
+                scenario.name()
+            );
+            for d in 1..reference.device_count() {
+                for i in 0..reference.len() {
+                    assert_eq!(
+                        rebuilt.cap_limit_on(d, i),
+                        reference.cap_limit_on(d, i),
+                        "device {d} cap timeline diverged for {scheme} on {node}/{}",
+                        scenario.name()
+                    );
+                }
+            }
+            *identity_checks += 1;
+
+            let mut builder = Runtime::builder()
+                .platform(primary.id())
+                .family(FamilyKind::Image)
+                .seed(seed);
+            for p in &platforms[1..] {
+                builder = builder.extra_backend(p.id());
+            }
+            if let Some(b) = shared_budget {
+                builder = builder.shared_budget(b);
+            }
+            let mut rt = builder.build().expect("builtin policy resolves");
+            let id = rt
+                .open_session_on(scheme, goal, stream.clone(), reference.clone())
+                .expect("registered policy builds");
+            rt.run_to_completion(id).expect("episode runs");
+            let ep = rt.close(id).expect("session open");
+            let off_primary = ep.records.iter().filter(|r| r.device > 0).count();
+            PlacementCell {
+                node,
+                scheme,
+                scenario: scenario.name().to_string(),
+                measured: ep.summary.measured,
+                deadline_miss_rate: ep.summary.deadline_miss_rate,
+                violation_rate: ep.summary.violation_rate(),
+                avg_energy_j: ep.summary.avg_energy.get(),
+                avg_quality: ep.summary.avg_quality,
+                off_primary_share: off_primary as f64 / ep.records.len().max(1) as f64,
                 disqualified: ep.summary.disqualified(),
             }
         })
@@ -268,6 +421,75 @@ fn main() {
          {closed} closed — measured session bit-identical]"
     );
 
+    // Placement rows: the same scheme matrix on a GPU-primary node and a
+    // shared-budget CPU+GPU node, over the quiescent scenario and the
+    // heterogeneous serving scenario (GPU throttle + device-1 cap crash).
+    let nodes = placement_nodes();
+    let placement_scenarios: Vec<&Scenario> = library
+        .iter()
+        .filter(|s| s.name() == "Default" || s.name() == "HeteroServing")
+        .collect();
+    assert_eq!(placement_scenarios.len(), 2, "library names changed");
+    let mut lane_checks = 0usize;
+    let mut placement_identity_checks = 0usize;
+    let mut placement_cells: Vec<PlacementCell> = Vec::new();
+    println!("\n[placement matrix: GPU and CPU+GPU nodes]");
+    csv_header(&[
+        "node",
+        "scenario",
+        "scheme",
+        "miss_rate",
+        "violation_rate",
+        "avg_energy_j",
+        "avg_quality",
+        "off_primary_share",
+    ]);
+    for (node, platforms, budget) in &nodes {
+        lane_checks += assert_lane_matches_reference(node, platforms, *budget);
+        for scenario in &placement_scenarios {
+            for cell in run_placement_row(
+                node,
+                platforms,
+                *budget,
+                scenario,
+                &stream,
+                seed,
+                &mut placement_identity_checks,
+            ) {
+                csv_row(&[
+                    cell.node.to_string(),
+                    cell.scenario.clone(),
+                    cell.scheme.to_string(),
+                    f(cell.deadline_miss_rate, 4),
+                    f(cell.violation_rate, 4),
+                    f(cell.avg_energy_j, 3),
+                    f(cell.avg_quality, 4),
+                    f(cell.off_primary_share, 3),
+                ]);
+                placement_cells.push(cell);
+            }
+        }
+    }
+    assert_eq!(
+        placement_cells.len(),
+        SCHEMES.len() * nodes.len() * placement_scenarios.len(),
+        "placement matrix must be complete"
+    );
+    assert_eq!(placement_identity_checks, placement_cells.len());
+    for c in placement_cells.iter().filter(|c| c.scheme == "Oracle") {
+        // The perfect-knowledge oracle sees every device's scripted
+        // future, so it never misses a deadline on any node.
+        assert_eq!(
+            c.deadline_miss_rate, 0.0,
+            "Oracle missed deadlines on {}/{}",
+            c.node, c.scenario
+        );
+    }
+    println!(
+        "\n[placement verified: {lane_checks} lane≡reference checks, \
+         {placement_identity_checks} hetero env identity checks, Oracle 0% miss on all nodes]"
+    );
+
     let doc = serde_json::json!({
         "bench": "scenario_matrix",
         "n_inputs_per_episode": n_inputs,
@@ -296,6 +518,28 @@ fn main() {
             "decision_overhead_us_mean": c.decision_overhead_us_mean,
             "disqualified": c.disqualified,
         })).collect::<Vec<_>>(),
+        "placement": serde_json::json!({
+            "nodes": nodes.iter().map(|(n, platforms, budget)| serde_json::json!({
+                "node": n,
+                "backends": platforms.iter().map(|p| p.id().to_string()).collect::<Vec<_>>(),
+                "shared_budget_w": budget.map(|b| b.get()),
+            })).collect::<Vec<_>>(),
+            "scenarios": placement_scenarios.iter().map(|s| s.name().to_string()).collect::<Vec<_>>(),
+            "lane_identity_checks": lane_checks,
+            "env_identity_checks": placement_identity_checks,
+            "cells": placement_cells.iter().map(|c| serde_json::json!({
+                "node": c.node,
+                "scheme": c.scheme,
+                "scenario": c.scenario,
+                "measured": c.measured,
+                "deadline_miss_rate": c.deadline_miss_rate,
+                "violation_rate": c.violation_rate,
+                "avg_energy_j": c.avg_energy_j,
+                "avg_quality": c.avg_quality,
+                "off_primary_share": c.off_primary_share,
+                "disqualified": c.disqualified,
+            })).collect::<Vec<_>>(),
+        }),
     });
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -95,28 +95,92 @@ impl CandidateModel {
     }
 }
 
-/// A selectable execution target: model `i`, stopping after stage `k`,
-/// under power setting `j`.
+/// A selectable execution target: on device `d`, model `i`, stopping
+/// after stage `k`, under that device's power setting `j`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Candidate {
+    /// Device index into the table's device axis. Defaults to `0` (the
+    /// single-CPU config space of the pre-placement format).
+    #[serde(default)]
+    pub device: usize,
     /// Model index into [`ConfigTable::models`].
     pub model: usize,
     /// Target stage (0-based; `stages.len() - 1` runs the full network).
     pub stage: usize,
-    /// Power index into [`ConfigTable::powers`].
+    /// Power index into the device's power axis
+    /// ([`ConfigTable::powers_on`]).
     pub power: usize,
 }
 
-/// The full candidate table: models × powers with profiled latency and
-/// measured run power.
+/// One device's slice of the config space: its own power-setting axis
+/// (RAPL caps on CPUs, clock-table levels on the GPU) and the per-model
+/// profiled grids at those settings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ConfigTable {
-    models: Vec<CandidateModel>,
+struct DeviceGrid {
+    /// Human-readable device label ("CPU2", "GPU", …).
+    label: String,
     powers: Vec<Watts>,
     /// `t_prof[i][j]`: full-network profiled latency of model i at cap j.
     t_prof: Vec<Vec<Seconds>>,
     /// `p_run[i][j]`: measured power draw of model i running at cap j.
     p_run: Vec<Vec<Watts>>,
+}
+
+/// The full candidate table: device × model × power with profiled
+/// latency and measured run power per device grid. A single-device
+/// table (built by [`ConfigTable::new`]) is exactly the paper's
+/// models × powers space; [`ConfigTable::add_device`] extends the same
+/// model set onto further backends for heterogeneous placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigTable {
+    models: Vec<CandidateModel>,
+    devices: Vec<DeviceGrid>,
+}
+
+fn validate_grid(
+    models: &[CandidateModel],
+    powers: &[Watts],
+    t_prof: &[Vec<Seconds>],
+    p_run: &[Vec<Watts>],
+) -> Result<(), String> {
+    if powers.is_empty() {
+        return Err("no power settings".into());
+    }
+    if t_prof.len() != models.len() {
+        return Err(format!(
+            "t_prof rows != models ({} vs {})",
+            t_prof.len(),
+            models.len()
+        ));
+    }
+    if p_run.len() != models.len() {
+        return Err(format!(
+            "p_run rows != models ({} vs {})",
+            p_run.len(),
+            models.len()
+        ));
+    }
+    for (i, row) in t_prof.iter().enumerate() {
+        if row.len() != powers.len() {
+            return Err(format!("t_prof[{i}] cols != powers"));
+        }
+        for (j, &t) in row.iter().enumerate() {
+            if !(t.is_finite() && t.get() > 0.0) {
+                return Err(format!("t_prof[{i}][{j}] must be positive, got {t}"));
+            }
+        }
+    }
+    for (i, row) in p_run.iter().enumerate() {
+        if row.len() != powers.len() {
+            return Err(format!("p_run[{i}] cols != powers"));
+        }
+        for (j, &p) in row.iter().enumerate() {
+            if !(p.is_finite() && p.get() > 0.0) {
+                return Err(format!("p_run[{i}][{j}] must be positive, got {p}"));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl ConfigTable {
@@ -138,53 +202,52 @@ impl ConfigTable {
         if models.is_empty() {
             return Err("no candidate models".into());
         }
-        if powers.is_empty() {
-            return Err("no power settings".into());
-        }
         for m in &models {
             m.validate()
                 .map_err(|e| format!("invalid candidate: {e}"))?;
         }
-        if t_prof.len() != models.len() {
-            return Err(format!(
-                "t_prof rows != models ({} vs {})",
-                t_prof.len(),
-                models.len()
-            ));
-        }
-        if p_run.len() != models.len() {
-            return Err(format!(
-                "p_run rows != models ({} vs {})",
-                p_run.len(),
-                models.len()
-            ));
-        }
-        for (i, row) in t_prof.iter().enumerate() {
-            if row.len() != powers.len() {
-                return Err(format!("t_prof[{i}] cols != powers"));
-            }
-            for (j, &t) in row.iter().enumerate() {
-                if !(t.is_finite() && t.get() > 0.0) {
-                    return Err(format!("t_prof[{i}][{j}] must be positive, got {t}"));
-                }
-            }
-        }
-        for (i, row) in p_run.iter().enumerate() {
-            if row.len() != powers.len() {
-                return Err(format!("p_run[{i}] cols != powers"));
-            }
-            for (j, &p) in row.iter().enumerate() {
-                if !(p.is_finite() && p.get() > 0.0) {
-                    return Err(format!("p_run[{i}][{j}] must be positive, got {p}"));
-                }
-            }
-        }
+        validate_grid(&models, &powers, &t_prof, &p_run)?;
         Ok(ConfigTable {
             models,
+            devices: vec![DeviceGrid {
+                label: "CPU".to_string(),
+                powers,
+                t_prof,
+                p_run,
+            }],
+        })
+    }
+
+    /// Extends the config space with another device's grid over the same
+    /// model set, returning the new device index.
+    ///
+    /// # Errors
+    ///
+    /// The same dimension/positivity problems [`ConfigTable::new`]
+    /// rejects, prefixed with the device label.
+    pub fn add_device(
+        &mut self,
+        label: impl Into<String>,
+        powers: Vec<Watts>,
+        t_prof: Vec<Vec<Seconds>>,
+        p_run: Vec<Vec<Watts>>,
+    ) -> Result<usize, String> {
+        let label = label.into();
+        validate_grid(&self.models, &powers, &t_prof, &p_run)
+            .map_err(|e| format!("device {label}: {e}"))?;
+        self.devices.push(DeviceGrid {
+            label,
             powers,
             t_prof,
             p_run,
-        })
+        });
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Renames device 0 (the [`ConfigTable::new`] grid, labeled "CPU" by
+    /// default).
+    pub fn set_device_label(&mut self, device: usize, label: impl Into<String>) {
+        self.devices[device].label = label.into();
     }
 
     /// The candidate models.
@@ -192,61 +255,138 @@ impl ConfigTable {
         &self.models
     }
 
-    /// The power settings.
+    /// Number of devices in the config space.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Human-readable label of device `d`.
+    pub fn device_label(&self, d: usize) -> &str {
+        &self.devices[d].label
+    }
+
+    /// Device 0's grid — the single-device view the pre-placement code
+    /// paths use.
+    fn primary(&self) -> &DeviceGrid {
+        // lint:allow(no-panic): every constructor installs device 0 and devices only grow
+        &self.devices[0]
+    }
+
+    /// The power settings of device 0 (the single-device view the
+    /// pre-placement code paths use).
     pub fn powers(&self) -> &[Watts] {
-        &self.powers
+        &self.primary().powers
     }
 
-    /// Full-network profiled latency of model `i` at power `j`.
+    /// The power settings of device `d`.
+    pub fn powers_on(&self, d: usize) -> &[Watts] {
+        &self.devices[d].powers
+    }
+
+    /// Full-network profiled latency of model `i` at power `j` on
+    /// device 0.
     pub fn t_prof(&self, i: usize, j: usize) -> Seconds {
-        self.t_prof[i][j]
+        self.primary().t_prof[i][j]
     }
 
-    /// Profiled completion time of stage `k` of model `i` at power `j`.
+    /// Full-network profiled latency of model `i` at power `j` on
+    /// device `d`.
+    pub fn t_prof_on(&self, d: usize, i: usize, j: usize) -> Seconds {
+        self.devices[d].t_prof[i][j]
+    }
+
+    /// Profiled completion time of the candidate's target stage on its
+    /// device.
     pub fn t_prof_stage(&self, c: Candidate) -> Seconds {
         let frac = self.models[c.model].stages[c.stage].frac;
-        self.t_prof[c.model][c.power] * frac
+        self.devices[c.device].t_prof[c.model][c.power] * frac
     }
 
-    /// Measured run power of model `i` at power `j`.
+    /// Measured run power of model `i` at power `j` on device 0.
     pub fn p_run(&self, i: usize, j: usize) -> Watts {
-        self.p_run[i][j]
+        self.primary().p_run[i][j]
     }
 
-    /// The cap value of power index `j`.
+    /// Measured run power of model `i` at power `j` on device `d`.
+    pub fn p_run_on(&self, d: usize, i: usize, j: usize) -> Watts {
+        self.devices[d].p_run[i][j]
+    }
+
+    /// The cap value of power index `j` on device 0.
     pub fn cap(&self, j: usize) -> Watts {
-        self.powers[j]
+        self.primary().powers[j]
     }
 
-    /// Enumerates every `(model, stage, power)` execution target.
+    /// The cap value of power index `j` on device `d`.
+    pub fn cap_on(&self, d: usize, j: usize) -> Watts {
+        self.devices[d].powers[j]
+    }
+
+    /// Enumerates every `(device, model, stage, power)` execution target,
+    /// device-major; within one device the order is exactly the
+    /// pre-placement model → stage → power enumeration, so single-device
+    /// tables keep the historical candidate order bit-for-bit.
     pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
-        self.models.iter().enumerate().flat_map(move |(i, m)| {
-            (0..m.stages.len()).flat_map(move |k| {
-                (0..self.powers.len()).map(move |j| Candidate {
-                    model: i,
-                    stage: k,
-                    power: j,
+        self.devices.iter().enumerate().flat_map(move |(d, dev)| {
+            let n_powers = dev.powers.len();
+            self.models.iter().enumerate().flat_map(move |(i, m)| {
+                (0..m.stages.len()).flat_map(move |k| {
+                    (0..n_powers).map(move |j| Candidate {
+                        device: d,
+                        model: i,
+                        stage: k,
+                        power: j,
+                    })
                 })
             })
         })
     }
 
-    /// Total number of execution targets.
+    /// Total number of execution targets across all devices.
     pub fn candidate_count(&self) -> usize {
-        self.models
+        let stages: usize = self.models.iter().map(|m| m.stages.len()).sum();
+        self.devices
             .iter()
-            .map(|m| m.stages.len() * self.powers.len())
+            .map(|dev| stages * dev.powers.len())
             .sum()
     }
 
     /// Index of the model with the smallest full-network latency at the
-    /// highest cap (the "fastest DNN" the Sys-only baseline pins).
+    /// highest cap on device 0 (the "fastest DNN" the Sys-only baseline
+    /// pins).
     pub fn fastest_model(&self) -> usize {
-        let j = self.powers.len() - 1;
+        self.fastest_model_on(0)
+    }
+
+    /// Index of the model with the smallest full-network latency at
+    /// device `d`'s highest cap.
+    pub fn fastest_model_on(&self, d: usize) -> usize {
+        let grid = &self.devices[d];
+        let j = grid.powers.len() - 1;
         (0..self.models.len())
-            .min_by(|&a, &b| self.t_prof[a][j].get().total_cmp(&self.t_prof[b][j].get()))
+            .min_by(|&a, &b| grid.t_prof[a][j].get().total_cmp(&grid.t_prof[b][j].get()))
             // lint:allow(no-panic): the model table is validated non-empty at construction
             .expect("non-empty")
+    }
+
+    /// The `(device, model)` pair with the smallest full-network latency,
+    /// each device judged at its own highest cap — where a
+    /// latency-obsessed baseline pins a heterogeneous node. Ties resolve
+    /// to the lower device index (device 0 for single-device tables, so
+    /// this degenerates to [`ConfigTable::fastest_model`]).
+    pub fn fastest_placement(&self) -> (usize, usize) {
+        let mut best = (0, self.fastest_model_on(0));
+        let primary = self.primary();
+        let mut best_t = primary.t_prof[best.1][primary.powers.len() - 1];
+        for d in 1..self.devices.len() {
+            let m = self.fastest_model_on(d);
+            let t = self.devices[d].t_prof[m][self.devices[d].powers.len() - 1];
+            if t.get() < best_t.get() {
+                best = (d, m);
+                best_t = t;
+            }
+        }
+        best
     }
 
     /// Index of the model with the best final quality.
@@ -311,12 +451,14 @@ mod tests {
     fn stage_profile_scales_by_fraction() {
         let t = table();
         let c = Candidate {
+            device: 0,
             model: 2,
             stage: 0,
             power: 1,
         };
         assert!((t.t_prof_stage(c).get() - 0.4 * 0.12).abs() < 1e-15);
         let c_full = Candidate {
+            device: 0,
             model: 2,
             stage: 1,
             power: 1,
@@ -391,6 +533,62 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn add_device_extends_the_candidate_space_device_major() {
+        let mut t = table();
+        assert_eq!(t.device_count(), 1);
+        let cpu_candidates: Vec<Candidate> = t.candidates().collect();
+        let gpu = t
+            .add_device(
+                "GPU",
+                vec![Watts(100.0), Watts(160.0), Watts(215.0)],
+                vec![
+                    vec![Seconds(0.006), Seconds(0.004), Seconds(0.003)],
+                    vec![Seconds(0.030), Seconds(0.020), Seconds(0.015)],
+                    vec![Seconds(0.036), Seconds(0.024), Seconds(0.018)],
+                ],
+                vec![
+                    vec![Watts(95.0), Watts(150.0), Watts(200.0)],
+                    vec![Watts(98.0), Watts(155.0), Watts(205.0)],
+                    vec![Watts(98.0), Watts(155.0), Watts(205.0)],
+                ],
+            )
+            .expect("valid grid");
+        assert_eq!(gpu, 1);
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.device_label(1), "GPU");
+        // 4 stage-rows × (2 CPU + 3 GPU powers) = 20.
+        assert_eq!(t.candidate_count(), 20);
+        let all: Vec<Candidate> = t.candidates().collect();
+        // Device-major: the CPU block is bit-identical to the
+        // single-device enumeration, the GPU block follows.
+        assert_eq!(&all[..cpu_candidates.len()], &cpu_candidates[..]);
+        assert!(all[cpu_candidates.len()..].iter().all(|c| c.device == 1));
+        // Per-device accessors hit the right grid.
+        assert_eq!(t.cap_on(1, 2), Watts(215.0));
+        assert_eq!(t.t_prof_on(1, 0, 0), Seconds(0.006));
+        let c = Candidate {
+            device: 1,
+            model: 2,
+            stage: 0,
+            power: 2,
+        };
+        assert!((t.t_prof_stage(c).get() - 0.4 * 0.018).abs() < 1e-15);
+        // The GPU hosts the fastest placement of the node.
+        assert_eq!(t.fastest_placement(), (1, 0));
+    }
+
+    #[test]
+    fn add_device_rejects_mismatched_grids() {
+        let mut t = table();
+        let err = t
+            .add_device("GPU", vec![Watts(100.0)], vec![], vec![])
+            .unwrap_err();
+        assert!(err.contains("device GPU"), "{err}");
+        assert!(err.contains("t_prof rows != models"), "{err}");
+        assert_eq!(t.device_count(), 1, "failed add must not mutate");
     }
 
     #[test]

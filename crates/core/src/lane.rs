@@ -1,8 +1,9 @@
 //! The selection fast lane: SoA candidate precomputation, dominated-
 //! candidate pruning, and the belief-banded decision cache.
 //!
-//! ALERT re-enumerates every `(model, stage, power)` execution target per
-//! input (§3.2 step 4), and in this runtime that enumeration *is* the
+//! ALERT re-enumerates every `(device, model, stage, power)` execution
+//! target per input (§3.2 step 4, with the device axis collapsing on
+//! single-platform tables), and in this runtime that enumeration *is* the
 //! throughput ceiling — the per-decision cost is almost entirely CDF and
 //! inverse-CDF evaluations plus table chasing. This module rebuilds the
 //! hot path in three stages, each **provably selection-identical** to the
@@ -134,42 +135,48 @@ impl CandidateLane {
     /// Flattens and prunes a candidate table.
     pub fn build(table: &ConfigTable) -> Self {
         let models = table.models();
-        let n_powers = table.powers().len();
 
-        // Arena layout: (model, power)-major blocks of staircase slots.
+        // Arena layout: (device, model, power)-major blocks of staircase
+        // slots — device-major like the enumeration, so single-device
+        // tables keep the historical layout bit-for-bit.
         let mut stage_lat = Vec::new();
         let mut stage_points = Vec::new();
-        let mut slot_base = vec![vec![0u32; n_powers]; models.len()];
-        for (i, m) in models.iter().enumerate() {
-            for (j, base) in slot_base[i].iter_mut().enumerate() {
-                *base = stage_lat.len() as u32;
-                let t_full = table.t_prof(i, j);
-                for s in &m.stages {
-                    // The exact product `t_prof_stage` computes.
-                    stage_lat.push(t_full * s.frac);
-                    stage_points.push(*s);
+        let mut slot_base: Vec<Vec<Vec<u32>>> = (0..table.device_count())
+            .map(|d| vec![vec![0u32; table.powers_on(d).len()]; models.len()])
+            .collect();
+        for (d, per_model) in slot_base.iter_mut().enumerate() {
+            for (i, m) in models.iter().enumerate() {
+                for (j, base) in per_model[i].iter_mut().enumerate() {
+                    *base = stage_lat.len() as u32;
+                    let t_full = table.t_prof_on(d, i, j);
+                    for s in &m.stages {
+                        // The exact product `t_prof_stage` computes.
+                        stage_lat.push(t_full * s.frac);
+                        stage_points.push(*s);
+                    }
                 }
             }
         }
 
-        // Entries in exact enumeration order (model → stage → power).
+        // Entries in exact enumeration order (device → model → stage →
+        // power).
         let mut entries = Vec::with_capacity(table.candidate_count());
         let mut t_full_of = Vec::with_capacity(table.candidate_count());
         for c in table.candidates() {
             let m = &models[c.model];
-            let base = slot_base[c.model][c.power];
+            let base = slot_base[c.device][c.model][c.power];
             entries.push(LaneEntry {
                 cand: c,
                 t_stage: stage_lat[base as usize + c.stage],
-                p_run: table.p_run(c.model, c.power),
-                cap: table.cap(c.power),
+                p_run: table.p_run_on(c.device, c.model, c.power),
+                cap: table.cap_on(c.device, c.power),
                 is_anytime: m.is_anytime(),
                 fail_quality: m.fail_quality,
                 top_quality: m.final_quality(),
                 guard: QUALITY_GUARD_FRACTION * (m.final_quality() - m.fail_quality),
                 slot_base: base,
             });
-            t_full_of.push(table.t_prof(c.model, c.power));
+            t_full_of.push(table.t_prof_on(c.device, c.model, c.power));
         }
 
         let live = prune(&entries, &t_full_of);
@@ -394,13 +401,17 @@ fn slot_prob(
 /// have no weak dominator in those two axes, which the full condition
 /// requires.
 fn prune(entries: &[LaneEntry], t_full_of: &[Seconds]) -> Vec<u32> {
-    // Group candidates by (model, stage) and mark off-frontier members.
+    // Group candidates by (device, model, stage) and mark off-frontier
+    // members. The device belongs in the key: dominance only compares
+    // within one device's latency chain, so a GPU clock level can never
+    // prune a CPU cap (their profiled latencies come from different
+    // grids and the realized environments differ per device).
     let mut group_prunable = vec![false; entries.len()];
-    let mut groups: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+    let mut groups: std::collections::BTreeMap<(usize, usize, usize), Vec<usize>> =
         std::collections::BTreeMap::new();
     for (idx, e) in entries.iter().enumerate() {
         groups
-            .entry((e.cand.model, e.cand.stage))
+            .entry((e.cand.device, e.cand.model, e.cand.stage))
             .or_default()
             .push(idx);
     }
@@ -476,6 +487,13 @@ fn dominates(
     c_t_full: Seconds,
     c_group_prunable: bool,
 ) -> bool {
+    // Placement is part of a candidate's identity: a dominator must live
+    // on the same device, because the scheduler executes the winner there
+    // and the realized latency/energy depend on the device even when the
+    // profiled numbers coincide.
+    if d.cand.device != c.cand.device {
+        return false;
+    }
     let same_group = d.cand.model == c.cand.model && d.cand.stage == c.cand.stage;
     if same_group {
         if !c_group_prunable {
@@ -763,6 +781,60 @@ mod tests {
         assert_eq!(fast, full);
     }
 
+    /// The saturated table extended with a GPU-like device whose grid
+    /// *repeats the CPU numbers bit-for-bit* — the worst case for
+    /// cross-device pruning, since every latency chain collides.
+    fn two_device_table() -> ConfigTable {
+        let mut t = saturated_table();
+        let powers = vec![Watts(20.0), Watts(40.0), Watts(45.0)];
+        let t_prof = vec![
+            vec![Seconds(0.040), Seconds(0.020), Seconds(0.020)],
+            vec![Seconds(0.240), Seconds(0.120), Seconds(0.120)],
+        ];
+        let p_run = vec![
+            vec![Watts(18.0), Watts(38.0), Watts(38.0)],
+            vec![Watts(19.0), Watts(39.0), Watts(39.0)],
+        ];
+        t.add_device("GPU", powers, t_prof, p_run)
+            .expect("valid grid");
+        t
+    }
+
+    #[test]
+    fn pruning_never_crosses_devices() {
+        let t = two_device_table();
+        let lane = CandidateLane::build(&t);
+        assert_eq!(lane.candidate_count(), 18);
+        // Each device prunes its own saturation duplicate per stage row
+        // (3 each) and nothing else: identical grids on another device
+        // must not shadow each other.
+        assert_eq!(lane.pruned_count(), 6);
+    }
+
+    #[test]
+    fn two_device_lane_matches_reference() {
+        let t = two_device_table();
+        let lane = CandidateLane::build(&t);
+        let mut scratch = LaneScratch::for_lane(&lane);
+        for (mean, std) in [(1.0, 0.02), (1.6, 0.3), (0.8, 0.0)] {
+            let xi = Normal::new(mean, std);
+            for goal in [
+                Goal::minimize_energy(Seconds(0.15), 0.9),
+                Goal::minimize_error(Seconds(0.15), Joules(2.0)),
+                Goal::minimize_error(Seconds(0.01), Joules(1e-7)),
+            ] {
+                for mode in [ProbabilityMode::Full, ProbabilityMode::MeanOnly] {
+                    let fast = lane
+                        .select_with_period(&mut scratch, &xi, 0.25, &goal, goal.deadline, mode)
+                        .unwrap();
+                    let full =
+                        select_with_period(&t, &xi, 0.25, &goal, goal.deadline, mode).unwrap();
+                    assert_eq!(fast, full, "mean={mean} std={std} {goal:?} {mode:?}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn cache_hits_only_on_exact_revalidation() {
         let mut cache = DecisionCache::new();
@@ -772,6 +844,7 @@ mod tests {
         let band = BeliefBand::quantize(1.0, 0.1, 0.3, Seconds(0.2));
         let sel = Selection {
             candidate: Candidate {
+                device: 0,
                 model: 0,
                 stage: 0,
                 power: 0,

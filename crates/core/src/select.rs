@@ -3,7 +3,9 @@
 //! ALERT "feeds all the updated estimations of latency, accuracy, and
 //! energy into Eqs. 1 and 2, and gets the desired DNN model and power-cap
 //! setting" (§3.2 step 4). Selection enumerates every execution target
-//! (model, stage, power), computes its estimates from the current ξ and φ,
+//! (device, model, stage, power — the device axis generalizes the paper's
+//! per-platform runs to heterogeneous placement, and collapses for
+//! single-device tables), computes its estimates from the current ξ and φ,
 //! filters by the goal's constraints (plus the optional probability
 //! threshold of Eqs. 10–11), and optimizes the objective.
 //!
@@ -77,7 +79,7 @@ pub fn evaluate(
     period: Seconds,
     mode: ProbabilityMode,
 ) -> Estimates {
-    let t_full = table.t_prof(c.model, c.power);
+    let t_full = table.t_prof_on(c.device, c.model, c.power);
     let t_stage = table.t_prof_stage(c);
     let model = &table.models()[c.model];
     let deadline = goal.deadline;
@@ -101,8 +103,8 @@ pub fn evaluate(
             crate::quality::mean_only_quality(xi, model, t_full, c.stage, deadline)
         }
     };
-    let p_run = table.p_run(c.model, c.power);
-    let cap = table.cap(c.power);
+    let p_run = table.p_run_on(c.device, c.model, c.power);
+    let cap = table.cap_on(c.device, c.power);
     let energy = crate::energy::estimate_energy(xi, t_stage, p_run, cap, idle_ratio, period);
     let energy_bound = match mode {
         ProbabilityMode::Full if xi.std_dev() > 0.0 => {
@@ -553,6 +555,7 @@ mod tests {
         let xi = Normal::new(1.0, 0.30);
         let goal = Goal::minimize_error(Seconds(0.105), Joules(20.0));
         let c = Candidate {
+            device: 0,
             model: 1,
             stage: 0,
             power: 1,

@@ -17,6 +17,19 @@ pub enum PowerError {
     },
     /// The requested cap is not finite.
     InvalidCap(f64),
+    /// A frequency/power lookup table has too few levels to be usable.
+    TableTooSmall {
+        /// Number of levels supplied.
+        len: usize,
+    },
+    /// A frequency/power lookup table is not strictly increasing in both
+    /// frequency and power at the given level index.
+    NonMonotoneLevel {
+        /// Index of the first offending level (the higher of the pair).
+        index: usize,
+    },
+    /// A memory-bound throughput floor outside `(0, 1]` was supplied.
+    InvalidFloor(f64),
 }
 
 impl fmt::Display for PowerError {
@@ -34,6 +47,17 @@ impl fmt::Display for PowerError {
                 max.get()
             ),
             PowerError::InvalidCap(v) => write!(f, "power cap {v} is not a finite number"),
+            PowerError::TableTooSmall { len } => {
+                write!(f, "frequency table needs at least 2 levels, got {len}")
+            }
+            PowerError::NonMonotoneLevel { index } => write!(
+                f,
+                "frequency table must be strictly increasing in frequency and power; \
+                 level {index} is not"
+            ),
+            PowerError::InvalidFloor(v) => {
+                write!(f, "memory-bound throughput floor {v} is outside (0, 1]")
+            }
         }
     }
 }
@@ -56,5 +80,11 @@ mod tests {
         assert!(s.contains("[40.0, 100.0]"));
         let e = PowerError::InvalidCap(f64::NAN);
         assert!(e.to_string().contains("not a finite"));
+        let e = PowerError::TableTooSmall { len: 1 };
+        assert!(e.to_string().contains("at least 2 levels"));
+        let e = PowerError::NonMonotoneLevel { index: 3 };
+        assert!(e.to_string().contains("level 3"));
+        let e = PowerError::InvalidFloor(0.0);
+        assert!(e.to_string().contains("outside (0, 1]"));
     }
 }

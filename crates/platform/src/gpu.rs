@@ -30,20 +30,26 @@ pub struct GpuFreqTable {
 impl GpuFreqTable {
     /// Builds a table from levels.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two levels are given or if the levels are not
-    /// strictly increasing in both frequency and power.
-    pub fn new(levels: Vec<GpuLevel>) -> Self {
-        assert!(levels.len() >= 2, "a lookup table needs at least 2 levels");
-        for w in levels.windows(2) {
-            let [lo, hi] = w else { continue };
-            assert!(
-                hi.freq_mhz > lo.freq_mhz && hi.power > lo.power,
-                "levels must be strictly increasing in frequency and power"
-            );
+    /// [`PowerError::TableTooSmall`] when fewer than two levels are given
+    /// (an empty or single-level vector cannot express a DVFS choice);
+    /// [`PowerError::NonMonotoneLevel`] when the levels are not strictly
+    /// increasing in both frequency and power (an unsorted table would
+    /// make [`GpuFreqTable::level_for_budget`] silently pick a slow
+    /// level). Level vectors arrive from user configuration, so both are
+    /// reported, never panicked on.
+    pub fn new(levels: Vec<GpuLevel>) -> Result<Self, PowerError> {
+        if levels.len() < 2 {
+            return Err(PowerError::TableTooSmall { len: levels.len() });
         }
-        GpuFreqTable { levels }
+        for (i, w) in levels.windows(2).enumerate() {
+            let [lo, hi] = w else { continue };
+            if !(hi.freq_mhz > lo.freq_mhz && hi.power > lo.power) {
+                return Err(PowerError::NonMonotoneLevel { index: i + 1 });
+            }
+        }
+        Ok(GpuFreqTable { levels })
     }
 
     /// A table shaped like an RTX 2080: SM clocks 300–1900 MHz, board power
@@ -64,7 +70,8 @@ impl GpuFreqTable {
                 power: Watts(power),
             });
         }
-        GpuFreqTable::new(levels)
+        // lint:allow(no-panic): the preset levels above are monotone by construction (freq and power both strictly increase in i)
+        GpuFreqTable::new(levels).expect("preset levels are monotone")
     }
 
     /// All levels, slowest first.
@@ -103,14 +110,15 @@ impl GpuFreqTable {
     /// frequency relative to the top level, floored by `mem_floor` (GPU
     /// kernels retain memory-bound throughput even at low clocks).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `mem_floor` is outside `(0, 1]`.
+    /// [`PowerError::InvalidFloor`] when `mem_floor` is outside `(0, 1]`
+    /// (NaN included), [`PowerError::CapOutOfRange`] when `budget` is
+    /// below the slowest level's power.
     pub fn throughput(&self, budget: Watts, mem_floor: f64) -> Result<f64, PowerError> {
-        assert!(
-            mem_floor > 0.0 && mem_floor <= 1.0,
-            "mem_floor must be in (0,1]"
-        );
+        if !(mem_floor > 0.0 && mem_floor <= 1.0) {
+            return Err(PowerError::InvalidFloor(mem_floor));
+        }
         let level = self.level_for_budget(budget)?;
         let f_max = self.levels[self.levels.len() - 1].freq_mhz;
         let rel = level.freq_mhz / f_max;
@@ -119,12 +127,32 @@ impl GpuFreqTable {
 
     /// The slowest level's power (minimum feasible budget).
     pub fn min_power(&self) -> Watts {
-        self.levels[0].power // lint:allow(no-panic): new() asserts at least two levels
+        self.levels[0].power // lint:allow(no-panic): new() validates at least two levels
     }
 
     /// The fastest level's power (maximum useful budget).
     pub fn max_power(&self) -> Watts {
         self.levels[self.levels.len() - 1].power
+    }
+
+    /// Number of clock-throttle steps below the top level (a throttle of
+    /// `0` is the full clock; `throttle_steps()` is the deepest).
+    pub fn throttle_steps(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The clock level `steps` throttle steps below the top, saturating
+    /// at the slowest level — how an external clock throttle (thermal or
+    /// scripted) lands on the discrete table.
+    pub fn throttled_level(&self, steps: usize) -> GpuLevel {
+        let top = self.levels.len() - 1;
+        self.levels[top.saturating_sub(steps)]
+    }
+
+    /// The board power of the level `steps` throttle steps below the top
+    /// — the cap ceiling a scripted GPU throttle enforces.
+    pub fn throttled_power(&self, steps: usize) -> Watts {
+        self.throttled_level(steps).power
     }
 }
 
@@ -183,18 +211,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 levels")]
-    fn rejects_tiny_table() {
-        let _ = GpuFreqTable::new(vec![GpuLevel {
+    fn rejects_tiny_and_empty_tables_typed() {
+        // Regression: degenerate level vectors must surface as typed
+        // errors, never panic.
+        let err = GpuFreqTable::new(vec![]).unwrap_err();
+        assert_eq!(err, PowerError::TableTooSmall { len: 0 });
+        let err = GpuFreqTable::new(vec![GpuLevel {
             freq_mhz: 300.0,
             power: Watts(100.0),
-        }]);
+        }])
+        .unwrap_err();
+        assert_eq!(err, PowerError::TableTooSmall { len: 1 });
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn rejects_non_monotone_table() {
-        let _ = GpuFreqTable::new(vec![
+    fn rejects_unsorted_tables_typed() {
+        // Regression: an unsorted table must name the offending level,
+        // never panic or silently accept.
+        let err = GpuFreqTable::new(vec![
             GpuLevel {
                 freq_mhz: 300.0,
                 power: Watts(100.0),
@@ -203,6 +237,65 @@ mod tests {
                 freq_mhz: 200.0,
                 power: Watts(150.0),
             },
-        ]);
+        ])
+        .unwrap_err();
+        assert_eq!(err, PowerError::NonMonotoneLevel { index: 1 });
+        // Monotone frequency but dipping power is just as invalid.
+        let err = GpuFreqTable::new(vec![
+            GpuLevel {
+                freq_mhz: 300.0,
+                power: Watts(100.0),
+            },
+            GpuLevel {
+                freq_mhz: 400.0,
+                power: Watts(120.0),
+            },
+            GpuLevel {
+                freq_mhz: 500.0,
+                power: Watts(110.0),
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, PowerError::NonMonotoneLevel { index: 2 });
+    }
+
+    #[test]
+    fn budget_below_min_power_is_typed_not_clamped() {
+        // Regression: a budget below the slowest level must return the
+        // typed range error, not clamp to the slowest level.
+        let t = GpuFreqTable::rtx2080();
+        let err = t.level_for_budget(Watts(50.0)).unwrap_err();
+        assert!(
+            matches!(err, PowerError::CapOutOfRange { requested, .. } if requested == Watts(50.0)),
+            "{err:?}"
+        );
+        let err = t.throughput(Watts(50.0), 0.45).unwrap_err();
+        assert!(matches!(err, PowerError::CapOutOfRange { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_floor_is_typed() {
+        let t = GpuFreqTable::rtx2080();
+        for bad in [0.0, -0.2, 1.5, f64::NAN] {
+            let err = t.throughput(Watts(200.0), bad).unwrap_err();
+            assert!(matches!(err, PowerError::InvalidFloor(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn throttle_steps_walk_down_the_table() {
+        let t = GpuFreqTable::rtx2080();
+        assert_eq!(t.throttle_steps(), 25);
+        assert_eq!(t.throttled_power(0), t.max_power());
+        let mut prev = t.throttled_power(0);
+        for s in 1..=t.throttle_steps() {
+            let p = t.throttled_power(s);
+            assert!(p < prev, "throttle step {s} must reduce power");
+            prev = p;
+        }
+        assert_eq!(t.throttled_power(t.throttle_steps()), t.min_power());
+        // Deeper throttles than the table holds saturate at the slowest
+        // level instead of panicking.
+        assert_eq!(t.throttled_power(usize::MAX), t.min_power());
     }
 }

@@ -24,7 +24,11 @@
 //! * [`platform`] — the four platform presets and the glue that turns
 //!   (reference latency, workload class, cap, environment) into realized
 //!   latency and power draw.
+//! * [`backend`] — the device abstraction for heterogeneous placement:
+//!   CPUs and the GPU table expose one uniform (id, power levels,
+//!   contention kinds) surface, plus the shared-budget split rule.
 
+pub mod backend;
 pub mod contention;
 pub mod energy;
 pub mod error;
@@ -34,6 +38,7 @@ pub mod platform;
 pub mod power;
 pub mod rapl;
 
+pub use backend::{split_budget, Backend};
 pub use contention::{ContentionKind, ContentionModel, ContentionProcess, PhaseSchedule};
 pub use energy::{EnergyMeter, PeriodEnergy};
 pub use error::PowerError;

@@ -13,8 +13,8 @@ use alert_core::config::{CandidateModel, ConfigTable, StagePoint};
 use alert_models::family::CandidateSet;
 use alert_models::inference::{self, StopPolicy};
 use alert_models::ModelFamily;
-use alert_platform::Platform;
-use alert_stats::units::Seconds;
+use alert_platform::{split_budget, Backend, Platform};
+use alert_stats::units::{Seconds, Watts};
 
 /// Builds the controller's candidate table from a family on a platform.
 ///
@@ -30,7 +30,35 @@ pub fn build_table(
     family: &ModelFamily,
     platform: &Platform,
 ) -> Result<(ConfigTable, Vec<usize>), String> {
-    let powers = platform.power_settings();
+    build_table_budgeted(family, platform, None)
+}
+
+/// The platform's power settings restricted to a shared-budget share;
+/// without a share, the full setting table.
+fn budgeted_settings(platform: &Platform, share: Option<Watts>) -> Vec<Watts> {
+    let all = platform.power_settings();
+    match share {
+        None => all,
+        Some(s) => {
+            let kept: Vec<Watts> = all.iter().copied().filter(|p| *p <= s).collect();
+            if kept.is_empty() {
+                // split_budget floors each share at the backend's own
+                // minimum power, so the lowest setting always qualifies;
+                // keep it as a defensive floor regardless.
+                all.into_iter().take(1).collect()
+            } else {
+                kept
+            }
+        }
+    }
+}
+
+fn build_table_budgeted(
+    family: &ModelFamily,
+    platform: &Platform,
+    share: Option<Watts>,
+) -> Result<(ConfigTable, Vec<usize>), String> {
+    let powers = budgeted_settings(platform, share);
     let mut models = Vec::new();
     let mut index_map = Vec::new();
     let mut t_prof = Vec::new();
@@ -79,6 +107,70 @@ pub fn build_table(
     Ok((ConfigTable::new(models, powers, t_prof, p_run)?, index_map))
 }
 
+/// Builds a heterogeneous candidate table: `platforms[0]` is device 0
+/// (profiled exactly as [`build_table`] profiles it), each further
+/// platform joins as an extra device with its own power settings and
+/// per-device `t_prof`/`p_run` grids. With a `shared_budget`, the node's
+/// power envelope is split across the backends by [`split_budget`]
+/// (proportional to each backend's maximum draw, floored at its
+/// minimum), and each device only offers the settings inside its share.
+///
+/// # Errors
+///
+/// Returns a description of the problem when no model fits the primary
+/// platform, when a model of the table does not fit one of the extra
+/// devices (restrict the family first — every candidate row must be
+/// placeable on every device), or when a profiled grid fails validation.
+pub fn build_table_multi(
+    family: &ModelFamily,
+    platforms: &[&Platform],
+    shared_budget: Option<Watts>,
+) -> Result<(ConfigTable, Vec<usize>), String> {
+    let (primary, extras) = platforms
+        .split_first()
+        .ok_or_else(|| "heterogeneous table needs at least one platform".to_string())?;
+    let shares = shared_budget.map(|total| {
+        let backends: Vec<&dyn Backend> = platforms.iter().map(|p| *p as &dyn Backend).collect();
+        split_budget(total, &backends)
+    });
+    let share_of = |d: usize| shares.as_ref().map(|s| s[d]);
+    let (mut table, index_map) = build_table_budgeted(family, primary, share_of(0))?;
+    for (k, platform) in extras.iter().enumerate() {
+        for &fi in &index_map {
+            let m = &family.models()[fi];
+            if !platform.supports_footprint(m.footprint_gb) {
+                return Err(format!(
+                    "model {} does not fit platform {}; restrict the family \
+                     before building a heterogeneous table",
+                    m.name,
+                    platform.id()
+                ));
+            }
+        }
+        let powers = budgeted_settings(platform, share_of(k + 1));
+        let mut t_prof = Vec::new();
+        let mut p_run = Vec::new();
+        for &fi in &index_map {
+            let m = &family.models()[fi];
+            t_prof.push(
+                powers
+                    .iter()
+                    // lint:allow(no-panic): powers come from the platform's own setting table, so every cap is feasible
+                    .map(|&p| inference::profile_latency(m, platform, p).expect("feasible cap"))
+                    .collect(),
+            );
+            p_run.push(
+                powers
+                    .iter()
+                    .map(|&p| inference::run_power(m, platform, p))
+                    .collect(),
+            );
+        }
+        table.add_device(platform.id().to_string(), powers, t_prof, p_run)?;
+    }
+    Ok((table, index_map))
+}
+
 /// ALERT as a [`Scheduler`].
 pub struct AlertScheduler {
     name: String,
@@ -107,9 +199,33 @@ impl AlertScheduler {
         goal: alert_core::Goal,
         params: AlertParams,
     ) -> Result<Self, String> {
+        Self::new_hetero(name, family, set, &[platform], None, goal, params)
+    }
+
+    /// Creates an ALERT scheduler whose candidate space spans several
+    /// backends: each candidate is a (device, model variant, DVFS level)
+    /// triple and the controller places every input jointly with its
+    /// model and cap choice. `shared_budget` splits one node-level power
+    /// envelope across the backends (see [`build_table_multi`]).
+    ///
+    /// With a single platform and no budget this is exactly
+    /// [`AlertScheduler::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new`] and [`build_table_multi`].
+    pub fn new_hetero(
+        name: impl Into<String>,
+        family: &ModelFamily,
+        set: CandidateSet,
+        platforms: &[&Platform],
+        shared_budget: Option<Watts>,
+        goal: alert_core::Goal,
+        params: AlertParams,
+    ) -> Result<Self, String> {
         goal.validate().map_err(|e| format!("invalid goal: {e}"))?;
         let restricted = family.restrict(set);
-        let (table, index_map) = build_table(&restricted, platform)?;
+        let (table, index_map) = build_table_multi(&restricted, platforms, shared_budget)?;
         let is_anytime = table.models().iter().map(|m| m.is_anytime()).collect();
         // Map restricted indices back to the *original* family indices.
         let family_map: Vec<usize> = index_map
@@ -148,6 +264,29 @@ impl AlertScheduler {
             family,
             CandidateSet::Standard,
             platform,
+            goal,
+            AlertParams::default(),
+        )
+    }
+
+    /// Standard ALERT across several backends under one shared power
+    /// envelope.
+    ///
+    /// # Errors
+    ///
+    /// See [`AlertScheduler::new_hetero`].
+    pub fn standard_hetero(
+        family: &ModelFamily,
+        platforms: &[&Platform],
+        shared_budget: Option<Watts>,
+        goal: alert_core::Goal,
+    ) -> Result<Self, String> {
+        Self::new_hetero(
+            "ALERT",
+            family,
+            CandidateSet::Standard,
+            platforms,
+            shared_budget,
             goal,
             AlertParams::default(),
         )
@@ -242,7 +381,7 @@ impl Scheduler for AlertScheduler {
             // lint:allow(no-panic): see comment above — base_goal is validated in new() and deadlines are positive
             .expect("goal validated at construction");
         let c = sel.candidate;
-        let cap = self.controller.table().cap(c.power);
+        let cap = self.controller.table().cap_on(c.device, c.power);
         let stop = if self.is_anytime[c.model] {
             // Run toward the chosen stage but never past the (overhead-
             // compensated) deadline — the §3.5 execution mode.
@@ -251,6 +390,7 @@ impl Scheduler for AlertScheduler {
             StopPolicy::RunToCompletion
         };
         Decision {
+            device: c.device,
             model: self.index_map[c.model],
             cap,
             stop,

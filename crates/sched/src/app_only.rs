@@ -47,6 +47,10 @@ impl Scheduler for AppOnly {
 
     fn decide(&mut self, ctx: &InputContext) -> Decision {
         Decision {
+            // App-level adaptation has no notion of the system's devices:
+            // work stays on the primary platform, like the default cap
+            // stays programmed.
+            device: 0,
             model: self.model,
             cap: self.default_cap,
             // Keep refining until the deadline arrives (paper §3.5: "an

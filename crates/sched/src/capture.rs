@@ -7,8 +7,10 @@
 //! alike — and captures every processed input as one
 //! [`TraceRecord`](alert_workload::TraceRecord): session/stream
 //! identity, the inter-arrival time and realized input scale (the
-//! replayable half), the goal in force at dispatch, and the observed
-//! outcome (model, cap, latency, quality, energy).
+//! replayable half), the goal in force at dispatch, the device the
+//! input was placed on (written only for off-primary placements, so
+//! single-device captures keep the pre-device byte layout), and the
+//! observed outcome (model, cap, latency, quality, energy).
 //!
 //! Both runtime flavors deliver each session's events in dispatch order
 //! (cross-session interleaving is scheduling-dependent, which the trace
@@ -108,6 +110,10 @@ impl EventSink for TraceRecorder {
                     seq: record.index,
                     inter_arrival: record.period,
                     scale: record.scale,
+                    // Written only for off-primary placements, so
+                    // single-device captures keep the pre-device byte
+                    // layout (`None` ⇒ device 0).
+                    device: (record.device > 0).then_some(record.device as u64),
                     deadline: record.goal_deadline,
                     min_quality: record.min_quality,
                     energy_budget: record.energy_budget,
@@ -172,6 +178,43 @@ mod tests {
             let outcome = r.outcome.as_ref().expect("capture records outcomes");
             assert_eq!(outcome.model, rec.model);
             assert_eq!(outcome.latency, rec.latency);
+        }
+    }
+
+    #[test]
+    fn capture_records_placements_and_stays_quiet_on_the_primary() {
+        // Single-device capture: every trace record leaves `device`
+        // unset (the pre-device byte layout).
+        let recorder = TraceRecorder::new("cpu", Some(11));
+        let mut rt = Runtime::builder()
+            .sink(recorder.clone())
+            .seed(11)
+            .build()
+            .unwrap();
+        let id = rt.open_session(spec(11, 30)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        rt.close(id).unwrap();
+        assert!(recorder
+            .snapshot()
+            .records()
+            .iter()
+            .all(|r| r.device.is_none()));
+
+        // Heterogeneous capture: the trace mirrors each input record's
+        // placement exactly (None encoding device 0).
+        let recorder = TraceRecorder::new("hetero", Some(11));
+        let mut rt = Runtime::builder()
+            .extra_backend(alert_platform::PlatformId::Gpu)
+            .sink(recorder.clone())
+            .seed(11)
+            .build()
+            .unwrap();
+        let id = rt.open_session(spec(11, 30)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        let episode = rt.close(id).unwrap();
+        let trace = recorder.snapshot();
+        for (t, r) in trace.session_records(id.0).zip(&episode.records) {
+            assert_eq!(t.device.unwrap_or(0), r.device as u64);
         }
     }
 

@@ -20,16 +20,36 @@
 //! the co-runner activity pattern, the goal timeline and the cap
 //! timeline are identical across schemes — including through cap/goal
 //! phase boundaries.
+//!
+//! # Heterogeneous nodes
+//!
+//! [`EpisodeEnv::build_hetero`] realizes the same episode across several
+//! backends (device `0` is the primary platform, devices `1..` the
+//! extras). Every random draw is shared across devices — the frozen
+//! per-input state is platform-independent — so a placement decision is
+//! a pure counterfactual: the Oracle can ask "what if this input had run
+//! on the GPU" and get the exact answer from the same draws. Only the
+//! scripted cap timeline is per-device: a
+//! [`ScriptEvent::DeviceCapStep`](alert_workload::ScriptEvent) binds to
+//! one device, and a
+//! [`ScriptEvent::GpuThrottle`](alert_workload::ScriptEvent) binds to
+//! every GPU backend by mapping clock steps onto that board's power
+//! ceiling. The `*_on` method family ([`EpisodeEnv::realize_on`] etc.)
+//! evaluates any device; the legacy single-device methods delegate to
+//! device `0`, so single-platform episodes are bit-identical to builds
+//! that predate the device axis.
 
 use alert_models::inference::{self, InferenceResult, StopPolicy};
 use alert_models::ModelProfile;
 use alert_platform::contention::{ContentionDraws, ContentionKind};
 use alert_platform::error::PowerError;
-use alert_platform::platform::NoiseDraws;
+use alert_platform::platform::{FreqResponse, NoiseDraws, PlatformId};
 use alert_platform::Platform;
 use alert_stats::rng::stream_rng;
 use alert_stats::units::{Joules, Seconds, Watts};
-use alert_workload::{ArrivalProcess, ArrivalSampler, Goal, InputStream, QualitySpan, Scenario};
+use alert_workload::{
+    ArrivalProcess, ArrivalSampler, Goal, InputStream, QualitySpan, Scenario, ScenarioScript,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +120,53 @@ pub struct EpisodeEnv {
     platform: Platform,
     kind: Option<ContentionKind>,
     realizations: Vec<EnvRealization>,
+    /// Extra backends (devices `1..`) of a heterogeneous episode; empty
+    /// for single-platform builds.
+    extra_platforms: Vec<Platform>,
+    /// Per-input scripted cap ceilings of each extra device, indexed
+    /// `[device - 1][input]` (device 0's ceiling lives in
+    /// [`EnvRealization::cap_limit`] so the frozen state stays
+    /// serde-stable).
+    extra_cap_limits: Vec<Vec<Option<Watts>>>,
+}
+
+/// The scripted cap ceiling in force for `device` on `platform` at
+/// horizon fraction `frac`: a device-targeted cap step composed (by
+/// `min`) with a GPU clock throttle when the platform is a GPU backend.
+/// The global [`ScenarioScript::cap_frac_at`] ceiling is *not* included
+/// — it keeps its historical device-0 meaning and is composed by the
+/// caller.
+fn scripted_device_limit(
+    script: &ScenarioScript,
+    frac: f64,
+    device: usize,
+    platform: &Platform,
+) -> Option<Watts> {
+    let range = platform.cap_range();
+    let (lo, hi) = (range.min(), range.max());
+    let stepped = script
+        .device_cap_frac_at(frac, device)
+        .map(|f| Watts(lo.get() + f * (hi.get() - lo.get())));
+    let throttled = if platform.id() == PlatformId::Gpu {
+        script
+            .gpu_throttle_at(frac)
+            .and_then(|steps| match &platform.spec().response {
+                FreqResponse::Table { table, .. } => Some(table.throttled_power(steps)),
+                FreqResponse::Curve(_) => None,
+            })
+    } else {
+        None
+    };
+    compose_limits(stepped, throttled)
+}
+
+/// Min-composition of two optional ceilings.
+fn compose_limits(a: Option<Watts>, b: Option<Watts>) -> Option<Watts> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
 }
 
 impl EpisodeEnv {
@@ -189,9 +256,16 @@ impl EpisodeEnv {
         for (i, input) in stream.inputs().iter().enumerate() {
             let frac = (now.get() / horizon).clamp(0.0, 1.0);
             let eff_goal = script.goal_at(frac, goal, span);
-            let cap_limit = script
-                .cap_frac_at(frac)
-                .map(|f| Watts(cap_min.get() + f * (cap_max.get() - cap_min.get())));
+            // Device 0's ceiling composes the global cap step (its
+            // historical meaning) with any device-targeted events; when
+            // no device events are scripted this reduces to the global
+            // value alone, keeping pre-device builds bit-identical.
+            let cap_limit = compose_limits(
+                script
+                    .cap_frac_at(frac)
+                    .map(|f| Watts(cap_min.get() + f * (cap_max.get() - cap_min.get()))),
+                scripted_device_limit(script, frac, 0, platform),
+            );
             // One arrival draw per input regardless of the process in
             // force (trace replay included), so the frozen streams never
             // re-align across arrival switches.
@@ -244,12 +318,75 @@ impl EpisodeEnv {
             platform: platform.clone(),
             kind,
             realizations,
+            extra_platforms: Vec::new(),
+            extra_cap_limits: Vec::new(),
         })
+    }
+
+    /// Builds a heterogeneous episode: `platforms[0]` is the primary
+    /// device, the rest join as devices `1..`. The frozen per-input
+    /// state (scale, noise, contention and arrival draws, goal and
+    /// global-cap timelines) is built exactly as
+    /// [`EpisodeEnv::build_scoped`] builds it on the primary alone — the
+    /// draws are platform-independent, so every device faces the same
+    /// realized conditions and placement is a pure counterfactual. On
+    /// top, each extra device gets its own scripted cap timeline from
+    /// device-targeted and GPU-throttle events.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `platforms` is empty or the scenario script does not
+    /// validate.
+    pub fn build_hetero(
+        platforms: &[Platform],
+        scenario: &Scenario,
+        stream: &InputStream,
+        goal: &Goal,
+        seed: u64,
+        span: Option<QualitySpan>,
+    ) -> Result<Self, EnvError> {
+        let (primary, extras) = platforms
+            .split_first()
+            .ok_or_else(|| EnvError::Script("hetero build needs at least one platform".into()))?;
+        let mut env = Self::build_scoped(primary, scenario, stream, goal, seed, span)?;
+        let script = scenario.script();
+        let horizon = goal.deadline.get() * stream.len() as f64;
+        for (k, platform) in extras.iter().enumerate() {
+            let device = k + 1;
+            let limits = env
+                .realizations
+                .iter()
+                .map(|r| {
+                    // Same fraction expression as the build loop, so
+                    // device timelines line up with device 0's grid.
+                    let frac = (r.dispatch_time.get() / horizon).clamp(0.0, 1.0);
+                    scripted_device_limit(script, frac, device, platform)
+                })
+                .collect();
+            env.extra_platforms.push(platform.clone());
+            env.extra_cap_limits.push(limits);
+        }
+        Ok(env)
     }
 
     /// The platform this episode runs on.
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// Number of devices in the episode (`1` for single-platform
+    /// builds; [`EpisodeEnv::build_hetero`] adds the rest).
+    pub fn device_count(&self) -> usize {
+        1 + self.extra_platforms.len()
+    }
+
+    /// The platform backing `device` (`0` is the primary).
+    pub fn platform_on(&self, device: usize) -> &Platform {
+        if device == 0 {
+            &self.platform
+        } else {
+            &self.extra_platforms[device - 1]
+        }
     }
 
     /// The primary contention kind of the scenario, if any (reporting
@@ -294,11 +431,27 @@ impl EpisodeEnv {
         &self.realizations[i].goal
     }
 
+    /// The scripted cap ceiling in force for `device` at input `i`, if
+    /// any (device 0's ceiling is the one frozen in
+    /// [`EnvRealization::cap_limit`]).
+    pub fn cap_limit_on(&self, device: usize, i: usize) -> Option<Watts> {
+        if device == 0 {
+            self.realizations[i].cap_limit
+        } else {
+            self.extra_cap_limits[device - 1][i]
+        }
+    }
+
     /// The cap the platform actually programs when `requested` is asked
     /// for at input `i`: the scripted ceiling clamps silently, exactly
     /// like a RAPL limit the scheduler was not told about.
     pub fn effective_cap(&self, i: usize, requested: Watts) -> Watts {
-        match self.realizations[i].cap_limit {
+        self.effective_cap_on(0, i, requested)
+    }
+
+    /// [`EpisodeEnv::effective_cap`] for any device.
+    pub fn effective_cap_on(&self, device: usize, i: usize, requested: Watts) -> Watts {
+        match self.cap_limit_on(device, i) {
             Some(limit) => requested.min(limit),
             None => requested,
         }
@@ -308,17 +461,24 @@ impl EpisodeEnv {
     /// (scale × baseline noise × contention inflation of every active
     /// co-runner kind).
     pub fn env_factor(&self, i: usize, profile: &ModelProfile) -> f64 {
+        self.env_factor_on(0, i, profile)
+    }
+
+    /// [`EpisodeEnv::env_factor`] for any device: the draws are shared
+    /// (the frozen state is platform-independent), but each device maps
+    /// them through its own noise and contention models, so the same
+    /// co-runner hurts a GPU and a CPU differently.
+    pub fn env_factor_on(&self, device: usize, i: usize, profile: &ModelProfile) -> f64 {
+        let platform = self.platform_on(device);
         let r = &self.realizations[i];
-        let mut f = r.scale * self.platform.noise().factor_from_draws(&r.noise);
+        let mut f = r.scale * platform.noise().factor_from_draws(&r.noise);
         if r.mem_active {
-            f *= self
-                .platform
+            f *= platform
                 .contention_model(ContentionKind::Memory)
                 .factor_from_draws(&r.mem_draws, profile.mem_intensity);
         }
         if r.cmp_active {
-            f *= self
-                .platform
+            f *= platform
                 .contention_model(ContentionKind::Compute)
                 .factor_from_draws(&r.cmp_draws, profile.rho);
         }
@@ -347,12 +507,29 @@ impl EpisodeEnv {
         cap: Watts,
         stop: StopPolicy,
     ) -> Result<InferenceResult, EnvError> {
-        let eff = self.effective_cap(i, cap);
-        let f = self.env_factor(i, profile);
-        let mut result = inference::execute(profile, &self.platform, eff, f, stop)?;
+        self.realize_on(0, i, profile, cap, stop)
+    }
+
+    /// [`EpisodeEnv::realize`] for any device.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cap is infeasible for that device's platform.
+    pub fn realize_on(
+        &self,
+        device: usize,
+        i: usize,
+        profile: &ModelProfile,
+        cap: Watts,
+        stop: StopPolicy,
+    ) -> Result<InferenceResult, EnvError> {
+        let platform = self.platform_on(device);
+        let eff = self.effective_cap_on(device, i, cap);
+        let f = self.env_factor_on(device, i, profile);
+        let mut result = inference::execute(profile, platform, eff, f, stop)?;
         if eff != cap {
-            let t_requested = inference::profile_latency(profile, &self.platform, cap)?;
-            let t_clamped = inference::profile_latency(profile, &self.platform, eff)?;
+            let t_requested = inference::profile_latency(profile, platform, cap)?;
+            let t_clamped = inference::profile_latency(profile, platform, eff)?;
             if t_clamped.get() > 0.0 {
                 result.profile_equivalent = result.profile_equivalent * (t_requested / t_clamped);
             }
@@ -364,18 +541,22 @@ impl EpisodeEnv {
     /// idle draw plus the extra draw of every active co-runner, never
     /// exceeding the (ceiling-clamped) cap.
     pub fn idle_draw(&self, i: usize, cap: Watts) -> Watts {
-        let cap = self.effective_cap(i, cap);
+        self.idle_draw_on(0, i, cap)
+    }
+
+    /// [`EpisodeEnv::idle_draw`] for any device.
+    pub fn idle_draw_on(&self, device: usize, i: usize, cap: Watts) -> Watts {
+        let platform = self.platform_on(device);
+        let cap = self.effective_cap_on(device, i, cap);
         let r = &self.realizations[i];
-        let mut draw = self.platform.idle_draw(cap, None);
+        let mut draw = platform.idle_draw(cap, None);
         if r.mem_active {
-            draw += self
-                .platform
+            draw += platform
                 .contention_model(ContentionKind::Memory)
                 .idle_draw_extra;
         }
         if r.cmp_active {
-            draw += self
-                .platform
+            draw += platform
                 .contention_model(ContentionKind::Compute)
                 .idle_draw_extra;
         }
@@ -391,9 +572,22 @@ impl EpisodeEnv {
         cap: Watts,
         result: &InferenceResult,
     ) -> Joules {
-        let cap = self.effective_cap(i, cap);
-        let run_p = inference::run_power(profile, &self.platform, cap);
-        let idle_p = self.idle_draw(i, cap);
+        self.period_energy_on(0, i, profile, cap, result)
+    }
+
+    /// [`EpisodeEnv::period_energy`] for any device.
+    pub fn period_energy_on(
+        &self,
+        device: usize,
+        i: usize,
+        profile: &ModelProfile,
+        cap: Watts,
+        result: &InferenceResult,
+    ) -> Joules {
+        let platform = self.platform_on(device);
+        let cap = self.effective_cap_on(device, i, cap);
+        let run_p = inference::run_power(profile, platform, cap);
+        let idle_p = self.idle_draw_on(device, i, cap);
         let idle_time = Seconds((self.period(i) - result.latency).get().max(0.0));
         run_p * result.latency + idle_p * idle_time
     }
@@ -876,5 +1070,138 @@ mod tests {
             env.idle_draw(i, cap),
             (base_idle + extra_mem + extra_cmp).min(cap)
         );
+    }
+
+    fn hetero_setup(scenario: Scenario) -> EpisodeEnv {
+        let platforms = [Platform::cpu2(), Platform::gpu()];
+        let stream = InputStream::generate(TaskId::Img2, 200, 7);
+        let goal = Goal::minimize_energy(Seconds(0.2), 0.9);
+        EpisodeEnv::build_hetero(&platforms, &scenario, &stream, &goal, 99, None).expect("valid")
+    }
+
+    #[test]
+    fn hetero_build_shares_the_frozen_grid_bit_exactly() {
+        // The whole point of device-as-counterfactual: adding a GPU must
+        // not perturb a single frozen draw of the primary device.
+        let (single, _) = setup(Scenario::memory_env(3));
+        let hetero = hetero_setup(Scenario::memory_env(3));
+        assert_eq!(hetero.device_count(), 2);
+        assert_eq!(hetero.platform_on(1).id(), PlatformId::Gpu);
+        assert_eq!(single.realizations(), hetero.realizations());
+        // No device events scripted → no extra-device ceilings either.
+        for i in 0..hetero.len() {
+            assert_eq!(hetero.cap_limit_on(1, i), None);
+        }
+    }
+
+    #[test]
+    fn legacy_methods_are_device_zero() {
+        let env = hetero_setup(Scenario::compute_env(5));
+        let m = resnet50();
+        let cap = Watts(100.0);
+        for i in [0, 50, 150] {
+            assert_eq!(env.effective_cap(i, cap), env.effective_cap_on(0, i, cap));
+            assert_eq!(
+                env.env_factor(i, &m).to_bits(),
+                env.env_factor_on(0, i, &m).to_bits()
+            );
+            assert_eq!(env.idle_draw(i, cap), env.idle_draw_on(0, i, cap));
+            let a = env
+                .realize(i, &m, cap, StopPolicy::RunToCompletion)
+                .unwrap();
+            let b = env
+                .realize_on(0, i, &m, cap, StopPolicy::RunToCompletion)
+                .unwrap();
+            assert_eq!(a, b);
+            assert_eq!(
+                env.period_energy(i, &m, cap, &a),
+                env.period_energy_on(0, i, &m, cap, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_realization_uses_the_gpu_platform() {
+        let env = hetero_setup(Scenario::default_env());
+        let m = resnet50();
+        let gpu_cap = Watts(215.0);
+        let r = env
+            .realize_on(1, 0, &m, gpu_cap, StopPolicy::RunToCompletion)
+            .unwrap();
+        let expected = inference::profile_latency(&m, env.platform_on(1), gpu_cap)
+            .expect("top GPU cap feasible")
+            .get()
+            * env.env_factor_on(1, 0, &m);
+        assert!((r.latency.get() - expected).abs() < 1e-12);
+        // A 215 W request is infeasible on the CPU device — the same
+        // call against device 0 reports, proving the platforms differ.
+        let err = env.realize_on(0, 0, &m, gpu_cap, StopPolicy::RunToCompletion);
+        assert!(matches!(err, Err(EnvError::Power(_))), "{err:?}");
+    }
+
+    #[test]
+    fn device_cap_steps_bind_to_their_device_only() {
+        let scenario = Scenario::from_script(
+            "GpuCapCrash",
+            ScenarioScript::new().with(ScriptEvent::DeviceCapStep {
+                at: 0.5,
+                device: 1,
+                frac: 0.0,
+            }),
+        );
+        let env = hetero_setup(scenario);
+        let (baseline, _) = setup(Scenario::default_env());
+        // Device 0's frozen state is untouched by a device-1 event...
+        assert_eq!(env.realizations(), baseline.realizations());
+        // ...while device 1 is clamped to its range floor from the mark.
+        let n = env.len();
+        let gpu_min = env.platform_on(1).cap_range().min();
+        assert_eq!(env.cap_limit_on(1, 0), None);
+        assert_eq!(env.cap_limit_on(1, n - 1), Some(gpu_min));
+        assert_eq!(env.effective_cap_on(1, n - 1, Watts(215.0)), gpu_min);
+    }
+
+    #[test]
+    fn gpu_throttle_binds_to_gpu_backends_only() {
+        let steps = 6;
+        let scenario = Scenario::from_script(
+            "Throttle",
+            ScenarioScript::new().with(ScriptEvent::GpuThrottle { at: 0.5, steps }),
+        );
+        let env = hetero_setup(scenario);
+        let (baseline, _) = setup(Scenario::default_env());
+        // The CPU device never sees a throttle event.
+        assert_eq!(env.realizations(), baseline.realizations());
+        let expected = match &env.platform_on(1).spec().response {
+            FreqResponse::Table { table, .. } => table.throttled_power(steps),
+            FreqResponse::Curve(_) => unreachable!("GPU platform uses a table"),
+        };
+        let n = env.len();
+        assert_eq!(env.cap_limit_on(1, 0), None);
+        assert_eq!(env.cap_limit_on(1, n - 1), Some(expected));
+        assert!(expected < Watts(215.0), "throttle must lower the ceiling");
+    }
+
+    #[test]
+    fn device_zero_ceiling_is_the_min_of_global_and_targeted_caps() {
+        let scenario = Scenario::from_script(
+            "MinCompose",
+            ScenarioScript::new()
+                .with(ScriptEvent::CapStep { at: 0.0, frac: 0.5 })
+                .with(ScriptEvent::DeviceCapStep {
+                    at: 0.5,
+                    device: 0,
+                    frac: 0.0,
+                }),
+        );
+        let (env, _) = setup(scenario);
+        let range = env.platform().cap_range();
+        let (lo, hi) = (range.min(), range.max());
+        let half = Watts(lo.get() + 0.5 * (hi.get() - lo.get()));
+        let n = env.len();
+        // Before the targeted step the global ceiling rules; after, the
+        // tighter targeted ceiling wins the min-composition.
+        assert_eq!(env.realization(0).cap_limit, Some(half));
+        assert_eq!(env.realization(n - 1).cap_limit, Some(lo));
     }
 }

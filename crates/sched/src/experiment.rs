@@ -105,6 +105,7 @@ pub fn build_scheduler(
         platform,
         goal,
         params: AlertParams::default(),
+        shared_budget: None,
         env,
         stream,
     };

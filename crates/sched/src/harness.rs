@@ -173,30 +173,34 @@ impl SessionEngine {
         self.overhead += scheduler.last_decision_cost();
 
         let profile = &family.models()[decision.model];
-        if !env.platform().supports_footprint(profile.footprint_gb) {
+        let device_platform = env.platform_on(decision.device);
+        if !device_platform.supports_footprint(profile.footprint_gb) {
             return Err(StepError::ModelDoesNotFit {
                 scheme: scheduler.name().to_string(),
                 model: profile.name.clone(),
-                platform: env.platform().id().to_string(),
+                platform: device_platform.id().to_string(),
             });
         }
         // The environment silently clamps the cap to any scripted
         // ceiling; the scheduler keeps billing against the cap it
         // *requested* and experiences the throttle as slowdown (the
         // cap-change robustness axis, §5). Records likewise report the
-        // programmed cap; energy metering uses the physical one.
-        let result = env.realize(i, profile, decision.cap, decision.stop)?;
+        // programmed cap; energy metering uses the physical one. All
+        // paths go through the decision's device (`0` for every
+        // single-platform scheme, making this the historical code path).
+        let result = env.realize_on(decision.device, i, profile, decision.cap, decision.stop)?;
         self.cursor += 1;
         let quality = result.quality_by(deadline, profile.fail_quality);
-        let energy = env.period_energy(i, profile, decision.cap, &result);
+        let energy = env.period_energy_on(decision.device, i, profile, decision.cap, &result);
         let idle_power = if result.latency < env.period(i) {
-            Some(env.idle_draw(i, decision.cap))
+            Some(env.idle_draw_on(decision.device, i, decision.cap))
         } else {
             None
         };
 
         self.records.push(InputRecord {
             index: i,
+            device: decision.device,
             model: profile.name.clone(),
             cap: decision.cap,
             latency: result.latency,

@@ -28,6 +28,7 @@ use alert_workload::{Goal, Objective};
 
 /// No-coord: independent app-level and sys-level adaptation.
 pub struct NoCoord {
+    device: usize,
     model: usize,
     profile: ModelProfile,
     caps: Vec<Watts>,
@@ -46,20 +47,69 @@ pub struct NoCoord {
 }
 
 impl NoCoord {
+    /// The family's first anytime model that fits `platform`, if any.
+    fn pin(family: &ModelFamily, platform: &Platform) -> Option<(usize, ModelProfile)> {
+        family
+            .models()
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.is_anytime() && platform.supports_footprint(m.footprint_gb))
+            .map(|(i, m)| (i, m.clone()))
+    }
+
     /// Creates the scheme around the family's anytime model.
     ///
     /// # Panics
     ///
     /// Panics if the family has no anytime model that fits the platform.
     pub fn new(family: &ModelFamily, platform: &Platform, goal: Goal) -> Self {
-        let (model, profile) = family
-            .models()
-            .iter()
-            .enumerate()
-            .find(|(_, m)| m.is_anytime() && platform.supports_footprint(m.footprint_gb))
-            .map(|(i, m)| (i, m.clone()))
+        let (model, profile) = Self::pin(family, platform)
             // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
             .expect("No-coord needs an anytime model that fits the platform");
+        Self::assemble(0, model, profile, platform, goal)
+    }
+
+    /// Creates the scheme on a heterogeneous node: homes the anytime
+    /// model on the device where its full run is fastest at that device's
+    /// top cap. Like [`crate::sys_only::SysOnly::new_placed`], the
+    /// placement is static — neither uncoordinated level re-places work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platforms` is empty or no anytime model fits any of
+    /// them.
+    pub fn new_placed(family: &ModelFamily, platforms: &[&Platform], goal: Goal) -> Self {
+        let mut best: Option<(usize, usize, ModelProfile, Seconds)> = None;
+        for (d, platform) in platforms.iter().enumerate() {
+            let Some((model, profile)) = Self::pin(family, platform) else {
+                continue;
+            };
+            let top = platform.cap_range().max();
+            let t = inference::profile_latency(&profile, platform, top)
+                // lint:allow(no-panic): the top of the platform's own cap range is always feasible
+                .expect("top cap feasible");
+            if best.as_ref().is_none_or(|&(_, _, _, bt)| t < bt) {
+                best = Some((d, model, profile, t));
+            }
+        }
+        let (device, model, profile, _) = best
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
+            .expect("No-coord needs an anytime model that fits a platform");
+        Self::assemble(device, model, profile, platforms[device], goal)
+    }
+
+    /// The pinned device.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    fn assemble(
+        device: usize,
+        model: usize,
+        profile: ModelProfile,
+        platform: &Platform,
+        goal: Goal,
+    ) -> Self {
         let caps = platform.power_settings();
         let t_prof: Vec<Seconds> = caps
             .iter()
@@ -72,6 +122,7 @@ impl NoCoord {
             .collect();
         let default_idx = caps.len() - 1;
         NoCoord {
+            device,
             model,
             profile,
             caps,
@@ -151,6 +202,7 @@ impl Scheduler for NoCoord {
         self.last_cap_idx = j;
 
         Decision {
+            device: self.device,
             model: self.model,
             cap: self.caps[j],
             stop: StopPolicy::AtTimeOrStage(ctx.deadline, target),

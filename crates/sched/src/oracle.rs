@@ -24,6 +24,8 @@ use std::sync::Arc;
 /// One executable configuration in oracle enumerations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OracleCandidate {
+    /// Device the configuration runs on (episode device index).
+    pub device: usize,
     /// Family model index.
     pub model: usize,
     /// Target stage for anytime models (`None` = traditional).
@@ -32,27 +34,31 @@ pub struct OracleCandidate {
     pub cap: Watts,
 }
 
-/// Enumerates every (model, stage, cap) configuration that fits the
-/// platform.
+/// Enumerates every (device, model, stage, cap) configuration that fits
+/// its device's platform. Device-major with device 0 first, so a
+/// single-device episode enumerates in the historical order.
 pub fn enumerate(family: &ModelFamily, env: &EpisodeEnv) -> Vec<OracleCandidate> {
-    let platform = env.platform();
-    let caps = platform.power_settings();
     let mut out = Vec::new();
-    for (mi, m) in family.models().iter().enumerate() {
-        if !platform.supports_footprint(m.footprint_gb) {
-            continue;
-        }
-        let stages: Vec<Option<usize>> = match &m.anytime {
-            None => vec![None],
-            Some(spec) => (0..spec.len()).map(Some).collect(),
-        };
-        for stage in stages {
-            for &cap in &caps {
-                out.push(OracleCandidate {
-                    model: mi,
-                    stage,
-                    cap,
-                });
+    for device in 0..env.device_count() {
+        let platform = env.platform_on(device);
+        let caps = platform.power_settings();
+        for (mi, m) in family.models().iter().enumerate() {
+            if !platform.supports_footprint(m.footprint_gb) {
+                continue;
+            }
+            let stages: Vec<Option<usize>> = match &m.anytime {
+                None => vec![None],
+                Some(spec) => (0..spec.len()).map(Some).collect(),
+            };
+            for stage in stages {
+                for &cap in &caps {
+                    out.push(OracleCandidate {
+                        device,
+                        model: mi,
+                        stage,
+                        cap,
+                    });
+                }
             }
         }
     }
@@ -70,13 +76,14 @@ pub struct RealizedOutcome {
     pub energy: Joules,
 }
 
-/// Evaluates one configuration on input `i` with the ground truth.
+/// Evaluates one configuration on input `i` with the ground truth,
+/// against the candidate's own device.
 ///
 /// # Errors
 ///
-/// Fails when the candidate's cap is infeasible for the platform (never
-/// for candidates from [`enumerate`], whose caps are the platform's own
-/// settings).
+/// Fails when the candidate's cap is infeasible for its device's
+/// platform (never for candidates from [`enumerate`], whose caps are
+/// that platform's own settings).
 pub fn realize_candidate(
     env: &EpisodeEnv,
     profile: &ModelProfile,
@@ -88,9 +95,9 @@ pub fn realize_candidate(
         None => StopPolicy::RunToCompletion,
         Some(k) => StopPolicy::AtTimeOrStage(deadline, k),
     };
-    let result = env.realize(i, profile, c.cap, stop)?;
+    let result = env.realize_on(c.device, i, profile, c.cap, stop)?;
     let quality = result.quality_by(deadline, profile.fail_quality);
-    let energy = env.period_energy(i, profile, c.cap, &result);
+    let energy = env.period_energy_on(c.device, i, profile, c.cap, &result);
     Ok(RealizedOutcome {
         latency: result.latency,
         quality,
@@ -216,6 +223,7 @@ impl Scheduler for Oracle {
             Some(k) => StopPolicy::AtTimeOrStage(ctx.deadline, k),
         };
         Decision {
+            device: c.device,
             model: c.model,
             cap: c.cap,
             stop,
@@ -414,6 +422,7 @@ impl Scheduler for OracleStatic {
             Some(k) => StopPolicy::AtTimeOrStage(ctx.deadline, k),
         };
         Decision {
+            device: self.choice.device,
             model: self.choice.model,
             cap: self.choice.cap,
             stop,
@@ -550,6 +559,46 @@ mod tests {
             loose_on_loose.mean_energy,
             cell_on_loose.mean_energy
         );
+    }
+
+    #[test]
+    fn oracle_places_tight_deadlines_on_the_gpu() {
+        // A 50 ms deadline at a 0.90 floor is infeasible on cpu1 (the
+        // cheapest qualifying CNN is 60 ms reference × 2.2 class speed)
+        // but comfortable on the GPU (× 0.12) — so a perfect-knowledge
+        // oracle over a CPU+GPU node must route every input to device 1.
+        let node = [Platform::cpu1(), Platform::gpu()];
+        let family = ModelFamily::image_classification();
+        let stream = InputStream::generate(TaskId::Img2, 100, 11);
+        let goal = Goal::minimize_energy(Seconds(0.05), 0.90);
+        let env = Arc::new(
+            EpisodeEnv::build_hetero(&node, &Scenario::default_env(), &stream, &goal, 42, None)
+                .unwrap(),
+        );
+        // Device-major enumeration covers both platforms' cap tables.
+        let cands = enumerate(&family, &env);
+        assert!(cands.iter().any(|c| c.device == 0));
+        assert!(cands.iter().any(|c| c.device == 1));
+
+        let mut oracle = Oracle::new(env.clone(), family.clone(), goal);
+        for i in 0..50 {
+            let ctx = InputContext {
+                index: i,
+                deadline: goal.deadline,
+                period: goal.deadline,
+                group: None,
+            };
+            let d = oracle.decide(&ctx);
+            assert_eq!(d.device, 1, "input {i} must land on the GPU");
+            let profile = &family.models()[d.model];
+            let result = env.realize_on(d.device, i, profile, d.cap, d.stop).unwrap();
+            let q = result.quality_by(ctx.deadline, profile.fail_quality);
+            assert!(
+                result.latency <= ctx.deadline && q >= 0.90 - 1e-12,
+                "input {i}: lat {} q {q}",
+                result.latency
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use alert_core::alert::AlertParams;
 use alert_models::family::CandidateSet;
 use alert_models::ModelFamily;
 use alert_platform::Platform;
+use alert_stats::units::Watts;
 use alert_workload::{Goal, InputStream};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -32,7 +33,10 @@ use std::sync::Arc;
 /// session. The frozen environment and the input stream are included
 /// for the oracle schemes (paper §5.1 calls them impractical for
 /// exactly this reason); honest policies should touch only the family,
-/// platform, goal and params.
+/// platform, goal and params — plus the node's *device topology*
+/// ([`EpisodeEnv::device_count`] / [`EpisodeEnv::platform_on`]), which
+/// is physical configuration visible to any real scheduler, not
+/// foreknowledge of the environment's draws.
 pub struct PolicyContext<'a> {
     /// The candidate model family of the session.
     pub family: &'a ModelFamily,
@@ -43,10 +47,23 @@ pub struct PolicyContext<'a> {
     /// Controller parameters from the run specification (ALERT-family
     /// policies honour these; others may ignore them).
     pub params: AlertParams,
-    /// The frozen episode environment (oracles only).
+    /// Node-level power envelope shared by all devices
+    /// ([`RunSpec::shared_budget`](crate::runtime::RunSpec)); `None`
+    /// leaves every device its full cap range.
+    pub shared_budget: Option<Watts>,
+    /// The frozen episode environment (oracles, plus device topology).
     pub env: &'a Arc<EpisodeEnv>,
     /// The session's input stream (OracleStatic needs lookahead).
     pub stream: &'a InputStream,
+}
+
+/// The node's device list, primary first. Device `0` is the context's
+/// own platform (so single-device sessions keep the exact historical
+/// construction path); extras come from the environment's topology.
+fn node_platforms<'a>(ctx: &PolicyContext<'a>) -> Vec<&'a Platform> {
+    let mut platforms = vec![ctx.platform];
+    platforms.extend((1..ctx.env.device_count()).map(|d| ctx.env.platform_on(d)));
+    platforms
 }
 
 /// A named scheduler constructor.
@@ -173,31 +190,34 @@ impl PolicyRegistry {
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register_fn("ALERT", |ctx| {
-            Ok(Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new_hetero(
                 "ALERT",
                 ctx.family,
                 CandidateSet::Standard,
-                ctx.platform,
+                &node_platforms(ctx),
+                ctx.shared_budget,
                 ctx.goal,
                 ctx.params,
             )?) as Box<dyn Scheduler>)
         });
         r.register_fn("ALERT-Any", |ctx| {
-            Ok(Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new_hetero(
                 "ALERT-Any",
                 ctx.family,
                 CandidateSet::AnytimeOnly,
-                ctx.platform,
+                &node_platforms(ctx),
+                ctx.shared_budget,
                 ctx.goal,
                 ctx.params,
             )?) as Box<dyn Scheduler>)
         });
         r.register_fn("ALERT-Trad", |ctx| {
-            Ok(Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new_hetero(
                 "ALERT-Trad",
                 ctx.family,
                 CandidateSet::TraditionalOnly,
-                ctx.platform,
+                &node_platforms(ctx),
+                ctx.shared_budget,
                 ctx.goal,
                 ctx.params,
             )?) as Box<dyn Scheduler>)
@@ -207,11 +227,12 @@ impl PolicyRegistry {
                 mode: alert_core::ProbabilityMode::MeanOnly,
                 ..ctx.params
             };
-            Ok(Box::new(AlertScheduler::new(
+            Ok(Box::new(AlertScheduler::new_hetero(
                 "ALERT*",
                 ctx.family,
                 CandidateSet::Standard,
-                ctx.platform,
+                &node_platforms(ctx),
+                ctx.shared_budget,
                 ctx.goal,
                 params,
             )?) as Box<dyn Scheduler>)
@@ -234,10 +255,18 @@ impl PolicyRegistry {
             Ok(Box::new(AppOnly::new(ctx.family, ctx.platform)) as Box<dyn Scheduler>)
         });
         r.register_fn("Sys-only", |ctx| {
-            Ok(Box::new(SysOnly::new(ctx.family, ctx.platform, ctx.goal)) as Box<dyn Scheduler>)
+            Ok(Box::new(SysOnly::new_placed(
+                ctx.family,
+                &node_platforms(ctx),
+                ctx.goal,
+            )) as Box<dyn Scheduler>)
         });
         r.register_fn("No-coord", |ctx| {
-            Ok(Box::new(NoCoord::new(ctx.family, ctx.platform, ctx.goal)) as Box<dyn Scheduler>)
+            Ok(Box::new(NoCoord::new_placed(
+                ctx.family,
+                &node_platforms(ctx),
+                ctx.goal,
+            )) as Box<dyn Scheduler>)
         });
         r
     }
@@ -351,6 +380,44 @@ mod tests {
             platform: &platform,
             goal,
             params: AlertParams::default(),
+            shared_budget: None,
+            env: &env,
+            stream: &stream,
+        };
+        let r = PolicyRegistry::builtin();
+        for name in r.names() {
+            let s = r.build(&name, &ctx).unwrap();
+            assert_eq!(s.name(), name, "policy name must match scheduler name");
+        }
+    }
+
+    #[test]
+    fn builtin_policies_build_on_heterogeneous_nodes() {
+        // On a CPU+GPU node every built-in must still build; the
+        // placement-capable schemes see both devices through the env's
+        // topology, the rest stay pinned to device 0.
+        let family = ModelFamily::image_classification();
+        let cpu = Platform::cpu1();
+        let gpu = Platform::gpu();
+        let goal = Goal::minimize_energy(Seconds(0.4), 0.9);
+        let stream = InputStream::generate(TaskId::Img2, 40, 3);
+        let env = Arc::new(
+            EpisodeEnv::build_hetero(
+                &[cpu.clone(), gpu],
+                &Scenario::default_env(),
+                &stream,
+                &goal,
+                3,
+                None,
+            )
+            .unwrap(),
+        );
+        let ctx = PolicyContext {
+            family: &family,
+            platform: &cpu,
+            goal,
+            params: AlertParams::default(),
+            shared_budget: Some(Watts(200.0)),
             env: &env,
             stream: &stream,
         };
@@ -369,6 +436,7 @@ mod tests {
             platform: &platform,
             goal,
             params: AlertParams::default(),
+            shared_budget: None,
             env: &env,
             stream: &stream,
         };
@@ -390,6 +458,7 @@ mod tests {
             platform: &platform,
             goal,
             params: AlertParams::default(),
+            shared_budget: None,
             env: &env,
             stream: &stream,
         };
@@ -413,6 +482,7 @@ mod tests {
             platform: &platform,
             goal,
             params,
+            shared_budget: None,
             env: &env,
             stream: &stream,
         };

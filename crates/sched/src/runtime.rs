@@ -44,6 +44,7 @@ use alert_core::alert::AlertParams;
 use alert_core::ControllerSnapshot;
 use alert_models::ModelFamily;
 use alert_platform::{Platform, PlatformId};
+use alert_stats::units::Watts;
 use alert_workload::{
     EpisodeSummary, Goal, InputRecord, InputStream, Scenario, SessionId, StreamId, TaskId,
 };
@@ -92,8 +93,18 @@ impl FamilySpec {
 /// The JSON format is documented in `DESIGN.md` §"RunSpec".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
-    /// Platform preset.
+    /// Platform preset (device `0` of the node).
     pub platform: PlatformId,
+    /// Extra device presets serving alongside `platform`: device `d` is
+    /// `extra_backends[d - 1]`. Empty (the serde default, so pre-device
+    /// spec files parse unchanged) means the classic single-device node.
+    #[serde(default)]
+    pub extra_backends: Vec<PlatformId>,
+    /// Node-level power envelope split across all devices' config
+    /// tables in proportion to their maximum draw; `None` (the serde
+    /// default) leaves every device its full cap range.
+    #[serde(default)]
+    pub shared_budget: Option<Watts>,
     /// Candidate family.
     pub family: FamilySpec,
     /// Default policy name for new sessions (resolved via the registry).
@@ -108,6 +119,8 @@ impl Default for RunSpec {
     fn default() -> Self {
         RunSpec {
             platform: PlatformId::Cpu1,
+            extra_backends: Vec::new(),
+            shared_budget: None,
             family: FamilySpec::Kind(FamilyKind::Image),
             policy: "ALERT".to_string(),
             params: AlertParams::default(),
@@ -326,6 +339,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Adds an extra device preset serving alongside the primary
+    /// platform (call repeatedly to grow the node).
+    pub fn extra_backend(mut self, platform: PlatformId) -> Self {
+        self.spec.extra_backends.push(platform);
+        self
+    }
+
+    /// Sets the node-level power envelope split across all devices.
+    pub fn shared_budget(mut self, budget: Watts) -> Self {
+        self.spec.shared_budget = Some(budget);
+        self
+    }
+
     /// Sets a named paper family.
     pub fn family(mut self, family: FamilyKind) -> Self {
         self.spec.family = FamilySpec::Kind(family);
@@ -423,8 +449,14 @@ impl RuntimeBuilder {
             }
             .into());
         }
+        // The node's device list, primary first — the environment
+        // rebuild recipe for every session this runtime opens.
+        let node: Vec<Platform> = std::iter::once((*platform).clone())
+            .chain(spec.extra_backends.iter().map(|&id| Platform::by_id(id)))
+            .collect();
         Ok(Runtime {
             platform,
+            node,
             family,
             task: spec.family.task(),
             spec,
@@ -464,6 +496,8 @@ impl Default for RuntimeBuilder {
 /// every worker thread simultaneously.
 pub struct Runtime {
     pub(crate) platform: Arc<Platform>,
+    /// All node devices, primary first (`node[0]` mirrors `platform`).
+    node: Vec<Platform>,
     pub(crate) family: Arc<ModelFamily>,
     task: TaskId,
     spec: RunSpec,
@@ -485,9 +519,15 @@ impl Runtime {
         &self.spec
     }
 
-    /// The platform sessions run on.
+    /// The platform sessions run on (device `0` of the node).
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// All node devices, primary first — length `1` for the classic
+    /// single-device runtime.
+    pub fn node(&self) -> &[Platform] {
+        &self.node
     }
 
     /// The candidate family sessions schedule over.
@@ -537,6 +577,7 @@ impl Runtime {
             platform: &self.platform,
             goal,
             params: self.spec.params,
+            shared_budget: self.spec.shared_budget,
             env,
             stream,
         };
@@ -577,9 +618,12 @@ impl Runtime {
         // quality floor relative to the family range resolve it against
         // the serving family (a no-op for absolute scripts).
         let span = alert_workload::quality_span(&self.family, &self.platform);
+        // `build_hetero` over a one-platform node is exactly
+        // `build_scoped`, so single-device runtimes keep their
+        // historical environments bit-identical.
         let env = Arc::new(
-            EpisodeEnv::build_scoped(
-                &self.platform,
+            EpisodeEnv::build_hetero(
+                &self.node,
                 &spec.scenario,
                 &stream,
                 &spec.goal,
@@ -862,6 +906,19 @@ impl Runtime {
                 snap.origin.platform, self.spec.platform
             )));
         }
+        if self.spec.extra_backends != snap.origin.extra_backends
+            || self.spec.shared_budget != snap.origin.shared_budget
+        {
+            return Err(RuntimeError::InvalidSpec(format!(
+                "snapshot was taken on a different device topology \
+                 (origin extras {:?} budget {:?}, this runtime {:?} / {:?}) — \
+                 already-recorded placements would not be reproducible",
+                snap.origin.extra_backends,
+                snap.origin.shared_budget,
+                self.spec.extra_backends,
+                self.spec.shared_budget
+            )));
+        }
         if self.spec.family != snap.origin.family {
             return Err(RuntimeError::InvalidSpec(
                 "snapshot was taken over a different candidate family".into(),
@@ -957,6 +1014,14 @@ mod tests {
 
     fn runtime() -> Runtime {
         Runtime::builder().build().expect("default builds")
+    }
+
+    fn hetero_runtime() -> Runtime {
+        Runtime::builder()
+            .extra_backend(PlatformId::Gpu)
+            .shared_budget(Watts(250.0))
+            .build()
+            .expect("hetero node builds")
     }
 
     #[test]
@@ -1204,6 +1269,58 @@ mod tests {
     }
 
     #[test]
+    fn hetero_sessions_run_snapshot_and_restore_identically() {
+        // Uninterrupted CPU+GPU session for the reference...
+        let mut rt = hetero_runtime();
+        assert_eq!(rt.node().len(), 2);
+        let id = rt.open_session(spec(21)).unwrap();
+        rt.run_to_completion(id).unwrap();
+        let reference = rt.close(id).unwrap();
+        assert!(
+            reference.records.iter().all(|r| r.device < 2),
+            "placements must stay inside the node"
+        );
+
+        // ...then half, checkpoint, migrate to a new hetero runtime.
+        let mut rt1 = hetero_runtime();
+        let id1 = rt1.open_session(spec(21)).unwrap();
+        for _ in 0..30 {
+            rt1.submit(id1).unwrap();
+        }
+        let snap = rt1.snapshot_session(id1).unwrap();
+        drop(rt1);
+
+        let mut rt2 = hetero_runtime();
+        let id2 = rt2.restore_session(&snap).unwrap();
+        rt2.run_to_completion(id2).unwrap();
+        let resumed = rt2.close(id2).unwrap();
+        assert_eq!(reference.records, resumed.records);
+
+        // A single-device runtime cannot re-home the recorded
+        // placements: topology is part of the origin check.
+        let mut cpu_only = runtime();
+        assert!(matches!(
+            cpu_only.restore_session(&snap),
+            Err(RuntimeError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn run_spec_without_device_fields_parses_as_single_node() {
+        // Spec files written before the device axis carry neither
+        // `extra_backends` nor `shared_budget`; they must keep parsing
+        // as the classic single-device node.
+        let serde_json::Value::Object(mut obj) = serde_json::to_value(&RunSpec::default()) else {
+            panic!("RunSpec serializes as a map");
+        };
+        obj.remove("extra_backends");
+        obj.remove("shared_budget");
+        let json = serde_json::to_string(&serde_json::Value::Object(obj)).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, RunSpec::default());
+    }
+
+    #[test]
     fn restore_rejects_corrupt_snapshots() {
         let mut rt = runtime();
         let id = rt.open_session(spec(6)).unwrap();
@@ -1285,10 +1402,9 @@ mod tests {
     fn run_spec_roundtrips_through_json() {
         let spec = RunSpec {
             platform: PlatformId::Gpu,
-            family: FamilySpec::Kind(FamilyKind::Image),
             policy: "ALERT-Any".to_string(),
-            params: AlertParams::default(),
             seed: 99,
+            ..RunSpec::default()
         };
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let back: RunSpec = serde_json::from_str(&json).unwrap();

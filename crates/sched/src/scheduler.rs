@@ -29,9 +29,13 @@ pub struct InputContext {
 /// What the scheduler decided for one input.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
+    /// Device the input is placed on (index into the episode
+    /// environment's backend list; `0` is the primary platform, so
+    /// single-backend schemes can leave it defaulted).
+    pub device: usize,
     /// Index of the model in the episode's family.
     pub model: usize,
-    /// Power cap to program.
+    /// Power cap to program on the chosen device.
     pub cap: Watts,
     /// Execution stop policy.
     pub stop: StopPolicy,
@@ -122,6 +126,7 @@ mod tests {
 
         fn decide(&mut self, _ctx: &InputContext) -> Decision {
             Decision {
+                device: 0,
                 model: self.model,
                 cap: self.cap,
                 stop: StopPolicy::RunToCompletion,

@@ -23,6 +23,7 @@ use alert_workload::{Goal, Objective};
 
 /// Sys-only: fastest traditional DNN + [63]-style power management.
 pub struct SysOnly {
+    device: usize,
     model: usize,
     profile: ModelProfile,
     caps: Vec<Watts>,
@@ -38,21 +39,24 @@ pub struct SysOnly {
 }
 
 impl SysOnly {
-    /// Creates the scheme: pins the fastest *traditional* model that fits.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no traditional model fits the platform.
-    pub fn new(family: &ModelFamily, platform: &Platform, goal: Goal) -> Self {
-        let (model, profile) = family
+    /// The fastest traditional model that fits `platform`, if any.
+    fn pin(family: &ModelFamily, platform: &Platform) -> Option<(usize, ModelProfile)> {
+        family
             .models()
             .iter()
             .enumerate()
             .filter(|(_, m)| !m.is_anytime() && platform.supports_footprint(m.footprint_gb))
             .min_by(|(_, a), (_, b)| a.ref_latency_s.total_cmp(&b.ref_latency_s))
             .map(|(i, m)| (i, m.clone()))
-            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
-            .expect("Sys-only needs a traditional model that fits the platform");
+    }
+
+    fn assemble(
+        device: usize,
+        model: usize,
+        profile: ModelProfile,
+        platform: &Platform,
+        goal: Goal,
+    ) -> Self {
         let caps = platform.power_settings();
         let t_prof = caps
             .iter()
@@ -64,6 +68,7 @@ impl SysOnly {
             .map(|&c| inference::run_power(&profile, platform, c))
             .collect();
         SysOnly {
+            device,
             model,
             profile,
             caps,
@@ -75,9 +80,57 @@ impl SysOnly {
         }
     }
 
+    /// Creates the scheme: pins the fastest *traditional* model that fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no traditional model fits the platform.
+    pub fn new(family: &ModelFamily, platform: &Platform, goal: Goal) -> Self {
+        let (model, profile) = Self::pin(family, platform)
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
+            .expect("Sys-only needs a traditional model that fits the platform");
+        Self::assemble(0, model, profile, platform, goal)
+    }
+
+    /// Creates the scheme on a heterogeneous node: pins the (device,
+    /// model) pair with the fastest profiled latency at each device's top
+    /// cap — [63]'s "use the fastest candidate DNN" rule generalized
+    /// across backends. The placement is static; the [63]-style power
+    /// controller then manages that one device's cap (system-level
+    /// adaptation does not re-place work mid-stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platforms` is empty or no traditional model fits any of
+    /// them.
+    pub fn new_placed(family: &ModelFamily, platforms: &[&Platform], goal: Goal) -> Self {
+        let mut best: Option<(usize, usize, ModelProfile, Seconds)> = None;
+        for (d, platform) in platforms.iter().enumerate() {
+            let Some((model, profile)) = Self::pin(family, platform) else {
+                continue;
+            };
+            let top = platform.cap_range().max();
+            let t = inference::profile_latency(&profile, platform, top)
+                // lint:allow(no-panic): the top of the platform's own cap range is always feasible
+                .expect("top cap feasible");
+            if best.as_ref().is_none_or(|&(_, _, _, bt)| t < bt) {
+                best = Some((d, model, profile, t));
+            }
+        }
+        let (device, model, profile, _) = best
+            // lint:allow(no-panic): documented panic contract — a baseline without its required model is a setup error
+            .expect("Sys-only needs a traditional model that fits a platform");
+        Self::assemble(device, model, profile, platforms[device], goal)
+    }
+
     /// The pinned model's family index.
     pub fn model(&self) -> usize {
         self.model
+    }
+
+    /// The pinned device.
+    pub fn device(&self) -> usize {
+        self.device
     }
 }
 
@@ -122,6 +175,7 @@ impl Scheduler for SysOnly {
         }
         let j = best.map(|(j, _)| j).unwrap_or(fastest);
         Decision {
+            device: self.device,
             model: self.model,
             cap: self.caps[j],
             stop: StopPolicy::RunToCompletion,

@@ -22,6 +22,11 @@ pub const VIOLATION_DISQUALIFY_FRACTION: f64 = 0.10;
 pub struct InputRecord {
     /// Input index within the episode.
     pub index: usize,
+    /// Device the input was placed on (`0` = the primary platform;
+    /// defaulted so records captured before the device axis deserialize
+    /// unchanged).
+    #[serde(default)]
+    pub device: usize,
     /// Name of the model the scheduler picked.
     pub model: String,
     /// Power setting the scheduler picked.
@@ -196,6 +201,7 @@ mod tests {
     fn record(latency: f64, deadline: f64, quality: f64, energy: f64) -> InputRecord {
         InputRecord {
             index: 0,
+            device: 0,
             model: "m".into(),
             cap: Watts(50.0),
             latency: Seconds(latency),

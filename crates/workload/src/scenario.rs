@@ -276,6 +276,36 @@ impl Scenario {
         )
     }
 
+    /// "HeteroServing": the CPU+GPU serving scenario — memory contention
+    /// waves on the node, a mid-episode GPU clock throttle (thermal-style,
+    /// eight steps down the frequency table, recovering late), and a cap
+    /// crash targeted at device 1 only. On a single-device node every
+    /// device-targeted event is inert by construction (see the script
+    /// DSL docs), so the scenario also runs — as plain memory contention
+    /// — through the CPU-only gates.
+    pub fn hetero_serving(seed: u64) -> Self {
+        Scenario::from_script(
+            "HeteroServing",
+            ScenarioScript::new()
+                .with(ScriptEvent::Contention {
+                    kind: ContentionKind::Memory,
+                    schedule: table3_schedule(seed),
+                })
+                .with(ScriptEvent::GpuThrottle { at: 0.35, steps: 8 })
+                .with(ScriptEvent::GpuThrottle { at: 0.75, steps: 0 })
+                .with(ScriptEvent::DeviceCapStep {
+                    at: 0.5,
+                    device: 1,
+                    frac: 0.4,
+                })
+                .with(ScriptEvent::DeviceCapStep {
+                    at: 0.8,
+                    device: 1,
+                    frac: 1.0,
+                }),
+        )
+    }
+
     /// All three Table 3 environments, seeded.
     pub fn table3(seed: u64) -> Vec<Scenario> {
         vec![
@@ -301,6 +331,7 @@ impl Scenario {
             Scenario::poisson_arrival(),
             Scenario::churn(seed.wrapping_add(2)),
             Scenario::compound_stress(seed.wrapping_add(3)),
+            Scenario::hetero_serving(seed.wrapping_add(4)),
         ]
     }
 
@@ -371,13 +402,13 @@ mod tests {
     }
 
     #[test]
-    fn library_has_eleven_valid_uniquely_named_scenarios() {
+    fn library_has_twelve_valid_uniquely_named_scenarios() {
         let lib = Scenario::library(7);
-        assert_eq!(lib.len(), 11);
+        assert_eq!(lib.len(), 12);
         let mut names: Vec<&str> = lib.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11, "names must be unique");
+        assert_eq!(names.len(), 12, "names must be unique");
         for s in &lib {
             s.script()
                 .validate()
@@ -429,6 +460,27 @@ mod tests {
             vec![ContentionKind::Memory, ContentionKind::Compute]
         );
         // And the primary-kind compatibility view reports Memory.
+        assert_eq!(s.kind(), Some(ContentionKind::Memory));
+    }
+
+    #[test]
+    fn hetero_serving_targets_the_gpu_and_stays_lawful_on_cpu() {
+        let s = Scenario::hetero_serving(5);
+        assert!(s.script().validate().is_ok());
+        // The GPU throttle deepens mid-episode and recovers late.
+        assert_eq!(s.script().gpu_throttle_at(0.5), Some(8));
+        assert_eq!(s.script().gpu_throttle_at(0.9), None, "steps 0 restores");
+        // The cap crash binds to device 1 only and restores at 0.8.
+        assert_eq!(s.script().device_cap_frac_at(0.6, 1), Some(0.4));
+        assert_eq!(s.script().device_cap_frac_at(0.6, 0), None);
+        assert_eq!(
+            s.script().device_cap_frac_at(0.9, 1),
+            None,
+            "frac 1.0 restores"
+        );
+        // The global (device-0) cap query never sees the targeted step,
+        // so a CPU-only realization degrades to plain memory contention.
+        assert_eq!(s.script().cap_frac_at(0.6), None);
         assert_eq!(s.kind(), Some(ContentionKind::Memory));
     }
 

@@ -32,6 +32,13 @@
 //!   against the serving runtime. Environment realization ignores churn
 //!   (it does not touch the frozen per-input state); runtime drivers
 //!   (`alert-bench --bin scenarios`) execute the waves.
+//! * [`ScriptEvent::DeviceCapStep`] / [`ScriptEvent::GpuThrottle`] —
+//!   heterogeneous-node events: a cap ceiling lands on one *device* of a
+//!   multi-backend episode, or a GPU backend is clock-throttled a number
+//!   of frequency-table levels. On single-CPU episodes both are inert
+//!   (a GPU throttle has no GPU to bind to; a device-targeted cap only
+//!   binds to its device), so a heterogeneous scenario can join the
+//!   CPU-only matrix unchanged.
 //!
 //! **Timeline units.** Contention schedules are wall-clock seconds: they
 //! model external co-runners with their own clocks (and keep the Fig. 9
@@ -367,6 +374,32 @@ pub enum ScriptEvent {
         /// Sessions to close.
         close: usize,
     },
+    /// From `at` onward, device `device` of a heterogeneous node
+    /// enforces a cap ceiling at `frac` of *that device's* feasible cap
+    /// range. The global [`ScriptEvent::CapStep`] keeps its historical
+    /// meaning (device 0); on a targeted device the two compose by
+    /// minimum. Later steps on the same device replace earlier ones.
+    DeviceCapStep {
+        /// Horizon fraction at which the step lands.
+        at: f64,
+        /// Device index within the episode's backend list.
+        device: usize,
+        /// Ceiling position within the device's feasible cap range.
+        frac: f64,
+    },
+    /// From `at` onward a GPU backend is clock-throttled `steps` levels
+    /// below its top frequency-table entry (an external thermal or
+    /// driver throttle). Realization maps the step count onto the
+    /// board-power ceiling of the throttled table level; non-GPU
+    /// backends ignore the event. Later throttles replace earlier ones;
+    /// `steps = 0` restores the full clock.
+    GpuThrottle {
+        /// Horizon fraction at which the throttle lands.
+        at: f64,
+        /// Clock levels below the top of the GPU frequency table
+        /// (saturating at the slowest level).
+        steps: usize,
+    },
 }
 
 /// A declarative scripted environment: an initial arrival process plus a
@@ -528,6 +561,14 @@ impl ScenarioScript {
                 ScriptEvent::Churn { at, .. } => frac_ok(*at)
                     .then_some(())
                     .ok_or_else(|| format!("churn mark must be in [0,1], got {at}")),
+                ScriptEvent::DeviceCapStep { at, frac, .. } => (frac_ok(*at) && frac_ok(*frac))
+                    .then_some(())
+                    .ok_or_else(|| {
+                        format!("device cap step needs at/frac in [0,1], got {at}/{frac}")
+                    }),
+                ScriptEvent::GpuThrottle { at, .. } => frac_ok(*at)
+                    .then_some(())
+                    .ok_or_else(|| format!("gpu throttle mark must be in [0,1], got {at}")),
             };
             res.map_err(|msg| format!("event {i}: {msg}"))?;
         }
@@ -597,6 +638,44 @@ impl ScenarioScript {
         }
         match best {
             Some((_, frac)) if frac < 1.0 => Some(frac),
+            _ => None,
+        }
+    }
+
+    /// The cap ceiling in force at horizon fraction `t` for device `d` of
+    /// a heterogeneous node, as a fraction of that device's cap range, or
+    /// `None` when no [`ScriptEvent::DeviceCapStep`] binds there. The
+    /// global [`ScenarioScript::cap_frac_at`] is queried separately by
+    /// realization (it applies to device 0 only).
+    pub fn device_cap_frac_at(&self, t: f64, d: usize) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None; // (mark, frac)
+        for e in &self.events {
+            if let ScriptEvent::DeviceCapStep { at, device, frac } = e {
+                if *device == d && *at <= t && best.is_none_or(|(m, _)| *at >= m) {
+                    best = Some((*at, *frac));
+                }
+            }
+        }
+        match best {
+            Some((_, frac)) if frac < 1.0 => Some(frac),
+            _ => None,
+        }
+    }
+
+    /// The GPU clock-throttle depth in force at horizon fraction `t`
+    /// (levels below the top of the frequency table), or `None` when the
+    /// clock is unrestricted. Last throttle wins; `steps = 0` restores.
+    pub fn gpu_throttle_at(&self, t: f64) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for e in &self.events {
+            if let ScriptEvent::GpuThrottle { at, steps } = e {
+                if *at <= t && best.is_none_or(|(m, _)| *at >= m) {
+                    best = Some((*at, *steps));
+                }
+            }
+        }
+        match best {
+            Some((_, steps)) if steps > 0 => Some(steps),
             _ => None,
         }
     }
@@ -797,6 +876,67 @@ mod tests {
         assert_eq!(s.cap_frac_at(0.1), None);
         assert_eq!(s.cap_frac_at(0.4), Some(0.3));
         assert_eq!(s.cap_frac_at(0.8), None, "frac 1.0 restores");
+    }
+
+    #[test]
+    fn device_cap_steps_bind_per_device_and_last_one_wins() {
+        let s = ScenarioScript::new()
+            .with(ScriptEvent::DeviceCapStep {
+                at: 0.2,
+                device: 1,
+                frac: 0.4,
+            })
+            .with(ScriptEvent::DeviceCapStep {
+                at: 0.6,
+                device: 1,
+                frac: 1.0,
+            })
+            .with(ScriptEvent::DeviceCapStep {
+                at: 0.3,
+                device: 0,
+                frac: 0.5,
+            });
+        assert!(s.validate().is_ok());
+        assert_eq!(s.device_cap_frac_at(0.1, 1), None);
+        assert_eq!(s.device_cap_frac_at(0.4, 1), Some(0.4));
+        assert_eq!(s.device_cap_frac_at(0.8, 1), None, "frac 1.0 restores");
+        // Device targeting is exact: device 0's step never leaks to 1.
+        assert_eq!(s.device_cap_frac_at(0.4, 0), Some(0.5));
+        assert_eq!(s.device_cap_frac_at(0.4, 2), None);
+        // The global cap query ignores device-targeted steps entirely.
+        assert_eq!(s.cap_frac_at(0.4), None);
+    }
+
+    #[test]
+    fn gpu_throttle_last_one_wins_and_zero_restores() {
+        let s = ScenarioScript::new()
+            .with(ScriptEvent::GpuThrottle { at: 0.3, steps: 8 })
+            .with(ScriptEvent::GpuThrottle { at: 0.7, steps: 0 });
+        assert!(s.validate().is_ok());
+        assert_eq!(s.gpu_throttle_at(0.1), None);
+        assert_eq!(s.gpu_throttle_at(0.5), Some(8));
+        assert_eq!(s.gpu_throttle_at(0.9), None, "steps 0 restores");
+    }
+
+    #[test]
+    fn device_events_validate_marks() {
+        let bad_mark = ScenarioScript::new().with(ScriptEvent::DeviceCapStep {
+            at: 1.5,
+            device: 1,
+            frac: 0.5,
+        });
+        assert!(bad_mark.validate().is_err());
+        let bad_frac = ScenarioScript::new().with(ScriptEvent::DeviceCapStep {
+            at: 0.5,
+            device: 1,
+            frac: -0.1,
+        });
+        assert!(bad_frac.validate().is_err());
+        let bad_throttle = ScenarioScript::new().with(ScriptEvent::GpuThrottle {
+            at: f64::NAN,
+            steps: 2,
+        });
+        assert!(bad_throttle.validate().is_err());
     }
 
     #[test]

@@ -18,8 +18,16 @@
 //! * every further non-empty line — one [`TraceRecord`]: the session and
 //!   stream ids, the per-input sequence number, the **inter-arrival
 //!   time** to the next input, the realized **input scale**, the goal in
-//!   force at dispatch (deadline / quality floor / energy budget), and an
-//!   optional observed [`TraceOutcome`].
+//!   force at dispatch (deadline / quality floor / energy budget), an
+//!   optional **device** (the node device the input was placed on —
+//!   absent means device `0`, the primary CPU, which is what every trace
+//!   captured before the device axis ran on), and an optional observed
+//!   [`TraceOutcome`].
+//!
+//! The `device` key is a compatible extension *within* version 1: it is
+//! omitted when `None`, so device-0-only captures serialize to the exact
+//! bytes the pre-device format produced, and old files load with
+//! `device: None` and round-trip bit-exactly.
 //!
 //! Records of different sessions may interleave (the capture order of a
 //! multi-session runtime), but each session's records appear in dispatch
@@ -160,6 +168,12 @@ pub struct TraceRecord {
     pub inter_arrival: Seconds,
     /// Realized per-input latency scale (stream sample × scripted drift).
     pub scale: f64,
+    /// Node device the input was placed on. `None` means device `0`
+    /// (the primary CPU): traces captured before the device axis carry
+    /// no key at all, and the field is skipped when `None` so such
+    /// files round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub device: Option<u64>,
     /// Goal deadline in force at dispatch (before group adjustment).
     pub deadline: Seconds,
     /// Quality floor in force at dispatch, if any.
@@ -532,6 +546,7 @@ mod tests {
             seq,
             inter_arrival: Seconds(period),
             scale,
+            device: None,
             deadline: Seconds(0.4),
             min_quality: Some(0.9),
             energy_budget: None,
@@ -572,6 +587,31 @@ mod tests {
         let mut buf2 = Vec::new();
         back.write_to(&mut buf2).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn pre_device_records_parse_and_round_trip_byte_identically() {
+        // A verbatim line from a trace written before the device axis:
+        // no `device` key anywhere.
+        let line = r#"{"deadline":0.4,"energy_budget":null,"inter_arrival":0.30000000000000004,"min_quality":0.9,"outcome":{"cap":70,"energy":5.5,"latency":0.11,"model":"m","quality":0.91},"scale":0.3333333333333333,"seq":0,"session":0,"stream":65261}"#;
+        let r: TraceRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(r.device, None, "missing key must mean the primary CPU");
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            line,
+            "device-less records must re-serialize to the exact v1 bytes"
+        );
+    }
+
+    #[test]
+    fn placed_records_round_trip_their_device() {
+        let mut r = record(3, 0, 0.25, 1.0);
+        r.device = Some(1);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"device\":1"));
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device, Some(1));
+        assert_eq!(r, back);
     }
 
     #[test]

@@ -79,6 +79,8 @@ impl Scheduler for GreedyRaceToIdle {
             StopPolicy::RunToCompletion
         };
         Decision {
+            // Greedy is single-device: everything runs on the primary.
+            device: 0,
             model: pick,
             cap: self.cap,
             stop,

@@ -138,6 +138,113 @@ proptest! {
     }
 }
 
+/// A CPU+GPU runtime under a shared 230 W node envelope (the placement
+/// bench's heterogeneous node).
+fn hetero_builder() -> alert::sched::runtime::RuntimeBuilder {
+    Runtime::builder()
+        .platform(alert::platform::PlatformId::Cpu1)
+        .extra_backend(alert::platform::PlatformId::Gpu)
+        .shared_budget(alert::stats::units::Watts(230.0))
+}
+
+/// A session mix for the heterogeneous node: scenarios include the
+/// GPU-targeted HeteroServing script, and every built-in placement-aware
+/// scheme appears.
+fn hetero_spec(kind: usize, seed: u64) -> SessionSpec {
+    let scenario = match kind % 3 {
+        0 => Scenario::hetero_serving(300 + seed),
+        1 => Scenario::memory_env(600 + seed),
+        _ => Scenario::default_env(),
+    };
+    SessionSpec {
+        goal: Goal::minimize_energy(Seconds(0.2 + 0.01 * (seed % 6) as f64), 0.9),
+        scenario,
+        n_inputs: 8 + (seed % 3) as usize * 4,
+        seed: Some(2000 + seed),
+        policy: Some(["ALERT", "Sys-only", "No-coord"][(seed % 3) as usize].to_string()),
+    }
+}
+
+proptest! {
+    /// Cross-device determinism: for arbitrary worker counts and session
+    /// mixes on a shared-budget CPU+GPU node, the parallel drain's
+    /// episodes — including every record's device placement — are
+    /// bit-identical to the serial drain's.
+    #[test]
+    fn hetero_drain_parallel_is_bit_identical_to_round_robin(
+        workers in 1usize..9,
+        mix in proptest::collection::vec((0usize..3, 0i64..1000), 1..8),
+    ) {
+        let open_all = |rt: &mut Runtime| -> Vec<SessionId> {
+            mix.iter()
+                .map(|&(kind, seed)| {
+                    rt.open_session(hetero_spec(kind, seed as u64)).unwrap()
+                })
+                .collect()
+        };
+
+        let mut serial = hetero_builder().build().unwrap();
+        open_all(&mut serial);
+        let reference = serial.drain_round_robin().unwrap();
+
+        let mut parallel = hetero_builder().build().unwrap();
+        open_all(&mut parallel);
+        let episodes = parallel.drain_parallel(workers).unwrap();
+        assert_equivalent(&episodes, &reference, &format!("hetero workers={workers}"));
+        // assert_equivalent compares records wholesale, which covers the
+        // device column; make the placement comparison explicit anyway.
+        for ((_, ep), (_, rep)) in episodes.iter().zip(&reference) {
+            let devices: Vec<usize> = ep.records.iter().map(|r| r.device).collect();
+            let ref_devices: Vec<usize> = rep.records.iter().map(|r| r.device).collect();
+            prop_assert_eq!(devices, ref_devices);
+        }
+    }
+
+    /// Checkpoint/restore re-homes a session onto the same device
+    /// topology: cut a heterogeneous session at an arbitrary point,
+    /// restore the snapshot into a fresh CPU+GPU runtime, and the
+    /// remaining inputs must land on the same devices with the same
+    /// outcomes as an uninterrupted run.
+    #[test]
+    fn hetero_snapshot_restore_re_homes_devices(
+        kind in 0usize..3,
+        seed in 0i64..500,
+        cut_frac in 0.1f64..0.9,
+    ) {
+        // Only ALERT exports controller state for checkpointing; the
+        // device-topology re-homing under test is policy-independent.
+        let spec = SessionSpec {
+            policy: Some("ALERT".to_string()),
+            ..hetero_spec(kind, seed as u64)
+        };
+        let n = spec.n_inputs;
+        let cut = ((n as f64 * cut_frac) as usize).clamp(1, n - 1);
+
+        let mut reference = hetero_builder().build().unwrap();
+        let id = reference.open_session(spec.clone()).unwrap();
+        reference.run_to_completion(id).unwrap();
+        let reference = reference.close(id).unwrap();
+
+        let mut rt = hetero_builder().build().unwrap();
+        let id = rt.open_session(spec).unwrap();
+        for _ in 0..cut {
+            rt.submit(id).unwrap().unwrap();
+        }
+        let snap = rt.snapshot_session(id).unwrap();
+
+        let mut resumed = hetero_builder().build().unwrap();
+        let rid = resumed.restore_session(&snap).unwrap();
+        resumed.run_to_completion(rid).unwrap();
+        let resumed = resumed.close(rid).unwrap();
+
+        prop_assert_eq!(&resumed.records, &reference.records,
+            "resumed episode diverged (cut at {}/{})", cut, n);
+        let devices: Vec<usize> = resumed.records.iter().map(|r| r.device).collect();
+        let ref_devices: Vec<usize> = reference.records.iter().map(|r| r.device).collect();
+        prop_assert_eq!(devices, ref_devices);
+    }
+}
+
 /// Grouped (NLP1) streams carry per-session shared-deadline budgets; the
 /// parallel drain must not perturb them either.
 #[test]

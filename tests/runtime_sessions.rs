@@ -105,8 +105,8 @@ fn run_spec_file_rebuilds_equivalent_runtime() {
         platform: alert::platform::PlatformId::Cpu1,
         family: FamilySpec::Kind(FamilyKind::Image),
         policy: "ALERT-Any".to_string(),
-        params: Default::default(),
         seed: 5,
+        ..Default::default()
     };
     let json = serde_json::to_string_pretty(&spec).unwrap();
 

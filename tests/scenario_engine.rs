@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn frozen_env_is_scheme_independent(
         seed in 0i64..500,
-        scenario_idx in 0usize..11,
+        scenario_idx in 0usize..12,
         n in 60usize..140,
     ) {
         let seed = seed as u64;

@@ -299,7 +299,7 @@ proptest! {
     #[test]
     fn capture_replay_is_bit_identical_across_schemes(
         seed in 0i64..200,
-        scenario_idx in 0usize..11,
+        scenario_idx in 0usize..12,
         n in 40usize..90,
     ) {
         let seed = seed as u64;

@@ -13,11 +13,22 @@
 //!   serde default: `"Variant"`, `{"Variant": value}`,
 //!   `{"Variant": [..]}`, `{"Variant": {..}}`).
 //!
-//! Generic items and non-`transparent` `#[serde(...)]` attributes are
-//! rejected with a compile error rather than silently mis-serialized.
-//! The macro is written against `proc_macro` alone (no syn/quote): it
-//! walks the token stream, extracts the item skeleton, and emits the
-//! impl as source text.
+//! Two field-level attributes are honoured, matching the real serde
+//! semantics this workspace relies on:
+//!
+//! * `#[serde(default)]` — a missing (or `null`) key deserializes to
+//!   `Default::default()` instead of erroring, so old documents parse
+//!   after a struct grows a field;
+//! * `#[serde(skip_serializing_if = "...")]` — the field is omitted
+//!   from the output when it serializes to `null` (the shim's data
+//!   model makes "skips as `None`" and "serializes to `null`"
+//!   coincide), so new optional fields don't perturb old byte layouts.
+//!
+//! Generic items are rejected with a compile error rather than silently
+//! mis-serialized; other `#[serde(...)]` attributes are ignored. The
+//! macro is written against `proc_macro` alone (no syn/quote): it walks
+//! the token stream, extracts the item skeleton, and emits the impl as
+//! source text.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,7 +36,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -40,10 +51,19 @@ enum Item {
     },
 }
 
+/// One named field and its honoured serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing/null keys become `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "...")]`: omit null-valued fields.
+    skip_null: bool,
+}
+
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -161,17 +181,62 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Extracts field names from the body of a named-field struct (or struct
-/// variant): for each top-level-comma chunk, the identifier before `:`.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Scans a field chunk's leading attributes for the honoured
+/// `#[serde(...)]` markers. Only attribute groups whose first token is
+/// the bare identifier `serde` count — doc comments mentioning
+/// "default" stay inert.
+fn scan_serde_attrs(chunk: &[TokenTree]) -> (bool, bool) {
+    let (mut default, mut skip_null) = (false, false);
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        i += 1;
+        let Some(TokenTree::Group(g)) = chunk.get(i) else {
+            break;
+        };
+        i += 1;
+        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+        let (Some(TokenTree::Ident(head)), Some(TokenTree::Group(inner))) =
+            (toks.first(), toks.get(1))
+        else {
+            continue;
+        };
+        if head.to_string() != "serde" {
+            continue;
+        }
+        for t in inner.stream() {
+            if let TokenTree::Ident(word) = t {
+                match word.to_string().as_str() {
+                    "default" => default = true,
+                    "skip_serializing_if" => skip_null = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    (default, skip_null)
+}
+
+/// Extracts fields from the body of a named-field struct (or struct
+/// variant): for each top-level-comma chunk, the identifier before `:`
+/// plus its honoured serde attributes.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
         .map(|chunk| {
+            let (default, skip_null) = scan_serde_attrs(&chunk);
             let mut i = 0;
             skip_attrs_and_vis(&chunk, &mut i);
-            match &chunk[i] {
+            let name = match &chunk[i] {
                 TokenTree::Ident(id) => id.to_string(),
                 t => panic!("serde shim: expected field name, found {t}"),
+            };
+            Field {
+                name,
+                default,
+                skip_null,
             }
         })
         .collect()
@@ -205,14 +270,27 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 // ------------------------------------------------------------- generation
 
+/// One `insert` statement for a named field: unconditional, or gated on
+/// the value being non-null for `skip_serializing_if` fields.
+fn field_insert(map: &str, expr: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.skip_null {
+        format!(
+            "{{ let __v = ::serde::Serialize::to_value(&{expr}); \
+             if !matches!(__v, ::serde::Value::Null) {{ \
+             {map}.insert(\"{n}\".to_string(), __v); }} }}\n"
+        )
+    } else {
+        format!("{map}.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&{expr}));\n")
+    }
+}
+
 fn gen_serialize(item: &Item) -> String {
     let (name, body) = match item {
         Item::NamedStruct { name, fields } => {
             let mut b = String::from("let mut __m = ::serde::Map::new();\n");
             for f in fields {
-                b.push_str(&format!(
-                    "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
-                ));
+                b.push_str(&field_insert("__m", &format!("self.{}", f.name), f));
             }
             b.push_str("::serde::Value::Object(__m)");
             (name, b)
@@ -259,15 +337,14 @@ fn gen_serialize(item: &Item) -> String {
                     VariantKind::Struct(fields) => {
                         let mut inner = String::from("let mut __i = ::serde::Map::new();\n");
                         for f in fields {
-                            inner.push_str(&format!(
-                                "__i.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
-                            ));
+                            inner.push_str(&field_insert("__i", &f.name, f));
                         }
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => {{ {inner} let mut __m = ::serde::Map::new(); \
                              __m.insert(\"{vn}\".to_string(), ::serde::Value::Object(__i)); \
                              ::serde::Value::Object(__m) }}\n",
-                            fields.join(", ")
+                            binds.join(", ")
                         ));
                     }
                 }
@@ -281,16 +358,35 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
+/// One field initializer reading from map variable `map`: `default`
+/// fields fall back to `Default::default()` when the key is missing (or
+/// null — the shim's data model conflates the two), everything else
+/// errors on a missing key as before.
+fn field_init(owner: &str, map: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match {map}.get(\"{n}\") {{\n\
+             ::std::option::Option::None | ::std::option::Option::Some(::serde::Value::Null) => \
+             ::std::default::Default::default(),\n\
+             ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)\
+             .map_err(|e| e.context(\"{owner}.{n}\"))?,\n}},\n"
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_value(\
+             {map}.get(\"{n}\").unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| e.context(\"{owner}.{n}\"))?,\n"
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let (name, body) = match item {
         Item::NamedStruct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(\
-                     __m.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
-                     .map_err(|e| e.context(\"{name}.{f}\"))?,\n"
-                ));
+                inits.push_str(&field_init(name, "__m", f));
             }
             (
                 name,
@@ -347,12 +443,9 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
+                        let owner = format!("{name}::{vn}");
                         for f in fields {
-                            inits.push_str(&format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 __m2.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
-                                 .map_err(|e| e.context(\"{name}::{vn}.{f}\"))?,\n"
-                            ));
+                            inits.push_str(&field_init(&owner, "__m2", f));
                         }
                         data_arms.push_str(&format!(
                             "\"{vn}\" => match __val {{\n\
