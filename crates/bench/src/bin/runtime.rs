@@ -59,13 +59,14 @@ fn build_runtime(sessions: usize, n_inputs: usize, seed: u64) -> Runtime {
         .build()
         .expect("builtin policy");
     for i in 0..sessions as u64 {
-        rt.open_session(SessionSpec {
+        rt.session(SessionSpec {
             goal: Goal::minimize_energy(Seconds(0.35 + 0.01 * (i % 6) as f64), 0.9),
             scenario: scenario_for(i),
             n_inputs,
             seed: Some(seed ^ (i.wrapping_mul(0x9e37_79b9))),
             policy: None,
         })
+        .open()
         .expect("open session");
     }
     rt
@@ -273,7 +274,7 @@ fn bench_churn(n_inputs: usize, seed: u64) -> ChurnMeasurement {
         .seed(seed)
         .build()
         .expect("builtin policy");
-    let id = rt.open_session(measured_spec.clone()).expect("open");
+    let id = rt.session(measured_spec.clone()).open().expect("open");
     rt.run_to_completion(id).expect("episode runs");
     let reference = rt.close(id).expect("close reference session").records;
 
@@ -284,7 +285,7 @@ fn bench_churn(n_inputs: usize, seed: u64) -> ChurnMeasurement {
         .seed(seed)
         .build_sharded(workers)
         .expect("builtin policy");
-    let measured = sharded.open_session(measured_spec).expect("open");
+    let measured = sharded.session(measured_spec).open().expect("open");
     let mut background: std::collections::VecDeque<SessionId> = std::collections::VecDeque::new();
     let steps_per_wave = n_inputs / waves + 1;
     let (mut opened, mut closed) = (0u64, 0usize);
@@ -293,7 +294,7 @@ fn bench_churn(n_inputs: usize, seed: u64) -> ChurnMeasurement {
     for _ in 0..waves {
         let t0 = Instant::now();
         for _ in 0..per_wave {
-            background.push_back(sharded.open_session(bg_spec(opened)).expect("open"));
+            background.push_back(sharded.session(bg_spec(opened)).open().expect("open"));
             opened += 1;
         }
         open_s += t0.elapsed().as_secs_f64();

@@ -113,7 +113,10 @@ fn run_row(
 
             let mut rt = matrix_runtime(seed);
             let id = rt
-                .open_session_on(scheme, goal, stream.clone(), reference.clone())
+                .session(SessionSpec::external(goal))
+                .policy(scheme)
+                .on(stream.clone(), reference.clone())
+                .open()
                 .expect("registered policy builds");
             rt.run_to_completion(id).expect("episode runs");
             let ep = rt.close(id).expect("session open");
@@ -261,7 +264,10 @@ fn run_placement_row(
             }
             let mut rt = builder.build().expect("builtin policy resolves");
             let id = rt
-                .open_session_on(scheme, goal, stream.clone(), reference.clone())
+                .session(SessionSpec::external(goal))
+                .policy(scheme)
+                .on(stream.clone(), reference.clone())
+                .open()
                 .expect("registered policy builds");
             rt.run_to_completion(id).expect("episode runs");
             let ep = rt.close(id).expect("session open");
@@ -300,7 +306,7 @@ fn run_churn(scenario: &Scenario, n_inputs: usize, seed: u64) -> (usize, usize, 
 
     // Undisturbed reference.
     let mut rt = matrix_runtime(seed);
-    let id = rt.open_session(spec.clone()).expect("spec valid");
+    let id = rt.session(spec.clone()).open().expect("spec valid");
     rt.run_to_completion(id).expect("episode runs");
     let reference = rt.close(id).expect("open").records;
 
@@ -311,7 +317,7 @@ fn run_churn(scenario: &Scenario, n_inputs: usize, seed: u64) -> (usize, usize, 
         .seed(seed)
         .build_sharded(4)
         .expect("builtin policy resolves");
-    let measured = sharded.open_session(spec.clone()).expect("spec valid");
+    let measured = sharded.session(spec.clone()).open().expect("spec valid");
     let mut background: Vec<alert_workload::SessionId> = Vec::new();
     let mut opened = 0usize;
     let mut closed = 0usize;
@@ -325,10 +331,11 @@ fn run_churn(scenario: &Scenario, n_inputs: usize, seed: u64) -> (usize, usize, 
             wave_iter.next();
             for k in 0..open {
                 let bg = sharded
-                    .open_session(SessionSpec {
+                    .session(SessionSpec {
                         seed: Some(seed ^ (0x5bd1_e995 + (opened + k) as u64)),
                         ..spec.clone()
                     })
+                    .open()
                     .expect("spec valid");
                 // Give each background session some progress so closes
                 // land on part-way sessions, like real churn.

@@ -69,13 +69,14 @@ fn capture(scenario: &Scenario, n_inputs: usize, seed: u64) -> (WorkloadTrace, u
         .build()
         .expect("builtin policy resolves");
     let id = rt
-        .open_session(SessionSpec {
+        .session(SessionSpec {
             goal: base_goal(),
             scenario: scenario.clone(),
             n_inputs,
             seed: Some(seed),
             policy: Some("ALERT".into()),
         })
+        .open()
         .expect("library scenario opens");
     rt.run_to_completion(id).expect("episode runs");
     rt.close(id).expect("session open");
@@ -150,7 +151,10 @@ fn run_row(
 
             let mut rt = runtime(seed).build().expect("builtin policy resolves");
             let id = rt
-                .open_session_on(scheme, goal, stream.clone(), reference.clone())
+                .session(SessionSpec::external(goal))
+                .policy(scheme)
+                .on(stream.clone(), reference.clone())
+                .open()
                 .expect("registered policy builds");
             rt.run_to_completion(id).expect("episode runs");
             let ep = rt.close(id).expect("session open");

@@ -158,7 +158,7 @@ mod tests {
             .seed(5)
             .build()
             .unwrap();
-        let id = rt.open_session(spec(5, 40)).unwrap();
+        let id = rt.session(spec(5, 40)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         let episode = rt.close(id).unwrap();
 
@@ -191,7 +191,7 @@ mod tests {
             .seed(11)
             .build()
             .unwrap();
-        let id = rt.open_session(spec(11, 30)).unwrap();
+        let id = rt.session(spec(11, 30)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         rt.close(id).unwrap();
         assert!(recorder
@@ -209,7 +209,7 @@ mod tests {
             .seed(11)
             .build()
             .unwrap();
-        let id = rt.open_session(spec(11, 30)).unwrap();
+        let id = rt.session(spec(11, 30)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         let episode = rt.close(id).unwrap();
         let trace = recorder.snapshot();
@@ -229,7 +229,7 @@ mod tests {
             .seed(9)
             .build()
             .unwrap();
-        let id = rt.open_session(spec(9, 60)).unwrap();
+        let id = rt.session(spec(9, 60)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         rt.close(id).unwrap();
 
@@ -238,10 +238,11 @@ mod tests {
         let replay = Scenario::replay("Replay", source, TraceFit::Truncate);
         let mut rt2 = Runtime::builder().seed(9).build().unwrap();
         let rid = rt2
-            .open_session(SessionSpec {
+            .session(SessionSpec {
                 scenario: replay,
                 ..spec(9, 60)
             })
+            .open()
             .unwrap();
         rt2.run_to_completion(rid).unwrap();
         let replayed = rt2.close(rid).unwrap();

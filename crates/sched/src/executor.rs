@@ -33,15 +33,16 @@
 //!   (`RuntimeBuilder::session_ids`), serving `open`/`submit`/`close`
 //!   routed by id and draining all shards in parallel on demand.
 
+use crate::env::EpisodeEnv;
 use crate::harness::Episode;
 use crate::registry::PolicyRegistry;
 use crate::runtime::{
-    EpisodeEvent, EventSink, Runtime, RuntimeBuilder, RuntimeError, Session, SessionSnapshot,
-    SessionSpec,
+    EpisodeEvent, EventSink, Runtime, RuntimeBuilder, RuntimeError, Session, SessionOptions,
+    SessionSnapshot, SessionSpec,
 };
 use alert_models::ModelFamily;
 use alert_platform::Platform;
-use alert_workload::{InputRecord, SessionId};
+use alert_workload::{InputRecord, InputStream, SessionId};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -223,6 +224,20 @@ impl ShardedRuntime {
         self.shards.len()
     }
 
+    /// The platform sessions run on (identical across shards — the
+    /// serving admission layer builds its belief table from it).
+    pub fn platform(&self) -> &alert_platform::Platform {
+        // lint:allow(no-panic): from_builder clamps workers to >= 1, so shard 0 exists
+        self.shards[0].platform()
+    }
+
+    /// The candidate family sessions schedule over (identical across
+    /// shards).
+    pub fn family(&self) -> &alert_models::ModelFamily {
+        // lint:allow(no-panic): from_builder clamps workers to >= 1, so shard 0 exists
+        self.shards[0].family()
+    }
+
     /// The shard owning `id`.
     pub fn shard_of(&self, id: SessionId) -> usize {
         id.shard_of(self.shards.len())
@@ -261,17 +276,49 @@ impl ShardedRuntime {
         }
     }
 
-    /// Opens a session on the next shard, round-robin — see
-    /// [`Runtime::open_session`]. With `workers` shards and no
-    /// intervening closes, ids come out dense and ascending (0, 1, 2, …)
-    /// exactly like a serial runtime's.
-    pub fn open_session(&mut self, spec: SessionSpec) -> Result<SessionId, RuntimeError> {
-        let shard = self.next_shard;
-        let id = self.shards[shard].open_session(spec)?;
-        self.next_shard = (self.next_shard + 1) % self.shards.len();
+    /// Starts a [`SessionOptions`] builder opening on this sharded
+    /// runtime — see [`Runtime::session`]. Placement is round-robin
+    /// unless [`SessionOptions::on_shard`] pins a shard. With `workers`
+    /// shards and no intervening closes, round-robin ids come out dense
+    /// and ascending (0, 1, 2, …) exactly like a serial runtime's.
+    pub fn session(&mut self, spec: SessionSpec) -> SessionOptions<'_> {
+        SessionOptions::new(crate::runtime::HostRef::Sharded(self), spec)
+    }
+
+    /// The open path behind [`ShardedRuntime::session`]: routes to the
+    /// pinned shard, or the round-robin cursor (which pinning does not
+    /// advance).
+    pub(crate) fn open_parts_on(
+        &mut self,
+        shard: Option<usize>,
+        spec: SessionSpec,
+        external: Option<(InputStream, Arc<EpisodeEnv>)>,
+        scheduler: Option<Box<dyn crate::scheduler::Scheduler>>,
+    ) -> Result<SessionId, RuntimeError> {
+        let pinned = shard.is_some();
+        let shard = match shard {
+            Some(k) if k >= self.shards.len() => {
+                return Err(RuntimeError::InvalidSpec(format!(
+                    "no shard {k}: this runtime has {} shards",
+                    self.shards.len()
+                )));
+            }
+            Some(k) => k,
+            None => self.next_shard,
+        };
+        let id = self.shards[shard].open_parts(spec, external, scheduler)?;
+        if !pinned {
+            self.next_shard = (self.next_shard + 1) % self.shards.len();
+        }
         debug_assert_eq!(self.shard_of(id), shard);
         self.pump_events();
         Ok(id)
+    }
+
+    /// Opens a session on the next shard, round-robin.
+    #[deprecated(note = "use `sharded.session(spec).open()`")]
+    pub fn open_session(&mut self, spec: SessionSpec) -> Result<SessionId, RuntimeError> {
+        self.open_parts_on(None, spec, None, None)
     }
 
     /// Advances `id` by exactly one input — see [`Runtime::submit`].
@@ -399,7 +446,8 @@ mod tests {
     fn drain_parallel_matches_serial_for_uneven_sessions() {
         let open_all = |rt: &mut Runtime| {
             for i in 0..6u64 {
-                rt.open_session(spec(40 + i, 12 + (i as usize % 3) * 5))
+                rt.session(spec(40 + i, 12 + (i as usize % 3) * 5))
+                    .open()
                     .unwrap();
             }
         };
@@ -426,7 +474,7 @@ mod tests {
         let mut sharded = Runtime::builder().build_sharded(3).unwrap();
         assert_eq!(sharded.workers(), 3);
         let ids: Vec<SessionId> = (0..5u64)
-            .map(|i| sharded.open_session(spec(7 + i, 10)).unwrap())
+            .map(|i| sharded.session(spec(7 + i, 10)).open().unwrap())
             .collect();
         // Round-robin placement with stride allocation yields dense ids.
         assert_eq!(ids, (0..5).map(SessionId).collect::<Vec<_>>());
@@ -449,13 +497,13 @@ mod tests {
     fn sharded_runtime_matches_serial_runtime() {
         let mut serial = Runtime::builder().build().unwrap();
         let serial_ids: Vec<SessionId> = (0..7u64)
-            .map(|i| serial.open_session(spec(100 + i, 15)).unwrap())
+            .map(|i| serial.session(spec(100 + i, 15)).open().unwrap())
             .collect();
         let reference = serial.drain_round_robin().unwrap();
 
         let mut sharded = Runtime::builder().build_sharded(4).unwrap();
         let sharded_ids: Vec<SessionId> = (0..7u64)
-            .map(|i| sharded.open_session(spec(100 + i, 15)).unwrap())
+            .map(|i| sharded.session(spec(100 + i, 15)).open().unwrap())
             .collect();
         assert_eq!(serial_ids, sharded_ids);
         let episodes = sharded.drain().unwrap();
@@ -481,14 +529,14 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let mut sharded = Runtime::builder().build_sharded(0).unwrap();
         assert_eq!(sharded.workers(), 1);
-        let id = sharded.open_session(spec(3, 5)).unwrap();
+        let id = sharded.session(spec(3, 5)).open().unwrap();
         sharded.run_to_completion(id).unwrap();
         assert!(sharded.is_finished(id).unwrap());
         let ep = sharded.close(id).unwrap();
         assert_eq!(ep.records.len(), 5);
 
         let mut rt = Runtime::builder().build().unwrap();
-        rt.open_session(spec(3, 5)).unwrap();
+        rt.session(spec(3, 5)).open().unwrap();
         assert_eq!(rt.drain_parallel(0).unwrap().len(), 1);
     }
 
@@ -500,7 +548,7 @@ mod tests {
         // stride so `shard_of` routes every subsequent request to the
         // owning shard — never silently keep the foreign id and misroute.
         let mut origin = Runtime::builder().build_sharded(2).unwrap();
-        let old_id = origin.open_session(spec(77, 24)).unwrap();
+        let old_id = origin.session(spec(77, 24)).open().unwrap();
         for _ in 0..9 {
             origin.submit(old_id).unwrap();
         }
@@ -509,8 +557,8 @@ mod tests {
         let mut target = Runtime::builder().build_sharded(3).unwrap();
         // Occupy shards 0 and 1 so the restore round-robins onto shard 2
         // — a residue the origin id (0 mod 2) does not satisfy mod 3.
-        let a = target.open_session(spec(1, 5)).unwrap();
-        let b = target.open_session(spec(2, 5)).unwrap();
+        let a = target.session(spec(1, 5)).open().unwrap();
+        let b = target.session(spec(2, 5)).open().unwrap();
         assert_eq!((target.shard_of(a), target.shard_of(b)), (0, 1));
 
         let new_id = target.restore_session(&snap).unwrap();
@@ -525,7 +573,7 @@ mod tests {
         assert_eq!(target.scheme(new_id).unwrap(), "ALERT");
         // ...and resuming from it reproduces an uninterrupted run.
         let mut reference = Runtime::builder().build().unwrap();
-        let rid = reference.open_session(spec(77, 24)).unwrap();
+        let rid = reference.session(spec(77, 24)).open().unwrap();
         reference.run_to_completion(rid).unwrap();
         let reference_ep = reference.close(rid).unwrap();
         target.run_to_completion(new_id).unwrap();
@@ -536,12 +584,12 @@ mod tests {
     #[test]
     fn sharded_checkpoint_migration_roundtrip() {
         let mut reference = Runtime::builder().build().unwrap();
-        let rid = reference.open_session(spec(21, 30)).unwrap();
+        let rid = reference.session(spec(21, 30)).open().unwrap();
         reference.run_to_completion(rid).unwrap();
         let reference_ep = reference.close(rid).unwrap();
 
         let mut sharded = Runtime::builder().build_sharded(2).unwrap();
-        let id = sharded.open_session(spec(21, 30)).unwrap();
+        let id = sharded.session(spec(21, 30)).open().unwrap();
         for _ in 0..13 {
             sharded.submit(id).unwrap();
         }

@@ -17,7 +17,7 @@ use crate::harness::Episode;
 use crate::metrics::{objective_report, ResultTable};
 use crate::oracle::OracleStatic;
 use crate::registry::{PolicyContext, PolicyRegistry};
-use crate::runtime::Runtime;
+use crate::runtime::{Runtime, SessionSpec};
 use crate::scheduler::Scheduler;
 use alert_core::alert::AlertParams;
 use alert_models::{ModelFamily, QualityMetric};
@@ -212,7 +212,10 @@ pub fn run_setting(
     );
     let mut rt = sweep_runtime(family, platform, stream.task());
     let id = rt
-        .open_session_on(kind.name(), goal, stream.clone(), env)
+        .session(SessionSpec::external(goal))
+        .policy(kind.name())
+        .on(stream.clone(), env)
+        .open()
         // lint:allow(no-panic): experiment-harness wiring over the built-in registry and library scenarios; failure is a programming error, not a runtime condition
         .expect("builtin policy resolves");
     rt.run_to_completion(id).expect("session is open"); // lint:allow(no-panic): experiment-harness wiring over the built-in registry and library scenarios; failure is a programming error, not a runtime condition
@@ -295,12 +298,13 @@ pub fn run_cell(
                     // The cell-pinned static baseline carries out-of-band
                     // state (the cell-wide choice), so it enters through
                     // the pre-built-scheduler door.
-                    let id = rt.open_session_with(
-                        Box::new(OracleStatic::from_choice(static_choice)),
-                        *goal,
-                        stream.clone(),
-                        env.clone(),
-                    );
+                    let id = rt
+                        .session(SessionSpec::external(*goal))
+                        .on(stream.clone(), env.clone())
+                        .with(Box::new(OracleStatic::from_choice(static_choice)))
+                        .open()
+                        // lint:allow(no-panic): experiment-harness wiring over the built-in registry and library scenarios; failure is a programming error, not a runtime condition
+                        .expect("pre-built scheduler session opens");
                     let baseline = run(&mut rt, id);
                     let episodes: Vec<Episode> = schemes
                         .iter()
@@ -309,7 +313,10 @@ pub fn run_cell(
                                 baseline.clone()
                             } else {
                                 let id = rt
-                                    .open_session_on(k.name(), *goal, stream.clone(), env.clone())
+                                    .session(SessionSpec::external(*goal))
+                                    .policy(k.name())
+                                    .on(stream.clone(), env.clone())
+                                    .open()
                                     // lint:allow(no-panic): experiment-harness wiring over the built-in registry and library scenarios; failure is a programming error, not a runtime condition
                                     .expect("builtin policy resolves");
                                 run(&mut rt, id)

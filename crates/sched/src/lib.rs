@@ -16,14 +16,21 @@
 //!   string-keyed [`PolicyRegistry`](registry::PolicyRegistry) (all nine
 //!   paper schemes pre-registered; external crates add their own).
 //! * [`runtime`] — the session runtime: a [`Runtime`](runtime::Runtime)
-//!   multiplexing long-lived sessions (`open_session` / `submit` /
-//!   `close`), per-input [`EpisodeEvent`](runtime::EpisodeEvent)
-//!   emission, checkpoint/migration, serde [`RunSpec`](runtime::RunSpec).
+//!   multiplexing long-lived sessions (`session(spec).open()` /
+//!   `submit` / `close`), per-input
+//!   [`EpisodeEvent`](runtime::EpisodeEvent) emission,
+//!   checkpoint/migration, serde [`RunSpec`](runtime::RunSpec).
 //! * [`executor`] — the parallel sharded executor:
 //!   [`Runtime::drain_parallel`](runtime::Runtime::drain_parallel) and
 //!   the long-lived multi-worker
 //!   [`ShardedRuntime`](executor::ShardedRuntime), bit-identical to the
 //!   serial drain per session.
+//! * [`serving`] — the serving front-end: frozen offered-load storms
+//!   replayed against the sharded runtime under an
+//!   [`AdmissionPolicy`](serving::AdmissionPolicy) (ALERT-native
+//!   belief-driven admit/degrade/shed, plus always-admit and drop-tail
+//!   baselines), emitting per-request [`ServingReport`]s
+//!   (`alert_workload::ServingReport`) for the saturation-curve bench.
 //! * [`capture`] — trace capture: the
 //!   [`TraceRecorder`](capture::TraceRecorder) event sink records live
 //!   runtime traffic (serial or sharded) into the versioned
@@ -40,6 +47,7 @@ pub mod app_only;
 pub mod budget;
 pub mod capture;
 pub mod env;
+pub mod error;
 pub mod executor;
 pub mod experiment;
 pub mod harness;
@@ -49,13 +57,33 @@ pub mod oracle;
 pub mod registry;
 pub mod runtime;
 pub mod scheduler;
+pub mod serving;
 pub mod sys_only;
+
+/// One-line import surface for serving-first users: the runtime
+/// builders, the session options builder, the serving front-end, the
+/// unified [`Error`], and the workload types those APIs speak.
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::executor::ShardedRuntime;
+    pub use crate::harness::Episode;
+    pub use crate::runtime::{Runtime, RuntimeBuilder, SessionOptions, SessionSpec};
+    pub use crate::serving::{
+        admission_policy, serve, AdmissionDecision, AdmissionPolicy, AlertAdmission, AlwaysAdmit,
+        DropTail, RequestContext, ServingConfig,
+    };
+    pub use alert_workload::{
+        generate_storm, AdmissionVerdict, ArrivalProcess, Goal, GoalPatch, RequestArrival,
+        RequestOutcome, Scenario, ServingReport, StormSpec,
+    };
+}
 
 pub use alert::AlertScheduler;
 pub use app_only::AppOnly;
 pub use budget::BudgetTracker;
 pub use capture::TraceRecorder;
 pub use env::{EnvError, EnvRealization, EpisodeEnv};
+pub use error::Error;
 pub use executor::ShardedRuntime;
 pub use experiment::{run_cell, run_setting, run_table, ExperimentConfig, FamilyKind, SchemeKind};
 pub use harness::{run_episode, Episode, SessionEngine, StepError};
@@ -65,7 +93,11 @@ pub use oracle::{Oracle, OracleStatic};
 pub use registry::{FnPolicy, Policy, PolicyContext, PolicyRegistry, RegistryError, UnknownPolicy};
 pub use runtime::{
     EpisodeEvent, EventSink, FamilySpec, RunSpec, Runtime, RuntimeBuilder, RuntimeError,
-    SessionSnapshot, SessionSpec,
+    SessionOptions, SessionSnapshot, SessionSpec,
 };
 pub use scheduler::{Decision, Feedback, InputContext, Scheduler};
+pub use serving::{
+    admission_policy, serve, AdmissionDecision, AdmissionPolicy, AlertAdmission, AlwaysAdmit,
+    DropTail, RequestContext, ServingConfig,
+};
 pub use sys_only::SysOnly;

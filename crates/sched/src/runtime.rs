@@ -146,6 +146,23 @@ pub struct SessionSpec {
     pub policy: Option<String>,
 }
 
+impl SessionSpec {
+    /// A minimal spec for sessions opened on an externally built
+    /// environment ([`SessionOptions::on`]): only the goal — and a
+    /// [`SessionOptions::policy`] override, if any — matters there; the
+    /// scenario, input count, and seed are carried by the external
+    /// stream/environment pair.
+    pub fn external(goal: Goal) -> Self {
+        SessionSpec {
+            goal,
+            scenario: Scenario::default_env(),
+            n_inputs: 1,
+            seed: None,
+            policy: None,
+        }
+    }
+}
+
 /// A checkpoint of one live session, sufficient to resume it in this or
 /// another [`Runtime`] ([`Runtime::restore_session`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -268,6 +285,126 @@ impl From<RegistryError> for RuntimeError {
 impl From<StepError> for RuntimeError {
     fn from(e: StepError) -> Self {
         RuntimeError::Step(e)
+    }
+}
+
+/// Which runtime a [`SessionOptions`] opens on.
+pub(crate) enum HostRef<'rt> {
+    Single(&'rt mut Runtime),
+    Sharded(&'rt mut executor::ShardedRuntime),
+}
+
+/// The one builder behind every way of opening a session — returned by
+/// [`Runtime::session`] and
+/// [`ShardedRuntime::session`](executor::ShardedRuntime::session), it
+/// collapses the historical `open_session` / `open_session_on` /
+/// `open_session_with` trio:
+///
+/// | old | new |
+/// |---|---|
+/// | `open_session(spec)` | `session(spec).open()` |
+/// | `open_session_on(policy, goal, stream, env)` | `session(spec).policy(policy).on(stream, env).open()` |
+/// | `open_session_with(sched, goal, stream, env)` | `session(spec).on(stream, env).with(sched).open()` |
+///
+/// On a sharded runtime, [`SessionOptions::on_shard`] pins the session
+/// to a specific shard instead of the round-robin default — the serving
+/// front-end uses this to co-locate a request with its admission queue.
+/// Sessions opened with [`SessionOptions::on`] or
+/// [`SessionOptions::with`] ride an externally built environment and
+/// cannot be checkpointed; plain spec sessions can.
+#[must_use = "the builder opens nothing until .open() is called"]
+pub struct SessionOptions<'rt> {
+    host: HostRef<'rt>,
+    spec: SessionSpec,
+    shard: Option<usize>,
+    external: Option<(InputStream, Arc<EpisodeEnv>)>,
+    scheduler: Option<Box<dyn Scheduler>>,
+}
+
+impl<'rt> SessionOptions<'rt> {
+    pub(crate) fn new(host: HostRef<'rt>, spec: SessionSpec) -> Self {
+        SessionOptions {
+            host,
+            spec,
+            shard: None,
+            external: None,
+            scheduler: None,
+        }
+    }
+
+    /// Overrides the spec's policy name (the registry key building the
+    /// scheduler).
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.spec.policy = Some(name.into());
+        self
+    }
+
+    /// Overrides the spec's seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = Some(seed);
+        self
+    }
+
+    /// Pins the session to shard `shard` instead of the round-robin
+    /// default. Only shard 0 exists on a plain [`Runtime`]; a
+    /// [`ShardedRuntime`](executor::ShardedRuntime) accepts any shard
+    /// below its worker count, and pinning does not advance its
+    /// round-robin cursor.
+    pub fn on_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Opens on an externally built (possibly shared) frozen
+    /// environment instead of materializing the spec's scenario — the
+    /// experiment-sweep path, where every scheme must face bit-identical
+    /// conditions. The spec's scenario/n_inputs/seed are ignored; its
+    /// goal and policy still apply. Such sessions cannot be
+    /// checkpointed.
+    pub fn on(mut self, stream: InputStream, env: Arc<EpisodeEnv>) -> Self {
+        self.external = Some((stream, env));
+        self
+    }
+
+    /// Uses a pre-built scheduler instead of resolving the policy name
+    /// (escape hatch for schedulers carrying out-of-band state, e.g. a
+    /// cell-pinned static oracle). Requires [`SessionOptions::on`].
+    pub fn with(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Opens the session.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::InvalidSpec`] on a malformed spec, an
+    /// out-of-range shard, or a scheduler without an environment;
+    /// [`crate::Error::Policy`] when the policy name fails to resolve
+    /// or rejects the session context.
+    pub fn open(self) -> Result<SessionId, crate::Error> {
+        let SessionOptions {
+            host,
+            spec,
+            shard,
+            external,
+            scheduler,
+        } = self;
+        match host {
+            HostRef::Single(rt) => {
+                if let Some(k) = shard {
+                    if k != 0 {
+                        return Err(RuntimeError::InvalidSpec(format!(
+                            "no shard {k}: a plain Runtime is single-shard \
+                             (build one with RuntimeBuilder::build_sharded)"
+                        ))
+                        .into());
+                    }
+                }
+                Ok(rt.open_parts(spec, external, scheduler)?)
+            }
+            HostRef::Sharded(rt) => Ok(rt.open_parts_on(shard, spec, external, scheduler)?),
+        }
     }
 }
 
@@ -639,26 +776,97 @@ impl Runtime {
         Ok((spec, stream, env, scheduler))
     }
 
-    /// Opens a session from a serializable spec: generates the stream,
-    /// freezes the environment, and builds the policy's scheduler.
-    pub fn open_session(&mut self, spec: SessionSpec) -> Result<SessionId, RuntimeError> {
-        let (spec, stream, env, scheduler) = self.materialize(spec)?;
-        let scheme = scheduler.name().to_string();
-        Ok(self.insert_session(Session {
-            goal: spec.goal,
-            spec: Some(spec),
-            scheme,
-            scheduler,
-            env,
-            stream,
-            engine: SessionEngine::new(),
-        }))
+    /// Starts a [`SessionOptions`] builder — the single entry point for
+    /// opening sessions. The plain form materializes the spec
+    /// (checkpointable); chain [`SessionOptions::on`] for an externally
+    /// built environment and [`SessionOptions::with`] for a pre-built
+    /// scheduler:
+    ///
+    /// ```text
+    /// runtime.session(spec).open()                          // from spec
+    /// runtime.session(spec).on(stream, env).open()          // external env
+    /// runtime.session(spec).on(stream, env).with(sch).open() // pre-built scheduler
+    /// sharded.session(spec).on_shard(2).open()              // pinned shard
+    /// ```
+    pub fn session(&mut self, spec: SessionSpec) -> SessionOptions<'_> {
+        SessionOptions::new(HostRef::Single(self), spec)
     }
 
-    /// Opens a session on an externally built (possibly shared) frozen
-    /// environment — the experiment-sweep path, where every scheme must
-    /// face bit-identical conditions. Such sessions cannot be
-    /// checkpointed (the runtime cannot rebuild their environment).
+    /// The single open path behind [`Runtime::session`] and the
+    /// deprecated entry points: spec-materialized, external-environment,
+    /// and pre-built-scheduler sessions all land here.
+    pub(crate) fn open_parts(
+        &mut self,
+        spec: SessionSpec,
+        external: Option<(InputStream, Arc<EpisodeEnv>)>,
+        scheduler: Option<Box<dyn Scheduler>>,
+    ) -> Result<SessionId, RuntimeError> {
+        match (external, scheduler) {
+            // Externally built (possibly shared) frozen environment with
+            // a pre-built scheduler (escape hatch for schedulers carrying
+            // out-of-band state, e.g. a cell-pinned static oracle). Such
+            // sessions cannot be checkpointed.
+            (Some((stream, env)), Some(scheduler)) => {
+                let scheme = scheduler.name().to_string();
+                Ok(self.insert_session(Session {
+                    spec: None,
+                    scheme,
+                    scheduler,
+                    env,
+                    stream,
+                    goal: spec.goal,
+                    engine: SessionEngine::new(),
+                }))
+            }
+            // Externally built environment, policy-built scheduler — the
+            // experiment-sweep path, where every scheme must face
+            // bit-identical conditions. Not checkpointable either (the
+            // runtime cannot rebuild the environment).
+            (Some((stream, env)), None) => {
+                let policy = spec.policy.unwrap_or_else(|| self.spec.policy.clone());
+                let scheduler = self.build_scheduler(&policy, spec.goal, &env, &stream)?;
+                let scheme = scheduler.name().to_string();
+                Ok(self.insert_session(Session {
+                    spec: None,
+                    scheme,
+                    scheduler,
+                    env,
+                    stream,
+                    goal: spec.goal,
+                    engine: SessionEngine::new(),
+                }))
+            }
+            (None, Some(_)) => Err(RuntimeError::InvalidSpec(
+                "a pre-built scheduler needs an external environment: chain \
+                 .on(stream, env) before .with(scheduler)"
+                    .into(),
+            )),
+            // From the serializable spec: generates the stream, freezes
+            // the environment, and builds the policy's scheduler.
+            (None, None) => {
+                let (spec, stream, env, scheduler) = self.materialize(spec)?;
+                let scheme = scheduler.name().to_string();
+                Ok(self.insert_session(Session {
+                    goal: spec.goal,
+                    spec: Some(spec),
+                    scheme,
+                    scheduler,
+                    env,
+                    stream,
+                    engine: SessionEngine::new(),
+                }))
+            }
+        }
+    }
+
+    /// Opens a session from a serializable spec.
+    #[deprecated(note = "use `runtime.session(spec).open()`")]
+    pub fn open_session(&mut self, spec: SessionSpec) -> Result<SessionId, RuntimeError> {
+        self.open_parts(spec, None, None)
+    }
+
+    /// Opens a session on an externally built frozen environment.
+    #[deprecated(note = "use `runtime.session(spec).policy(name).on(stream, env).open()`")]
     pub fn open_session_on(
         &mut self,
         policy: &str,
@@ -666,22 +874,18 @@ impl Runtime {
         stream: InputStream,
         env: Arc<EpisodeEnv>,
     ) -> Result<SessionId, RuntimeError> {
-        let scheduler = self.build_scheduler(policy, goal, &env, &stream)?;
-        let scheme = scheduler.name().to_string();
-        Ok(self.insert_session(Session {
-            spec: None,
-            scheme,
-            scheduler,
-            env,
-            stream,
+        let spec = SessionSpec {
             goal,
-            engine: SessionEngine::new(),
-        }))
+            scenario: Scenario::default_env(),
+            n_inputs: stream.len().max(1),
+            seed: None,
+            policy: Some(policy.to_string()),
+        };
+        self.open_parts(spec, Some((stream, env)), None)
     }
 
-    /// Opens a session with a pre-built scheduler (escape hatch for
-    /// schedulers carrying out-of-band state, e.g. a cell-pinned static
-    /// oracle). Such sessions cannot be checkpointed.
+    /// Opens a session with a pre-built scheduler.
+    #[deprecated(note = "use `runtime.session(spec).on(stream, env).with(scheduler).open()`")]
     pub fn open_session_with(
         &mut self,
         scheduler: Box<dyn Scheduler>,
@@ -701,7 +905,7 @@ impl Runtime {
         })
     }
 
-    fn session(&self, id: SessionId) -> Result<&Session, RuntimeError> {
+    fn session_ref(&self, id: SessionId) -> Result<&Session, RuntimeError> {
         self.sessions
             .get(&id)
             .ok_or(RuntimeError::UnknownSession(id))
@@ -709,18 +913,18 @@ impl Runtime {
 
     /// `true` once the session has processed its whole stream.
     pub fn is_finished(&self, id: SessionId) -> Result<bool, RuntimeError> {
-        let s = self.session(id)?;
+        let s = self.session_ref(id)?;
         Ok(s.engine.is_finished(&s.stream))
     }
 
     /// Inputs processed so far.
     pub fn progress(&self, id: SessionId) -> Result<usize, RuntimeError> {
-        Ok(self.session(id)?.engine.cursor())
+        Ok(self.session_ref(id)?.engine.cursor())
     }
 
     /// The scheme name driving a session.
     pub fn scheme(&self, id: SessionId) -> Result<&str, RuntimeError> {
-        Ok(&self.session(id)?.scheme)
+        Ok(&self.session_ref(id)?.scheme)
     }
 
     /// Advances `id` by one input without materializing an owned record
@@ -867,7 +1071,7 @@ impl Runtime {
     /// recipe) and for policies that cannot export their state once the
     /// session has started (nothing to carry the learned state over).
     pub fn snapshot_session(&self, id: SessionId) -> Result<SessionSnapshot, RuntimeError> {
-        let s = self.session(id)?;
+        let s = self.session_ref(id)?;
         // Session specs are stored fully resolved (seed + policy), so
         // the snapshot is self-contained.
         let spec = s.spec.clone().ok_or_else(|| {
@@ -1033,7 +1237,7 @@ mod tests {
     #[test]
     fn open_submit_close_lifecycle() {
         let mut rt = runtime();
-        let id = rt.open_session(spec(7)).unwrap();
+        let id = rt.session(spec(7)).open().unwrap();
         assert_eq!(rt.session_count(), 1);
         assert!(!rt.is_finished(id).unwrap());
         let first = rt.submit(id).unwrap().expect("one record");
@@ -1059,18 +1263,54 @@ mod tests {
         let mut s = spec(1);
         s.n_inputs = 0;
         assert!(matches!(
-            rt.open_session(s),
-            Err(RuntimeError::InvalidSpec(_))
+            rt.session(s).open(),
+            Err(crate::Error::InvalidSpec(_))
         ));
         let mut s = spec(1);
         s.goal.min_quality = None;
         assert!(matches!(
-            rt.open_session(s),
-            Err(RuntimeError::InvalidSpec(_))
+            rt.session(s).open(),
+            Err(crate::Error::InvalidSpec(_))
         ));
         let mut s = spec(1);
         s.policy = Some("NoSuch".into());
-        assert!(matches!(rt.open_session(s), Err(RuntimeError::Policy(_))));
+        assert!(matches!(rt.session(s).open(), Err(crate::Error::Policy(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_are_equivalent_shims() {
+        // The legacy trio must keep producing sessions bit-identical to
+        // the SessionOptions builder until it is removed.
+        let mut old_rt = runtime();
+        let old_id = old_rt.open_session(spec(17)).unwrap();
+        old_rt.run_to_completion(old_id).unwrap();
+        let old_ep = old_rt.close(old_id).unwrap();
+        let mut new_rt = runtime();
+        let new_id = new_rt.session(spec(17)).open().unwrap();
+        new_rt.run_to_completion(new_id).unwrap();
+        let new_ep = new_rt.close(new_id).unwrap();
+        assert_eq!(old_ep.records, new_ep.records);
+    }
+
+    #[test]
+    fn builder_rejects_scheduler_without_environment() {
+        let mut rt = runtime();
+        let sched = crate::app_only::AppOnly::new(rt.family(), rt.platform());
+        assert!(matches!(
+            rt.session(spec(1)).with(Box::new(sched)).open(),
+            Err(crate::Error::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn plain_runtime_rejects_nonzero_shard_pin() {
+        let mut rt = runtime();
+        assert!(rt.session(spec(1)).on_shard(0).open().is_ok());
+        assert!(matches!(
+            rt.session(spec(1)).on_shard(1).open(),
+            Err(crate::Error::InvalidSpec(_))
+        ));
     }
 
     #[test]
@@ -1081,10 +1321,11 @@ mod tests {
         let run_with_default = |rt_seed: u64| {
             let mut rt = Runtime::builder().seed(rt_seed).build().unwrap();
             let id = rt
-                .open_session(SessionSpec {
+                .session(SessionSpec {
                     seed: None,
                     ..spec(1)
                 })
+                .open()
                 .unwrap();
             rt.run_to_completion(id).unwrap();
             rt.close(id).unwrap()
@@ -1100,12 +1341,13 @@ mod tests {
     fn per_session_policy_override() {
         let mut rt = runtime();
         let a = rt
-            .open_session(SessionSpec {
+            .session(SessionSpec {
                 policy: Some("App-only".into()),
                 ..spec(3)
             })
+            .open()
             .unwrap();
-        let b = rt.open_session(spec(3)).unwrap();
+        let b = rt.session(spec(3)).open().unwrap();
         assert_eq!(rt.scheme(a).unwrap(), "App-only");
         assert_eq!(rt.scheme(b).unwrap(), "ALERT");
     }
@@ -1120,7 +1362,7 @@ mod tests {
             .iter()
             .map(|&s| {
                 let mut rt = runtime();
-                let id = rt.open_session(spec(s)).unwrap();
+                let id = rt.session(spec(s)).open().unwrap();
                 rt.run_to_completion(id).unwrap();
                 rt.close(id).unwrap()
             })
@@ -1129,7 +1371,7 @@ mod tests {
         let mut rt = runtime();
         let ids: Vec<SessionId> = seeds
             .iter()
-            .map(|&s| rt.open_session(spec(s)).unwrap())
+            .map(|&s| rt.session(spec(s)).open().unwrap())
             .collect();
         // Unfair schedule: two steps of session 0, one of 1, three of 2...
         let pattern = [0usize, 0, 1, 2, 2, 2];
@@ -1158,10 +1400,11 @@ mod tests {
         let mut rt = runtime();
         let span = alert_workload::quality_span(rt.family(), rt.platform());
         let id = rt
-            .open_session(SessionSpec {
+            .session(SessionSpec {
                 scenario: Scenario::floor_raise(),
                 ..spec(3)
             })
+            .open()
             .unwrap();
         rt.run_to_completion(id).unwrap();
         let ep = rt.close(id).unwrap();
@@ -1179,7 +1422,7 @@ mod tests {
     fn events_flow_through_mpsc_sink() {
         let (tx, rx) = mpsc::channel();
         let mut rt = Runtime::builder().sink(tx).build().unwrap();
-        let id = rt.open_session(spec(5)).unwrap();
+        let id = rt.session(spec(5)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         let _ = rt.close(id).unwrap();
         drop(rt); // drop the sender inside the runtime
@@ -1208,13 +1451,13 @@ mod tests {
     fn snapshot_restore_resumes_identically() {
         // Run uninterrupted for the reference...
         let mut rt = runtime();
-        let id = rt.open_session(spec(21)).unwrap();
+        let id = rt.session(spec(21)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         let reference = rt.close(id).unwrap();
 
         // ...then run half, checkpoint, migrate to a NEW runtime, finish.
         let mut rt1 = runtime();
-        let id1 = rt1.open_session(spec(21)).unwrap();
+        let id1 = rt1.session(spec(21)).open().unwrap();
         for _ in 0..30 {
             rt1.submit(id1).unwrap();
         }
@@ -1232,7 +1475,7 @@ mod tests {
     #[test]
     fn restore_rejects_mismatched_runtime_config() {
         let mut rt = runtime();
-        let id = rt.open_session(spec(6)).unwrap();
+        let id = rt.session(spec(6)).open().unwrap();
         for _ in 0..5 {
             rt.submit(id).unwrap();
         }
@@ -1273,7 +1516,7 @@ mod tests {
         // Uninterrupted CPU+GPU session for the reference...
         let mut rt = hetero_runtime();
         assert_eq!(rt.node().len(), 2);
-        let id = rt.open_session(spec(21)).unwrap();
+        let id = rt.session(spec(21)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         let reference = rt.close(id).unwrap();
         assert!(
@@ -1283,7 +1526,7 @@ mod tests {
 
         // ...then half, checkpoint, migrate to a new hetero runtime.
         let mut rt1 = hetero_runtime();
-        let id1 = rt1.open_session(spec(21)).unwrap();
+        let id1 = rt1.session(spec(21)).open().unwrap();
         for _ in 0..30 {
             rt1.submit(id1).unwrap();
         }
@@ -1323,7 +1566,7 @@ mod tests {
     #[test]
     fn restore_rejects_corrupt_snapshots() {
         let mut rt = runtime();
-        let id = rt.open_session(spec(6)).unwrap();
+        let id = rt.session(spec(6)).open().unwrap();
         for _ in 0..5 {
             rt.submit(id).unwrap();
         }
@@ -1354,7 +1597,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrips_through_json() {
         let mut rt = runtime();
-        let id = rt.open_session(spec(2)).unwrap();
+        let id = rt.session(spec(2)).open().unwrap();
         for _ in 0..10 {
             rt.submit(id).unwrap();
         }
@@ -1368,10 +1611,11 @@ mod tests {
     fn stateless_policies_cannot_checkpoint_mid_stream() {
         let mut rt = runtime();
         let id = rt
-            .open_session(SessionSpec {
+            .session(SessionSpec {
                 policy: Some("App-only".into()),
                 ..spec(4)
             })
+            .open()
             .unwrap();
         // Fresh sessions can snapshot (nothing learned yet)...
         assert!(rt.snapshot_session(id).is_ok());
@@ -1391,7 +1635,12 @@ mod tests {
         let env = Arc::new(
             EpisodeEnv::build(rt.platform(), &Scenario::default_env(), &stream, &goal, 9).unwrap(),
         );
-        let id = rt.open_session_on("ALERT", goal, stream, env).unwrap();
+        let id = rt
+            .session(SessionSpec::external(goal))
+            .policy("ALERT")
+            .on(stream, env)
+            .open()
+            .unwrap();
         assert!(matches!(
             rt.snapshot_session(id),
             Err(RuntimeError::NotCheckpointable(_, _))
@@ -1422,7 +1671,7 @@ mod tests {
             let mut sp = spec(40 + s);
             sp.n_inputs = 20 + s as usize * 7; // uneven lengths
             specs.push(sp.clone());
-            rt.open_session(sp).unwrap();
+            rt.session(sp).open().unwrap();
         }
         let episodes = rt.drain_round_robin().unwrap();
         assert_eq!(episodes.len(), 5);

@@ -1,0 +1,413 @@
+//! Serving-side admission artifacts: offered-load storms and per-request
+//! admission outcomes.
+//!
+//! The serving front-end (`alert-sched::serving`) drives the sharded
+//! runtime from a *storm* — a frozen sequence of request arrivals
+//! generated here from the same [`ArrivalProcess`] machinery the
+//! scenario engine uses for per-input arrivals, one level up: requests
+//! instead of inputs. Storm generation follows the workspace's frozen-
+//! randomness discipline — exactly one uniform is consumed per request
+//! regardless of the process in force, and each request carries a
+//! label-derived seed for its own environment realization — so every
+//! admission policy faces the bit-identical storm and the bit-identical
+//! per-request inputs, and differences in goodput are attributable to
+//! the admission decisions alone.
+//!
+//! The outcome side ([`RequestOutcome`], [`ServingReport`]) records what
+//! the front-end decided per request (admit / degrade / shed), the
+//! belief that justified it, and how the request actually fared, plus
+//! the saturation-curve aggregates (goodput, miss-rate-among-admitted,
+//! shed-rate) the serving bench plots per offered-load point.
+
+use alert_stats::rng::{derive_seed, stream_rng};
+use alert_stats::units::Seconds;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::script::{ArrivalProcess, ArrivalSampler};
+use crate::trace::TraceSource;
+
+/// A frozen offered-load storm specification.
+///
+/// `mean_gap` is the nominal request inter-arrival at unit load; the
+/// arrival process shapes actual gaps around it exactly as per-input
+/// arrivals are shaped around the deadline (Poisson stretches the mean
+/// by `1/rate_scale`, bursts preserve it, periodic is the grid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormSpec {
+    /// Shape of the request arrivals.
+    pub arrival: ArrivalProcess,
+    /// Number of requests in the storm.
+    pub n_requests: usize,
+    /// Nominal inter-arrival between requests at unit load.
+    pub mean_gap: Seconds,
+    /// Master seed; arrival uniforms and per-request seeds derive from
+    /// it by label.
+    pub seed: u64,
+}
+
+/// One request of a generated storm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestArrival {
+    /// Position in the storm (admission order).
+    pub index: usize,
+    /// Absolute virtual arrival time (bit-exact f64, policy-independent).
+    pub at: Seconds,
+    /// Seed for this request's stream/environment realization, derived
+    /// as `derive_seed(storm_seed, "request-{index}")`.
+    pub seed: u64,
+}
+
+impl StormSpec {
+    /// Validates the spec: positive finite mean gap and a well-formed
+    /// arrival process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mean_gap.is_finite() && self.mean_gap.get() > 0.0) {
+            return Err(format!(
+                "storm mean_gap must be positive, got {}",
+                self.mean_gap
+            ));
+        }
+        self.arrival.validate()
+    }
+}
+
+/// Generates the storm: `n_requests` arrivals with frozen randomness.
+///
+/// `trace` supplies recorded inter-arrivals for
+/// [`ArrivalProcess::Trace`] storms (fitted onto the storm length by the
+/// fit mode, exactly as per-input trace replay fits a horizon); without
+/// an attached trace the trace variant degrades to the periodic grid,
+/// mirroring [`ArrivalSampler::next_period`]. One uniform is drawn per
+/// request in *every* mode, so switching the storm shape never re-aligns
+/// the per-request seeds or any downstream frozen stream.
+///
+/// # Errors
+///
+/// Returns the spec or trace validation failure message.
+pub fn generate_storm(
+    spec: &StormSpec,
+    trace: Option<&TraceSource>,
+) -> Result<Vec<RequestArrival>, String> {
+    spec.validate()?;
+    if let Some(src) = trace {
+        src.validate()?;
+        if let ArrivalProcess::Trace { fit } = spec.arrival {
+            src.check_horizon(spec.n_requests, fit)?;
+        }
+    }
+    let mut rng = stream_rng(spec.seed, "serving-storm");
+    let mut sampler = ArrivalSampler::new();
+    let mut t = Seconds(0.0);
+    let mut storm = Vec::with_capacity(spec.n_requests);
+    for index in 0..spec.n_requests {
+        // One uniform per request regardless of the process in force.
+        let u: f64 = rng.gen();
+        let gap = match (spec.arrival, trace) {
+            (ArrivalProcess::Trace { fit }, Some(src)) => {
+                src.step(index, spec.n_requests, fit).inter_arrival
+            }
+            (process, _) => sampler.next_period(&process, spec.mean_gap, u),
+        };
+        storm.push(RequestArrival {
+            index,
+            at: t,
+            seed: derive_seed(spec.seed, &format!("request-{index}")),
+        });
+        t += gap;
+    }
+    Ok(storm)
+}
+
+/// What the admission layer decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionVerdict {
+    /// Served under its original goal.
+    Admitted,
+    /// Served under a degraded goal (quality-floor/cap downgrade via a
+    /// `GoalPatch`); the degraded goal is the *effective* goal its
+    /// records carry and are judged against.
+    Degraded,
+    /// Rejected without service.
+    Shed,
+}
+
+/// The per-request admission + service record emitted by the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Position in the storm.
+    pub index: usize,
+    /// Virtual arrival time.
+    pub arrival: Seconds,
+    /// Shard the request was routed to.
+    pub shard: usize,
+    /// The admission decision.
+    pub verdict: AdmissionVerdict,
+    /// The policy's predicted miss probability at decision time
+    /// (belief-based policies only).
+    pub predicted_miss: Option<f64>,
+    /// Queue wait before service began (zero for shed requests).
+    pub wait: Seconds,
+    /// The effective quality floor the request was served (and judged)
+    /// under — the degraded floor for [`AdmissionVerdict::Degraded`].
+    pub effective_min_quality: Option<f64>,
+    /// Inputs actually served (zero for shed requests).
+    pub served_inputs: usize,
+    /// Served inputs whose end-to-end completion (queue wait + compute
+    /// latency) met the input deadline.
+    pub timely_inputs: usize,
+    /// `true` when the episode met its effective goal's quality/energy
+    /// billing (degraded requests are billed against the degraded
+    /// floor).
+    pub quality_ok: bool,
+}
+
+/// The outcome log of one storm under one admission policy, with the
+/// saturation-curve aggregates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Admission policy name.
+    pub policy: String,
+    /// Inputs per request (uniform across the storm).
+    pub inputs_per_request: usize,
+    /// Per-request outcomes in admission order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServingReport {
+    /// Requests offered.
+    pub fn offered(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Requests admitted (full-quality or degraded).
+    pub fn admitted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict != AdmissionVerdict::Shed)
+            .count()
+    }
+
+    /// Requests admitted under a degraded goal.
+    pub fn degraded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict == AdmissionVerdict::Degraded)
+            .count()
+    }
+
+    /// Requests shed.
+    pub fn shed(&self) -> usize {
+        self.offered() - self.admitted()
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / offered as f64
+    }
+
+    /// Goodput: timely inputs of quality-billable episodes, as a
+    /// fraction of all *offered* inputs (shed requests count in the
+    /// denominator with zero contribution — shedding is never free).
+    pub fn goodput(&self) -> f64 {
+        let offered_inputs = self.offered() * self.inputs_per_request;
+        if offered_inputs == 0 {
+            return 0.0;
+        }
+        let good: usize = self
+            .outcomes
+            .iter()
+            .filter(|o| o.quality_ok)
+            .map(|o| o.timely_inputs)
+            .sum();
+        good as f64 / offered_inputs as f64
+    }
+
+    /// Deadline miss rate among *served* inputs (admitted requests
+    /// only): the SLO quality delivered to the requests the policy chose
+    /// to accept.
+    pub fn miss_rate_admitted(&self) -> f64 {
+        let served: usize = self.outcomes.iter().map(|o| o.served_inputs).sum();
+        if served == 0 {
+            return 0.0;
+        }
+        let timely: usize = self.outcomes.iter().map(|o| o.timely_inputs).sum();
+        (served - timely) as f64 / served as f64
+    }
+
+    /// Order-sensitive fingerprint of the full outcome log (FNV-1a over
+    /// every decision-relevant field, f64s by bit pattern). Two runs of
+    /// the same storm under the same policy must produce equal
+    /// fingerprints — the serving bench asserts this per cell.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.inputs_per_request as u64);
+        for o in &self.outcomes {
+            eat(o.index as u64);
+            eat(o.arrival.get().to_bits());
+            eat(o.shard as u64);
+            eat(match o.verdict {
+                AdmissionVerdict::Admitted => 1,
+                AdmissionVerdict::Degraded => 2,
+                AdmissionVerdict::Shed => 3,
+            });
+            eat(o.predicted_miss.map_or(u64::MAX, f64::to_bits));
+            eat(o.wait.get().to_bits());
+            eat(o.effective_min_quality.map_or(u64::MAX, f64::to_bits));
+            eat(o.served_inputs as u64);
+            eat(o.timely_inputs as u64);
+            eat(u64::from(o.quality_ok));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceFit, TraceStep};
+
+    fn spec(arrival: ArrivalProcess) -> StormSpec {
+        StormSpec {
+            arrival,
+            n_requests: 64,
+            mean_gap: Seconds(0.5),
+            seed: 2020,
+        }
+    }
+
+    #[test]
+    fn storm_is_bit_identical_across_generations() {
+        for arrival in [
+            ArrivalProcess::Periodic,
+            ArrivalProcess::Poisson { rate_scale: 2.0 },
+            ArrivalProcess::Bursty {
+                burst: 4,
+                spread: 0.2,
+            },
+        ] {
+            let a = generate_storm(&spec(arrival), None).expect("storm");
+            let b = generate_storm(&spec(arrival), None).expect("storm");
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 64);
+        }
+    }
+
+    #[test]
+    fn storm_seeds_are_process_independent() {
+        // Switching the arrival shape must not re-align per-request
+        // seeds (one uniform per request in every mode).
+        let a = generate_storm(&spec(ArrivalProcess::Periodic), None).expect("storm");
+        let b = generate_storm(&spec(ArrivalProcess::Poisson { rate_scale: 4.0 }), None)
+            .expect("storm");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn poisson_storm_compresses_gaps_with_load() {
+        let slow = generate_storm(&spec(ArrivalProcess::Poisson { rate_scale: 1.0 }), None)
+            .expect("storm");
+        let fast = generate_storm(&spec(ArrivalProcess::Poisson { rate_scale: 4.0 }), None)
+            .expect("storm");
+        let span = |s: &[RequestArrival]| s.last().expect("nonempty").at.get();
+        assert!(span(&fast) < span(&slow));
+    }
+
+    #[test]
+    fn trace_storm_replays_recorded_gaps_verbatim() {
+        let steps: Vec<TraceStep> = (0..8)
+            .map(|i| TraceStep {
+                inter_arrival: Seconds(0.1 + 0.05 * i as f64),
+                scale: 1.0,
+            })
+            .collect();
+        let src = TraceSource::new("storm", steps.clone());
+        let mut s = spec(ArrivalProcess::Trace {
+            fit: TraceFit::Loop,
+        });
+        s.n_requests = 8;
+        let storm = generate_storm(&s, Some(&src)).expect("storm");
+        let mut t: f64 = 0.0;
+        for (i, r) in storm.iter().enumerate() {
+            assert_eq!(r.at.get().to_bits(), t.to_bits(), "request {i}");
+            t += steps[i].inter_arrival.get();
+        }
+    }
+
+    #[test]
+    fn trace_storm_without_source_degrades_to_grid() {
+        let s = spec(ArrivalProcess::Trace {
+            fit: TraceFit::Loop,
+        });
+        let storm = generate_storm(&s, None).expect("storm");
+        let grid = generate_storm(&spec(ArrivalProcess::Periodic), None).expect("storm");
+        assert_eq!(storm, grid);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let mut s = spec(ArrivalProcess::Periodic);
+        s.mean_gap = Seconds(0.0);
+        assert!(generate_storm(&s, None).is_err());
+        let s = spec(ArrivalProcess::Poisson { rate_scale: -1.0 });
+        assert!(generate_storm(&s, None).is_err());
+    }
+
+    #[test]
+    fn report_aggregates_and_fingerprint() {
+        let outcome = |index: usize, verdict, timely: usize| RequestOutcome {
+            index,
+            arrival: Seconds(index as f64),
+            shard: index % 2,
+            verdict,
+            predicted_miss: None,
+            wait: Seconds(0.0),
+            effective_min_quality: None,
+            served_inputs: if verdict == AdmissionVerdict::Shed {
+                0
+            } else {
+                4
+            },
+            timely_inputs: timely,
+            quality_ok: verdict != AdmissionVerdict::Shed,
+        };
+        let report = ServingReport {
+            policy: "test".into(),
+            inputs_per_request: 4,
+            outcomes: vec![
+                outcome(0, AdmissionVerdict::Admitted, 4),
+                outcome(1, AdmissionVerdict::Degraded, 3),
+                outcome(2, AdmissionVerdict::Shed, 0),
+                outcome(3, AdmissionVerdict::Admitted, 2),
+            ],
+        };
+        assert_eq!(report.offered(), 4);
+        assert_eq!(report.admitted(), 3);
+        assert_eq!(report.degraded(), 1);
+        assert_eq!(report.shed(), 1);
+        assert!((report.shed_rate() - 0.25).abs() < 1e-12);
+        assert!((report.goodput() - 9.0 / 16.0).abs() < 1e-12);
+        assert!((report.miss_rate_admitted() - 3.0 / 12.0).abs() < 1e-12);
+        let same = report.clone();
+        assert_eq!(report.fingerprint(), same.fingerprint());
+        let mut other = report.clone();
+        other.outcomes[3].timely_inputs = 3;
+        assert_ne!(report.fingerprint(), other.fingerprint());
+    }
+}

@@ -25,7 +25,12 @@
 //!   observed outcome) with streaming reader/writer, and the
 //!   [`TraceSource`] replay path that turns a recorded request log back
 //!   into a first-class scenario (`ArrivalProcess::Trace`).
+//! * [`admission`] — serving-side artifacts: frozen request storms
+//!   (offered-load generation over the same [`ArrivalProcess`] shapes,
+//!   one level up — requests instead of inputs) and per-request
+//!   admission outcomes with the saturation-curve aggregates.
 
+pub mod admission;
 pub mod constraints;
 pub mod goal;
 pub mod record;
@@ -36,6 +41,9 @@ pub mod stream;
 pub mod task;
 pub mod trace;
 
+pub use admission::{
+    generate_storm, AdmissionVerdict, RequestArrival, RequestOutcome, ServingReport, StormSpec,
+};
 pub use constraints::{constraint_grid, quality_span, Goal, Objective};
 pub use record::{EpisodeSummary, InputRecord};
 pub use scenario::Scenario;

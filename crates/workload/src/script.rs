@@ -94,7 +94,7 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
-    fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         match *self {
             ArrivalProcess::Periodic => Ok(()),
             ArrivalProcess::Poisson { rate_scale } => {
@@ -270,7 +270,15 @@ impl GoalPatch {
         }
     }
 
-    fn validate(&self) -> Result<(), String> {
+    /// Validates the patch fields (finite positive scales, floor forms
+    /// mutually exclusive). Public so admission-time degradation
+    /// ([`crate::admission`], `alert-sched::serving`) can reject a
+    /// malformed degrade patch before any request consults it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn validate(&self) -> Result<(), String> {
         if !(self.deadline_scale.is_finite() && self.deadline_scale > 0.0) {
             return Err(format!(
                 "goal deadline_scale must be positive, got {}",
@@ -302,7 +310,14 @@ impl GoalPatch {
         Ok(())
     }
 
-    fn apply(&self, goal: &mut Goal, span: Option<QualitySpan>) {
+    /// Applies the patch to `goal` in place. Relative quality floors
+    /// ([`GoalPatch::min_quality_frac`]) resolve against `span` when
+    /// supplied and are otherwise ignored. Public so the serving
+    /// front-end can degrade a request's goal at admission time with
+    /// the exact semantics scripted mid-stream goal changes use — the
+    /// patched goal is then the *effective* goal the episode records
+    /// and is judged against.
+    pub fn apply(&self, goal: &mut Goal, span: Option<QualitySpan>) {
         goal.deadline = goal.deadline * self.deadline_scale;
         if let Some(q) = self.min_quality {
             goal.min_quality = Some(q);

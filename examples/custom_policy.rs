@@ -121,8 +121,8 @@ fn main() {
         seed: Some(77),
         policy: Some(policy.to_string()),
     };
-    let alert_id = rt.open_session(spec("ALERT")).expect("open ALERT");
-    let greedy_id = rt.open_session(spec("Greedy")).expect("open Greedy");
+    let alert_id = rt.session(spec("ALERT")).open().expect("open ALERT");
+    let greedy_id = rt.session(spec("Greedy")).open().expect("open Greedy");
 
     // 4. Drain both sessions concurrently (round-robin interleaving).
     let episodes = rt.drain_round_robin().expect("sessions drain");

@@ -48,7 +48,7 @@ fn main() {
     let schemes = ["ALERT", "Sys-only", "No-coord", "Oracle"];
     let ids: Vec<_> = schemes
         .iter()
-        .map(|s| (s, rt.open_session(spec(s)).expect("policy registered")))
+        .map(|s| (s, rt.session(spec(s)).open().expect("policy registered")))
         .collect();
 
     // 3. Drain and report per-device placement next to the usual
@@ -76,7 +76,7 @@ fn main() {
     // 4. The placement timeline of one more ALERT run, in coarse bins:
     //    the scripted GPU throttle (35%..75% of the episode) and the
     //    device-1 cap crash (50%..80%) push work back onto the CPU.
-    let id = rt.open_session(spec("ALERT")).expect("policy registered");
+    let id = rt.session(spec("ALERT")).open().expect("policy registered");
     rt.run_to_completion(id).expect("episode runs");
     let ep = rt.close(id).expect("session open");
     println!("\nALERT placement timeline (fraction of inputs on the GPU per 10% bin):");

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example interpreter`
 
 use alert::platform::Platform;
-use alert::sched::runtime::Runtime;
+use alert::sched::runtime::{Runtime, SessionSpec};
 use alert::sched::{EpisodeEnv, FamilyKind};
 use alert::stats::units::{Seconds, Watts};
 use alert::workload::{Goal, InputStream, Scenario, TaskId};
@@ -23,8 +23,9 @@ fn main() {
     let per_word = Seconds(0.060);
     let goal = Goal::minimize_error(per_word, Watts(25.0) * per_word);
 
-    // One frozen environment shared by both schemes: the runtime's
-    // `open_session_on` door exists exactly for such comparisons.
+    // One frozen environment shared by both schemes: the session
+    // builder's `.on(stream, env)` step exists exactly for such
+    // comparisons.
     let stream = InputStream::generate(TaskId::Nlp1, 1500, 99);
     let scenario = Scenario::compute_env(3);
     let mut rt = Runtime::builder()
@@ -36,10 +37,16 @@ fn main() {
         Arc::new(EpisodeEnv::build(rt.platform(), &scenario, &stream, &goal, 99).expect("valid"));
 
     let alert_id = rt
-        .open_session_on("ALERT", goal, stream.clone(), env.clone())
+        .session(SessionSpec::external(goal))
+        .policy("ALERT")
+        .on(stream.clone(), env.clone())
+        .open()
         .expect("open ALERT");
     let sys_id = rt
-        .open_session_on("Sys-only", goal, stream.clone(), env)
+        .session(SessionSpec::external(goal))
+        .policy("Sys-only")
+        .on(stream.clone(), env)
+        .open()
         .expect("open Sys-only");
     let episodes = rt.drain_round_robin().expect("drain");
     let ep = &episodes.iter().find(|(id, _)| *id == alert_id).unwrap().1;

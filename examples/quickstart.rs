@@ -37,8 +37,8 @@ fn main() {
 
     // 3. Two concurrent sessions on bit-identical conditions: ALERT (the
     //    runtime default) and the App-only baseline by name.
-    let alert_id = rt.open_session(spec(None)).expect("open");
-    let app_id = rt.open_session(spec(Some("App-only"))).expect("open");
+    let alert_id = rt.session(spec(None)).open().expect("open");
+    let app_id = rt.session(spec(Some("App-only"))).open().expect("open");
 
     // 4. Drain and compare.
     let episodes = rt.drain_round_robin().expect("drain");

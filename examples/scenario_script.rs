@@ -91,8 +91,8 @@ fn main() {
         seed: Some(2026),
         policy: Some(policy.to_string()),
     };
-    let alert_id = rt.open_session(spec("ALERT")).expect("open");
-    let noco_id = rt.open_session(spec("No-coord")).expect("open");
+    let alert_id = rt.session(spec("ALERT")).open().expect("open");
+    let noco_id = rt.session(spec("No-coord")).open().expect("open");
     let episodes = rt.drain_round_robin().expect("drain");
 
     for (id, ep) in &episodes {

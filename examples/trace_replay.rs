@@ -39,13 +39,14 @@ fn main() {
         .build()
         .expect("builtin policy");
     let id = rt
-        .open_session(SessionSpec {
+        .session(SessionSpec {
             goal,
             scenario: incident,
             n_inputs,
             seed: Some(seed),
             policy: Some("ALERT".into()),
         })
+        .open()
         .expect("open");
     rt.run_to_completion(id).expect("serve");
     let captured_ep = rt.close(id).expect("close");
@@ -71,13 +72,14 @@ fn main() {
             .build()
             .expect("builtin policy");
         let sid = rt
-            .open_session(SessionSpec {
+            .session(SessionSpec {
                 goal,
                 scenario,
                 n_inputs,
                 seed: Some(seed),
                 policy: Some("ALERT".into()),
             })
+            .open()
             .expect("open");
         rt.run_to_completion(sid).expect("serve");
         rt.close(sid).expect("close")

@@ -74,7 +74,7 @@ proptest! {
         let open_all = |rt: &mut Runtime| -> Vec<SessionId> {
             mix.iter()
                 .map(|&(kind, seed)| {
-                    rt.open_session(session_spec(kind, seed as u64)).unwrap()
+                    rt.session(session_spec(kind, seed as u64)).open().unwrap()
                 })
                 .collect()
         };
@@ -102,7 +102,7 @@ proptest! {
         let mut rt = Runtime::builder().sink(tx).build().unwrap();
         let ids: Vec<SessionId> = mix
             .iter()
-            .map(|&(kind, seed)| rt.open_session(session_spec(kind, seed as u64)).unwrap())
+            .map(|&(kind, seed)| rt.session(session_spec(kind, seed as u64)).open().unwrap())
             .collect();
         let episodes = rt.drain_parallel(workers).unwrap();
         drop(rt); // drop the sender inside the runtime
@@ -178,7 +178,7 @@ proptest! {
         let open_all = |rt: &mut Runtime| -> Vec<SessionId> {
             mix.iter()
                 .map(|&(kind, seed)| {
-                    rt.open_session(hetero_spec(kind, seed as u64)).unwrap()
+                    rt.session(hetero_spec(kind, seed as u64)).open().unwrap()
                 })
                 .collect()
         };
@@ -221,12 +221,12 @@ proptest! {
         let cut = ((n as f64 * cut_frac) as usize).clamp(1, n - 1);
 
         let mut reference = hetero_builder().build().unwrap();
-        let id = reference.open_session(spec.clone()).unwrap();
+        let id = reference.session(spec.clone()).open().unwrap();
         reference.run_to_completion(id).unwrap();
         let reference = reference.close(id).unwrap();
 
         let mut rt = hetero_builder().build().unwrap();
-        let id = rt.open_session(spec).unwrap();
+        let id = rt.session(spec).open().unwrap();
         for _ in 0..cut {
             rt.submit(id).unwrap().unwrap();
         }
@@ -264,14 +264,14 @@ fn drain_parallel_matches_serial_on_grouped_streams() {
     };
     let mut serial = build();
     for s in 0..6u64 {
-        serial.open_session(spec(70 + s)).unwrap();
+        serial.session(spec(70 + s)).open().unwrap();
     }
     let reference = serial.drain_round_robin().unwrap();
 
     for workers in [2, 4, 7] {
         let mut rt = build();
         for s in 0..6u64 {
-            rt.open_session(spec(70 + s)).unwrap();
+            rt.session(spec(70 + s)).open().unwrap();
         }
         let episodes = rt.drain_parallel(workers).unwrap();
         assert_equivalent(&episodes, &reference, &format!("grouped workers={workers}"));
@@ -286,7 +286,7 @@ fn sharded_runtime_is_bit_identical_to_serial_runtime() {
     const N: u64 = 10;
     let mut serial = Runtime::builder().build().unwrap();
     let serial_ids: Vec<SessionId> = (0..N)
-        .map(|i| serial.open_session(session_spec(i as usize, i)).unwrap())
+        .map(|i| serial.session(session_spec(i as usize, i)).open().unwrap())
         .collect();
     // Interleave some manual submits before draining the rest.
     for &id in &serial_ids {
@@ -297,7 +297,7 @@ fn sharded_runtime_is_bit_identical_to_serial_runtime() {
     let (tx, rx) = mpsc::channel();
     let mut sharded = Runtime::builder().sink(tx).build_sharded(3).unwrap();
     let sharded_ids: Vec<SessionId> = (0..N)
-        .map(|i| sharded.open_session(session_spec(i as usize, i)).unwrap())
+        .map(|i| sharded.session(session_spec(i as usize, i)).open().unwrap())
         .collect();
     assert_eq!(serial_ids, sharded_ids, "dense id allocation");
     for &id in &sharded_ids {

@@ -54,7 +54,7 @@ fn sixty_four_interleaved_sessions_match_sequential_episodes() {
     // round-robin (every session interleaves with every other).
     let mut rt = Runtime::builder().build().unwrap();
     let ids: Vec<SessionId> = (0..N)
-        .map(|i| rt.open_session(session_spec(i)).unwrap())
+        .map(|i| rt.session(session_spec(i)).open().unwrap())
         .collect();
     assert_eq!(rt.session_count(), 64);
     let episodes = rt.drain_round_robin().unwrap();
@@ -78,12 +78,12 @@ fn migration_across_runtimes_preserves_records() {
     let spec = session_spec(17);
 
     let mut reference_rt = Runtime::builder().build().unwrap();
-    let rid = reference_rt.open_session(spec.clone()).unwrap();
+    let rid = reference_rt.session(spec.clone()).open().unwrap();
     reference_rt.run_to_completion(rid).unwrap();
     let reference = reference_rt.close(rid).unwrap();
 
     let mut origin = Runtime::builder().build().unwrap();
-    let id = origin.open_session(spec).unwrap();
+    let id = origin.session(spec).open().unwrap();
     for _ in 0..25 {
         origin.submit(id).unwrap();
     }
@@ -112,7 +112,7 @@ fn run_spec_file_rebuilds_equivalent_runtime() {
 
     let run = |spec: RunSpec| {
         let mut rt = RuntimeBuilder::from_spec(spec).build().unwrap();
-        let id = rt.open_session(session_spec(3)).unwrap();
+        let id = rt.session(session_spec(3)).open().unwrap();
         rt.run_to_completion(id).unwrap();
         rt.close(id).unwrap()
     };
@@ -132,7 +132,7 @@ fn event_stream_accounts_for_every_input() {
     for i in 0..8 {
         let spec = session_spec(i);
         expected_inputs += spec.n_inputs;
-        rt.open_session(spec).unwrap();
+        rt.session(spec).open().unwrap();
     }
     rt.drain_round_robin().unwrap();
     drop(rt);
@@ -183,7 +183,7 @@ fn mid_sentence_checkpoint_resumes_identically() {
     let stream = InputStream::generate(TaskId::Nlp1, N, 77);
 
     let mut reference_rt = sentence_runtime();
-    let rid = reference_rt.open_session(grouped_spec(77, N)).unwrap();
+    let rid = reference_rt.session(grouped_spec(77, N)).open().unwrap();
     reference_rt.run_to_completion(rid).unwrap();
     let reference = reference_rt.close(rid).unwrap();
 
@@ -203,7 +203,7 @@ fn mid_sentence_checkpoint_resumes_identically() {
 
     for cut in cuts {
         let mut origin = sentence_runtime();
-        let id = origin.open_session(grouped_spec(77, N)).unwrap();
+        let id = origin.session(grouped_spec(77, N)).open().unwrap();
         for _ in 0..cut {
             origin.submit(id).unwrap();
         }
@@ -244,7 +244,7 @@ fn restore_rejects_mid_sentence_snapshot_with_reset_budget() {
         .expect("grouped stream has mid-sentence inputs");
 
     let mut origin = sentence_runtime();
-    let id = origin.open_session(grouped_spec(31, N)).unwrap();
+    let id = origin.session(grouped_spec(31, N)).open().unwrap();
     for _ in 0..cut {
         origin.submit(id).unwrap();
     }
@@ -301,7 +301,7 @@ fn custom_policy_runs_as_session() {
         .policy("MaxQuality")
         .build()
         .unwrap();
-    let id = rt.open_session(session_spec(9)).unwrap();
+    let id = rt.session(session_spec(9)).open().unwrap();
     rt.run_to_completion(id).unwrap();
     let ep = rt.close(id).unwrap();
     assert_eq!(ep.scheme, "ALERT-Trad");

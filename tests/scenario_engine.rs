@@ -177,14 +177,14 @@ fn runtime_sessions_replay_scripted_scenarios_deterministically() {
     assert_eq!(spec.goal.objective, Objective::MinimizeError);
 
     let mut rt = Runtime::builder().build().unwrap();
-    let id = rt.open_session(spec.clone()).unwrap();
+    let id = rt.session(spec.clone()).open().unwrap();
     rt.run_to_completion(id).unwrap();
     let reference = rt.close(id).unwrap();
 
     // Stop halfway — inside the scripted phase sequence — snapshot,
     // migrate, finish: bit-identical to the uninterrupted run.
     let mut rt1 = Runtime::builder().build().unwrap();
-    let id1 = rt1.open_session(spec).unwrap();
+    let id1 = rt1.session(spec).open().unwrap();
     for _ in 0..45 {
         rt1.submit(id1).unwrap();
     }
@@ -212,7 +212,7 @@ fn runtime_rejects_invalid_scripts_loudly() {
         seed: Some(1),
         policy: None,
     };
-    let err = rt.open_session(bad).unwrap_err();
+    let err = rt.session(bad).open().unwrap_err();
     assert!(err.to_string().contains("deadline_scale"), "{err}");
 }
 

@@ -38,7 +38,7 @@ fn capture(scenario: Scenario, n: usize, seed: u64) -> (WorkloadTrace, u64) {
         .sink(recorder.clone())
         .build()
         .unwrap();
-    let id = rt.open_session(spec(scenario, n, seed)).unwrap();
+    let id = rt.session(spec(scenario, n, seed)).open().unwrap();
     rt.run_to_completion(id).unwrap();
     rt.close(id).unwrap();
     (recorder.snapshot(), id.0)
@@ -77,11 +77,12 @@ fn multi_session_capture_preserves_per_session_order() {
         .unwrap();
     let ids: Vec<_> = (0..3u64)
         .map(|k| {
-            rt.open_session(spec(
+            rt.session(spec(
                 Scenario::memory_env(3 + k),
                 30 + 5 * k as usize,
                 3 + k,
             ))
+            .open()
             .unwrap()
         })
         .collect();
@@ -109,7 +110,8 @@ fn sharded_capture_matches_serial_capture() {
                 .build()
                 .unwrap();
             for k in 0..4u64 {
-                rt.open_session(spec(Scenario::churn(5 + k), 24, 5 + k))
+                rt.session(spec(Scenario::churn(5 + k), 24, 5 + k))
+                    .open()
                     .unwrap();
             }
             rt.drain_round_robin().unwrap();
@@ -120,7 +122,8 @@ fn sharded_capture_matches_serial_capture() {
                 .build_sharded(3)
                 .unwrap();
             for k in 0..4u64 {
-                rt.open_session(spec(Scenario::churn(5 + k), 24, 5 + k))
+                rt.session(spec(Scenario::churn(5 + k), 24, 5 + k))
+                    .open()
                     .unwrap();
             }
             rt.drain().unwrap();
