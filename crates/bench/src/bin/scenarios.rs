@@ -30,7 +30,8 @@ use alert_core::ProbabilityMode;
 use alert_platform::Platform;
 use alert_sched::alert::build_table_multi;
 use alert_sched::env::EpisodeEnv;
-use alert_sched::runtime::{Runtime, SessionSpec};
+use alert_sched::runtime::{EpisodeEvent, Runtime, SessionSpec};
+use alert_sched::telemetry::{TelemetryConfig, TelemetryEvent};
 use alert_sched::FamilyKind;
 use alert_stats::units::{Joules, Seconds, Watts};
 use alert_stats::Normal;
@@ -367,6 +368,73 @@ fn run_churn(scenario: &Scenario, n_inputs: usize, seed: u64) -> (usize, usize, 
     (waves.len(), opened, closed)
 }
 
+/// Belief convergence under a scripted disturbance, read off the
+/// decision-telemetry stream: how many inputs the slowdown posterior
+/// takes to settle (the last decision whose posterior mean sits more
+/// than 5% from the stream's final posterior), plus the excursion the
+/// disturbance caused.
+struct Convergence {
+    scenario: String,
+    decisions: usize,
+    inputs_to_settle: usize,
+    final_belief_mean: f64,
+    peak_belief_mean: f64,
+}
+
+fn bench_convergence(scenario: &Scenario, n_inputs: usize, seed: u64) -> Convergence {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut rt = Runtime::builder()
+        .platform(alert_platform::PlatformId::Cpu1)
+        .family(FamilyKind::Image)
+        .seed(seed)
+        .telemetry(TelemetryConfig::Full)
+        .sink(tx)
+        .build()
+        .expect("builtin policy resolves");
+    let id = rt
+        .session(SessionSpec {
+            goal: base_goal(),
+            scenario: scenario.clone(),
+            n_inputs,
+            seed: Some(seed),
+            policy: Some("ALERT".into()),
+        })
+        .open()
+        .expect("spec valid");
+    rt.run_to_completion(id).expect("episode runs");
+    rt.close(id).expect("session open");
+    drop(rt);
+    let means: Vec<f64> = rx
+        .iter()
+        .filter_map(|e| match e {
+            EpisodeEvent::Telemetry {
+                event: TelemetryEvent::Decision(d),
+            } => Some(d.post_mean),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        means.len(),
+        n_inputs,
+        "{}: full telemetry must report every decision",
+        scenario.name()
+    );
+    let final_mean = *means.last().expect("non-empty stream");
+    let tol = 0.05 * final_mean.abs().max(1e-9);
+    let inputs_to_settle = means
+        .iter()
+        .rposition(|m| (m - final_mean).abs() > tol)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    Convergence {
+        scenario: scenario.name().to_string(),
+        decisions: means.len(),
+        inputs_to_settle,
+        final_belief_mean: final_mean,
+        peak_belief_mean: means.iter().cloned().fold(f64::MIN, f64::max),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n_inputs: usize = args
@@ -427,6 +495,28 @@ fn main() {
         "\n[churn isolation verified: {waves} waves, {opened} background sessions opened, \
          {closed} closed — measured session bit-identical]"
     );
+
+    // Belief convergence on the disturbance scenarios, read off the
+    // decision-telemetry stream.
+    let mut convergence: Vec<Convergence> = Vec::new();
+    for name in ["CapStorm", "GoalFlip"] {
+        let scenario = library
+            .iter()
+            .find(|s| s.name() == name)
+            .expect("library has disturbance scenario");
+        let c = bench_convergence(scenario, n_inputs.min(150), seed);
+        assert!(
+            c.inputs_to_settle < c.decisions,
+            "{name}: belief never settled ({} / {})",
+            c.inputs_to_settle,
+            c.decisions
+        );
+        println!(
+            "\n[{name}: belief settles after {} / {} inputs (final ξ mean {:.3}, peak {:.3})]",
+            c.inputs_to_settle, c.decisions, c.final_belief_mean, c.peak_belief_mean
+        );
+        convergence.push(c);
+    }
 
     // Placement rows: the same scheme matrix on a GPU-primary node and a
     // shared-budget CPU+GPU node, over the quiescent scenario and the
@@ -507,6 +597,15 @@ fn main() {
         "schemes": SCHEMES,
         "scenarios": library.iter().map(|s| s.name().to_string()).collect::<Vec<_>>(),
         "env_identity_checks": identity_checks,
+        "telemetry": serde_json::json!({
+            "belief_convergence": convergence.iter().map(|c| serde_json::json!({
+                "scenario": c.scenario,
+                "decisions": c.decisions,
+                "inputs_to_settle": c.inputs_to_settle,
+                "final_belief_mean": c.final_belief_mean,
+                "peak_belief_mean": c.peak_belief_mean,
+            })).collect::<Vec<_>>(),
+        }),
         "churn": serde_json::json!({
             "waves": waves,
             "background_opened": opened,

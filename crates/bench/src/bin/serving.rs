@@ -19,11 +19,18 @@
 //! Usage: `serving [n_requests] [seed]` (defaults 120, 2020).
 
 use alert_bench::{banner, csv_header, csv_row, f};
-use alert_sched::runtime::{Runtime, SessionSpec};
-use alert_sched::serving::{admission_policy, serve, ServingConfig};
+use alert_sched::runtime::{EpisodeEvent, Runtime, SessionSpec};
+use alert_sched::serving::{
+    admission_policy, serve, AlertAdmission, ServingConfig, DEFAULT_DEGRADE_FRAC,
+    DEFAULT_MISS_THRESHOLD,
+};
+use alert_sched::telemetry::{AdmissionTelemetry, TelemetryEvent};
 use alert_sched::ShardedRuntime;
 use alert_stats::units::Seconds;
-use alert_workload::{generate_storm, ArrivalProcess, Goal, Scenario, ServingReport, StormSpec};
+use alert_workload::{
+    generate_storm, ArrivalProcess, Goal, GoalPatch, Scenario, ServingReport, StormSpec,
+};
+use std::collections::BTreeMap;
 
 const WORKERS: usize = 2;
 const POLICIES: [&str; 3] = ["Always-admit", "Drop-tail", "ALERT"];
@@ -105,6 +112,83 @@ fn run_cell(
         mean_gap_s: mean_gap,
         report,
         fingerprint,
+    }
+}
+
+/// One instrumented ALERT cell: the same storm re-served under an
+/// `AdmissionTelemetry`-wrapped policy. The fingerprint must match the
+/// bare cell's (telemetry is non-perturbing) and the decorator's
+/// verdict counts the report's.
+struct TelemetryCell {
+    load: f64,
+    admitted: u64,
+    degraded: u64,
+    shed: u64,
+    /// Failing-constraint histogram over non-admit verdicts.
+    constraints: BTreeMap<String, u64>,
+}
+
+fn run_instrumented_alert(
+    load: f64,
+    mean_gap: f64,
+    n_requests: usize,
+    seed: u64,
+    expected_fingerprint: u64,
+) -> TelemetryCell {
+    let spec = StormSpec {
+        arrival: ArrivalProcess::Poisson { rate_scale: 1.0 },
+        n_requests,
+        mean_gap: Seconds(mean_gap),
+        seed,
+    };
+    let storm = generate_storm(&spec, None).expect("valid storm");
+    let mut rt = runtime(seed);
+    let inner = AlertAdmission::for_runtime(
+        &rt,
+        GoalPatch::floor_frac(DEFAULT_DEGRADE_FRAC),
+        DEFAULT_MISS_THRESHOLD,
+    )
+    .expect("policy builds");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut policy = AdmissionTelemetry::new(inner, tx);
+    let report =
+        serve(&mut rt, &ServingConfig::new(goal()), &storm, &mut policy).expect("serving runs");
+    assert_eq!(
+        report.fingerprint(),
+        expected_fingerprint,
+        "admission telemetry perturbed the serving fingerprint at load {load}"
+    );
+    let counts = policy.counts();
+    // The report's `admitted()` spans full-quality AND degraded service;
+    // the decorator tallies the two verdicts separately.
+    assert_eq!(
+        (counts.admitted + counts.degraded) as usize,
+        report.admitted()
+    );
+    assert_eq!(counts.degraded as usize, report.degraded());
+    assert_eq!(counts.shed as usize, report.shed());
+    drop(policy); // releases the sender so the drain below terminates
+
+    let mut constraints = BTreeMap::new();
+    let mut events = 0usize;
+    for e in rx.iter() {
+        if let EpisodeEvent::Telemetry {
+            event: TelemetryEvent::Admission(a),
+        } = e
+        {
+            events += 1;
+            if let Some(c) = a.constraint {
+                *constraints.entry(format!("{c:?}")).or_insert(0u64) += 1;
+            }
+        }
+    }
+    assert_eq!(events, n_requests, "one admission event per request");
+    TelemetryCell {
+        load,
+        admitted: counts.admitted,
+        degraded: counts.degraded,
+        shed: counts.shed,
+        constraints,
     }
 }
 
@@ -209,6 +293,24 @@ fn main() {
     }
     println!("\n[replay identity asserted for all {} cells]", cells.len());
 
+    // Instrumented ALERT re-runs per load: verdict counts and failing
+    // constraints off the admission-telemetry stream, with the serving
+    // fingerprint asserted unchanged (telemetry is non-perturbing).
+    let telemetry_cells: Vec<TelemetryCell> = LOADS
+        .iter()
+        .map(|&load| {
+            let bare = cells
+                .iter()
+                .find(|c| c.policy == "ALERT" && c.load == load)
+                .expect("cell grid is complete");
+            run_instrumented_alert(load, bare.mean_gap_s, n_requests, seed, bare.fingerprint)
+        })
+        .collect();
+    println!(
+        "[admission telemetry verified: fingerprints unchanged at all {} loads]",
+        telemetry_cells.len()
+    );
+
     let doc = serde_json::json!({
         "bench": "serving_saturation",
         "n_requests": n_requests,
@@ -239,6 +341,17 @@ fn main() {
             "fingerprint": format!("{:016x}", c.fingerprint),
             "replay_identical": true,
         })).collect::<Vec<_>>(),
+        "telemetry": serde_json::json!({
+            "policy": "ALERT",
+            "cells": telemetry_cells.iter().map(|t| serde_json::json!({
+                "load": t.load,
+                "admitted": t.admitted,
+                "degraded": t.degraded,
+                "shed": t.shed,
+                "constraints": t.constraints,
+                "fingerprint_match": true,
+            })).collect::<Vec<_>>(),
+        }),
     });
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

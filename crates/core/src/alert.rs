@@ -13,11 +13,11 @@
 //! The controller is deliberately platform- and model-agnostic: it sees
 //! only the profile tables. `alert-sched` wires it to the simulator.
 
-use crate::config::ConfigTable;
+use crate::config::{Candidate, ConfigTable};
 use crate::goal::{Goal, GoalAdjuster};
 use crate::idle::IdleRatioEstimator;
 use crate::lane::{BeliefBand, CacheStats, CandidateLane, DecisionCache, DecisionKey, LaneScratch};
-use crate::select::Selection;
+use crate::select::{Estimates, Selection};
 use crate::slowdown::SlowdownEstimator;
 use alert_stats::cputime::DecisionStopwatch;
 use alert_stats::kalman::AdaptiveKalmanParams;
@@ -155,6 +155,44 @@ pub struct ControllerSnapshot {
     pub last_decision_cost: Seconds,
 }
 
+/// The full causal record of one decision, captured *after* the
+/// selection is made (strictly off the value path: nothing downstream
+/// of [`AlertController::decide_with_period`] reads it back).
+///
+/// This is what the telemetry layer's decision events and the flight
+/// recorder are built from: the belief the controller held, the lane it
+/// searched (or the cache entry it replayed), what it picked and what
+/// it predicted. Like the decision cache, it is *not* learned state —
+/// snapshots do not carry it, and restore/reset clear it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    /// `true` when the decision was replayed from the belief-banded
+    /// cache instead of a fresh lane search.
+    pub cache_hit: bool,
+    /// ξ belief mean at decision time.
+    pub belief_mean: f64,
+    /// ξ belief standard deviation at decision time.
+    pub belief_std: f64,
+    /// φ idle-power ratio at decision time.
+    pub idle_ratio: f64,
+    /// The deadline actually decided against (after goal adjustment:
+    /// group budget, overhead reserve).
+    pub effective_deadline: Seconds,
+    /// Total execution targets in the candidate lane.
+    pub candidates: usize,
+    /// Targets surviving static pruning (the ones actually scored).
+    pub live: usize,
+    /// The chosen execution target.
+    pub selected: Candidate,
+    /// The winner's estimates at selection time (predicted latency,
+    /// deadline probability, quality, energy).
+    pub estimates: Estimates,
+    /// `false` if the fallback hierarchy had to relax constraints.
+    pub feasible: bool,
+    /// Metered cost of this decision (thread-CPU clock).
+    pub cost: Seconds,
+}
+
 /// The ALERT runtime controller.
 #[derive(Debug, Clone)]
 pub struct AlertController {
@@ -172,6 +210,9 @@ pub struct AlertController {
     adjuster: GoalAdjuster,
     decisions: u64,
     last_decision_cost: Seconds,
+    /// Causal record of the most recent decision. Pure observability —
+    /// never read on the decision path; cleared by restore/reset.
+    last_trace: Option<DecisionTrace>,
 }
 
 impl AlertController {
@@ -214,6 +255,7 @@ impl AlertController {
             params,
             decisions: 0,
             last_decision_cost: Seconds::ZERO,
+            last_trace: None,
         })
     }
 
@@ -254,10 +296,10 @@ impl AlertController {
         let idle_ratio = self.idle.ratio();
         let band = BeliefBand::quantize(xi.mean(), xi.std_dev(), idle_ratio, effective);
         let key = DecisionKey::capture(&xi, idle_ratio, &adjusted, period, self.params.mode);
-        let sel = match self.cache.lookup(band, &key) {
+        let (sel, cache_hit) = match self.cache.lookup(band, &key) {
             // Selection is a pure function of the key; an exact
             // revalidation inside the band replays it verbatim.
-            Some(sel) => sel,
+            Some(sel) => (sel, true),
             None => {
                 let sel = self.lane.select_with_period(
                     &mut self.scratch,
@@ -268,7 +310,7 @@ impl AlertController {
                     self.params.mode,
                 )?;
                 self.cache.store(band, key, sel);
-                sel
+                (sel, false)
             }
         };
         let cost = clock.elapsed();
@@ -277,6 +319,21 @@ impl AlertController {
             self.adjuster.record_overhead(cost);
         }
         self.decisions += 1;
+        // Recorded after the selection is final: the trace is pure
+        // observability, nothing on the decision path reads it.
+        self.last_trace = Some(DecisionTrace {
+            cache_hit,
+            belief_mean: xi.mean(),
+            belief_std: xi.std_dev(),
+            idle_ratio,
+            effective_deadline: effective,
+            candidates: self.lane.candidate_count(),
+            live: self.lane.live_count(),
+            selected: sel.candidate,
+            estimates: sel.estimates,
+            feasible: sel.feasible,
+            cost,
+        });
         Ok(sel)
     }
 
@@ -326,6 +383,13 @@ impl AlertController {
         self.decisions
     }
 
+    /// Causal record of the most recent decision, if one was made since
+    /// construction/restore/reset (pure observability: see
+    /// [`DecisionTrace`]).
+    pub fn last_trace(&self) -> Option<DecisionTrace> {
+        self.last_trace
+    }
+
     /// The parameters in force.
     pub fn params(&self) -> &AlertParams {
         &self.params
@@ -355,6 +419,7 @@ impl AlertController {
         self.decisions = snapshot.decisions;
         self.last_decision_cost = snapshot.last_decision_cost;
         self.cache.invalidate();
+        self.last_trace = None;
     }
 
     /// Resets estimators and goal adjustment (new episode).
@@ -368,6 +433,7 @@ impl AlertController {
         self.decisions = 0;
         self.last_decision_cost = Seconds::ZERO;
         self.cache.invalidate();
+        self.last_trace = None;
     }
 }
 
@@ -592,6 +658,38 @@ mod tests {
         let b = restored.decide(&goal).unwrap();
         assert_eq!(a.candidate, b.candidate);
         assert_eq!(a.deadline, b.deadline);
+    }
+
+    #[test]
+    fn last_trace_records_the_decision_causally() {
+        let mut ctl = AlertController::new(table(), AlertParams::default()).unwrap();
+        assert!(ctl.last_trace().is_none(), "no decision yet, no trace");
+        let goal = Goal::minimize_error(Seconds(0.12), Joules(20.0));
+        let sel = ctl.decide(&goal).unwrap();
+        let trace = ctl.last_trace().expect("decision leaves a trace");
+        assert!(!trace.cache_hit, "first decision cannot hit the cache");
+        assert_eq!(trace.selected, sel.candidate);
+        assert_eq!(trace.estimates, sel.estimates);
+        assert_eq!(trace.feasible, sel.feasible);
+        assert_eq!(trace.candidates, ctl.lane().candidate_count());
+        assert_eq!(trace.live, ctl.lane().live_count());
+        assert_eq!(trace.belief_mean, ctl.slowdown().mean());
+        assert!(trace.cost.get() > 0.0);
+        // A repeat under the same belief replays from the cache, and the
+        // trace says so.
+        let again = ctl.decide(&goal).unwrap();
+        let trace2 = ctl.last_trace().unwrap();
+        assert!(trace2.cache_hit);
+        assert_eq!(again.candidate, sel.candidate);
+        // Reset and restore both clear the trace.
+        ctl.reset();
+        assert!(ctl.last_trace().is_none());
+        let _ = ctl.decide(&goal).unwrap();
+        let snap = ctl.snapshot();
+        let mut other = AlertController::new(table(), AlertParams::default()).unwrap();
+        let _ = other.decide(&goal).unwrap();
+        other.restore(&snap);
+        assert!(other.last_trace().is_none());
     }
 
     #[test]

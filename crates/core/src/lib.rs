@@ -45,7 +45,9 @@ pub mod slowdown;
 /// `crate::goal::…` paths.
 pub use alert_workload::goal;
 
-pub use alert::{AlertController, AlertParams, ControllerSnapshot, Observation, ProbabilityMode};
+pub use alert::{
+    AlertController, AlertParams, ControllerSnapshot, DecisionTrace, Observation, ProbabilityMode,
+};
 pub use config::{Candidate, CandidateModel, ConfigTable, StagePoint};
 pub use goal::{Goal, GoalAdjuster, Objective};
 pub use lane::{CacheStats, CandidateLane, DecisionCache, LaneScratch};

@@ -20,7 +20,7 @@
 //! rationale and how to add a rule.
 
 use crate::context::{FileContext, FileKind};
-use crate::lexer::{mask, Token};
+use crate::lexer::{mask, TokKind, Token};
 use serde::Serialize;
 
 /// Rule identifiers (the strings used in `lint:allow(...)`).
@@ -41,6 +41,8 @@ pub const CRATE_LAYER_DAG: &str = "crate-layer-dag";
 pub const LOCK_ORDER: &str = "lock-order";
 /// See [`NO_PANIC`]. Semantic rule ([`crate::semantic`]).
 pub const RNG_PROVENANCE: &str = "rng-provenance";
+/// See [`NO_PANIC`].
+pub const METRIC_NAME_DISCIPLINE: &str = "metric-name-discipline";
 /// See [`NO_PANIC`].
 pub const ALLOW_NEEDS_REASON: &str = "allow-needs-reason";
 /// See [`NO_PANIC`].
@@ -107,6 +109,13 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every RNG construction must trace to a named seed/stream source \
                   (stream_rng/task_rng/derive_seed or a literal seed); no RNG born \
                   from another RNG's output, no rand::random",
+    },
+    RuleInfo {
+        id: METRIC_NAME_DISCIPLINE,
+        summary: "metric registration/recording calls (declare_counter/declare_gauge/\
+                  declare_histogram/counter_add/gauge_set/histogram_observe) must \
+                  pass a 'static string-literal name; no format!/computed names \
+                  on the recording path",
     },
     RuleInfo {
         id: ALLOW_NEEDS_REASON,
@@ -210,6 +219,7 @@ pub fn scan_file(ctx: &FileContext, src: &str, tokens: &[Token]) -> FileScan {
     scan_identifiers(ctx, &masked, &lines, src, &mut raw);
     scan_literal_index(ctx, &masked, &lines, src, &mut raw);
     scan_float_eq(ctx, &masked, &lines, src, &mut raw);
+    scan_metric_names(ctx, &masked, tokens, &mut raw);
 
     let allows = parse_allows(ctx, src, tokens, &masked, &lines, &mut raw);
     FileScan { raw, allows }
@@ -612,6 +622,105 @@ fn lhs_is_float_literal(masked: &[u8], i: usize) -> bool {
     !(is_word(masked[m]) || masked[m] == b'.')
 }
 
+/// The metric registration/recording methods whose first argument is a
+/// metric name (see `alert_stats::telemetry::MetricsRegistry`). The
+/// registry's snapshot keys on these names, so a computed name both
+/// allocates on the hot path and breaks snapshot byte-determinism.
+const METRIC_FNS: &[&[u8]] = &[
+    b"declare_counter",
+    b"declare_gauge",
+    b"declare_histogram",
+    b"counter_add",
+    b"gauge_set",
+    b"histogram_observe",
+];
+
+/// `metric-name-discipline`: every call to a [`METRIC_FNS`] method must
+/// pass a string literal (plain or raw) as its first argument — the
+/// `&'static str` contract means a `format!`ed or forwarded name had to
+/// be leaked or computed on the recording path.
+fn scan_metric_names(
+    ctx: &FileContext,
+    masked: &[u8],
+    tokens: &[Token],
+    out: &mut Vec<RawViolation>,
+) {
+    let mut i = 0;
+    while i < masked.len() {
+        if !is_word(masked[i]) || (i > 0 && is_word(masked[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < masked.len() && is_word(masked[i]) {
+            i += 1;
+        }
+        let word = &masked[start..i];
+        if !METRIC_FNS.contains(&word) {
+            continue;
+        }
+        // Call sites only: a definition (`fn counter_add(...)`) states
+        // the `&'static str` contract rather than recording anything.
+        if preceded_by_fn(masked, start) {
+            continue;
+        }
+        let Some((open, b'(')) = next_nonws(masked, i) else {
+            continue;
+        };
+        if rule_applies(METRIC_NAME_DISCIPLINE, ctx, start)
+            && !first_arg_is_str_literal(masked, tokens, open)
+        {
+            let w = String::from_utf8_lossy(word);
+            out.push(RawViolation {
+                rule: METRIC_NAME_DISCIPLINE,
+                offset: start,
+                message: format!(
+                    "{w} must take a 'static string-literal metric name registered \
+                     at construction; no format!/computed names on the recording path"
+                ),
+            });
+        }
+    }
+}
+
+/// Is the identifier starting at `start` preceded by the `fn` keyword?
+fn preceded_by_fn(masked: &[u8], start: usize) -> bool {
+    let Some((p, b)) = prev_nonws(masked, start) else {
+        return false;
+    };
+    if !is_word(b) {
+        return false;
+    }
+    let mut s = p;
+    while s > 0 && is_word(masked[s - 1]) {
+        s -= 1;
+    }
+    &masked[s..=p] == b"fn"
+}
+
+/// Does the argument list opening at `open` start with a string literal
+/// (plain or raw)? Literal bytes are blanked in `masked`, so the check
+/// consults the token tiling: walk forward from the paren skipping
+/// whitespace (which also covers blanked comments); the first position
+/// that starts a `Str`/`RawStr` token is a literal name, and any other
+/// code byte means the name is computed.
+fn first_arg_is_str_literal(masked: &[u8], tokens: &[Token], open: usize) -> bool {
+    let mut j = open + 1;
+    while j < masked.len() {
+        if let Ok(k) = tokens.binary_search_by(|t| t.start.cmp(&j)) {
+            if matches!(tokens[k].kind, TokKind::Str | TokKind::RawStr) {
+                return true;
+            }
+        }
+        if masked[j].is_ascii_whitespace() {
+            j += 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
 /// Which contexts each rule bites in.
 fn rule_applies(rule: &str, ctx: &FileContext, offset: usize) -> bool {
     match rule {
@@ -628,6 +737,7 @@ fn rule_applies(rule: &str, ctx: &FileContext, offset: usize) -> bool {
                     .any(|p| ctx.path == *p || (p.ends_with('/') && ctx.path.starts_with(p)))
         }
         NAN_UNSAFE_COMPARE => !ctx.in_test(offset),
+        METRIC_NAME_DISCIPLINE => ctx.kind == FileKind::Library && !ctx.in_test(offset),
         _ => true,
     }
 }
@@ -995,6 +1105,55 @@ mod tests {
             "fn f() { if a.0 == b.0 { } if n == 3 { } for i in 0..10 { } if x <= 1.0 { } if x >= 0.0 { } }",
         );
         assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn metric_literal_names_are_fine() {
+        let f = run(
+            "crates/sched/src/telemetry.rs",
+            "fn f(reg: &mut R) { reg.counter_add(\"decisions\", Scope::Global, 1); \
+             reg.gauge_set(r#\"belief_mean\"#, Scope::Global, 1.0); }",
+        );
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn metric_formatted_name_fires() {
+        let f = run(
+            "crates/sched/src/telemetry.rs",
+            "fn f(reg: &mut R, id: u64) { \
+             reg.counter_add(&format!(\"decisions_{id}\"), Scope::Global, 1); }",
+        );
+        assert_eq!(rules_of(&f), vec![METRIC_NAME_DISCIPLINE]);
+    }
+
+    #[test]
+    fn metric_forwarded_name_fires() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "fn f(reg: &mut R, name: &'static str) { \
+             reg.histogram_observe(name, Scope::Global, 0.5); }",
+        );
+        assert_eq!(rules_of(&f), vec![METRIC_NAME_DISCIPLINE]);
+    }
+
+    #[test]
+    fn metric_definition_sites_and_tests_are_exempt() {
+        let src = "pub fn counter_add(&mut self, name: &'static str, n: u64) { \
+                   self.raw_add(name, n); }\n\
+                   #[cfg(test)]\nmod tests { fn t(reg: &mut R, n: &'static str) { \
+                   reg.counter_add(n, Scope::Global, 1); } }\n";
+        let f = run("crates/stats/src/telemetry.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+    }
+
+    #[test]
+    fn metric_rule_is_silent_outside_library_code() {
+        let src = "fn f(reg: &mut R, n: &'static str) { reg.gauge_set(n, Scope::Global, 1.0); }";
+        for path in ["crates/bench/src/bin/runtime.rs", "tests/telemetry.rs"] {
+            let f = run(path, src);
+            assert!(f.violations.is_empty(), "{path}: {:?}", f.violations);
+        }
     }
 
     #[test]

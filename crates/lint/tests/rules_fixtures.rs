@@ -148,6 +148,41 @@ fn nan_unsafe_compares_fire_and_safe_forms_do_not() {
 }
 
 #[test]
+fn metric_name_discipline_fires_in_library_code_only() {
+    let src = include_str!("fixtures/metric_names.rs");
+    let f = check("crates/sched/src/metric_names.rs", src);
+    // Four computed-name call sites plus the forwarded-name helper; the
+    // literal and raw-literal names stay silent, the reasoned allow
+    // suppresses the migration shim, the definition-style `fn
+    // counter_add` header is not a recording site, and the test module
+    // is exempt.
+    assert_eq!(
+        hits(&f),
+        vec![
+            (rules::METRIC_NAME_DISCIPLINE.to_string(), 6),
+            (rules::METRIC_NAME_DISCIPLINE.to_string(), 7),
+            (rules::METRIC_NAME_DISCIPLINE.to_string(), 8),
+            (rules::METRIC_NAME_DISCIPLINE.to_string(), 9),
+            (rules::METRIC_NAME_DISCIPLINE.to_string(), 16),
+        ]
+    );
+    assert_eq!(f.allowed.len(), 1);
+    assert_eq!(f.allowed[0].suppressed, 1);
+
+    // Bench bins and integration tests may label ad-hoc series however
+    // they like; the discipline binds library recording paths only.
+    for path in ["crates/bench/src/bin/runtime.rs", "tests/telemetry.rs"] {
+        let f = check(path, src);
+        assert!(
+            !hits(&f)
+                .iter()
+                .any(|(r, _)| r == rules::METRIC_NAME_DISCIPLINE),
+            "{path}: metric-name-discipline must not apply outside library code"
+        );
+    }
+}
+
+#[test]
 fn allow_grammar_suppresses_ledgers_and_polices_itself() {
     let f = check(
         "crates/core/src/allows.rs",

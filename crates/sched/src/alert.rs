@@ -417,6 +417,15 @@ impl Scheduler for AlertScheduler {
     fn restore_controller(&mut self, snapshot: &alert_core::ControllerSnapshot) {
         self.controller.restore(snapshot);
     }
+
+    fn decision_trace(&self) -> Option<alert_core::DecisionTrace> {
+        self.controller.last_trace()
+    }
+
+    fn belief(&self) -> Option<(f64, f64)> {
+        let xi = self.controller.slowdown();
+        Some((xi.mean(), xi.std_dev()))
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,9 @@ impl EventSink for TraceRecorder {
             EpisodeEvent::SessionClosed { .. } => {
                 inner.sessions_closed += 1;
             }
+            // Telemetry is observability, not workload: a captured trace
+            // must replay identically whether telemetry was on or off.
+            EpisodeEvent::Telemetry { .. } => {}
         }
     }
 }

@@ -51,30 +51,31 @@ use std::time::Duration;
 /// per shard, and returns the episodes ascending by session id.
 ///
 /// Sink events are forwarded through an mpsc channel and emitted on the
-/// calling thread (the sink is `&mut` — it never crosses threads), in
+/// calling thread (the sinks are `&mut` — they never cross threads), in
 /// per-session order. When no sink is installed the workers skip the
 /// per-record clone entirely, keeping the drain hot path allocation-lean.
 pub(crate) fn drain_shards(
     shards: Vec<Vec<(SessionId, Session)>>,
     family: &ModelFamily,
-    mut sink: Option<&mut Box<dyn EventSink>>,
+    sinks: &mut [Box<dyn EventSink>],
+    telemetry: crate::telemetry::TelemetryConfig,
 ) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
     let (tx, rx) = mpsc::channel::<EpisodeEvent>();
-    let emit = sink.is_some();
+    let emit = !sinks.is_empty();
     let mut episodes: Vec<(SessionId, Episode)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .filter(|shard| !shard.is_empty())
             .map(|shard| {
                 let tx = emit.then(|| tx.clone());
-                scope.spawn(move || drain_shard(shard, family, tx))
+                scope.spawn(move || drain_shard(shard, family, tx, telemetry))
             })
             .collect();
         // The workers hold the only remaining senders: once they finish,
         // the channel disconnects and the pump below terminates.
         drop(tx);
-        if let Some(sink) = sink.as_mut() {
-            for event in rx.iter() {
+        for event in rx.iter() {
+            for sink in sinks.iter_mut() {
                 sink.emit(&event);
             }
         }
@@ -97,6 +98,7 @@ fn drain_shard(
     mut shard: Vec<(SessionId, Session)>,
     family: &ModelFamily,
     tx: Option<mpsc::Sender<EpisodeEvent>>,
+    telemetry: crate::telemetry::TelemetryConfig,
 ) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
     shard.sort_by_key(|(id, _)| *id);
     let mut live: Vec<usize> = (0..shard.len()).collect();
@@ -106,10 +108,24 @@ fn drain_shard(
             let (id, session) = &mut shard[k];
             if let Some(record) = session.step(family)? {
                 if let Some(tx) = &tx {
+                    // Cloning first releases the step borrow so the
+                    // scheduler's trace is readable; both events then
+                    // ship in the serial drain's order — InputProcessed,
+                    // then its Telemetry.
+                    let record = record.clone();
+                    let event = Runtime::decision_telemetry(
+                        telemetry,
+                        *id,
+                        &record,
+                        session.scheduler.as_ref(),
+                    );
                     let _ = tx.send(EpisodeEvent::InputProcessed {
                         session: *id,
-                        record: record.clone(),
+                        record,
                     });
+                    if let Some(event) = event {
+                        let _ = tx.send(event);
+                    }
                 }
                 still.push(k);
             }
@@ -155,7 +171,7 @@ fn drain_shard(
 /// ```
 pub struct ShardedRuntime {
     shards: Vec<Runtime>,
-    sink: Option<Box<dyn EventSink>>,
+    sinks: Vec<Box<dyn EventSink>>,
     rx: mpsc::Receiver<EpisodeEvent>,
     /// Round-robin cursor for placing newly opened sessions.
     next_shard: usize,
@@ -165,9 +181,9 @@ impl ShardedRuntime {
     /// Builds the sharded runtime from a configured [`RuntimeBuilder`]
     /// (the implementation behind [`RuntimeBuilder::build_sharded`]).
     ///
-    /// The builder's sink becomes the sharded runtime's sink; each shard
+    /// The builder's sinks become the sharded runtime's sinks; each shard
     /// internally forwards its events into a shared channel whose
-    /// receiver pumps them to that sink in per-session order.
+    /// receiver pumps them to those sinks in per-session order.
     pub(crate) fn from_builder(
         mut builder: RuntimeBuilder,
         workers: usize,
@@ -188,20 +204,23 @@ impl ShardedRuntime {
         );
         let platform = Arc::new(Platform::by_id(builder.spec.platform));
         let family = Arc::new(builder.spec.family.family());
-        let sink = builder.sink.take();
+        let sinks = std::mem::take(&mut builder.sinks);
         let (tx, rx) = mpsc::channel::<EpisodeEvent>();
         let shards = (0..workers)
             .map(|k| {
                 // Shards forward events only when somebody listens — with
-                // no outer sink, the hot path skips the per-record clone
+                // no outer sinks, the hot path skips the per-record clone
                 // and nothing accumulates in the channel.
-                let shard_sink: Option<Box<dyn EventSink>> = sink
-                    .is_some()
-                    .then(|| Box::new(tx.clone()) as Box<dyn EventSink>);
+                let shard_sinks: Vec<Box<dyn EventSink>> = if sinks.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Box::new(tx.clone()) as Box<dyn EventSink>]
+                };
                 let shard_builder = RuntimeBuilder {
                     spec: builder.spec.clone(),
                     registry: None,
-                    sink: shard_sink,
+                    sinks: shard_sinks,
+                    telemetry: builder.telemetry,
                     id_start: k as u64,
                     id_stride: workers as u64,
                 };
@@ -213,7 +232,7 @@ impl ShardedRuntime {
         drop(tx);
         Ok(ShardedRuntime {
             shards,
-            sink,
+            sinks,
             rx,
             next_shard: 0,
         })
@@ -265,12 +284,15 @@ impl ShardedRuntime {
         ids
     }
 
-    /// Forwards buffered shard events to the sink (non-blocking). Called
+    /// Forwards buffered shard events to the sinks (non-blocking). Called
     /// after every serial operation; [`ShardedRuntime::drain`] pumps
     /// continuously while the workers run.
     fn pump_events(&mut self) {
-        if let Some(sink) = self.sink.as_mut() {
-            while let Ok(event) = self.rx.try_recv() {
+        if self.sinks.is_empty() {
+            return;
+        }
+        while let Ok(event) = self.rx.try_recv() {
+            for sink in &mut self.sinks {
                 sink.emit(&event);
             }
         }
@@ -385,7 +407,7 @@ impl ShardedRuntime {
     /// serial [`Runtime::drain_round_robin`] over the same sessions.
     pub fn drain(&mut self) -> Result<Vec<(SessionId, Episode)>, RuntimeError> {
         let ShardedRuntime {
-            shards, sink, rx, ..
+            shards, sinks, rx, ..
         } = self;
         let mut episodes: Vec<(SessionId, Episode)> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -393,15 +415,19 @@ impl ShardedRuntime {
                 .filter(|rt| rt.session_count() > 0)
                 .map(|rt| scope.spawn(move || rt.drain_round_robin()))
                 .collect();
-            if let Some(sink) = sink.as_mut() {
+            if !sinks.is_empty() {
                 // Pump until every worker is done, then flush the tail.
                 while handles.iter().any(|h| !h.is_finished()) {
                     while let Ok(event) = rx.recv_timeout(Duration::from_millis(1)) {
-                        sink.emit(&event);
+                        for sink in sinks.iter_mut() {
+                            sink.emit(&event);
+                        }
                     }
                 }
                 while let Ok(event) = rx.try_recv() {
-                    sink.emit(&event);
+                    for sink in sinks.iter_mut() {
+                        sink.emit(&event);
+                    }
                 }
             }
             handles

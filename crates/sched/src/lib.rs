@@ -31,6 +31,15 @@
 //!   belief-driven admit/degrade/shed, plus always-admit and drop-tail
 //!   baselines), emitting per-request [`ServingReport`]s
 //!   (`alert_workload::ServingReport`) for the saturation-curve bench.
+//! * [`telemetry`] — the deterministic observability layer: typed
+//!   [`TelemetryEvent`](telemetry::TelemetryEvent)s on the existing
+//!   event fan-out, deterministic sampling
+//!   ([`SamplingSink`](telemetry::SamplingSink)), metric folding
+//!   ([`MetricsCollector`](telemetry::MetricsCollector) over
+//!   `alert_stats::telemetry`), and the miss-explanation
+//!   [`FlightRecorder`](telemetry::FlightRecorder) — all strictly off
+//!   the decision value path, so every bit-identity gate holds with
+//!   telemetry enabled.
 //! * [`capture`] — trace capture: the
 //!   [`TraceRecorder`](capture::TraceRecorder) event sink records live
 //!   runtime traffic (serial or sharded) into the versioned
@@ -59,6 +68,7 @@ pub mod runtime;
 pub mod scheduler;
 pub mod serving;
 pub mod sys_only;
+pub mod telemetry;
 
 /// One-line import surface for serving-first users: the runtime
 /// builders, the session options builder, the serving front-end, the
@@ -71,6 +81,9 @@ pub mod prelude {
     pub use crate::serving::{
         admission_policy, serve, AdmissionDecision, AdmissionPolicy, AlertAdmission, AlwaysAdmit,
         DropTail, RequestContext, ServingConfig,
+    };
+    pub use crate::telemetry::{
+        AdmissionTelemetry, FlightRecorder, MetricsCollector, SamplingSink, TelemetryConfig,
     };
     pub use alert_workload::{
         generate_storm, AdmissionVerdict, ArrivalProcess, Goal, GoalPatch, RequestArrival,
@@ -101,3 +114,8 @@ pub use serving::{
     DropTail, RequestContext, ServingConfig,
 };
 pub use sys_only::SysOnly;
+pub use telemetry::{
+    AdmissionConstraint, AdmissionCounts, AdmissionEvent, AdmissionProbe, AdmissionTelemetry,
+    DecisionEvent, FlightEntry, FlightRecorder, MetricsCollector, SamplingSink, SessionFlight,
+    TelemetryConfig, TelemetryEvent,
+};

@@ -215,6 +215,15 @@ pub enum EpisodeEvent {
         /// Aggregated post-warm-up summary.
         summary: EpisodeSummary,
     },
+    /// A telemetry observation (decision trace, admission verdict) —
+    /// emitted only when the runtime's
+    /// [`TelemetryConfig`](crate::telemetry::TelemetryConfig) asks for
+    /// it, always *after* the [`EpisodeEvent::InputProcessed`] it
+    /// describes.
+    Telemetry {
+        /// The typed observation.
+        event: crate::telemetry::TelemetryEvent,
+    },
 }
 
 /// Receives [`EpisodeEvent`]s as the runtime processes inputs.
@@ -445,7 +454,8 @@ impl Session {
 pub struct RuntimeBuilder {
     pub(crate) spec: RunSpec,
     pub(crate) registry: Option<PolicyRegistry>,
-    pub(crate) sink: Option<Box<dyn EventSink>>,
+    pub(crate) sinks: Vec<Box<dyn EventSink>>,
+    pub(crate) telemetry: crate::telemetry::TelemetryConfig,
     pub(crate) id_start: u64,
     pub(crate) id_stride: u64,
 }
@@ -456,7 +466,8 @@ impl RuntimeBuilder {
         RuntimeBuilder {
             spec: RunSpec::default(),
             registry: None,
-            sink: None,
+            sinks: Vec::new(),
+            telemetry: crate::telemetry::TelemetryConfig::Off,
             id_start: 0,
             id_stride: 1,
         }
@@ -526,9 +537,22 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Installs an event sink receiving every [`EpisodeEvent`].
+    /// Installs an event sink receiving every [`EpisodeEvent`]. May be
+    /// called repeatedly: sinks fan out in installation order.
     pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
-        self.sink = Some(Box::new(sink));
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Sets how much decision telemetry the runtime emits (default:
+    /// [`TelemetryConfig::Off`](crate::telemetry::TelemetryConfig::Off)
+    /// — no telemetry events, byte-identical to the historical
+    /// runtime). Telemetry is runtime instrumentation, not workload
+    /// configuration, so it lives here rather than in [`RunSpec`]: two
+    /// runtimes differing only in telemetry share one spec and produce
+    /// bit-identical episodes.
+    pub fn telemetry(mut self, config: crate::telemetry::TelemetryConfig) -> Self {
+        self.telemetry = config;
         self
     }
 
@@ -574,7 +598,8 @@ impl RuntimeBuilder {
     ) -> Result<Runtime, RuntimeError> {
         let RuntimeBuilder {
             spec,
-            sink,
+            sinks,
+            telemetry,
             id_start,
             id_stride,
             ..
@@ -598,7 +623,8 @@ impl RuntimeBuilder {
             task: spec.family.task(),
             spec,
             registry,
-            sink,
+            sinks,
+            telemetry,
             sessions: BTreeMap::new(),
             next_id: id_start,
             id_stride,
@@ -639,7 +665,8 @@ pub struct Runtime {
     task: TaskId,
     spec: RunSpec,
     pub(crate) registry: Arc<PolicyRegistry>,
-    pub(crate) sink: Option<Box<dyn EventSink>>,
+    pub(crate) sinks: Vec<Box<dyn EventSink>>,
+    pub(crate) telemetry: crate::telemetry::TelemetryConfig,
     pub(crate) sessions: BTreeMap<SessionId, Session>,
     next_id: u64,
     id_stride: u64,
@@ -690,13 +717,16 @@ impl Runtime {
     fn insert_session(&mut self, session: Session) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += self.id_stride;
-        if let Some(sink) = self.sink.as_mut() {
-            sink.emit(&EpisodeEvent::SessionOpened {
+        if !self.sinks.is_empty() {
+            let event = EpisodeEvent::SessionOpened {
                 session: id,
                 stream: session.stream.stream_id(),
                 scheme: session.scheme.clone(),
                 inputs: session.stream.len(),
-            });
+            };
+            for sink in &mut self.sinks {
+                sink.emit(&event);
+            }
         }
         self.sessions.insert(id, session);
         id
@@ -927,34 +957,79 @@ impl Runtime {
         Ok(&self.session_ref(id)?.scheme)
     }
 
+    /// Builds the decision-telemetry event for a freshly stepped input,
+    /// when the config samples it and the scheme keeps a trace. Pure
+    /// observation: it only *reads* the trace the controller recorded on
+    /// its own, after the selection was final.
+    pub(crate) fn decision_telemetry(
+        config: crate::telemetry::TelemetryConfig,
+        id: SessionId,
+        record: &InputRecord,
+        scheduler: &dyn Scheduler,
+    ) -> Option<EpisodeEvent> {
+        if !config.records(record.index) {
+            return None;
+        }
+        let trace = scheduler.decision_trace()?;
+        let (post_mean, post_std) = scheduler
+            .belief()
+            .unwrap_or((trace.belief_mean, trace.belief_std));
+        Some(EpisodeEvent::Telemetry {
+            event: crate::telemetry::TelemetryEvent::Decision(crate::telemetry::DecisionEvent {
+                session: id,
+                index: record.index,
+                trace,
+                post_mean,
+                post_std,
+                deadline: record.deadline,
+                realized_latency: record.latency,
+                missed: record.latency.get() > record.deadline.get(),
+            }),
+        })
+    }
+
     /// Advances `id` by one input without materializing an owned record
     /// — the hot path under [`Runtime::run_to_completion`] and
     /// [`Runtime::drain_round_robin`] (a clone happens only for the
-    /// event sink, if one is installed). Returns whether an input was
+    /// event sinks, if any are installed). Returns whether an input was
     /// processed.
     fn step_session(&mut self, id: SessionId) -> Result<bool, RuntimeError> {
         let s = self
             .sessions
             .get_mut(&id)
             .ok_or(RuntimeError::UnknownSession(id))?;
-        match (s.step(&self.family)?, self.sink.as_mut()) {
-            (Some(r), Some(sink)) => {
-                sink.emit(&EpisodeEvent::InputProcessed {
-                    session: id,
-                    record: r.clone(),
-                });
-                Ok(true)
-            }
-            (Some(_), None) => Ok(true),
-            (None, _) => Ok(false),
+        let Some(record) = s.step(&self.family)? else {
+            return Ok(false);
+        };
+        // No sinks: skip event construction entirely — the sink-free
+        // hot path clones nothing.
+        if self.sinks.is_empty() {
+            return Ok(true);
         }
+        // Cloning first releases the step borrow so the scheduler's
+        // trace is readable; the clone then rides through the event.
+        let record = record.clone();
+        let telemetry = Self::decision_telemetry(self.telemetry, id, &record, s.scheduler.as_ref());
+        let event = EpisodeEvent::InputProcessed {
+            session: id,
+            record,
+        };
+        for sink in &mut self.sinks {
+            sink.emit(&event);
+        }
+        if let Some(telemetry) = telemetry {
+            for sink in &mut self.sinks {
+                sink.emit(&telemetry);
+            }
+        }
+        Ok(true)
     }
 
     /// Advances `id` by exactly one input. Returns the record, or
     /// `Ok(None)` when the stream is exhausted.
     ///
     /// The stepped session hands its record straight back: the hot path
-    /// clones it exactly once (when a sink is installed, the clone rides
+    /// clones it exactly once (when sinks are installed, the clone rides
     /// through the emitted event and is then moved out — never a second
     /// clone, never a re-fetch through the session map).
     pub fn submit(&mut self, id: SessionId) -> Result<Option<InputRecord>, RuntimeError> {
@@ -965,21 +1040,30 @@ impl Runtime {
         let Some(record) = s.step(&self.family)? else {
             return Ok(None);
         };
-        match self.sink.as_mut() {
-            Some(sink) => {
-                let event = EpisodeEvent::InputProcessed {
-                    session: id,
-                    record: record.clone(),
-                };
-                sink.emit(&event);
-                let EpisodeEvent::InputProcessed { record, .. } = event else {
-                    // lint:allow(no-panic): the event variant is constructed two lines above; no other variant can reach here
-                    unreachable!("constructed above")
-                };
-                Ok(Some(record))
-            }
-            None => Ok(Some(record.clone())),
+        if self.sinks.is_empty() {
+            return Ok(Some(record.clone()));
         }
+        // Cloning first releases the step borrow so the scheduler's
+        // trace is readable; the clone then rides through the event.
+        let record = record.clone();
+        let telemetry = Self::decision_telemetry(self.telemetry, id, &record, s.scheduler.as_ref());
+        let event = EpisodeEvent::InputProcessed {
+            session: id,
+            record,
+        };
+        for sink in &mut self.sinks {
+            sink.emit(&event);
+        }
+        if let Some(telemetry) = telemetry {
+            for sink in &mut self.sinks {
+                sink.emit(&telemetry);
+            }
+        }
+        let EpisodeEvent::InputProcessed { record, .. } = event else {
+            // lint:allow(no-panic): the event variant is constructed just above; no other variant can reach here
+            unreachable!("constructed above")
+        };
+        Ok(Some(record))
     }
 
     /// Drives `id` to the end of its stream; returns the number of
@@ -1000,12 +1084,15 @@ impl Runtime {
             .remove(&id)
             .ok_or(RuntimeError::UnknownSession(id))?;
         let episode = s.engine.finish(&s.scheme, &s.goal);
-        if let Some(sink) = self.sink.as_mut() {
-            sink.emit(&EpisodeEvent::SessionClosed {
+        if !self.sinks.is_empty() {
+            let event = EpisodeEvent::SessionClosed {
                 session: id,
                 scheme: s.scheme,
                 summary: episode.summary.clone(),
-            });
+            };
+            for sink in &mut self.sinks {
+                sink.emit(&event);
+            }
         }
         Ok(episode)
     }
@@ -1062,7 +1149,7 @@ impl Runtime {
         for (id, session) in sessions {
             shards[id.shard_of(workers)].push((id, session));
         }
-        executor::drain_shards(shards, &self.family, self.sink.as_mut())
+        executor::drain_shards(shards, &self.family, &mut self.sinks, self.telemetry)
     }
 
     /// Checkpoints a session opened from a [`SessionSpec`].

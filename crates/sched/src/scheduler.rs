@@ -8,7 +8,7 @@
 //! they are constructed *with* the frozen environment (paper §5.1 calls
 //! them impractical for exactly this reason).
 
-use alert_core::ControllerSnapshot;
+use alert_core::{ControllerSnapshot, DecisionTrace};
 use alert_models::inference::{InferenceResult, StopPolicy};
 use alert_stats::units::{Joules, Seconds, Watts};
 use alert_workload::{Goal, GroupPos};
@@ -106,6 +106,22 @@ pub trait Scheduler: Send {
     /// instance (the migration path). Schemes that do not support
     /// snapshots ignore the call.
     fn restore_controller(&mut self, _snapshot: &ControllerSnapshot) {}
+
+    /// Causal record of the most recent decision, for schemes that keep
+    /// one (the ALERT family does). Pure observability: the runtime
+    /// reads it *after* stepping a session to build telemetry events;
+    /// nothing on the decision path consumes it. Default: none.
+    fn decision_trace(&self) -> Option<DecisionTrace> {
+        None
+    }
+
+    /// The scheme's current environment belief as `(mean, std_dev)` of
+    /// the global slowdown ξ — *after* the latest
+    /// [`Scheduler::observe`], so readers see the posterior the next
+    /// decision will use. Default: none (belief-free schemes).
+    fn belief(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 #[cfg(test)]

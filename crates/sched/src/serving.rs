@@ -39,6 +39,7 @@
 
 use crate::executor::ShardedRuntime;
 use crate::runtime::SessionSpec;
+use crate::telemetry::{AdmissionConstraint, AdmissionProbe};
 use alert_core::alert::{AlertController, AlertParams, Observation};
 use alert_stats::units::Seconds;
 use alert_workload::{
@@ -116,6 +117,14 @@ pub trait AdmissionPolicy {
     fn observe(&mut self, record: &InputRecord) {
         let _ = record;
     }
+
+    /// What the most recent [`AdmissionPolicy::assess`] learned on the
+    /// way to its verdict (failing constraint, predicted miss, belief),
+    /// for telemetry. Purely observational — nothing reads it back into
+    /// a later verdict. Default: none (belief-free policies).
+    fn last_probe(&self) -> Option<AdmissionProbe> {
+        None
+    }
 }
 
 impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for Box<P> {
@@ -129,6 +138,10 @@ impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for Box<P> {
 
     fn observe(&mut self, record: &InputRecord) {
         (**self).observe(record);
+    }
+
+    fn last_probe(&self) -> Option<AdmissionProbe> {
+        (**self).last_probe()
     }
 }
 
@@ -185,6 +198,9 @@ pub struct AlertAdmission {
     span: QualitySpan,
     degrade: GoalPatch,
     miss_threshold: f64,
+    /// What the latest `assess` learned, for telemetry. Write-only on
+    /// the verdict path: every branch overwrites it and none reads it.
+    last_probe: Option<AdmissionProbe>,
 }
 
 impl AlertAdmission {
@@ -211,6 +227,7 @@ impl AlertAdmission {
             span,
             degrade,
             miss_threshold,
+            last_probe: None,
         })
     }
 
@@ -262,9 +279,16 @@ impl AdmissionPolicy for AlertAdmission {
     }
 
     fn assess(&mut self, ctx: &RequestContext) -> AdmissionDecision {
+        let xi = self.controller.slowdown();
+        let belief = Some((xi.mean(), xi.std_dev()));
         // The queue bound binds regardless of belief: past it the wait
         // model no longer describes the system the request would join.
         if ctx.queue_depth >= ctx.queue_capacity {
+            self.last_probe = Some(AdmissionProbe {
+                constraint: Some(AdmissionConstraint::QueueFull),
+                predicted_miss: None,
+                belief,
+            });
             return AdmissionDecision::Shed {
                 predicted_miss: None,
             };
@@ -273,6 +297,11 @@ impl AdmissionPolicy for AlertAdmission {
         if slack.get() <= 0.0 {
             // The request would wait out its entire deadline in queue:
             // a guaranteed miss, no belief needed.
+            self.last_probe = Some(AdmissionProbe {
+                constraint: Some(AdmissionConstraint::NoSlack),
+                predicted_miss: Some(1.0),
+                belief,
+            });
             return AdmissionDecision::Shed {
                 predicted_miss: Some(1.0),
             };
@@ -282,6 +311,11 @@ impl AdmissionPolicy for AlertAdmission {
         let probe_goal = ctx.goal.with_deadline(slack);
         let (ok, predicted_miss) = self.probe(&probe_goal, ctx.goal.deadline);
         if ok {
+            self.last_probe = Some(AdmissionProbe {
+                constraint: None,
+                predicted_miss,
+                belief,
+            });
             return AdmissionDecision::Admit { predicted_miss };
         }
         // Full quality is predicted to miss: probe the degraded goal
@@ -290,6 +324,11 @@ impl AdmissionPolicy for AlertAdmission {
         self.degrade.apply(&mut degraded_goal, Some(self.span));
         let (ok, degraded_miss) = self.probe(&degraded_goal, ctx.goal.deadline);
         if ok {
+            self.last_probe = Some(AdmissionProbe {
+                constraint: Some(AdmissionConstraint::FullQualityInfeasible),
+                predicted_miss: degraded_miss,
+                belief,
+            });
             return AdmissionDecision::Degrade {
                 patch: self.degrade,
                 predicted_miss: degraded_miss,
@@ -297,6 +336,11 @@ impl AdmissionPolicy for AlertAdmission {
         }
         // Even degraded service is predicted to miss: shed exactly the
         // request that would have missed anyway.
+        self.last_probe = Some(AdmissionProbe {
+            constraint: Some(AdmissionConstraint::DegradedInfeasible),
+            predicted_miss: degraded_miss.or(predicted_miss),
+            belief,
+        });
         AdmissionDecision::Shed {
             predicted_miss: degraded_miss.or(predicted_miss),
         }
@@ -315,6 +359,10 @@ impl AdmissionPolicy for AlertAdmission {
             idle_power: None,
             idle_cap: record.cap,
         });
+    }
+
+    fn last_probe(&self) -> Option<AdmissionProbe> {
+        self.last_probe
     }
 }
 

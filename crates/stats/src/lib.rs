@@ -29,6 +29,10 @@
 //! * [`cputime`] — the per-thread CPU clock (raw `clock_gettime` syscall
 //!   on Linux), so the controller can meter its own decision cost without
 //!   charging itself for preemption and lock waits.
+//! * [`telemetry`] — the metric substrate of the observability layer: a
+//!   static-name registry (counters, gauges, log-bucketed histograms)
+//!   with per-session/per-shard scopes and byte-deterministic JSON
+//!   snapshots, plus the bounded ring buffer behind the flight recorder.
 //!
 //! Everything here is deterministic and allocation-light; the hot paths
 //! (CDF evaluation, Kalman updates) are called once per candidate
@@ -42,6 +46,7 @@ pub mod kalman;
 pub mod normal;
 pub mod rng;
 pub mod summary;
+pub mod telemetry;
 pub mod units;
 
 pub use fit::{GaussianFit, KsStatistic};
@@ -50,4 +55,5 @@ pub use hull::{lower_convex_hull, pareto_frontier, Point2};
 pub use kalman::{AdaptiveKalman, AdaptiveKalmanParams, IdlePowerFilter, ScalarKalman};
 pub use normal::{inv_phi, phi, Normal};
 pub use summary::{five_number, harmonic_mean, percentile, FiveNumber, Welford};
+pub use telemetry::{LogHistogram, MetricsRegistry, MetricsSnapshot, RingBuffer, Scope};
 pub use units::{Joules, Seconds, Watts};

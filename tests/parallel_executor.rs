@@ -113,6 +113,11 @@ proptest! {
                 EpisodeEvent::SessionOpened { session, .. }
                 | EpisodeEvent::InputProcessed { session, .. }
                 | EpisodeEvent::SessionClosed { session, .. } => *session,
+                // Telemetry is off by default; none may appear here.
+                EpisodeEvent::Telemetry { .. } => {
+                    prop_assert!(false, "unexpected telemetry with TelemetryConfig::Off");
+                    unreachable!()
+                }
             };
             streams.entry(session).or_default().push(event);
         }
@@ -314,6 +319,10 @@ fn sharded_runtime_is_bit_identical_to_serial_runtime() {
             EpisodeEvent::SessionOpened { session, .. }
             | EpisodeEvent::InputProcessed { session, .. }
             | EpisodeEvent::SessionClosed { session, .. } => *session,
+            // Telemetry is off by default; none may appear here.
+            EpisodeEvent::Telemetry { .. } => {
+                panic!("unexpected telemetry with TelemetryConfig::Off")
+            }
         };
         per_session.entry(session).or_default().push(event);
     }

@@ -144,6 +144,8 @@ fn event_stream_accounts_for_every_input() {
             EpisodeEvent::SessionOpened { .. } => opened += 1,
             EpisodeEvent::InputProcessed { .. } => processed += 1,
             EpisodeEvent::SessionClosed { .. } => closed += 1,
+            // Telemetry is off by default; none may appear here.
+            EpisodeEvent::Telemetry { .. } => panic!("unexpected telemetry event"),
         }
     }
     assert_eq!(opened, 8);
